@@ -1,0 +1,147 @@
+package opim
+
+// Ablation benchmarks for the design choices DESIGN.md calls out, beyond
+// the per-figure benches in bench_test.go:
+//
+//   - phase breakdown: sampling vs greedy selection vs bound computation
+//   - martingale vs exact Clopper–Pearson bounds (Options.Exact)
+//   - IC reverse BFS vs LT alias-walk RR generation (Appendix A's O(1)
+//     per-step claim)
+//   - parallel sampling worker scaling
+//   - union-budget vs plain snapshot schedules
+
+import (
+	"testing"
+
+	"github.com/reprolab/opim/internal/bound"
+	"github.com/reprolab/opim/internal/maxcover"
+	"github.com/reprolab/opim/internal/rng"
+	"github.com/reprolab/opim/internal/rrset"
+)
+
+func ablationSampler(b *testing.B, model Model) *Sampler {
+	b.Helper()
+	g, err := GenerateProfile("synth-pokec", 400, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return NewSampler(g, model)
+}
+
+// BenchmarkPhaseBreakdown isolates the three cost phases of one OPIM
+// snapshot at a fixed collection size.
+func BenchmarkPhaseBreakdown(b *testing.B) {
+	s := ablationSampler(b, IC)
+	n := s.Graph().N()
+	c := rrset.NewCollection(n)
+	rrset.Generate(c, s, 32000, rng.New(2), 0)
+
+	b.Run("sampling-32k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fresh := rrset.NewCollection(n)
+			rrset.Generate(fresh, s, 32000, rng.New(uint64(i)), 0)
+		}
+	})
+	b.Run("greedy-k50", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			maxcover.Greedy(c, 50)
+		}
+	})
+	b.Run("greedy+bounds-k50", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			maxcover.GreedyWithBounds(c, 50)
+		}
+	})
+	b.Run("bound-math-only", func(b *testing.B) {
+		sel := maxcover.GreedyWithBounds(c, 50)
+		lam2 := c.Coverage(sel.Seeds)
+		b.ResetTimer()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			lo := bound.SigmaLower(float64(lam2), n, int64(c.Count()), 0.005)
+			hi := bound.SigmaUpper(float64(sel.LambdaU), n, int64(c.Count()), 0.005)
+			sink += bound.Alpha(lo, hi)
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkBoundMethods compares the martingale formulas against the exact
+// Clopper–Pearson limits (which pay beta-function inversions per call).
+func BenchmarkBoundMethods(b *testing.B) {
+	b.Run("martingale", func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += bound.SigmaLower(150, 10000, 5000, 0.01)
+			sink += bound.SigmaUpper(240, 10000, 5000, 0.01)
+		}
+		_ = sink
+	})
+	b.Run("clopper-pearson", func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += bound.SigmaLowerExact(150, 5000, 10000, 0.01)
+			sink += bound.SigmaUpperExact(240, 5000, 10000, 0.01)
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkSnapshotSchedules compares plain, union-budget, and exact-bound
+// snapshots on identical sessions.
+func BenchmarkSnapshotSchedules(b *testing.B) {
+	s := ablationSampler(b, IC)
+	for _, cfg := range []struct {
+		name string
+		opts Options
+	}{
+		{"plain", Options{K: 20, Delta: 0.01, Variant: Plus, Seed: 3}},
+		{"union-budget", Options{K: 20, Delta: 0.01, Variant: Plus, Seed: 3, UnionBudget: true}},
+		{"exact-bounds", Options{K: 20, Delta: 0.01, Variant: Plus, Seed: 3, Exact: true}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			o, err := NewOnline(s, cfg.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			o.AdvanceTo(16000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				o.Snapshot()
+			}
+		})
+	}
+}
+
+// BenchmarkWorkerScaling measures parallel RR generation throughput.
+func BenchmarkWorkerScaling(b *testing.B) {
+	s := ablationSampler(b, IC)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(map[int]string{1: "w1", 2: "w2", 4: "w4", 8: "w8"}[workers], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := rrset.NewCollection(s.Graph().N())
+				rrset.Generate(c, s, 16000, rng.New(uint64(i)), workers)
+			}
+		})
+	}
+}
+
+// BenchmarkModelSamplingCost contrasts IC's reverse BFS (examines every
+// in-edge of visited nodes) with LT's alias random walk (O(1) per step,
+// Appendix A) on the same graph.
+func BenchmarkModelSamplingCost(b *testing.B) {
+	for _, model := range []Model{IC, LT} {
+		b.Run(model.String(), func(b *testing.B) {
+			s := ablationSampler(b, model)
+			sc := s.NewScratch()
+			src := rng.New(1)
+			b.ResetTimer()
+			var nodes int64
+			for i := 0; i < b.N; i++ {
+				set, _ := s.Sample(src, sc)
+				nodes += int64(len(set))
+			}
+			b.ReportMetric(float64(nodes)/float64(b.N), "nodes/set")
+		})
+	}
+}

@@ -1,0 +1,187 @@
+package opim
+
+// One benchmark per table and figure of the paper's evaluation (§8), each
+// driving the same code path as `imbench -exp <id>` at a reduced scale so
+// `go test -bench=.` completes in minutes. Full-scale regeneration:
+//
+//	go run ./cmd/imbench -exp all
+//
+// The benchmark names map to the per-experiment index in DESIGN.md §4.
+
+import (
+	"io"
+	"testing"
+
+	"github.com/reprolab/opim/internal/bound"
+	"github.com/reprolab/opim/internal/core"
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/experiments"
+	"github.com/reprolab/opim/internal/gen"
+	"github.com/reprolab/opim/internal/rng"
+	"github.com/reprolab/opim/internal/rrset"
+)
+
+// benchConfig is the reduced-scale configuration used by every figure
+// bench: ~2k-node graphs, 1 repetition, small checkpoint ladder.
+func benchConfig() experiments.Config {
+	c := experiments.Default()
+	c.Scale = 20000
+	c.Reps = 1
+	c.MCRuns = 1000
+	c.Checkpoints = []int64{1000, 2000, 4000, 8000}
+	c.K = 20
+	c.EpsGrid = []float64{0.3, 0.2}
+	return c
+}
+
+func BenchmarkFig1DeltaSplit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig1(io.Discard)
+	}
+}
+
+func benchOnline(b *testing.B, model diffusion.Model) {
+	b.Helper()
+	c := benchConfig()
+	g, err := GenerateProfile("synth-pokec", c.Scale, c.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.RunOnline(g, model, c.K); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2ApproxLT(b *testing.B) { benchOnline(b, diffusion.LT) }
+func BenchmarkFig4ApproxIC(b *testing.B) { benchOnline(b, diffusion.IC) }
+
+func benchVaryK(b *testing.B, model diffusion.Model) {
+	b.Helper()
+	c := benchConfig()
+	g, err := GenerateProfile("synth-twitter", 80000, c.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range []int{1, 10, 100} {
+			if _, err := c.RunOnline(g, model, k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFig3VaryK_LT(b *testing.B) { benchVaryK(b, diffusion.LT) }
+func BenchmarkFig5VaryK_IC(b *testing.B) { benchVaryK(b, diffusion.IC) }
+
+func benchConventional(b *testing.B, model diffusion.Model) {
+	b.Helper()
+	c := benchConfig()
+	g, err := GenerateProfile("synth-twitter", 80000, c.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.RunConventional(g, model, 5_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6ConventionalLT(b *testing.B) { benchConventional(b, diffusion.LT) }
+func BenchmarkFig7ConventionalIC(b *testing.B) { benchConventional(b, diffusion.IC) }
+
+// BenchmarkTab1VariantCost isolates the per-snapshot guarantee-computation
+// cost of the three OPIM variants on a fixed sample collection — the
+// complexity ablation of Table 1 (Vanilla O(Σ|R|), Plus O(kn+Σ|R|),
+// Prime O(n+Σ|R|)).
+func BenchmarkTab1VariantCost(b *testing.B) {
+	g, err := GenerateProfile("synth-livejournal", 2000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sampler := NewSampler(g, IC)
+	for _, v := range []Variant{Vanilla, Plus, Prime} {
+		b.Run(v.String(), func(b *testing.B) {
+			o, err := NewOnline(sampler, Options{K: 50, Delta: 0.01, Variant: v, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			o.AdvanceTo(16000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				o.Snapshot()
+			}
+		})
+	}
+}
+
+// BenchmarkTab2DatasetGen measures synthetic profile generation (the
+// dataset-preparation cost behind Table 2).
+func BenchmarkTab2DatasetGen(b *testing.B) {
+	for _, p := range gen.Profiles {
+		b.Run(p.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Generate(p.BaseN/2000, uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOPIMCvsIMM measures the paper's headline conventional-IM claim
+// (§8.4): OPIM-C generates far fewer RR sets than IMM at equal (ε, δ).
+// Reported via the custom metric rr-sets/op.
+func BenchmarkOPIMCvsIMM(b *testing.B) {
+	g, err := GenerateProfile("synth-pokec", 40000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sampler := NewSampler(g, IC)
+	delta := 1 / float64(g.N())
+	b.Run("OPIM-C+", func(b *testing.B) {
+		var rr int64
+		for i := 0; i < b.N; i++ {
+			res, err := core.Maximize(sampler, 20, 0.15, delta, core.Options{Variant: core.Plus, Seed: uint64(i)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rr += res.RRGenerated
+		}
+		b.ReportMetric(float64(rr)/float64(b.N), "rr-sets/op")
+	})
+	b.Run("greedy-target", func(b *testing.B) {
+		// The Lemma 6.1 worst-case sample count IMM must plan for.
+		var rr float64
+		for i := 0; i < b.N; i++ {
+			rr += bound.Lemma61Samples(g.N(), 20, 0.15, delta)
+		}
+		b.ReportMetric(rr/float64(b.N), "rr-sets/op")
+	})
+}
+
+// BenchmarkRRGenerationModels compares IC and LT RR-set generation cost on
+// one graph (the sampling substrate both Table 1 and all figures rest on).
+func BenchmarkRRGenerationModels(b *testing.B) {
+	g, err := GenerateProfile("synth-orkut", 400000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, model := range []Model{IC, LT} {
+		b.Run(model.String(), func(b *testing.B) {
+			sampler := NewSampler(g, model)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := rrset.NewCollection(g.N())
+				rrset.Generate(c, sampler, 1000, rng.New(uint64(i)), 1)
+				_ = c
+			}
+		})
+	}
+}

@@ -1,0 +1,115 @@
+// Command imbench regenerates the paper's tables and figures on the
+// synthetic dataset profiles. Each experiment prints the same rows/series
+// the paper plots; see DESIGN.md §4 for the experiment index and
+// EXPERIMENTS.md for recorded paper-vs-measured results.
+//
+// Usage:
+//
+//	imbench -exp fig2                    # Figure 2 (LT, k=50, four graphs)
+//	imbench -exp fig6 -eps 0.3,0.2,0.1  # Figure 6 with a custom ε grid
+//	imbench -exp all -scale 40000       # everything, tiny graphs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id: fig1,fig2,fig3,fig4,fig5,fig6,fig7,tab1,tab2,agree,all")
+		scale   = flag.Int("scale", 0, "profile scale divisor (0 = per-profile default)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		reps    = flag.Int("reps", 3, "repetitions per data point (paper: 50)")
+		mc      = flag.Int("mc", 10000, "Monte-Carlo runs per spread estimate")
+		k       = flag.Int("k", 50, "seed set size for the k=50 experiments")
+		workers = flag.Int("workers", 0, "sampling workers (0 = GOMAXPROCS)")
+		maxCP   = flag.Int("checkpoints", 11, "number of 1000·2^i checkpoints")
+		chart   = flag.Bool("chart", false, "render online panels as ASCII charts")
+		rrCap   = flag.Int64("rrcap", 50_000_000, "per-run RR-set safety cap for fig6/fig7 (0 = unlimited)")
+		epsList = flag.String("eps", "", "comma-separated ε grid for fig6/fig7 (default 0.3,0.2,0.1,0.05)")
+	)
+	flag.Parse()
+
+	cfg := experiments.Default()
+	cfg.Scale = int32(*scale)
+	cfg.Seed = *seed
+	cfg.Reps = *reps
+	cfg.MCRuns = *mc
+	cfg.K = *k
+	cfg.Workers = *workers
+	cfg.Chart = *chart
+	if *maxCP > 0 && *maxCP < len(cfg.Checkpoints) {
+		cfg.Checkpoints = cfg.Checkpoints[:*maxCP]
+	}
+	if *epsList != "" {
+		var grid []float64
+		for _, f := range strings.Split(*epsList, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				fatalf("bad -eps entry %q: %v", f, err)
+			}
+			grid = append(grid, v)
+		}
+		cfg.EpsGrid = grid
+	}
+
+	run := func(id string) {
+		var err error
+		switch id {
+		case "fig1":
+			experiments.Fig1(os.Stdout)
+		case "fig2":
+			fmt.Println("\n### Figure 2: OPIM approximation guarantee, LT, k =", cfg.K)
+			err = cfg.FigOnlineAllGraphs(os.Stdout, diffusion.LT)
+		case "fig3":
+			fmt.Println("\n### Figure 3: varying k on synth-twitter, LT")
+			err = cfg.FigOnlineVaryK(os.Stdout, diffusion.LT)
+		case "fig4":
+			fmt.Println("\n### Figure 4: OPIM approximation guarantee, IC, k =", cfg.K)
+			err = cfg.FigOnlineAllGraphs(os.Stdout, diffusion.IC)
+		case "fig5":
+			fmt.Println("\n### Figure 5: varying k on synth-twitter, IC")
+			err = cfg.FigOnlineVaryK(os.Stdout, diffusion.IC)
+		case "fig6":
+			fmt.Println("\n### Figure 6: conventional influence maximization, LT")
+			err = cfg.FigConventional(os.Stdout, diffusion.LT, *rrCap)
+		case "fig7":
+			fmt.Println("\n### Figure 7: conventional influence maximization, IC")
+			err = cfg.FigConventional(os.Stdout, diffusion.IC, *rrCap)
+		case "tab1":
+			err = cfg.Tab1(os.Stdout)
+		case "agree":
+			fmt.Println("\n### Algorithm agreement analysis")
+			err = cfg.Agreement(os.Stdout, diffusion.IC, cfg.EpsGrid[len(cfg.EpsGrid)-1])
+		case "tab2":
+			err = cfg.Tab2(os.Stdout)
+		default:
+			fatalf("unknown experiment %q", id)
+		}
+		if err != nil {
+			fatalf("%s: %v", id, err)
+		}
+	}
+
+	if *exp == "all" {
+		for _, id := range []string{"tab2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "tab1"} {
+			run(id)
+		}
+		return
+	}
+	for _, id := range strings.Split(*exp, ",") {
+		run(strings.TrimSpace(id))
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "imbench: "+format+"\n", args...)
+	os.Exit(1)
+}

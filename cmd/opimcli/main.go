@@ -1,0 +1,154 @@
+// Command opimcli runs an interactive-style OPIM session: it streams RR
+// sets, periodically printing the current seed set quality and
+// approximation guarantee, and stops when the guarantee reaches -target,
+// the RR budget is exhausted, or the time budget expires — whichever comes
+// first. This is the paper's online-processing user experience on the
+// command line.
+//
+// Usage:
+//
+//	opimcli -profile synth-pokec -model LT -k 50 -target 0.8
+//	opimcli -graph edges.txt -weights wc -model IC -k 10 -budget 2000000 -o seeds.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/reprolab/opim"
+	"github.com/reprolab/opim/internal/cliutil"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "edge-list file (text or binary); empty = use -profile")
+		profile   = flag.String("profile", "synth-pokec", "synthetic profile when -graph is empty")
+		scale     = flag.Int("scale", 0, "profile scale divisor (0 = default)")
+		weights   = flag.String("weights", "", "reweight loaded graph: none | wc | uniform:<p> | trivalency")
+		modelName = flag.String("model", "IC", "diffusion model: IC or LT")
+		k         = flag.Int("k", 50, "seed set size")
+		deltaF    = flag.Float64("delta", 0, "failure probability (0 = 1/n)")
+		variantN  = flag.String("variant", "plus", "guarantee variant: vanilla | plus | prime")
+		target    = flag.Float64("target", 0.85, "stop once α reaches this")
+		budget    = flag.Int64("budget", 1<<21, "max RR sets")
+		timeout   = flag.Duration("timeout", 5*time.Minute, "wall-clock budget")
+		step      = flag.Int("step", 0, "RR sets per progress report (0 = doubling from 1000)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 0, "sampling workers (0 = GOMAXPROCS)")
+		union     = flag.Bool("union", false, "union-budget mode: all reports valid simultaneously with prob ≥ 1−δ")
+		mc        = flag.Int("mc", 0, "if > 0, Monte-Carlo runs to evaluate the final seed set")
+		outSeeds  = flag.String("o", "", "write the final seed set to this file (one id per line)")
+		resume    = flag.String("resume", "", "resume a session saved with -save (graph flags must match)")
+		save      = flag.String("save", "", "save the session here on exit, for later -resume")
+		repl      = flag.Bool("i", false, "interactive mode: read commands from stdin (type 'help')")
+	)
+	flag.Parse()
+
+	g, err := cliutil.LoadGraph(*graphPath, *profile, int32(*scale), *weights, *seed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	model, err := cliutil.ParseModel(*modelName)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	variant, err := cliutil.ParseVariant(*variantN)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	delta := *deltaF
+	if delta <= 0 {
+		delta = 1 / float64(g.N())
+	}
+
+	fmt.Printf("graph: n=%d m=%d  model=%v  k=%d  δ=%.2e  variant=%v\n", g.N(), g.M(), model, *k, delta, variant)
+	sampler := opim.NewSampler(g, model)
+	var session *opim.Online
+	if *resume != "" {
+		f, err := os.Open(*resume)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		session, err = opim.LoadSession(f, sampler)
+		f.Close()
+		if err != nil {
+			fatalf("resuming %s: %v", *resume, err)
+		}
+		fmt.Printf("resumed session with %d RR sets\n", session.NumRR())
+	} else {
+		session, err = opim.NewOnline(sampler, opim.Options{
+			K: *k, Delta: delta, Variant: variant, Seed: *seed, Workers: *workers, UnionBudget: *union,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	if *repl {
+		cliutil.RunREPL(os.Stdin, os.Stdout, session, g, model, *workers, *seed)
+		return
+	}
+
+	start := time.Now()
+	next := int64(1000)
+	var snap *opim.Snapshot
+	for {
+		if *step > 0 {
+			next = session.NumRR() + int64(*step)
+		}
+		if next > *budget {
+			next = *budget
+		}
+		session.AdvanceTo(next)
+		snap = session.Snapshot()
+		fmt.Printf("%8.2fs  #RR=%9d  α=%.4f  σˡ=%.1f  σᵘ=%.1f\n",
+			time.Since(start).Seconds(), session.NumRR(), snap.Alpha, snap.SigmaLower, snap.SigmaUpper)
+		switch {
+		case snap.Alpha >= *target:
+			fmt.Printf("target α=%.2f reached\n", *target)
+		case session.NumRR() >= *budget:
+			fmt.Println("RR budget exhausted")
+		case time.Since(start) >= *timeout:
+			fmt.Println("time budget exhausted")
+		default:
+			if *step == 0 {
+				next *= 2
+			}
+			continue
+		}
+		break
+	}
+
+	fmt.Printf("seeds: %v\n", snap.Seeds)
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := opim.SaveSession(f, session); err != nil {
+			f.Close()
+			fatalf("saving %s: %v", *save, err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("saving %s: %v", *save, err)
+		}
+		fmt.Printf("session saved to %s (resume with -resume %s)\n", *save, *save)
+	}
+	if *outSeeds != "" {
+		if err := cliutil.WriteSeeds(*outSeeds, snap.Seeds); err != nil {
+			fatalf("writing %s: %v", *outSeeds, err)
+		}
+		fmt.Printf("wrote %s\n", *outSeeds)
+	}
+	if *mc > 0 {
+		est := opim.EstimateSpread(g, model, snap.Seeds, *mc, *seed+999, *workers)
+		fmt.Printf("Monte-Carlo spread: %v\n", est)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "opimcli: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,104 @@
+// Command opimd serves an OPIM session over HTTP — online processing of
+// influence maximization as a long-running service, mirroring the online
+// query processing systems (§1) the paper takes its paradigm from.
+//
+//	opimd -profile synth-pokec -model IC -k 50 -listen :8080
+//
+// then:
+//
+//	curl -X POST localhost:8080/start      # begin streaming RR sets
+//	curl localhost:8080/snapshot           # current seeds + guarantee
+//	curl -X POST localhost:8080/stop       # pause
+//	curl -X POST 'localhost:8080/advance?count=100000'
+//	curl localhost:8080/status
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/reprolab/opim"
+	"github.com/reprolab/opim/internal/cliutil"
+	"github.com/reprolab/opim/internal/server"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "edge-list file (text or binary); empty = use -profile")
+		profile   = flag.String("profile", "synth-pokec", "synthetic profile when -graph is empty")
+		scale     = flag.Int("scale", 0, "profile scale divisor (0 = default)")
+		weights   = flag.String("weights", "", "reweight loaded graph: none | wc | uniform:<p> | trivalency")
+		modelName = flag.String("model", "IC", "diffusion model: IC or LT")
+		k         = flag.Int("k", 50, "seed set size")
+		deltaF    = flag.Float64("delta", 0, "failure probability (0 = 1/n)")
+		variantN  = flag.String("variant", "plus", "guarantee variant: vanilla | plus | prime")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 0, "sampling workers (0 = GOMAXPROCS)")
+		batch     = flag.Int("batch", 10000, "RR sets per background iteration")
+		maxRR     = flag.Int64("maxrr", 1<<26, "RR-set budget")
+		listen    = flag.String("listen", ":8080", "listen address")
+		union     = flag.Bool("union", false, "union-budget mode across snapshots")
+	)
+	flag.Parse()
+
+	g, err := cliutil.LoadGraph(*graphPath, *profile, int32(*scale), *weights, *seed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	model, err := cliutil.ParseModel(*modelName)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	variant, err := cliutil.ParseVariant(*variantN)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	delta := *deltaF
+	if delta <= 0 {
+		delta = 1 / float64(g.N())
+	}
+
+	session, err := opim.NewOnline(opim.NewSampler(g, model), opim.Options{
+		K: *k, Delta: delta, Variant: variant, Seed: *seed, Workers: *workers, UnionBudget: *union,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	srv := server.New(session, *batch, *maxRR)
+	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
+
+	// Graceful shutdown: stop the sampler loop and drain connections on
+	// SIGINT/SIGTERM.
+	idle := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Println("\nopimd: shutting down")
+		srv.Stop()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "opimd: shutdown: %v\n", err)
+		}
+		close(idle)
+	}()
+
+	fmt.Printf("opimd: n=%d m=%d model=%v k=%d δ=%.2e — listening on %s\n",
+		g.N(), g.M(), model, *k, delta, *listen)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fatalf("%v", err)
+	}
+	<-idle
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "opimd: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,118 @@
+// Command seedstats analyzes and compares seed sets: the prefix spread
+// curve (diminishing returns), and when several algorithms are run on the
+// same input, the agreement matrix and spread comparison between them.
+//
+// Usage:
+//
+//	seedstats -profile synth-pokec -model IC -seedfile seeds.txt
+//	seedstats -profile synth-pokec -model IC -k 20 -compare
+//
+// With -compare, seedstats runs OPIM-C⁺, IMM, SSA-Fix, D-SSA-Fix, TIM and
+// the degree/PageRank heuristics at the given (k, ε, δ) and reports each
+// one's spread plus the pairwise Jaccard agreement of their seed choices.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/reprolab/opim"
+	"github.com/reprolab/opim/internal/analysis"
+	"github.com/reprolab/opim/internal/cliutil"
+	"github.com/reprolab/opim/internal/imm"
+	"github.com/reprolab/opim/internal/ssa"
+	"github.com/reprolab/opim/internal/tim"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "edge-list file (text or binary); empty = use -profile")
+		profile   = flag.String("profile", "synth-pokec", "synthetic profile when -graph is empty")
+		scale     = flag.Int("scale", 0, "profile scale divisor")
+		weights   = flag.String("weights", "", "reweight loaded graph: none | wc | uniform:<p> | trivalency")
+		modelName = flag.String("model", "IC", "IC or LT")
+		seedsCSV  = flag.String("seeds", "", "comma-separated node ids to analyze")
+		seedFile  = flag.String("seedfile", "", "file with one node id per line")
+		compare   = flag.Bool("compare", false, "run all algorithms and compare their outputs")
+		k         = flag.Int("k", 20, "seed set size for -compare")
+		eps       = flag.Float64("eps", 0.2, "ε for -compare")
+		mc        = flag.Int("mc", 10000, "Monte-Carlo runs per estimate")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 0, "workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	g, err := cliutil.LoadGraph(*graphPath, *profile, int32(*scale), *weights, *seed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	model, err := cliutil.ParseModel(*modelName)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("graph: n=%d m=%d model=%v\n", g.N(), g.M(), model)
+
+	if *compare {
+		runComparison(g, model, *k, *eps, *mc, *seed, *workers)
+		return
+	}
+
+	seeds, err := cliutil.ParseSeeds(*seedsCSV, *seedFile, g.N())
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(seeds) == 0 {
+		fatalf("no seeds given: use -seeds, -seedfile, or -compare")
+	}
+	fmt.Printf("\nprefix spread curve (|S| = %d):\n", len(seeds))
+	curve := analysis.SpreadCurve(g, model, seeds, *mc, *seed, *workers)
+	analysis.PrintCurve(os.Stdout, curve)
+}
+
+func runComparison(g *opim.Graph, model opim.Model, k int, eps float64, mc int, seed uint64, workers int) {
+	delta := 1 / float64(g.N())
+	sampler := opim.NewSampler(g, model)
+
+	names := []string{}
+	sets := [][]int32{}
+	add := func(name string, seeds []int32, err error) {
+		if err != nil {
+			fatalf("%s: %v", name, err)
+		}
+		names = append(names, name)
+		sets = append(sets, seeds)
+	}
+
+	cres, err := opim.Maximize(sampler, k, eps, delta, opim.Options{Variant: opim.Plus, Seed: seed, Workers: workers})
+	add("OPIM-C+", cres.Seeds, err)
+	ires, err := imm.Run(sampler, k, eps, delta, seed, workers)
+	add("IMM", ires.Seeds, err)
+	sres, err := ssa.RunSSAFix(sampler, k, eps, delta, seed, workers)
+	add("SSA-Fix", sres.Seeds, err)
+	dres, err := ssa.RunDSSAFix(sampler, k, eps, delta, seed, workers)
+	add("D-SSA-Fix", dres.Seeds, err)
+	tres, err := tim.Run(sampler, k, eps, delta, seed, workers)
+	add("TIM", tres.Seeds, err)
+	add("TopDegree", opim.TopDegree(g, k), nil)
+	revPR, err := opim.TopReversePageRank(g, k)
+	add("RevPageRank", revPR, err)
+
+	fmt.Printf("\nexpected spreads (k=%d, ε=%.2f, δ=1/n, %d MC runs):\n", k, eps, mc)
+	for i, name := range names {
+		est := opim.EstimateSpread(g, model, sets[i], mc, seed+100, workers)
+		fmt.Printf("  %-10s %v\n", name, est)
+	}
+
+	fmt.Printf("\nseed-set agreement (Jaccard):\n")
+	m, err := analysis.Agreement(names, sets)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	m.Print(os.Stdout)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "seedstats: "+format+"\n", args...)
+	os.Exit(1)
+}

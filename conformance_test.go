@@ -1,0 +1,112 @@
+package opim
+
+// Conformance matrix: every guarantee-bearing algorithm in the repository
+// (OPIM-C in all variants, IMM, TIM, SSA-Fix, D-SSA-Fix, and the original
+// Monte-Carlo greedy) run across diffusion models and graph families, with
+// their seed-set spreads required to agree within a band. This is the
+// whole-system integration net: a regression anywhere in sampling, greedy
+// selection or bound computation shows up as one cell diverging.
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/reprolab/opim/internal/gen"
+	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/imm"
+	"github.com/reprolab/opim/internal/mcgreedy"
+	"github.com/reprolab/opim/internal/ssa"
+	"github.com/reprolab/opim/internal/tim"
+)
+
+func conformanceGraphs(t *testing.T) map[string]*Graph {
+	t.Helper()
+	out := map[string]*Graph{}
+
+	pa, err := gen.PreferentialAttachment(600, 6, 0.15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["power-law"], err = graph.Reweight(pa, graph.WeightedCascade, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	er, err := gen.ErdosRenyi(500, 4000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["erdos-renyi"], err = graph.Reweight(er, graph.WeightedCascade, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	sbm, err := gen.StochasticBlock(400, 4, 0.06, 0.005, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["communities"], err = graph.Reweight(sbm, graph.WeightedCascade, 0, 6); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestConformanceMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("conformance matrix skipped in -short mode")
+	}
+	const (
+		k     = 8
+		eps   = 0.3
+		delta = 0.1
+	)
+	for gname, g := range conformanceGraphs(t) {
+		for _, model := range []Model{IC, LT} {
+			t.Run(fmt.Sprintf("%s/%v", gname, model), func(t *testing.T) {
+				sampler := NewSampler(g, model)
+				spreads := map[string]float64{}
+				record := func(name string, seeds []int32, err error) {
+					t.Helper()
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					if len(seeds) != k {
+						t.Fatalf("%s returned %d seeds", name, len(seeds))
+					}
+					est := EstimateSpread(g, model, seeds, 8000, 99, 0)
+					spreads[name] = est.Spread
+				}
+
+				for _, v := range []Variant{Vanilla, Plus, Prime} {
+					res, err := Maximize(sampler, k, eps, delta, Options{Variant: v, Seed: 7})
+					record("OPIM-C/"+v.String(), res.Seeds, err)
+				}
+				ires, err := imm.Run(sampler, k, eps, delta, 7, 0)
+				record("IMM", ires.Seeds, err)
+				tres, err := tim.Run(sampler, k, eps, delta, 7, 0)
+				record("TIM", tres.Seeds, err)
+				sres, err := ssa.RunSSAFix(sampler, k, eps, delta, 7, 0)
+				record("SSA-Fix", sres.Seeds, err)
+				dres, err := ssa.RunDSSAFix(sampler, k, eps, delta, 7, 0)
+				record("D-SSA-Fix", dres.Seeds, err)
+				mres, err := mcgreedy.Run(g, model, k, 120, 7)
+				record("MC-greedy", mres.Seeds, err)
+
+				// Every pair must be within 25% — they all approximate the
+				// same optimum with ≥ (1−1/e−0.3) quality.
+				var worstLo, worstHi float64
+				var loName, hiName string
+				for name, s := range spreads {
+					if worstLo == 0 || s < worstLo {
+						worstLo, loName = s, name
+					}
+					if s > worstHi {
+						worstHi, hiName = s, name
+					}
+				}
+				if worstLo < 0.75*worstHi {
+					t.Fatalf("spread divergence: %s=%.1f vs %s=%.1f\nall: %v",
+						loName, worstLo, hiName, worstHi, spreads)
+				}
+			})
+		}
+	}
+}

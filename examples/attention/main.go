@@ -1,0 +1,92 @@
+// Attention-scarce diffusion: a custom triggering model beyond IC and LT.
+//
+// The triggering-model machinery (Kempe et al. 2003, the generality under
+// which the paper proves Theorem 6.4) lets this library optimize influence
+// under ANY rule of the form "v activates if someone in its random
+// triggering set T(v) is active". Here we model attention scarcity: every
+// user pays attention to exactly one uniformly-chosen in-neighbor per
+// campaign, and is convinced with probability q — neither IC (independent
+// chances per edge) nor LT (weight-proportional choice).
+//
+// OPIM runs unchanged on this model and still reports instance-specific
+// guarantees, which we cross-check with forward simulation of the same
+// custom model.
+//
+//	go run ./examples/attention
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/reprolab/opim"
+	"github.com/reprolab/opim/internal/rng"
+	"github.com/reprolab/opim/internal/trigger"
+)
+
+// attention is the custom triggering distribution: T(v) holds one uniform
+// in-neighbor with probability q, else is empty.
+type attention struct {
+	g *opim.Graph
+	q float64
+}
+
+func (d attention) SampleTriggering(v int32, src *rng.Source, buf []int32) []int32 {
+	from, _ := d.g.InNeighbors(v)
+	if len(from) == 0 || !src.Bernoulli(d.q) {
+		return buf
+	}
+	return append(buf, from[src.Intn(len(from))])
+}
+
+func main() {
+	g, err := opim.GenerateProfile("synth-pokec", 400, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dist := attention{g: g, q: 0.4}
+	if err := trigger.Validate(g, dist, 5000, 22); err != nil {
+		log.Fatal(err) // sanity-check the custom distribution
+	}
+	fmt.Printf("network: n=%d m=%d, attention model q=%.1f\n\n", g.N(), g.M(), dist.q)
+
+	sampler := opim.NewTriggeringSampler(g, dist)
+	session, err := opim.NewOnline(sampler, opim.Options{
+		K: 15, Delta: 0.01, Variant: opim.Plus, Seed: 23,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, cp := range []int64{4000, 16000, 64000, 256000} {
+		session.AdvanceTo(cp)
+		snap := session.Snapshot()
+		fmt.Printf("#RR=%7d  α=%.4f  σˡ=%.1f  σᵘ=%.1f\n", cp, snap.Alpha, snap.SigmaLower, snap.SigmaUpper)
+	}
+	snap := session.Snapshot()
+	fmt.Printf("\nseeds: %v\n", snap.Seeds)
+
+	// Verify the certified lower bound against forward simulation of the
+	// SAME custom model — the two code paths share nothing but the
+	// distribution itself.
+	sim := trigger.NewSimulator(g, dist)
+	src := rng.New(24)
+	const runs = 20000
+	var sum float64
+	for i := 0; i < runs; i++ {
+		sum += float64(sim.Run(snap.Seeds, src))
+	}
+	fmt.Printf("simulated spread under the attention model: %.1f (certified ≥ %.1f)\n",
+		sum/runs, snap.SigmaLower)
+
+	// Contrast with who IC would have picked: attention scarcity devalues
+	// high-out-degree hubs whose followers have many other friends.
+	icRes, err := opim.Maximize(opim.NewSampler(g, opim.IC), 15, 0.2, 0.01, opim.Options{Variant: opim.Plus, Seed: 25})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var icSum float64
+	for i := 0; i < runs; i++ {
+		icSum += float64(sim.Run(icRes.Seeds, src))
+	}
+	fmt.Printf("IC-optimized seeds under the attention model:   %.1f\n", icSum/runs)
+}

@@ -1,0 +1,60 @@
+// Outbreak detection: influence maximization on a lattice network, the
+// motif of Leskovec et al.'s water-distribution study [24] whose bound the
+// paper's OPIM′ variant derives from. Contaminant spread is modeled as an
+// IC cascade on a grid; placing sensors at the most influential junctions
+// maximizes the expected number of junctions whose contamination a sensor
+// set would catch (by symmetry of reachability on the bidirected grid).
+//
+// The example also contrasts the OPIM⁺ and OPIM′ guarantees on the same
+// sample stream — the comparison §5 makes analytically.
+//
+//	go run ./examples/outbreak
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/reprolab/opim"
+	"github.com/reprolab/opim/internal/gen"
+)
+
+func main() {
+	// A 60×60 water network; each pipe transmits contaminant with
+	// probability 0.3 per direction.
+	lattice, err := gen.Grid(60, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := opim.Reweight(lattice, opim.Uniform, 0.3, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("water network: %d junctions, %d directed pipes\n\n", g.N(), g.M())
+
+	sampler := opim.NewSampler(g, opim.IC)
+	const sensors = 16
+
+	for _, variant := range []opim.Variant{opim.Plus, opim.Prime, opim.Vanilla} {
+		session, err := opim.NewOnline(sampler, opim.Options{
+			K: sensors, Delta: 0.01, Variant: variant, Seed: 5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		session.Advance(200000)
+		snap := session.Snapshot()
+		fmt.Printf("%-6v guarantee α = %.4f  (σˡ=%.1f σᵘ=%.1f)\n",
+			variant, snap.Alpha, snap.SigmaLower, snap.SigmaUpper)
+
+		if variant == opim.Plus {
+			fmt.Printf("\nsensor placement (row,col):")
+			for _, s := range snap.Seeds {
+				fmt.Printf(" (%d,%d)", s/60, s%60)
+			}
+			est := opim.EstimateSpread(g, opim.IC, snap.Seeds, 10000, 9, 0)
+			fmt.Printf("\nexpected junctions covered: %v of %d\n\n", est, g.N())
+		}
+	}
+	fmt.Println("\nnote: OPIM⁺ ≥ max(OPIM′, OPIM⁰) on every instance (Lemma 5.2).")
+}

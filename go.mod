@@ -1,0 +1,3 @@
+module github.com/reprolab/opim
+
+go 1.22

@@ -1,0 +1,192 @@
+package opim
+
+// Integration tests exercising whole workflows across modules, including
+// cross-validation of independent implementations (forward simulation vs
+// reverse sampling, specialized vs triggering-model samplers, OPIM-C vs
+// heuristic baselines).
+
+import (
+	"math"
+	"testing"
+
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/rng"
+	"github.com/reprolab/opim/internal/trigger"
+)
+
+// TestWorkflowGenerateSaveLoadMaximize is the full pipeline a user of the
+// CLI tools follows: generate → save → load → maximize → evaluate.
+func TestWorkflowGenerateSaveLoadMaximize(t *testing.T) {
+	g, err := GenerateProfile("synth-livejournal", 4000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/g.bin"
+	if err := SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("round trip changed shape: %v vs %v", g2, g)
+	}
+
+	sampler := NewSampler(g2, LT)
+	res, err := Maximize(sampler, 10, 0.2, 0.01, Options{Variant: Plus, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread := EstimateSpread(g2, LT, res.Seeds, 5000, 3, 0)
+
+	// The certified solution must beat every guarantee-free heuristic's
+	// (1−1/e−ε) fraction — in practice it should simply be at least
+	// comparable to the best of them.
+	for _, baseline := range [][]int32{
+		TopDegree(g2, 10),
+		TopPageRank(g2, 10),
+		DegreeDiscount(g2, 10, 0.05),
+	} {
+		b := EstimateSpread(g2, LT, baseline, 5000, 4, 0)
+		if spread.Spread < res.Target*b.Spread {
+			t.Fatalf("OPIM-C spread %v below target share of heuristic %v", spread, b)
+		}
+	}
+}
+
+// TestTriggeringModelEndToEnd runs OPIM-C over a generic triggering
+// distribution and checks the result against the specialized sampler.
+func TestTriggeringModelEndToEnd(t *testing.T) {
+	g, err := GenerateProfile("synth-pokec", 20000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Maximize(NewSampler(g, IC), 5, 0.3, 0.05, Options{Variant: Plus, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := Maximize(NewTriggeringSampler(g, trigger.NewIC(g)), 5, 0.3, 0.05, Options{Variant: Plus, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := EstimateSpread(g, IC, spec.Seeds, 20000, 7, 0)
+	b := EstimateSpread(g, IC, gen.Seeds, 20000, 7, 0)
+	if math.Abs(a.Spread-b.Spread) > 0.15*a.Spread+4*(a.StdErr+b.StdErr) {
+		t.Fatalf("triggering-model OPIM-C spread %v diverges from specialized %v", b, a)
+	}
+}
+
+// majorityVote is a custom triggering distribution outside IC/LT: v's
+// triggering set is a uniformly random half of its in-neighbors. It
+// exercises the user-supplied-distribution path end to end.
+type majorityVote struct{ g *Graph }
+
+func (d majorityVote) SampleTriggering(v int32, src *rng.Source, buf []int32) []int32 {
+	from, _ := d.g.InNeighbors(v)
+	for _, u := range from {
+		if src.Bernoulli(0.5) {
+			buf = append(buf, u)
+		}
+	}
+	return buf
+}
+
+func TestCustomTriggeringDistribution(t *testing.T) {
+	g, err := GenerateProfile("synth-pokec", 40000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trigger.Validate(g, majorityVote{g}, 1000, 9); err != nil {
+		t.Fatal(err)
+	}
+	sampler := NewTriggeringSampler(g, majorityVote{g})
+	session, err := NewOnline(sampler, Options{K: 5, Delta: 0.05, Variant: Plus, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	session.Advance(4000)
+	snap := session.Snapshot()
+	if len(snap.Seeds) != 5 || snap.Alpha <= 0 || snap.Alpha > 1 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+
+	// Cross-validate the certified lower bound against forward simulation
+	// under the same custom distribution.
+	sim := trigger.NewSimulator(g, majorityVote{g})
+	src := rng.New(11)
+	const runs = 20000
+	var sum float64
+	for i := 0; i < runs; i++ {
+		sum += float64(sim.Run(snap.Seeds, src))
+	}
+	measured := sum / runs
+	if snap.SigmaLower > measured*1.1+1 {
+		t.Fatalf("certified σˡ=%v above measured spread %v under custom model", snap.SigmaLower, measured)
+	}
+}
+
+// TestOnlineMatchesMaximizeAtSameSampleCount checks the two front doors are
+// consistent: an Online session paused at OPIM-C's final sample count
+// produces the same seed set (same seed, same variant).
+func TestOnlineMatchesMaximizeAtSameSampleCount(t *testing.T) {
+	g, err := GenerateProfile("synth-pokec", 40000, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler := NewSampler(g, IC)
+	res, err := Maximize(sampler, 8, 0.25, 0.05, Options{Variant: Plus, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, err := NewOnline(sampler, Options{K: 8, Delta: 0.05, Variant: Plus, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	session.AdvanceTo(res.Theta1 + res.Theta2)
+	snap := session.Snapshot()
+	if len(snap.Seeds) != len(res.Seeds) {
+		t.Fatalf("seed counts differ")
+	}
+	for i := range res.Seeds {
+		if snap.Seeds[i] != res.Seeds[i] {
+			t.Fatalf("seed %d: online %d vs maximize %d", i, snap.Seeds[i], res.Seeds[i])
+		}
+	}
+}
+
+// TestHopLimitedOPIMEndToEnd runs the full OPIM stack on the hop-limited
+// objective and validates the certified lower bound against hop-limited
+// forward simulation.
+func TestHopLimitedOPIMEndToEnd(t *testing.T) {
+	g, err := GenerateProfile("synth-pokec", 20000, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const h = 2
+	sampler := NewHopSampler(g, IC, h)
+	session, err := NewOnline(sampler, Options{K: 5, Delta: 0.05, Variant: Plus, Seed: 91})
+	if err != nil {
+		t.Fatal(err)
+	}
+	session.Advance(20000)
+	snap := session.Snapshot()
+	if len(snap.Seeds) != 5 || snap.Alpha <= 0 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+
+	sim := diffusion.NewSimulator(g)
+	src := rng.New(92)
+	const runs = 30000
+	var sum float64
+	for i := 0; i < runs; i++ {
+		sum += float64(sim.RunHops(diffusion.IC, snap.Seeds, h, src))
+	}
+	measured := sum / runs
+	if snap.SigmaLower > measured*1.05+1 {
+		t.Fatalf("hop-limited σˡ = %v above measured σ_h = %v", snap.SigmaLower, measured)
+	}
+	if snap.SigmaUpper < measured*0.95 {
+		t.Fatalf("hop-limited σᵘ = %v below measured σ_h = %v", snap.SigmaUpper, measured)
+	}
+}

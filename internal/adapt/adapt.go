@@ -1,0 +1,170 @@
+// Package adapt implements the §3.3 OPIM-adoption of conventional influence
+// maximization algorithms: run the underlying (1−1/e−ε)-approximation
+// algorithm repeatedly, with the i-th execution at ε_i = (1−1/e)/2^{i−1}.
+// When the user pauses during the j-th execution, the adoption returns the
+// seed set from the (j−1)-th execution and reports
+// (1−1/e)(1 − 1/2^{j−2}) as its guarantee.
+//
+// Trace materializes the whole schedule as a step function over cumulative
+// RR-set counts, which is exactly the series Figures 2–5 plot for the
+// IMM/SSA-Fix/D-SSA-Fix adoptions.
+package adapt
+
+import (
+	"fmt"
+
+	"github.com/reprolab/opim/internal/bound"
+	"github.com/reprolab/opim/internal/imm"
+	"github.com/reprolab/opim/internal/rrset"
+	"github.com/reprolab/opim/internal/ssa"
+)
+
+// Algorithm abstracts one budgeted execution of a conventional IM
+// algorithm.
+type Algorithm interface {
+	// Name identifies the algorithm for reporting.
+	Name() string
+	// Execute runs the algorithm at the given ε with at most maxRR RR sets.
+	// It returns the seed set (nil when aborted on budget), the RR sets it
+	// actually generated, and whether it ran to completion.
+	Execute(eps float64, execIndex int, maxRR int64) (seeds []int32, rrGenerated int64, complete bool, err error)
+}
+
+// Step is one completed execution in an adoption trace.
+type Step struct {
+	// Exec is the 1-based execution index.
+	Exec int
+	// CumRR is the cumulative RR sets generated when this execution
+	// finished.
+	CumRR int64
+	// Guarantee is the ratio reported once this execution has completed:
+	// bound.AdoptionGuarantee(Exec).
+	Guarantee float64
+	// Seeds is this execution's seed set.
+	Seeds []int32
+}
+
+// Trace runs the adoption schedule until the cumulative RR-set count
+// reaches budget or maxExecs executions complete. The final in-flight
+// execution is given only the remaining budget and is dropped if it cannot
+// finish within it (mirroring a user pause mid-execution).
+func Trace(a Algorithm, budget int64, maxExecs int) ([]Step, error) {
+	if budget <= 0 {
+		return nil, fmt.Errorf("adapt: budget %d must be positive", budget)
+	}
+	if maxExecs <= 0 {
+		maxExecs = 62 // ε_i underflows long before this
+	}
+	var steps []Step
+	var cum int64
+	for i := 1; i <= maxExecs && cum < budget; i++ {
+		eps := bound.AdoptionEps(i)
+		seeds, rr, complete, err := a.Execute(eps, i, budget-cum)
+		if err != nil {
+			return nil, fmt.Errorf("adapt: execution %d (ε=%v): %w", i, eps, err)
+		}
+		cum += rr
+		if !complete {
+			break
+		}
+		steps = append(steps, Step{
+			Exec:      i,
+			CumRR:     cum,
+			Guarantee: bound.AdoptionGuarantee(i),
+			Seeds:     seeds,
+		})
+	}
+	return steps, nil
+}
+
+// GuaranteeAt evaluates a trace's step function at checkpoint x: the
+// guarantee of the last execution completed within x RR sets (0 before the
+// first completes).
+func GuaranteeAt(steps []Step, x int64) float64 {
+	g := 0.0
+	for _, s := range steps {
+		if s.CumRR <= x {
+			g = s.Guarantee
+		} else {
+			break
+		}
+	}
+	return g
+}
+
+// SeedsAt returns the seed set available at checkpoint x (nil before the
+// first execution completes).
+func SeedsAt(steps []Step, x int64) []int32 {
+	var seeds []int32
+	for _, s := range steps {
+		if s.CumRR <= x {
+			seeds = s.Seeds
+		} else {
+			break
+		}
+	}
+	return seeds
+}
+
+// IMM adapts imm.RunLimited to the Algorithm interface.
+type IMM struct {
+	Sampler *rrset.Sampler
+	K       int
+	Delta   float64
+	Seed    uint64
+	Workers int
+}
+
+// Name implements Algorithm.
+func (a IMM) Name() string { return "IMM" }
+
+// Execute implements Algorithm.
+func (a IMM) Execute(eps float64, execIndex int, maxRR int64) ([]int32, int64, bool, error) {
+	res, complete, err := imm.RunLimited(a.Sampler, a.K, eps, a.Delta, a.Seed+uint64(execIndex)*1000003, a.Workers, maxRR)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return res.Seeds, res.RRGenerated, complete, nil
+}
+
+// SSAFix adapts ssa.RunSSAFixLimited to the Algorithm interface.
+type SSAFix struct {
+	Sampler *rrset.Sampler
+	K       int
+	Delta   float64
+	Seed    uint64
+	Workers int
+}
+
+// Name implements Algorithm.
+func (a SSAFix) Name() string { return "SSA-Fix" }
+
+// Execute implements Algorithm.
+func (a SSAFix) Execute(eps float64, execIndex int, maxRR int64) ([]int32, int64, bool, error) {
+	res, complete, err := ssa.RunSSAFixLimited(a.Sampler, a.K, eps, a.Delta, a.Seed+uint64(execIndex)*1000003, a.Workers, maxRR)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return res.Seeds, res.RRGenerated, complete, nil
+}
+
+// DSSAFix adapts ssa.RunDSSAFixLimited to the Algorithm interface.
+type DSSAFix struct {
+	Sampler *rrset.Sampler
+	K       int
+	Delta   float64
+	Seed    uint64
+	Workers int
+}
+
+// Name implements Algorithm.
+func (a DSSAFix) Name() string { return "D-SSA-Fix" }
+
+// Execute implements Algorithm.
+func (a DSSAFix) Execute(eps float64, execIndex int, maxRR int64) ([]int32, int64, bool, error) {
+	res, complete, err := ssa.RunDSSAFixLimited(a.Sampler, a.K, eps, a.Delta, a.Seed+uint64(execIndex)*1000003, a.Workers, maxRR)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return res.Seeds, res.RRGenerated, complete, nil
+}

@@ -1,0 +1,161 @@
+package adapt
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/reprolab/opim/internal/bound"
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/gen"
+	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/rrset"
+)
+
+// fake is a scripted Algorithm whose i-th execution costs cost(i) RR sets.
+type fake struct {
+	cost func(i int) int64
+	err  error
+}
+
+func (f fake) Name() string { return "fake" }
+
+func (f fake) Execute(eps float64, i int, maxRR int64) ([]int32, int64, bool, error) {
+	if f.err != nil {
+		return nil, 0, false, f.err
+	}
+	c := f.cost(i)
+	if c > maxRR {
+		return nil, maxRR, false, nil // burned the rest of the budget
+	}
+	return []int32{int32(i)}, c, true, nil
+}
+
+func TestTraceScheduleGuarantees(t *testing.T) {
+	// Executions cost 10, 20, 40, … RR sets.
+	steps, err := Trace(fake{cost: func(i int) int64 { return 10 << uint(i-1) }}, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Costs 10, 20, 40 complete (cum 70); the 4th (cost 80) exceeds the
+	// remaining budget of 30 and is dropped.
+	if len(steps) != 3 {
+		t.Fatalf("steps = %d: %+v", len(steps), steps)
+	}
+}
+
+func TestTraceCumulativeAndGuarantee(t *testing.T) {
+	steps, err := Trace(fake{cost: func(i int) int64 { return 10 }}, 35, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three 10-cost executions fit in a budget of 35; the fourth only gets
+	// the remaining 5 and is dropped.
+	if len(steps) != 3 {
+		t.Fatalf("steps = %d", len(steps))
+	}
+	wantCum := []int64{10, 20, 30}
+	for i, s := range steps {
+		if s.CumRR != wantCum[i] {
+			t.Fatalf("step %d CumRR = %d, want %d", i, s.CumRR, wantCum[i])
+		}
+		if math.Abs(s.Guarantee-bound.AdoptionGuarantee(i+1)) > 1e-12 {
+			t.Fatalf("step %d guarantee = %v", i, s.Guarantee)
+		}
+	}
+}
+
+func TestGuaranteeAt(t *testing.T) {
+	steps := []Step{
+		{Exec: 1, CumRR: 100, Guarantee: 0, Seeds: []int32{1}},
+		{Exec: 2, CumRR: 300, Guarantee: 0.31, Seeds: []int32{2}},
+		{Exec: 3, CumRR: 900, Guarantee: 0.47, Seeds: []int32{3}},
+	}
+	if g := GuaranteeAt(steps, 50); g != 0 {
+		t.Fatalf("GuaranteeAt(50) = %v", g)
+	}
+	if g := GuaranteeAt(steps, 300); g != 0.31 {
+		t.Fatalf("GuaranteeAt(300) = %v", g)
+	}
+	if g := GuaranteeAt(steps, 899); g != 0.31 {
+		t.Fatalf("GuaranteeAt(899) = %v", g)
+	}
+	if g := GuaranteeAt(steps, 1e9); g != 0.47 {
+		t.Fatalf("GuaranteeAt(big) = %v", g)
+	}
+	if s := SeedsAt(steps, 299); len(s) != 1 || s[0] != 1 {
+		t.Fatalf("SeedsAt(299) = %v", s)
+	}
+	if s := SeedsAt(steps, 10); s != nil {
+		t.Fatalf("SeedsAt(10) = %v", s)
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	if _, err := Trace(fake{cost: func(int) int64 { return 1 }}, 0, 0); err == nil {
+		t.Fatal("budget 0 accepted")
+	}
+	wantErr := errors.New("boom")
+	if _, err := Trace(fake{err: wantErr}, 100, 0); !errors.Is(err, wantErr) {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestTraceGuaranteeBelowOneMinusInvE(t *testing.T) {
+	steps, err := Trace(fake{cost: func(int) int64 { return 1 }}, 40, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range steps {
+		if s.Guarantee >= bound.OneMinusInvE {
+			t.Fatalf("adoption guarantee %v reached 1−1/e", s.Guarantee)
+		}
+	}
+}
+
+func testSampler(t testing.TB, model diffusion.Model) *rrset.Sampler {
+	t.Helper()
+	g, err := gen.PreferentialAttachment(800, 8, 0.15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err = graph.Reweight(g, graph.WeightedCascade, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rrset.NewSampler(g, model)
+}
+
+func TestRealAdaptersProduceSteps(t *testing.T) {
+	s := testSampler(t, diffusion.IC)
+	algos := []Algorithm{
+		IMM{Sampler: s, K: 5, Delta: 0.1, Seed: 3, Workers: 2},
+		SSAFix{Sampler: s, K: 5, Delta: 0.1, Seed: 3, Workers: 2},
+		DSSAFix{Sampler: s, K: 5, Delta: 0.1, Seed: 3, Workers: 2},
+	}
+	for _, a := range algos {
+		steps, err := Trace(a, 50000, 6)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		if len(steps) == 0 {
+			t.Fatalf("%s: no executions completed within 50k RR sets", a.Name())
+		}
+		var prevCum int64
+		for _, st := range steps {
+			if st.CumRR <= prevCum {
+				t.Fatalf("%s: CumRR not increasing", a.Name())
+			}
+			prevCum = st.CumRR
+			if len(st.Seeds) != 5 {
+				t.Fatalf("%s: step has %d seeds", a.Name(), len(st.Seeds))
+			}
+		}
+	}
+}
+
+func TestAdapterNames(t *testing.T) {
+	if (IMM{}).Name() != "IMM" || (SSAFix{}).Name() != "SSA-Fix" || (DSSAFix{}).Name() != "D-SSA-Fix" {
+		t.Fatal("adapter names wrong")
+	}
+}

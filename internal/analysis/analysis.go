@@ -1,0 +1,136 @@
+// Package analysis provides post-hoc diagnostics over seed sets: prefix
+// spread curves (the diminishing-returns profile a campaign planner reads
+// before deciding how many seeds to actually pay for), overlap measures
+// between the outputs of different algorithms, and per-seed marginal
+// contributions. All spread numbers come from Monte-Carlo estimation, the
+// paper's evaluation method.
+package analysis
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/graph"
+)
+
+// CurvePoint is one prefix of a spread curve.
+type CurvePoint struct {
+	// K is the prefix length.
+	K int
+	// Spread is σ(S_1..K) and StdErr its Monte-Carlo standard error.
+	Spread, StdErr float64
+	// Marginal is Spread − previous prefix's Spread (clamped at ≥ 0).
+	Marginal float64
+}
+
+// SpreadCurve estimates σ over every prefix of seeds (in their given
+// order) with mcRuns Monte-Carlo cascades each.
+func SpreadCurve(g *graph.Graph, model diffusion.Model, seeds []int32, mcRuns int, seed uint64, workers int) []CurvePoint {
+	out := make([]CurvePoint, 0, len(seeds))
+	prev := 0.0
+	for k := 1; k <= len(seeds); k++ {
+		est := diffusion.EstimateSpread(g, model, seeds[:k], mcRuns, seed+uint64(k), workers)
+		marginal := est.Spread - prev
+		if marginal < 0 {
+			marginal = 0
+		}
+		out = append(out, CurvePoint{K: k, Spread: est.Spread, StdErr: est.StdErr, Marginal: marginal})
+		prev = est.Spread
+	}
+	return out
+}
+
+// PrintCurve renders a spread curve as an aligned table.
+func PrintCurve(w io.Writer, curve []CurvePoint) {
+	fmt.Fprintf(w, "%6s %12s %10s %12s\n", "k", "spread", "±stderr", "marginal")
+	for _, p := range curve {
+		fmt.Fprintf(w, "%6d %12.1f %10.2f %12.1f\n", p.K, p.Spread, p.StdErr, p.Marginal)
+	}
+}
+
+// Jaccard returns |A ∩ B| / |A ∪ B| over the node sets (1 for two empty
+// sets).
+func Jaccard(a, b []int32) float64 {
+	sa := toSet(a)
+	sb := toSet(b)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	inter := 0
+	for v := range sa {
+		if _, ok := sb[v]; ok {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(sa)+len(sb)-inter)
+}
+
+// Overlap returns |A ∩ B| / min(|A|, |B|) (1 when either set is empty).
+func Overlap(a, b []int32) float64 {
+	sa := toSet(a)
+	sb := toSet(b)
+	m := len(sa)
+	if len(sb) < m {
+		m = len(sb)
+	}
+	if m == 0 {
+		return 1
+	}
+	inter := 0
+	for v := range sa {
+		if _, ok := sb[v]; ok {
+			inter++
+		}
+	}
+	return float64(inter) / float64(m)
+}
+
+func toSet(s []int32) map[int32]struct{} {
+	m := make(map[int32]struct{}, len(s))
+	for _, v := range s {
+		m[v] = struct{}{}
+	}
+	return m
+}
+
+// AgreementMatrix computes pairwise Jaccard similarity between named seed
+// sets — how much the algorithms agree on WHO to seed (they often disagree
+// substantially while achieving near-identical spreads, since influence
+// functions have many near-optimal maximizers).
+type AgreementMatrix struct {
+	Names []string
+	J     [][]float64
+}
+
+// Agreement builds the matrix for the given named seed sets.
+func Agreement(names []string, sets [][]int32) (*AgreementMatrix, error) {
+	if len(names) != len(sets) {
+		return nil, fmt.Errorf("analysis: %d names for %d sets", len(names), len(sets))
+	}
+	m := &AgreementMatrix{Names: names, J: make([][]float64, len(sets))}
+	for i := range sets {
+		m.J[i] = make([]float64, len(sets))
+		for j := range sets {
+			m.J[i][j] = Jaccard(sets[i], sets[j])
+		}
+	}
+	return m, nil
+}
+
+// Print renders the matrix.
+func (m *AgreementMatrix) Print(w io.Writer) {
+	fmt.Fprintf(w, "%14s", "")
+	for _, n := range m.Names {
+		fmt.Fprintf(w, " %12s", n)
+	}
+	fmt.Fprintln(w)
+	for i, n := range m.Names {
+		fmt.Fprintf(w, "%14s", n)
+		for j := range m.Names {
+			fmt.Fprintf(w, " %12.3f", m.J[i][j])
+		}
+		fmt.Fprintln(w)
+		_ = i
+	}
+}

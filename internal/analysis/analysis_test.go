@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/gen"
+	"github.com/reprolab/opim/internal/graph"
+)
+
+func TestSpreadCurveMonotoneAndDiminishing(t *testing.T) {
+	g, err := gen.PreferentialAttachment(800, 6, 0.15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err = graph.Reweight(g, graph.WeightedCascade, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seeds in greedy-quality order: top out-degree.
+	type nd struct{ v, d int32 }
+	best := int32(0)
+	for v := int32(0); v < g.N(); v++ {
+		if g.OutDegree(v) > g.OutDegree(best) {
+			best = v
+		}
+	}
+	seeds := []int32{best, best - 1, best - 2, best - 3, best - 4}
+	curve := SpreadCurve(g, diffusion.IC, seeds, 20000, 3, 0)
+	if len(curve) != 5 {
+		t.Fatalf("curve length = %d", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Spread+4*curve[i].StdErr < curve[i-1].Spread {
+			t.Fatalf("spread not monotone at k=%d: %v", i+1, curve)
+		}
+		if curve[i].K != i+1 {
+			t.Fatalf("K sequence broken: %v", curve)
+		}
+	}
+	// Marginal consistency: spread(k) ≈ spread(k−1) + marginal(k).
+	for i := 1; i < len(curve); i++ {
+		if math.Abs(curve[i].Spread-(curve[i-1].Spread+curve[i].Marginal)) > 4*(curve[i].StdErr+curve[i-1].StdErr)+1e-9 {
+			t.Fatalf("marginal inconsistent at k=%d", i+1)
+		}
+	}
+}
+
+func TestPrintCurve(t *testing.T) {
+	var buf bytes.Buffer
+	PrintCurve(&buf, []CurvePoint{{K: 1, Spread: 10, StdErr: 0.5, Marginal: 10}})
+	if !strings.Contains(buf.String(), "10.0") {
+		t.Fatalf("bad table:\n%s", buf.String())
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	cases := []struct {
+		a, b []int32
+		want float64
+	}{
+		{[]int32{1, 2, 3}, []int32{1, 2, 3}, 1},
+		{[]int32{1, 2}, []int32{3, 4}, 0},
+		{[]int32{1, 2, 3}, []int32{2, 3, 4}, 0.5},
+		{nil, nil, 1},
+		{[]int32{1}, nil, 0},
+		{[]int32{1, 1, 2}, []int32{1, 2}, 1}, // duplicates ignored
+	}
+	for _, c := range cases {
+		if got := Jaccard(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Jaccard(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := Jaccard(c.b, c.a); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Jaccard not symmetric on (%v, %v)", c.a, c.b)
+		}
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	if got := Overlap([]int32{1, 2, 3, 4}, []int32{3, 4}); got != 1 {
+		t.Fatalf("subset overlap = %v, want 1", got)
+	}
+	if got := Overlap([]int32{1, 2}, []int32{2, 3}); got != 0.5 {
+		t.Fatalf("overlap = %v, want 0.5", got)
+	}
+	if got := Overlap(nil, []int32{1}); got != 1 {
+		t.Fatalf("empty overlap = %v, want 1", got)
+	}
+}
+
+func TestAgreementMatrix(t *testing.T) {
+	m, err := Agreement([]string{"a", "b"}, [][]int32{{1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.J[0][0] != 1 || m.J[1][1] != 1 {
+		t.Fatalf("diagonal not 1: %v", m.J)
+	}
+	if math.Abs(m.J[0][1]-1.0/3) > 1e-12 || m.J[0][1] != m.J[1][0] {
+		t.Fatalf("off-diagonal wrong: %v", m.J)
+	}
+	var buf bytes.Buffer
+	m.Print(&buf)
+	if !strings.Contains(buf.String(), "0.333") {
+		t.Fatalf("bad matrix print:\n%s", buf.String())
+	}
+	if _, err := Agreement([]string{"a"}, nil); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}

@@ -1,0 +1,124 @@
+// Package asciichart renders small line charts as fixed-width text, so the
+// experiment harness can show the paper's figure shapes directly in a
+// terminal (one mark per series, log-spaced x columns, shared y axis).
+package asciichart
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// marks are assigned to series in order.
+var marks = []byte{'+', 'x', 'o', '*', '#', '@', '%', '&', '$'}
+
+// Chart renders the series over shared x labels into a multi-line string.
+// Every series must have len(xLabels) values. height is the number of
+// plot rows (≥ 2; values outside [yMin, yMax] are clamped). If yMin == yMax
+// the range is derived from the data.
+func Chart(title string, xLabels []string, series []Series, height int, yMin, yMax float64) string {
+	if height < 2 {
+		height = 2
+	}
+	if len(series) == 0 || len(xLabels) == 0 {
+		return title + "\n(no data)\n"
+	}
+	for _, s := range series {
+		if len(s.Values) != len(xLabels) {
+			return fmt.Sprintf("%s\n(series %q has %d points, want %d)\n", title, s.Name, len(s.Values), len(xLabels))
+		}
+	}
+	if yMin == yMax {
+		yMin, yMax = math.Inf(1), math.Inf(-1)
+		for _, s := range series {
+			for _, v := range s.Values {
+				yMin = math.Min(yMin, v)
+				yMax = math.Max(yMax, v)
+			}
+		}
+		if yMin == yMax { // constant data
+			yMax = yMin + 1
+		}
+	}
+
+	const colWidth = 6
+	cols := len(xLabels)
+	// grid[row][col] holds the mark byte (0 = empty).
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = make([]byte, cols)
+	}
+	rowOf := func(v float64) int {
+		frac := (v - yMin) / (yMax - yMin)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		// Row 0 is the top.
+		return int(math.Round(float64(height-1) * (1 - frac)))
+	}
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for ci, v := range s.Values {
+			r := rowOf(v)
+			if grid[r][ci] == 0 {
+				grid[r][ci] = mark
+			} else if grid[r][ci] != mark {
+				grid[r][ci] = '=' // collision
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for r := 0; r < height; r++ {
+		yVal := yMax - (yMax-yMin)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%8.3f |", yVal)
+		for c := 0; c < cols; c++ {
+			mark := grid[r][c]
+			if mark == 0 {
+				mark = ' '
+			}
+			pad := strings.Repeat(" ", colWidth/2)
+			fmt.Fprintf(&b, "%s%c%s", pad, mark, strings.Repeat(" ", colWidth-colWidth/2-1))
+		}
+		b.WriteByte('\n')
+	}
+	// X axis.
+	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", cols*colWidth))
+	fmt.Fprintf(&b, "%9s", "")
+	for _, l := range xLabels {
+		if len(l) > colWidth {
+			l = l[:colWidth]
+		}
+		fmt.Fprintf(&b, "%*s", colWidth, l)
+	}
+	b.WriteByte('\n')
+	// Legend.
+	fmt.Fprintf(&b, "%9s", "")
+	for si, s := range series {
+		fmt.Fprintf(&b, " %c=%s", marks[si%len(marks)], s.Name)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// CompactLabel shortens a count like 1024000 to "1M", 32000 to "32k".
+func CompactLabel(v int64) string {
+	switch {
+	case v >= 1_000_000 && v%1_000_000 == 0:
+		return fmt.Sprintf("%dM", v/1_000_000)
+	case v >= 1000 && v%1000 == 0:
+		return fmt.Sprintf("%dk", v/1000)
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}

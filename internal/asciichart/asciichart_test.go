@@ -1,0 +1,105 @@
+package asciichart
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartBasic(t *testing.T) {
+	out := Chart("demo", []string{"1k", "2k", "4k"}, []Series{
+		{Name: "a", Values: []float64{0.1, 0.5, 0.9}},
+		{Name: "b", Values: []float64{0.0, 0.2, 0.4}},
+	}, 10, 0, 1)
+	if !strings.Contains(out, "demo") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "+=a") || !strings.Contains(out, "x=b") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "1k") || !strings.Contains(out, "4k") {
+		t.Fatalf("missing x labels:\n%s", out)
+	}
+	// Rising series: the '+' of the last column must be above the '+' of
+	// the first column.
+	lines := strings.Split(out, "\n")
+	firstRow, lastRow := -1, -1
+	for i, line := range lines {
+		idx := strings.IndexByte(line, '+')
+		if idx < 0 || !strings.Contains(line, "|") {
+			continue
+		}
+		body := line[strings.IndexByte(line, '|')+1:]
+		if strings.IndexByte(body, '+') >= 0 {
+			col := strings.IndexByte(body, '+') / 6
+			if col == 0 && firstRow == -1 {
+				firstRow = i
+			}
+			if col == 2 {
+				lastRow = i
+			}
+		}
+	}
+	if firstRow == -1 || lastRow == -1 || lastRow >= firstRow {
+		t.Fatalf("rising series not rendered rising (first at %d, last at %d):\n%s", firstRow, lastRow, out)
+	}
+}
+
+func TestChartCollision(t *testing.T) {
+	out := Chart("c", []string{"x"}, []Series{
+		{Name: "a", Values: []float64{0.5}},
+		{Name: "b", Values: []float64{0.5}},
+	}, 5, 0, 1)
+	if !strings.Contains(out, "=") {
+		t.Fatalf("collision marker missing:\n%s", out)
+	}
+}
+
+func TestChartAutoRange(t *testing.T) {
+	out := Chart("auto", []string{"a", "b"}, []Series{
+		{Name: "s", Values: []float64{10, 20}},
+	}, 4, 0, 0)
+	if !strings.Contains(out, "20.000") || !strings.Contains(out, "10.000") {
+		t.Fatalf("auto range labels missing:\n%s", out)
+	}
+}
+
+func TestChartConstantData(t *testing.T) {
+	out := Chart("const", []string{"a"}, []Series{{Name: "s", Values: []float64{5}}}, 3, 0, 0)
+	if out == "" || !strings.Contains(out, "const") {
+		t.Fatal("constant data chart empty")
+	}
+}
+
+func TestChartDegenerateInputs(t *testing.T) {
+	if out := Chart("t", nil, nil, 5, 0, 1); !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart = %q", out)
+	}
+	out := Chart("t", []string{"a", "b"}, []Series{{Name: "s", Values: []float64{1}}}, 5, 0, 1)
+	if !strings.Contains(out, "points") {
+		t.Fatalf("mismatched series not reported: %q", out)
+	}
+}
+
+func TestChartClampsOutOfRange(t *testing.T) {
+	out := Chart("clamp", []string{"a"}, []Series{{Name: "s", Values: []float64{99}}}, 4, 0, 1)
+	lines := strings.Split(out, "\n")
+	// The mark must appear on the top plot row (row after title).
+	if !strings.Contains(lines[1], "+") {
+		t.Fatalf("out-of-range value not clamped to top:\n%s", out)
+	}
+}
+
+func TestCompactLabel(t *testing.T) {
+	cases := map[int64]string{
+		500:     "500",
+		1000:    "1k",
+		32000:   "32k",
+		1024000: "1024k",
+		2000000: "2M",
+	}
+	for in, want := range cases {
+		if got := CompactLabel(in); got != want {
+			t.Errorf("CompactLabel(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

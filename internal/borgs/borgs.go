@@ -1,0 +1,88 @@
+// Package borgs implements Borgs et al.'s OPIM algorithm [2] as reviewed in
+// §3.2 of the paper: the only pre-existing algorithm designed for online
+// processing of influence maximization.
+//
+// The algorithm streams RR sets while monitoring γ, the total number of
+// edges examined during RR-set construction. Whenever γ crosses a power of
+// two it derives a seed set with the greedy Algorithm 1 over all RR sets so
+// far and records the approximation guarantee min{1/4, β} with
+// β = γ / (1492992·(n+m)·ln n). A user query returns the seed set and
+// guarantee recorded at the last checkpoint.
+//
+// As §3.2 (and Figure 2) demonstrate, the guarantee is extremely loose in
+// practice — this baseline exists to reproduce that comparison.
+package borgs
+
+import (
+	"github.com/reprolab/opim/internal/bound"
+	"github.com/reprolab/opim/internal/maxcover"
+	"github.com/reprolab/opim/internal/rng"
+	"github.com/reprolab/opim/internal/rrset"
+)
+
+// Session is a streaming Borgs-OPIM run. Not safe for concurrent use.
+type Session struct {
+	sampler *rrset.Sampler
+	k       int
+	coll    *rrset.Collection
+	base    *rng.Source
+	scratch *rrset.Scratch
+	next    uint64 // RR index for split streams
+
+	nextPow int64 // next power of two γ must reach to trigger a checkpoint
+
+	// Last checkpoint state.
+	seeds []int32
+	alpha float64
+}
+
+// NewSession starts a Borgs-OPIM session for seed sets of size k.
+func NewSession(sampler *rrset.Sampler, k int, seed uint64) *Session {
+	return &Session{
+		sampler: sampler,
+		k:       k,
+		coll:    rrset.NewCollection(sampler.Graph().N()),
+		base:    rng.New(seed),
+		scratch: sampler.NewScratch(),
+		nextPow: 1,
+	}
+}
+
+// NumRR returns the number of RR sets generated so far.
+func (s *Session) NumRR() int64 { return int64(s.coll.Count()) }
+
+// EdgesExamined returns γ.
+func (s *Session) EdgesExamined() int64 { return s.coll.EdgesExamined() }
+
+// Checkpoints returns how many power-of-two checkpoints have fired.
+func (s *Session) checkpoint() {
+	res := maxcover.Greedy(s.coll, s.k)
+	s.seeds = res.Seeds
+	g := s.sampler.Graph()
+	s.alpha = bound.BorgsAlpha(s.coll.EdgesExamined(), g.N(), g.M())
+}
+
+// Advance generates count more RR sets, firing checkpoints whenever γ
+// crosses a power of two. Generation is serial because checkpoint timing
+// depends on the running γ; the greedy at each checkpoint dominates cost
+// anyway (checkpoints are logarithmic in γ).
+func (s *Session) Advance(count int) {
+	for i := 0; i < count; i++ {
+		src := s.base.Split(s.next)
+		s.next++
+		nodes, examined := s.sampler.Sample(src, s.scratch)
+		s.coll.Add(nodes, examined)
+		if s.coll.EdgesExamined() >= s.nextPow {
+			for s.nextPow <= s.coll.EdgesExamined() {
+				s.nextPow *= 2
+			}
+			s.checkpoint()
+		}
+	}
+}
+
+// Query returns the seed set and guarantee recorded at the last power-of-two
+// checkpoint. Before the first checkpoint it returns (nil, 0).
+func (s *Session) Query() (seeds []int32, alpha float64) {
+	return s.seeds, s.alpha
+}

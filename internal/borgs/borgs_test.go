@@ -1,0 +1,97 @@
+package borgs
+
+import (
+	"testing"
+
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/gen"
+	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/rrset"
+)
+
+func testGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	g, err := gen.PreferentialAttachment(2000, 8, 0.15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err = graph.Reweight(g, graph.WeightedCascade, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestQueryBeforeCheckpoint(t *testing.T) {
+	g := testGraph(t)
+	s := NewSession(rrset.NewSampler(g, diffusion.IC), 5, 3)
+	seeds, alpha := s.Query()
+	if seeds != nil || alpha != 0 {
+		t.Fatalf("pre-checkpoint query = %v, %v", seeds, alpha)
+	}
+}
+
+func TestAdvanceFiresCheckpoints(t *testing.T) {
+	g := testGraph(t)
+	s := NewSession(rrset.NewSampler(g, diffusion.IC), 5, 3)
+	s.Advance(200)
+	seeds, alpha := s.Query()
+	if len(seeds) != 5 {
+		t.Fatalf("seeds = %v", seeds)
+	}
+	if alpha <= 0 {
+		t.Fatalf("α = %v after 200 RR sets", alpha)
+	}
+	if s.NumRR() != 200 {
+		t.Fatalf("NumRR = %d", s.NumRR())
+	}
+	if s.EdgesExamined() == 0 {
+		t.Fatal("γ = 0")
+	}
+}
+
+func TestAlphaIsExtremelyLoose(t *testing.T) {
+	// §3.2 / Figure 2: on realistic graphs Borgs' reported guarantee is
+	// close to 0 even after many RR sets.
+	g := testGraph(t)
+	s := NewSession(rrset.NewSampler(g, diffusion.LT), 50, 4)
+	s.Advance(5000)
+	_, alpha := s.Query()
+	if alpha > 0.01 {
+		t.Fatalf("Borgs α = %v, expected ≈ 0 on a 2k-node graph", alpha)
+	}
+}
+
+func TestAlphaMonotone(t *testing.T) {
+	g := testGraph(t)
+	s := NewSession(rrset.NewSampler(g, diffusion.IC), 10, 5)
+	var prev float64
+	for i := 0; i < 5; i++ {
+		s.Advance(500)
+		_, alpha := s.Query()
+		if alpha < prev {
+			t.Fatalf("α decreased: %v → %v", prev, alpha)
+		}
+		prev = alpha
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	g := testGraph(t)
+	run := func() ([]int32, float64, int64) {
+		s := NewSession(rrset.NewSampler(g, diffusion.IC), 5, 6)
+		s.Advance(1000)
+		seeds, alpha := s.Query()
+		return seeds, alpha, s.EdgesExamined()
+	}
+	s1, a1, g1 := run()
+	s2, a2, g2 := run()
+	if a1 != a2 || g1 != g2 {
+		t.Fatalf("runs differ: α %v/%v γ %d/%d", a1, a2, g1, g2)
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("seed %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package bound
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/reprolab/opim/internal/rng"
+)
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b, x, want float64
+	}{
+		{1, 1, 0.3, 0.3},   // I_x(1,1) = x
+		{2, 1, 0.5, 0.25},  // I_x(2,1) = x²
+		{1, 2, 0.5, 0.75},  // I_x(1,2) = 1−(1−x)²
+		{2, 2, 0.5, 0.5},   // symmetric beta at its median
+		{5, 5, 0.5, 0.5},   // ditto
+		{3, 1, 0.2, 0.008}, // x³
+		{1, 3, 0.2, 0.488}, // 1−0.8³
+		{2, 3, 0, 0},       // boundary
+		{2, 3, 1, 1},       // boundary
+	}
+	for _, c := range cases {
+		if got := RegIncBeta(c.a, c.b, c.x); math.Abs(got-c.want) > 1e-10 {
+			t.Errorf("I_%v(%v,%v) = %v, want %v", c.x, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRegIncBetaSymmetry(t *testing.T) {
+	f := func(ar, br, xr uint8) bool {
+		a := float64(ar%50) + 1
+		b := float64(br%50) + 1
+		x := float64(xr) / 256
+		return math.Abs(RegIncBeta(a, b, x)-(1-RegIncBeta(b, a, 1-x))) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegIncBetaMonotone(t *testing.T) {
+	prev := -1.0
+	for x := 0.0; x <= 1.0001; x += 0.01 {
+		v := RegIncBeta(3, 7, x)
+		if v < prev-1e-12 {
+			t.Fatalf("I_x(3,7) not monotone at x=%v", x)
+		}
+		prev = v
+	}
+}
+
+func TestBetaInvInverse(t *testing.T) {
+	f := func(ar, br, pr uint8) bool {
+		a := float64(ar%30) + 1
+		b := float64(br%30) + 1
+		p := (float64(pr) + 0.5) / 257
+		x := BetaInv(a, b, p)
+		return math.Abs(RegIncBeta(a, b, x)-p) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	if BetaInv(2, 3, 0) != 0 || BetaInv(2, 3, 1) != 1 {
+		t.Fatal("BetaInv boundaries wrong")
+	}
+}
+
+// binomTail computes Pr[Binom(n,p) ≥ k] directly for small n.
+func binomTail(n, k int64, p float64) float64 {
+	var sum float64
+	for i := k; i <= n; i++ {
+		sum += math.Exp(lgamma(float64(n)+1)-lgamma(float64(i)+1)-lgamma(float64(n-i)+1)) *
+			math.Pow(p, float64(i)) * math.Pow(1-p, float64(n-i))
+	}
+	return sum
+}
+
+func TestBinomialLowerPAgainstDirectTail(t *testing.T) {
+	// At p = BinomialLowerP(k, θ, δ): Pr[Binom(θ,p) ≥ k] = δ exactly.
+	for _, tc := range []struct {
+		k, theta int64
+		delta    float64
+	}{
+		{3, 20, 0.05}, {10, 50, 0.01}, {1, 10, 0.1}, {19, 20, 0.05},
+	} {
+		p := BinomialLowerP(tc.k, tc.theta, tc.delta)
+		if got := binomTail(tc.theta, tc.k, p); math.Abs(got-tc.delta) > 1e-6 {
+			t.Errorf("k=%d θ=%d: tail at lower limit = %v, want %v", tc.k, tc.theta, got, tc.delta)
+		}
+	}
+	if BinomialLowerP(0, 10, 0.05) != 0 {
+		t.Error("k=0 lower limit not 0")
+	}
+}
+
+func TestBinomialUpperPAgainstDirectTail(t *testing.T) {
+	// At p = BinomialUpperP(k, θ, δ): Pr[Binom(θ,p) ≤ k] = δ exactly.
+	for _, tc := range []struct {
+		k, theta int64
+		delta    float64
+	}{
+		{3, 20, 0.05}, {10, 50, 0.01}, {0, 10, 0.1},
+	} {
+		p := BinomialUpperP(tc.k, tc.theta, tc.delta)
+		got := 1 - binomTail(tc.theta, tc.k+1, p)
+		if math.Abs(got-tc.delta) > 1e-6 {
+			t.Errorf("k=%d θ=%d: cdf at upper limit = %v, want %v", tc.k, tc.theta, got, tc.delta)
+		}
+	}
+	if BinomialUpperP(10, 10, 0.05) != 1 {
+		t.Error("k=θ upper limit not 1")
+	}
+}
+
+func TestClopperPearsonCoverageStatistical(t *testing.T) {
+	// Draw many binomials with known p and verify the one-sided intervals
+	// violate at rate ≤ δ.
+	src := rng.New(42)
+	const (
+		trials = 3000
+		theta  = 400
+		p      = 0.13
+		delta  = 0.1
+	)
+	lowViol, highViol := 0, 0
+	for i := 0; i < trials; i++ {
+		var k int64
+		for j := 0; j < theta; j++ {
+			if src.Float64() < p {
+				k++
+			}
+		}
+		if BinomialLowerP(k, theta, delta) > p {
+			lowViol++
+		}
+		if BinomialUpperP(k, theta, delta) < p {
+			highViol++
+		}
+	}
+	if rate := float64(lowViol) / trials; rate > delta*1.3 {
+		t.Fatalf("lower limit violated at rate %v > δ", rate)
+	}
+	if rate := float64(highViol) / trials; rate > delta*1.3 {
+		t.Fatalf("upper limit violated at rate %v > δ", rate)
+	}
+}
+
+func TestSigmaExactConsistentWithMartingale(t *testing.T) {
+	// Both bound pairs must bracket the true spread; the exact pair is
+	// typically tighter. Scenario: n=10000, true σ=300, θ=5000 samples,
+	// expected coverage 150.
+	n := int32(10000)
+	theta := int64(5000)
+	lambda := int64(150)
+	delta := 0.01
+
+	exLo := SigmaLowerExact(lambda, theta, n, delta)
+	maLo := SigmaLower(float64(lambda), n, theta, delta)
+	if exLo < maLo*0.9 {
+		t.Fatalf("exact lower %v much looser than martingale %v", exLo, maLo)
+	}
+	// Both lower bounds stay below the unbiased point estimate.
+	point := float64(n) * float64(lambda) / float64(theta)
+	if exLo > point || maLo > point {
+		t.Fatalf("lower bounds above point estimate: exact %v, martingale %v, point %v", exLo, maLo, point)
+	}
+
+	exHi := SigmaUpperExact(float64(lambda), theta, n, delta)
+	maHi := SigmaUpper(float64(lambda), n, theta, delta)
+	if exHi < point || maHi < point {
+		t.Fatalf("upper bounds below point estimate")
+	}
+	if exHi > maHi*1.1 {
+		t.Fatalf("exact upper %v much looser than martingale %v", exHi, maHi)
+	}
+}
+
+func TestSigmaExactEdgeCases(t *testing.T) {
+	if got := SigmaLowerExact(5, 0, 100, 0.1); got != 0 {
+		t.Fatalf("θ=0 lower = %v", got)
+	}
+	if got := SigmaUpperExact(5, 0, 100, 0.1); got != 100 {
+		t.Fatalf("θ=0 upper = %v", got)
+	}
+	if got := SigmaUpperExact(0, 100, 50, 0.5); got < 1 {
+		t.Fatalf("upper floor = %v", got)
+	}
+	if got := SigmaUpperExact(1e9, 100, 50, 0.5); got != 50 {
+		t.Fatalf("upper cap = %v", got)
+	}
+}

@@ -1,0 +1,200 @@
+// Package bound implements the pure mathematics of the paper's quality
+// guarantees: the martingale concentration bounds of §4 (eqs. 5 and 8),
+// the tightened upper bounds of §5 (eqs. 13 and 15), the OPIM-C sample
+// budgets of §6 (eqs. 16 and 17, via Lemma 6.1), Borgs et al.'s β (§3.2),
+// the OPIM-adoption guarantee schedule (§3.3), and the Lemma 4.4 ratio
+// plotted in Figure 1.
+//
+// All functions are deterministic float math with no dependencies, so every
+// algorithm package shares one verified implementation of each formula.
+package bound
+
+import "math"
+
+// OneMinusInvE is 1 − 1/e, the greedy approximation factor for monotone
+// submodular maximization.
+var OneMinusInvE = 1 - 1/math.E
+
+// SigmaLower computes σˡ(S*) per eq. (5):
+//
+//	σˡ(S*) = ( (√(Λ2(S*) + 2a/9) − √(a/2))² − a/18 ) · n/θ2,  a = ln(1/δ2).
+//
+// It lower-bounds σ(S*) with probability ≥ 1−δ2 (Lemma 4.2). The raw
+// formula can go negative when Λ2 is small relative to a; the result is
+// clamped to [0, n], which preserves validity (σ ≥ 0 always holds).
+func SigmaLower(lambda2 float64, n int32, theta2 int64, delta2 float64) float64 {
+	if theta2 <= 0 {
+		return 0
+	}
+	a := math.Log(1 / delta2)
+	s := math.Sqrt(lambda2+2*a/9) - math.Sqrt(a/2)
+	v := (s*s - a/18) * float64(n) / float64(theta2)
+	if v < 0 {
+		return 0
+	}
+	if v > float64(n) {
+		return float64(n)
+	}
+	return v
+}
+
+// SigmaUpper computes the generic upper-bound shape shared by eqs. (8),
+// (13), and (15):
+//
+//	σᵘ = ( √(Λᵁ + a/2) + √(a/2) )² · n/θ1,  a = ln(1/δ1),
+//
+// where Λᵁ is any valid upper bound on Λ1(S°): Λ1(S*)/(1−1/e) gives eq. (8)
+// (OPIM⁰), Λ1ᵘ(S°) of eq. (10) gives eq. (13) (OPIM⁺), and Λ1⋄(S°) gives
+// eq. (15) (OPIM′). The result is clamped to [1, n]: σ(S°) ≥ 1 whenever
+// k ≥ 1, and can never exceed n.
+func SigmaUpper(lambdaUpper float64, n int32, theta1 int64, delta1 float64) float64 {
+	if theta1 <= 0 {
+		return float64(n)
+	}
+	a := math.Log(1 / delta1)
+	s := math.Sqrt(lambdaUpper+a/2) + math.Sqrt(a/2)
+	v := s * s * float64(n) / float64(theta1)
+	if v < 1 {
+		v = 1
+	}
+	if v > float64(n) {
+		v = float64(n)
+	}
+	return v
+}
+
+// Alpha combines a spread lower bound and optimum upper bound into the
+// reported approximation guarantee α = σˡ/σᵘ, clamped to [0, 1].
+func Alpha(sigmaLower, sigmaUpper float64) float64 {
+	if sigmaUpper <= 0 {
+		return 0
+	}
+	a := sigmaLower / sigmaUpper
+	if a < 0 {
+		return 0
+	}
+	if a > 1 {
+		return 1
+	}
+	return a
+}
+
+// LnChoose returns ln C(n, k). k outside [0, n] yields −Inf (an impossible
+// event), matching the union-bound usage ln C(n,k) + ln(1/δ).
+func LnChoose(n int32, k int) float64 {
+	if k < 0 || int64(k) > int64(n) {
+		return math.Inf(-1)
+	}
+	if k == 0 || int64(k) == int64(n) {
+		return 0
+	}
+	if int64(k) > int64(n)/2 {
+		k = int(int64(n) - int64(k))
+	}
+	var s float64
+	for i := 0; i < k; i++ {
+		s += math.Log(float64(n)-float64(i)) - math.Log(float64(i)+1)
+	}
+	return s
+}
+
+// Lemma61Samples returns the RR-set count of Lemma 6.1 [Tang et al. 2015]:
+//
+//	θ ≥ 2n( (1−1/e)·√ln(2/δ) + √((1−1/e)(ln C(n,k) + ln(2/δ))) )² / (ε²k),
+//
+// sufficient for the greedy seed set over θ RR sets to be a (1−1/e−ε)-
+// approximation with probability ≥ 1−δ.
+func Lemma61Samples(n int32, k int, eps, delta float64) float64 {
+	a := OneMinusInvE * math.Sqrt(math.Log(2/delta))
+	b := math.Sqrt(OneMinusInvE * (LnChoose(n, k) + math.Log(2/delta)))
+	return 2 * float64(n) * (a + b) * (a + b) / (eps * eps * float64(k))
+}
+
+// ThetaMax returns eq. (16): the RR-set cap of OPIM-C, i.e. Lemma 6.1's
+// bound instantiated with failure budget δ/3.
+func ThetaMax(n int32, k int, eps, delta float64) float64 {
+	return Lemma61Samples(n, k, eps, delta/3)
+}
+
+// Theta0 returns eq. (17): the initial per-half RR-set count of OPIM-C,
+// θ0 = θmax · ε²k/n (which is independent of ε).
+func Theta0(n int32, k int, eps, delta float64) float64 {
+	return ThetaMax(n, k, eps, delta) * eps * eps * float64(k) / float64(n)
+}
+
+// BorgsBeta returns Borgs et al.'s quality indicator (§3.2):
+//
+//	β = γ / (1492992 · (n+m) · ln n),
+//
+// where γ is the number of edges examined while building RR sets. The
+// guarantee their OPIM algorithm reports is min{1/4, β}.
+func BorgsBeta(gamma int64, n int32, m int64) float64 {
+	if n < 2 {
+		return 0
+	}
+	return float64(gamma) / (1492992 * float64(int64(n)+m) * math.Log(float64(n)))
+}
+
+// BorgsAlpha returns min{1/4, β}, the approximation guarantee reported by
+// Borgs et al.'s OPIM algorithm.
+func BorgsAlpha(gamma int64, n int32, m int64) float64 {
+	return math.Min(0.25, BorgsBeta(gamma, n, m))
+}
+
+// AdoptionGuarantee returns the approximation ratio reported by the §3.3
+// OPIM-adoption after completed executions of the underlying (1−1/e−ε)
+// algorithm: the i-th execution uses ε_i = (1−1/e)/2^{i−1}, so after i
+// completed executions the adoption reports (1−1/e)(1 − 2^{−(i−1)}); with
+// no completed executions it reports 0.
+func AdoptionGuarantee(completed int) float64 {
+	if completed <= 0 {
+		return 0
+	}
+	return OneMinusInvE * (1 - math.Pow(2, -float64(completed-1)))
+}
+
+// AdoptionEps returns ε_i = (1−1/e)/2^{i−1} for the i-th (1-based)
+// execution of the adopted algorithm.
+func AdoptionEps(i int) float64 {
+	return OneMinusInvE / math.Pow(2, float64(i-1))
+}
+
+// Lemma44F is f(x) = (√(Λ2 + 2x/9) − √(x/2))² − x/18 from Lemma 4.4.
+func Lemma44F(lambda2, x float64) float64 {
+	s := math.Sqrt(lambda2+2*x/9) - math.Sqrt(x/2)
+	return s*s - x/18
+}
+
+// Lemma44G is g(x) = (√(Λ1/(1−1/e) + x/2) + √(x/2))² from Lemma 4.4.
+func Lemma44G(lambda1, x float64) float64 {
+	s := math.Sqrt(lambda1/OneMinusInvE+x/2) + math.Sqrt(x/2)
+	return s * s
+}
+
+// Lemma44Ratio is the quantity plotted in Figure 1:
+//
+//	f(ln 2/δ)·g(ln 1/δ) / ( f(ln 1/δ)·g(ln 2/δ) ),
+//
+// the worst-case loss of fixing δ1 = δ2 = δ/2 instead of optimizing the
+// split. Values close to 1 mean the even split is near-optimal.
+func Lemma44Ratio(lambda1, lambda2, delta float64) float64 {
+	num := Lemma44F(lambda2, math.Log(2/delta)) * Lemma44G(lambda1, math.Log(1/delta))
+	den := Lemma44F(lambda2, math.Log(1/delta)) * Lemma44G(lambda1, math.Log(2/delta))
+	if den == 0 {
+		return math.NaN()
+	}
+	return num / den
+}
+
+// ImaxRounds returns i_max = ⌈log2(θmax/θ0)⌉, the OPIM-C round cap
+// (Algorithm 2, line 3). It is at least 1.
+func ImaxRounds(thetaMax, theta0 float64) int {
+	if theta0 <= 0 || thetaMax <= theta0 {
+		return 1
+	}
+	i := int(math.Ceil(math.Log2(thetaMax / theta0)))
+	if i < 1 {
+		i = 1
+	}
+	return i
+}

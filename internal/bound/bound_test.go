@@ -1,0 +1,275 @@
+package bound
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSigmaLowerHandComputed(t *testing.T) {
+	// Λ2 = 100, δ2 = e⁻¹ so a = 1, n = 1000, θ2 = 500.
+	// s = √(100 + 2/9) − √(1/2); v = (s² − 1/18)·2.
+	a := 1.0
+	s := math.Sqrt(100+2*a/9) - math.Sqrt(a/2)
+	want := (s*s - a/18) * 1000 / 500
+	got := SigmaLower(100, 1000, 500, math.Exp(-1))
+	if !close(got, want, 1e-9) {
+		t.Fatalf("SigmaLower = %v, want %v", got, want)
+	}
+}
+
+func TestSigmaLowerClampsNegative(t *testing.T) {
+	// Tiny coverage with a harsh δ drives the raw formula negative.
+	if got := SigmaLower(0.5, 1000, 10, 1e-9); got != 0 {
+		t.Fatalf("SigmaLower = %v, want clamp to 0", got)
+	}
+}
+
+func TestSigmaLowerClampsAtN(t *testing.T) {
+	if got := SigmaLower(1e9, 100, 10, 0.5); got != 100 {
+		t.Fatalf("SigmaLower = %v, want clamp to n", got)
+	}
+}
+
+func TestSigmaLowerZeroTheta(t *testing.T) {
+	if got := SigmaLower(10, 100, 0, 0.1); got != 0 {
+		t.Fatalf("SigmaLower with θ2=0 = %v", got)
+	}
+}
+
+func TestSigmaLowerMonotoneInLambda(t *testing.T) {
+	f := func(raw uint16) bool {
+		l := float64(raw)
+		return SigmaLower(l+1, 10000, 1000, 0.01) >= SigmaLower(l, 10000, 1000, 0.01)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSigmaUpperHandComputed(t *testing.T) {
+	a := math.Log(1 / 0.05)
+	s := math.Sqrt(200+a/2) + math.Sqrt(a/2)
+	want := s * s * 1000 / 400
+	got := SigmaUpper(200, 1000, 400, 0.05)
+	if !close(got, want, 1e-9) {
+		t.Fatalf("SigmaUpper = %v, want %v", got, want)
+	}
+}
+
+func TestSigmaUpperClamps(t *testing.T) {
+	if got := SigmaUpper(0, 1000, 1000000, 0.999999); got != 1 {
+		t.Fatalf("SigmaUpper floor = %v, want 1", got)
+	}
+	if got := SigmaUpper(1e12, 100, 10, 0.5); got != 100 {
+		t.Fatalf("SigmaUpper cap = %v, want n", got)
+	}
+	if got := SigmaUpper(5, 77, 0, 0.1); got != 77 {
+		t.Fatalf("SigmaUpper with θ1=0 = %v, want n", got)
+	}
+}
+
+func TestSigmaBoundsTightenWithSamples(t *testing.T) {
+	// With coverage scaling linearly in θ, more samples tighten both bounds
+	// toward the true spread.
+	n := int32(10000)
+	trueSpread := 250.0
+	var prevGap float64 = math.Inf(1)
+	for _, theta := range []int64{1000, 10000, 100000} {
+		lam := trueSpread * float64(theta) / float64(n)
+		lo := SigmaLower(lam, n, theta, 0.01)
+		hi := SigmaUpper(lam/OneMinusInvE, n, theta, 0.01)
+		if lo > trueSpread {
+			t.Fatalf("θ=%d: lower bound %v above true spread", theta, lo)
+		}
+		gap := hi - lo
+		if gap >= prevGap {
+			t.Fatalf("θ=%d: gap %v did not shrink from %v", theta, gap, prevGap)
+		}
+		prevGap = gap
+	}
+}
+
+func TestAlpha(t *testing.T) {
+	if got := Alpha(50, 100); got != 0.5 {
+		t.Fatalf("Alpha = %v", got)
+	}
+	if got := Alpha(150, 100); got != 1 {
+		t.Fatalf("Alpha clamp high = %v", got)
+	}
+	if got := Alpha(-5, 100); got != 0 {
+		t.Fatalf("Alpha clamp low = %v", got)
+	}
+	if got := Alpha(5, 0); got != 0 {
+		t.Fatalf("Alpha zero denominator = %v", got)
+	}
+}
+
+func TestLnChoose(t *testing.T) {
+	cases := []struct {
+		n    int32
+		k    int
+		want float64
+	}{
+		{10, 0, 0},
+		{10, 10, 0},
+		{10, 1, math.Log(10)},
+		{10, 9, math.Log(10)},
+		{5, 2, math.Log(10)},
+		{52, 5, math.Log(2598960)},
+	}
+	for _, c := range cases {
+		if got := LnChoose(c.n, c.k); !close(got, c.want, 1e-9) {
+			t.Fatalf("LnChoose(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+	if !math.IsInf(LnChoose(5, 6), -1) || !math.IsInf(LnChoose(5, -1), -1) {
+		t.Fatal("out-of-range LnChoose not −Inf")
+	}
+}
+
+func TestLnChooseSymmetry(t *testing.T) {
+	f := func(nRaw, kRaw uint8) bool {
+		n := int32(nRaw%100) + 2
+		k := int(kRaw) % int(n)
+		return close(LnChoose(n, k), LnChoose(n, int(n)-k), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLemma61SamplesScaling(t *testing.T) {
+	base := Lemma61Samples(100000, 50, 0.1, 0.01)
+	if base <= 0 {
+		t.Fatalf("Lemma61Samples = %v", base)
+	}
+	// Halving ε quadruples the requirement.
+	tight := Lemma61Samples(100000, 50, 0.05, 0.01)
+	if !close(tight/base, 4, 1e-9) {
+		t.Fatalf("ε-scaling ratio = %v, want 4", tight/base)
+	}
+	// Smaller δ needs more samples.
+	if Lemma61Samples(100000, 50, 0.1, 0.001) <= base {
+		t.Fatal("smaller δ did not increase sample count")
+	}
+	// Larger k needs fewer samples per Lemma 6.1's 1/k factor (the ln C(n,k)
+	// growth is slower than linear in k for k ≪ n).
+	if Lemma61Samples(100000, 100, 0.1, 0.01) >= base {
+		t.Fatal("doubling k did not decrease the bound")
+	}
+}
+
+func TestThetaMaxTheta0Relation(t *testing.T) {
+	n, k := int32(50000), 50
+	eps, delta := 0.1, 0.01
+	tm := ThetaMax(n, k, eps, delta)
+	t0 := Theta0(n, k, eps, delta)
+	if !close(t0, tm*eps*eps*float64(k)/float64(n), 1e-6) {
+		t.Fatalf("θ0 = %v does not satisfy eq. (17)", t0)
+	}
+	// θ0 is independent of ε.
+	if !close(Theta0(n, k, 0.01, delta), t0, 1e-6*t0) {
+		t.Fatal("θ0 depends on ε")
+	}
+	if tm <= t0 {
+		t.Fatalf("θmax = %v not above θ0 = %v", tm, t0)
+	}
+}
+
+func TestImaxRounds(t *testing.T) {
+	if got := ImaxRounds(1024, 1); got != 10 {
+		t.Fatalf("ImaxRounds(1024,1) = %d", got)
+	}
+	if got := ImaxRounds(1000, 1); got != 10 {
+		t.Fatalf("ImaxRounds(1000,1) = %d (⌈log2 1000⌉ = 10)", got)
+	}
+	if got := ImaxRounds(1, 10); got != 1 {
+		t.Fatalf("degenerate ImaxRounds = %d", got)
+	}
+	if got := ImaxRounds(5, 0); got != 1 {
+		t.Fatalf("zero θ0 ImaxRounds = %d", got)
+	}
+}
+
+func TestBorgsBetaExample(t *testing.T) {
+	// §3.2's example: to reach β = 0.1 on n = 10⁵, m = 10⁶ requires more
+	// than 2×10¹² edges examined.
+	n, m := int32(100000), int64(1000000)
+	gamma := int64(2e12)
+	if beta := BorgsBeta(gamma, n, m); beta >= 0.12 {
+		t.Fatalf("β(2e12) = %v; paper says ≈ 0.1 needs > 2e12 edges", beta)
+	}
+	if BorgsAlpha(int64(1e18), n, m) != 0.25 {
+		t.Fatal("BorgsAlpha not capped at 1/4")
+	}
+	if BorgsBeta(0, n, m) != 0 {
+		t.Fatal("β(0) != 0")
+	}
+	if BorgsBeta(100, 1, 0) != 0 {
+		t.Fatal("β degenerate n not 0")
+	}
+}
+
+func TestAdoptionGuaranteeSchedule(t *testing.T) {
+	if AdoptionGuarantee(0) != 0 {
+		t.Fatal("no completed executions must report 0")
+	}
+	if AdoptionGuarantee(1) != 0 {
+		t.Fatal("first execution has ε = 1−1/e, guarantee 0")
+	}
+	if got := AdoptionGuarantee(2); !close(got, OneMinusInvE/2, 1e-12) {
+		t.Fatalf("AdoptionGuarantee(2) = %v, want (1−1/e)/2", got)
+	}
+	// Monotone, capped below 1−1/e.
+	prev := 0.0
+	for i := 1; i < 30; i++ {
+		g := AdoptionGuarantee(i)
+		if g < prev {
+			t.Fatalf("guarantee decreased at %d", i)
+		}
+		if g >= OneMinusInvE {
+			t.Fatalf("guarantee reached 1−1/e at %d", i)
+		}
+		prev = g
+	}
+	// Consistency: guarantee after i executions equals (1−1/e) − ε_i.
+	for i := 1; i < 20; i++ {
+		if !close(AdoptionGuarantee(i), OneMinusInvE-AdoptionEps(i), 1e-12) {
+			t.Fatalf("schedule inconsistency at %d", i)
+		}
+	}
+}
+
+func TestLemma44RatioNearOne(t *testing.T) {
+	// Figure 1: with Λ2 = 100 the ratio is close to 1 across the plotted
+	// ranges δ ∈ [1e−10, 0.1], Λ1 ∈ {10², 10³, 10⁴, 10⁵}.
+	for _, delta := range []float64{1e-10, 1e-6, 1e-3, 0.1} {
+		for _, lambda1 := range []float64{100, 1000, 10000, 100000} {
+			r := Lemma44Ratio(lambda1, 100, delta)
+			if math.IsNaN(r) || r < 0.8 || r > 1 {
+				t.Fatalf("ratio(Λ1=%v, δ=%v) = %v, want in (0.8, 1]", lambda1, delta, r)
+			}
+		}
+	}
+}
+
+func TestLemma44FGMonotonicity(t *testing.T) {
+	// Appendix B: f is decreasing in x, g is increasing in x.
+	for x := 1.0; x < 20; x += 0.5 {
+		if Lemma44F(100, x+0.5) > Lemma44F(100, x) {
+			t.Fatalf("f not decreasing at x=%v", x)
+		}
+		if Lemma44G(100, x+0.5) < Lemma44G(100, x) {
+			t.Fatalf("g not increasing at x=%v", x)
+		}
+	}
+}
+
+func TestOneMinusInvE(t *testing.T) {
+	if !close(OneMinusInvE, 0.6321205588285577, 1e-12) {
+		t.Fatalf("OneMinusInvE = %v", OneMinusInvE)
+	}
+}

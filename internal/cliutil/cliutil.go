@@ -1,0 +1,136 @@
+// Package cliutil holds the argument-parsing helpers shared by the
+// command-line tools (cmd/opimcli, cmd/spread, cmd/gengraph): graph
+// loading with optional reweighting, and the string forms of models,
+// variants and weight schemes.
+package cliutil
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/reprolab/opim/internal/core"
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/gen"
+	"github.com/reprolab/opim/internal/graph"
+)
+
+// ParseModel recognizes "IC" and "LT" (case-insensitive).
+func ParseModel(s string) (diffusion.Model, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "IC":
+		return diffusion.IC, nil
+	case "LT":
+		return diffusion.LT, nil
+	}
+	return 0, fmt.Errorf("unknown model %q (want IC or LT)", s)
+}
+
+// ParseVariant recognizes the paper's names and plain aliases:
+// vanilla|opim0, plus|opim+, prime|opim' (case-insensitive).
+func ParseVariant(s string) (core.Variant, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "vanilla", "opim0":
+		return core.Vanilla, nil
+	case "plus", "opim+":
+		return core.Plus, nil
+	case "prime", "opim'":
+		return core.Prime, nil
+	}
+	return 0, fmt.Errorf("unknown variant %q (want vanilla|plus|prime)", s)
+}
+
+// ApplyWeights reweights g per spec: "none" (keep), "wc",
+// "uniform:<p>", or "trivalency".
+func ApplyWeights(g *graph.Graph, spec string, seed uint64) (*graph.Graph, error) {
+	switch {
+	case spec == "" || spec == "none":
+		return g, nil
+	case spec == "wc":
+		return graph.Reweight(g, graph.WeightedCascade, 0, seed)
+	case spec == "trivalency":
+		return graph.Reweight(g, graph.Trivalency, 0, seed)
+	case strings.HasPrefix(spec, "uniform:"):
+		p, err := strconv.ParseFloat(spec[len("uniform:"):], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad weights %q: %v", spec, err)
+		}
+		return graph.Reweight(g, graph.Uniform, p, seed)
+	}
+	return nil, fmt.Errorf("unknown weights %q (want none|wc|uniform:<p>|trivalency)", spec)
+}
+
+// LoadGraph loads from path when non-empty (applying the weights spec),
+// otherwise generates the named synthetic profile at the given scale.
+func LoadGraph(path, profile string, scale int32, weights string, seed uint64) (*graph.Graph, error) {
+	if path == "" {
+		p, err := gen.ProfileByName(profile)
+		if err != nil {
+			return nil, err
+		}
+		return p.Generate(scale, seed)
+	}
+	g, err := graph.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ApplyWeights(g, weights, seed)
+}
+
+// ParseSeeds merges a comma-separated id list and/or a one-id-per-line file
+// ('#' comments allowed) into a validated seed slice over [0, n).
+func ParseSeeds(csv, file string, n int32) ([]int32, error) {
+	var raw []string
+	if csv != "" {
+		raw = strings.Split(csv, ",")
+	}
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			raw = append(raw, line)
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+	}
+	seeds := make([]int32, 0, len(raw))
+	for _, r := range raw {
+		v, err := strconv.ParseInt(strings.TrimSpace(r), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: %v", r, err)
+		}
+		if v < 0 || int32(v) >= n {
+			return nil, fmt.Errorf("seed %d outside [0, %d)", v, n)
+		}
+		seeds = append(seeds, int32(v))
+	}
+	return seeds, nil
+}
+
+// WriteSeeds writes one node id per line to path.
+func WriteSeeds(path string, seeds []int32) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for _, s := range seeds {
+		fmt.Fprintf(w, "%d\n", s)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,171 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/reprolab/opim/internal/core"
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/graph"
+)
+
+func TestParseModel(t *testing.T) {
+	for in, want := range map[string]diffusion.Model{
+		"IC": diffusion.IC, "ic": diffusion.IC, " Lt ": diffusion.LT, "LT": diffusion.LT,
+	} {
+		got, err := ParseModel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseModel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseModel("xx"); err == nil {
+		t.Error("bad model accepted")
+	}
+}
+
+func TestParseVariant(t *testing.T) {
+	for in, want := range map[string]core.Variant{
+		"vanilla": core.Vanilla, "OPIM0": core.Vanilla,
+		"plus": core.Plus, "opim+": core.Plus,
+		"prime": core.Prime, "OPIM'": core.Prime,
+	} {
+		got, err := ParseVariant(in)
+		if err != nil || got != want {
+			t.Errorf("ParseVariant(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseVariant("turbo"); err == nil {
+		t.Error("bad variant accepted")
+	}
+}
+
+func buildLine(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(3, 2)
+	b.AddEdge(0, 1, 0)
+	b.AddEdge(1, 2, 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestApplyWeights(t *testing.T) {
+	g := buildLine(t)
+	if _, err := ApplyWeights(g, "none", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ApplyWeights(g, "", 1); err != nil {
+		t.Fatal(err)
+	}
+	wc, err := ApplyWeights(g, "wc", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, p := wc.OutNeighbors(0)
+	if p[0] != 1 {
+		t.Fatalf("wc p = %v", p[0])
+	}
+	u, err := ApplyWeights(g, "uniform:0.25", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, p = u.OutNeighbors(0)
+	if p[0] != 0.25 {
+		t.Fatalf("uniform p = %v", p[0])
+	}
+	if _, err := ApplyWeights(g, "trivalency", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ApplyWeights(g, "uniform:zebra", 1); err == nil {
+		t.Error("bad uniform spec accepted")
+	}
+	if _, err := ApplyWeights(g, "quadratic", 1); err == nil {
+		t.Error("unknown spec accepted")
+	}
+}
+
+func TestLoadGraphFromProfile(t *testing.T) {
+	g, err := LoadGraph("", "synth-pokec", 1<<20, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() < 2 {
+		t.Fatalf("n = %d", g.N())
+	}
+	if _, err := LoadGraph("", "bogus", 0, "", 1); err == nil {
+		t.Error("bogus profile accepted")
+	}
+}
+
+func TestLoadGraphFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := os.WriteFile(path, []byte("0 1\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadGraph(path, "", 0, "wc", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if _, err := LoadGraph(filepath.Join(t.TempDir(), "missing"), "", 0, "", 1); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestParseSeedsCSV(t *testing.T) {
+	seeds, err := ParseSeeds("1, 2,0", "", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 3 || seeds[0] != 1 || seeds[2] != 0 {
+		t.Fatalf("seeds = %v", seeds)
+	}
+	if _, err := ParseSeeds("9", "", 5); err == nil {
+		t.Error("out-of-range seed accepted")
+	}
+	if _, err := ParseSeeds("x", "", 5); err == nil {
+		t.Error("non-numeric seed accepted")
+	}
+}
+
+func TestSeedFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seeds.txt")
+	want := []int32{3, 1, 4}
+	if err := WriteSeeds(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSeeds("", path, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParseSeedsFileComments(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seeds.txt")
+	if err := os.WriteFile(path, []byte("# header\n2\n\n3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSeeds("", path, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := ParseSeeds("", filepath.Join(t.TempDir(), "nope"), 10); err == nil {
+		t.Error("missing seed file accepted")
+	}
+}

@@ -1,0 +1,126 @@
+package cliutil
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/reprolab/opim/internal/core"
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/graph"
+)
+
+// RunREPL drives an OPIM session from a line-oriented command stream —
+// opimcli's interactive mode, the most literal rendering of the paper's
+// "user pauses the algorithm and asks for a solution" loop. Commands:
+//
+//	advance N      generate N more RR sets
+//	run DURATION   generate for a wall-clock duration (e.g. 500ms, 2s)
+//	snapshot       derive (S*, α) from the samples so far
+//	status         session counters
+//	spread N       Monte-Carlo evaluate the last snapshot's seeds (N runs)
+//	save PATH      persist the session
+//	help           this text
+//	quit           exit
+//
+// It reads from r until EOF or "quit" and writes results to w.
+func RunREPL(r io.Reader, w io.Writer, session *core.Online, g *graph.Graph, model diffusion.Model, workers int, seed uint64) {
+	var last *core.Snapshot
+	sc := bufio.NewScanner(r)
+	fmt.Fprintf(w, "opim interactive session — n=%d m=%d model=%v (type 'help')\n", g.N(), g.M(), model)
+	prompt := func() { fmt.Fprintf(w, "opim[%d]> ", session.NumRR()) }
+	prompt()
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			prompt()
+			continue
+		}
+		switch fields[0] {
+		case "help":
+			fmt.Fprintln(w, "commands: advance N | run DUR | snapshot | status | spread N | save PATH | quit")
+		case "advance":
+			n := 10000
+			if len(fields) > 1 {
+				v, err := strconv.Atoi(fields[1])
+				if err != nil || v <= 0 {
+					fmt.Fprintf(w, "bad count %q\n", fields[1])
+					prompt()
+					continue
+				}
+				n = v
+			}
+			session.Advance(n)
+			fmt.Fprintf(w, "now at %d RR sets\n", session.NumRR())
+		case "run":
+			d := time.Second
+			if len(fields) > 1 {
+				v, err := time.ParseDuration(fields[1])
+				if err != nil || v <= 0 {
+					fmt.Fprintf(w, "bad duration %q\n", fields[1])
+					prompt()
+					continue
+				}
+				d = v
+			}
+			gen := session.AdvanceFor(d)
+			fmt.Fprintf(w, "generated %d RR sets (now %d)\n", gen, session.NumRR())
+		case "snapshot":
+			last = session.Snapshot()
+			fmt.Fprintf(w, "%v\nseeds: %v\n", last, last.Seeds)
+		case "status":
+			fmt.Fprintf(w, "#RR=%d γ=%d\n", session.NumRR(), session.EdgesExamined())
+		case "spread":
+			if last == nil {
+				fmt.Fprintln(w, "no snapshot yet — run 'snapshot' first")
+				prompt()
+				continue
+			}
+			runs := 10000
+			if len(fields) > 1 {
+				v, err := strconv.Atoi(fields[1])
+				if err != nil || v <= 0 {
+					fmt.Fprintf(w, "bad run count %q\n", fields[1])
+					prompt()
+					continue
+				}
+				runs = v
+			}
+			est := diffusion.EstimateSpread(g, model, last.Seeds, runs, seed+999, workers)
+			fmt.Fprintf(w, "Monte-Carlo spread: %v\n", est)
+		case "save":
+			if len(fields) < 2 {
+				fmt.Fprintln(w, "usage: save PATH")
+				prompt()
+				continue
+			}
+			if err := saveSessionFile(fields[1], session); err != nil {
+				fmt.Fprintf(w, "save failed: %v\n", err)
+			} else {
+				fmt.Fprintf(w, "saved to %s\n", fields[1])
+			}
+		case "quit", "exit":
+			fmt.Fprintln(w, "bye")
+			return
+		default:
+			fmt.Fprintf(w, "unknown command %q (try 'help')\n", fields[0])
+		}
+		prompt()
+	}
+}
+
+func saveSessionFile(path string, session *core.Online) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := core.SaveSession(f, session); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

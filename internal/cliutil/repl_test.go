@@ -1,0 +1,114 @@
+package cliutil
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/reprolab/opim/internal/core"
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/gen"
+	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/rrset"
+)
+
+func replFixture(t *testing.T) (*core.Online, *graph.Graph) {
+	t.Helper()
+	g, err := gen.PreferentialAttachment(300, 5, 0.15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err = graph.Reweight(g, graph.WeightedCascade, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler := rrset.NewSampler(g, diffusion.IC)
+	session, err := core.NewOnline(sampler, core.Options{K: 4, Delta: 0.1, Variant: core.Plus, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return session, g
+}
+
+func runScript(t *testing.T, script string) (string, *core.Online) {
+	t.Helper()
+	session, g := replFixture(t)
+	var out bytes.Buffer
+	RunREPL(strings.NewReader(script), &out, session, g, diffusion.IC, 1, 7)
+	return out.String(), session
+}
+
+func TestREPLAdvanceSnapshotSpread(t *testing.T) {
+	out, session := runScript(t, "advance 2000\nsnapshot\nspread 500\nstatus\nquit\n")
+	if session.NumRR() != 2000 {
+		t.Fatalf("NumRR = %d", session.NumRR())
+	}
+	for _, want := range []string{"now at 2000 RR sets", "seeds:", "Monte-Carlo spread:", "γ=", "bye"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestREPLErrorsAndHelp(t *testing.T) {
+	out, _ := runScript(t, "help\nadvance zebra\nrun -5s\nspread\nfrobnicate\nquit\n")
+	for _, want := range []string{
+		"commands:",
+		`bad count "zebra"`,
+		`bad duration "-5s"`,
+		"no snapshot yet",
+		`unknown command "frobnicate"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestREPLRunDuration(t *testing.T) {
+	out, session := runScript(t, "run 100ms\nquit\n")
+	if session.NumRR() == 0 {
+		t.Fatal("run generated nothing")
+	}
+	if !strings.Contains(out, "generated") {
+		t.Fatalf("missing generation report:\n%s", out)
+	}
+}
+
+func TestREPLSaveAndResume(t *testing.T) {
+	session, g := replFixture(t)
+	path := filepath.Join(t.TempDir(), "sess.bin")
+	var out bytes.Buffer
+	RunREPL(strings.NewReader("advance 500\nsave "+path+"\nquit\n"), &out, session, g, diffusion.IC, 1, 7)
+	if !strings.Contains(out.String(), "saved to") {
+		t.Fatalf("save failed:\n%s", out.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	restored, err := core.LoadSession(f, rrset.NewSampler(g, diffusion.IC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.NumRR() != 500 {
+		t.Fatalf("restored NumRR = %d", restored.NumRR())
+	}
+}
+
+func TestREPLSaveUsageAndFailure(t *testing.T) {
+	out, _ := runScript(t, "save\nsave /nonexistent-dir/x/y\nquit\n")
+	if !strings.Contains(out, "usage: save PATH") || !strings.Contains(out, "save failed") {
+		t.Fatalf("save error handling missing:\n%s", out)
+	}
+}
+
+func TestREPLEOFTerminates(t *testing.T) {
+	out, _ := runScript(t, "advance 100\n") // no quit: EOF ends the loop
+	if !strings.Contains(out, "now at 100") {
+		t.Fatalf("command before EOF not processed:\n%s", out)
+	}
+}

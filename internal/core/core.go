@@ -1,0 +1,311 @@
+// Package core implements the paper's contribution: online processing of
+// influence maximization (OPIM, §§4–5) and its extension to conventional
+// influence maximization (OPIM-C, Algorithm 2 in §6).
+//
+// The Online type is the streaming engine: it continuously generates random
+// RR sets, split evenly between two disjoint collections — R1, the
+// "nominators" used to select the seed set with Algorithm 1, and R2, the
+// "judges" used to lower-bound the selected set's spread. At any pause
+// point Snapshot derives a seed set S* and an instance-specific
+// approximation guarantee α = σˡ(S*)/σᵘ(S°) that holds with probability at
+// least 1−δ.
+//
+// Three guarantee variants mirror the paper's OPIM⁰ / OPIM⁺ / OPIM′:
+//
+//	Vanilla — σᵘ from eq. (8) via Λ1(S*)/(1−1/e)
+//	Plus    — σᵘ from eq. (13) via the tightened Λ1ᵘ(S°) of eq. (10)
+//	Prime   — σᵘ from eq. (15) via the Leskovec-style Λ1⋄(S°)
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/reprolab/opim/internal/bound"
+	"github.com/reprolab/opim/internal/maxcover"
+	"github.com/reprolab/opim/internal/rng"
+	"github.com/reprolab/opim/internal/rrset"
+)
+
+// Variant selects how the upper bound σᵘ(S°) is derived.
+type Variant int
+
+const (
+	// Vanilla is OPIM⁰: σᵘ from Λ1(S*)/(1−1/e), eq. (8).
+	Vanilla Variant = iota
+	// Plus is OPIM⁺: σᵘ from Λ1ᵘ(S°) (eq. 10), the paper's recommended
+	// variant, never worse than Vanilla (Lemma 5.2).
+	Plus
+	// Prime is OPIM′: σᵘ from the Leskovec-style Λ1⋄(S°) (eq. 15); tighter
+	// than Vanilla on many instances but not always (§5).
+	Prime
+)
+
+// String implements fmt.Stringer using the paper's names.
+func (v Variant) String() string {
+	switch v {
+	case Vanilla:
+		return "OPIM0"
+	case Plus:
+		return "OPIM+"
+	case Prime:
+		return "OPIM'"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// Options configures an Online session or a Maximize call.
+type Options struct {
+	// K is the seed-set size (required, 1 ≤ K ≤ n).
+	K int
+	// Delta is the failure probability δ ∈ (0, 1). Each Snapshot's reported
+	// α holds with probability ≥ 1−Delta.
+	Delta float64
+	// Variant selects the σᵘ derivation. Default Vanilla (the zero value);
+	// Plus is recommended.
+	Variant Variant
+	// Seed drives all randomness; a fixed Seed reproduces results exactly.
+	Seed uint64
+	// Workers bounds the parallelism of RR-set generation (≤ 0 means
+	// GOMAXPROCS via the rrset package's Generate).
+	Workers int
+	// UnionBudget, when set, makes the i-th Snapshot spend failure budget
+	// δ/2^i instead of δ, so that ALL returned seed sets meet their
+	// guarantees simultaneously with probability ≥ 1−δ (the union-bound
+	// schedule discussed at the end of §4.2).
+	UnionBudget bool
+	// OnRound, when non-nil, is invoked by Maximize after each doubling
+	// round with the round number (1-based) and that round's snapshot —
+	// the offline algorithm's window into the online progress. It must not
+	// retain the snapshot's Seeds slice across calls.
+	OnRound func(round int, snap *Snapshot)
+	// Exact replaces the paper's martingale bounds (eqs. 5/8/13/15) with
+	// exact Clopper–Pearson binomial limits. Valid because each snapshot
+	// conditions on a FIXED sample count, making coverage exactly
+	// binomial; typically a slightly tighter α at small sample counts.
+	// Experimental extension — see bound.SigmaLowerExact/SigmaUpperExact.
+	Exact bool
+	// BaseSeeds, when non-empty, switches the session to the AUGMENTATION
+	// problem: the base set is already committed, selection picks K
+	// additional nodes maximizing the residual spread σ(B∪S) − σ(B), and
+	// every reported quantity (σˡ, σᵘ, α) refers to the residual. The
+	// residual of a monotone submodular function is monotone submodular,
+	// so all guarantees carry over unchanged.
+	BaseSeeds []int32
+}
+
+func (o Options) validate(n int32) error {
+	if o.K < 1 || int64(o.K) > int64(n) {
+		return fmt.Errorf("core: k = %d outside [1, n=%d]", o.K, n)
+	}
+	if !(o.Delta > 0 && o.Delta < 1) {
+		return fmt.Errorf("core: δ = %v outside (0, 1)", o.Delta)
+	}
+	switch o.Variant {
+	case Vanilla, Plus, Prime:
+	default:
+		return fmt.Errorf("core: unknown variant %d", int(o.Variant))
+	}
+	for _, v := range o.BaseSeeds {
+		if v < 0 || v >= n {
+			return fmt.Errorf("core: base seed %d outside [0, n=%d)", v, n)
+		}
+	}
+	if len(o.BaseSeeds) > 0 && o.Variant == Prime {
+		return fmt.Errorf("core: the Prime variant does not support BaseSeeds; use Plus or Vanilla")
+	}
+	return nil
+}
+
+// Online is a pausable OPIM session. It is not safe for concurrent use;
+// drive it from one goroutine (RR generation itself parallelizes
+// internally).
+type Online struct {
+	sampler *rrset.Sampler
+	opts    Options
+	r1, r2  *rrset.Collection
+	base1   *rng.Source
+	base2   *rng.Source
+	queries int
+}
+
+// NewOnline starts an OPIM session on the sampler's graph.
+func NewOnline(sampler *rrset.Sampler, opts Options) (*Online, error) {
+	if err := opts.validate(sampler.Graph().N()); err != nil {
+		return nil, err
+	}
+	root := rng.New(opts.Seed)
+	return &Online{
+		sampler: sampler,
+		opts:    opts,
+		r1:      rrset.NewCollection(sampler.Graph().N()),
+		r2:      rrset.NewCollection(sampler.Graph().N()),
+		base1:   root.Split(1),
+		base2:   root.Split(2),
+	}, nil
+}
+
+// NumRR returns the total number of RR sets generated so far (both halves).
+func (o *Online) NumRR() int64 {
+	return int64(o.r1.Count()) + int64(o.r2.Count())
+}
+
+// EdgesExamined returns the cumulative γ across both halves, comparable to
+// the quantity Borgs et al.'s algorithm monitors.
+func (o *Online) EdgesExamined() int64 {
+	return o.r1.EdgesExamined() + o.r2.EdgesExamined()
+}
+
+// Advance generates count additional RR sets, split evenly between R1 and
+// R2 (odd counts give the extra set to R1).
+func (o *Online) Advance(count int) {
+	if count <= 0 {
+		return
+	}
+	half := count / 2
+	rrset.Generate(o.r1, o.sampler, count-half, o.base1, o.opts.Workers)
+	rrset.Generate(o.r2, o.sampler, half, o.base2, o.opts.Workers)
+}
+
+// AdvanceTo grows the session until NumRR() ≥ totalRR.
+func (o *Online) AdvanceTo(totalRR int64) {
+	if d := totalRR - o.NumRR(); d > 0 {
+		o.Advance(int(d))
+	}
+}
+
+// AdvanceFor generates RR sets in batches until roughly d of wall-clock
+// time has elapsed — the paper's timestamp-driven pause points (§2.2)
+// made literal. The batch size adapts to the observed sampling rate so
+// the overshoot past the deadline stays near one batch (~50ms of work).
+// It returns the number of RR sets generated.
+func (o *Online) AdvanceFor(d time.Duration) int64 {
+	start := time.Now()
+	before := o.NumRR()
+	batch := 256
+	for time.Since(start) < d {
+		t0 := time.Now()
+		o.Advance(batch)
+		if el := time.Since(t0); el > 0 {
+			// Aim each batch at ~50ms.
+			next := int(float64(batch) * float64(50*time.Millisecond) / float64(el))
+			if next < 64 {
+				next = 64
+			}
+			if next > 4*batch {
+				next = 4 * batch
+			}
+			batch = next
+		}
+	}
+	return o.NumRR() - before
+}
+
+// Snapshot is the answer to one user pause: a seed set and its guarantee.
+type Snapshot struct {
+	// Seeds is the greedy seed set S* derived from R1.
+	Seeds []int32
+	// Alpha is the reported approximation guarantee σˡ(S*)/σᵘ(S°), valid
+	// with probability ≥ 1−δ (or the union-budget share when enabled).
+	Alpha float64
+	// SigmaLower is σˡ(S*) per eq. (5).
+	SigmaLower float64
+	// SigmaUpper is σᵘ(S°) per eq. (8), (13) or (15) depending on Variant.
+	SigmaUpper float64
+	// CoverageR1 is Λ1(S*); CoverageR2 is Λ2(S*).
+	CoverageR1, CoverageR2 int64
+	// Theta1, Theta2 are |R1| and |R2|.
+	Theta1, Theta2 int64
+	// DeltaSpent is the failure budget this snapshot consumed.
+	DeltaSpent float64
+	// Variant that produced SigmaUpper.
+	Variant Variant
+}
+
+// Snapshot pauses the stream and derives (S*, α) from the RR sets generated
+// so far. It can be called repeatedly as the session advances; with
+// Options.UnionBudget the i-th call uses failure budget δ/2^i.
+func (o *Online) Snapshot() *Snapshot {
+	o.queries++
+	delta := o.opts.Delta
+	if o.opts.UnionBudget {
+		delta = o.opts.Delta / math.Pow(2, float64(o.queries))
+	}
+	return deriveSnapshotBase(o.r1, o.r2, o.opts.K, delta, o.opts.Variant, o.opts.Exact, o.opts.BaseSeeds)
+}
+
+// deriveSnapshot implements §4.1's three steps on explicit halves: greedy
+// on R1, lower bound from R2, upper bound from R1.
+func deriveSnapshot(r1, r2 *rrset.Collection, k int, delta float64, variant Variant, exact bool) *Snapshot {
+	return deriveSnapshotBase(r1, r2, k, delta, variant, exact, nil)
+}
+
+// deriveSnapshotBase additionally supports the augmentation problem: with
+// a non-empty base, selection and all coverages refer to the residual
+// function Λ(B∪·) − Λ(B).
+func deriveSnapshotBase(r1, r2 *rrset.Collection, k int, delta float64, variant Variant, exact bool, base []int32) *Snapshot {
+	n := r1.N()
+	theta1 := int64(r1.Count())
+	theta2 := int64(r2.Count())
+	delta1 := delta / 2
+	delta2 := delta / 2
+
+	var sel *maxcover.Result
+	switch {
+	case len(base) > 0 && variant == Vanilla:
+		sel = maxcover.GreedyAugment(r1, base, k)
+	case len(base) > 0:
+		sel = maxcover.GreedyAugmentWithBounds(r1, base, k)
+	case variant == Vanilla:
+		sel = maxcover.Greedy(r1, k)
+	case variant == Prime:
+		// Table 1: OPIM′ only needs Λ1⋄, at O(n + Σ|R|).
+		sel = maxcover.GreedyWithDiamond(r1, k)
+	default:
+		sel = maxcover.GreedyWithBounds(r1, k)
+	}
+
+	lambda2 := r2.Coverage(sel.Seeds)
+	if len(base) > 0 {
+		// Residual coverage in R2: sets covered by base∪S but not by base.
+		both := append(append([]int32{}, base...), sel.Seeds...)
+		lambda2 = r2.Coverage(both) - r2.Coverage(base)
+	}
+	var lambdaUpper float64
+	switch variant {
+	case Vanilla:
+		lambdaUpper = float64(sel.Coverage) / bound.OneMinusInvE
+	case Plus:
+		lambdaUpper = float64(sel.LambdaU)
+	case Prime:
+		lambdaUpper = float64(sel.LambdaDiamond)
+	}
+	var sigmaL, sigmaU float64
+	if exact {
+		sigmaL = bound.SigmaLowerExact(lambda2, theta2, n, delta2)
+		sigmaU = bound.SigmaUpperExact(lambdaUpper, theta1, n, delta1)
+	} else {
+		sigmaL = bound.SigmaLower(float64(lambda2), n, theta2, delta2)
+		sigmaU = bound.SigmaUpper(lambdaUpper, n, theta1, delta1)
+	}
+
+	return &Snapshot{
+		Seeds:      sel.Seeds,
+		Alpha:      bound.Alpha(sigmaL, sigmaU),
+		SigmaLower: sigmaL,
+		SigmaUpper: sigmaU,
+		CoverageR1: sel.Coverage,
+		CoverageR2: lambda2,
+		Theta1:     theta1,
+		Theta2:     theta2,
+		DeltaSpent: delta,
+		Variant:    variant,
+	}
+}
+
+// String implements fmt.Stringer with a one-line progress summary.
+func (s *Snapshot) String() string {
+	return fmt.Sprintf("α=%.4f (σˡ=%.1f σᵘ=%.1f, θ1=%d θ2=%d, %v)",
+		s.Alpha, s.SigmaLower, s.SigmaUpper, s.Theta1, s.Theta2, s.Variant)
+}

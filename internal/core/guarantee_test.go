@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/exact"
+	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/rrset"
+)
+
+// TestOPIMCGuaranteeStatistical verifies Algorithm 2's headline claim on an
+// instance small enough for the EXACT oracle: across many independent runs
+// with failure budget δ, the fraction whose returned seed set falls below
+// (1−1/e−ε)·σ(S°) must stay within δ. Spreads are computed in closed form
+// (live-edge enumeration), so there is no evaluation noise at all.
+func TestOPIMCGuaranteeStatistical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test skipped in -short mode")
+	}
+	// A 7-node, 9-edge instance with asymmetric influence structure.
+	b := graph.NewBuilder(7, 9)
+	for _, e := range []graph.Edge{
+		{From: 0, To: 1, P: 0.7}, {From: 0, To: 2, P: 0.4}, {From: 1, To: 3, P: 0.5},
+		{From: 2, To: 3, P: 0.3}, {From: 3, To: 4, P: 0.8}, {From: 5, To: 4, P: 0.2},
+		{From: 5, To: 6, P: 0.9}, {From: 6, To: 0, P: 0.1}, {From: 2, To: 6, P: 0.2},
+	} {
+		b.AddEdge(e.From, e.To, e.P)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		k      = 2
+		eps    = 0.2
+		delta  = 0.25
+		trials = 120
+	)
+	_, opt, err := exact.OptimalSeedSet(g, diffusion.IC, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := (1 - 1/2.718281828459045) - eps
+
+	sampler := rrset.NewSampler(g, diffusion.IC)
+	violations := 0
+	for trial := 0; trial < trials; trial++ {
+		res, err := Maximize(sampler, k, eps, delta, Options{Variant: Plus, Seed: uint64(5000 + trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := exact.Spread(g, diffusion.IC, res.Seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < target*opt-1e-12 {
+			violations++
+		}
+	}
+	rate := float64(violations) / trials
+	if rate > delta {
+		t.Fatalf("OPIM-C guarantee violated in %.1f%% of runs (budget δ = %.0f%%)", 100*rate, 100*delta)
+	}
+	t.Logf("violation rate %.2f%% (budget %.0f%%), exact OPT = %.4f", 100*rate, 100*delta, opt)
+}
+
+// TestOPIMCAllVariantsMeetGuaranteeExact spot-checks all three variants and
+// the exact-bound option against the closed-form optimum on one instance.
+func TestOPIMCAllVariantsMeetGuaranteeExact(t *testing.T) {
+	b := graph.NewBuilder(6, 7)
+	for _, e := range []graph.Edge{
+		{From: 0, To: 1, P: 0.6}, {From: 1, To: 2, P: 0.5}, {From: 3, To: 2, P: 0.4},
+		{From: 3, To: 4, P: 0.7}, {From: 4, To: 5, P: 0.5}, {From: 0, To: 5, P: 0.2},
+		{From: 2, To: 4, P: 0.1},
+	} {
+		b.AddEdge(e.From, e.To, e.P)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		k     = 2
+		eps   = 0.15
+		delta = 0.05
+	)
+	_, opt, err := exact.OptimalSeedSet(g, diffusion.IC, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler := rrset.NewSampler(g, diffusion.IC)
+	for _, opts := range []Options{
+		{Variant: Vanilla, Seed: 11},
+		{Variant: Plus, Seed: 11},
+		{Variant: Prime, Seed: 11},
+		{Variant: Plus, Seed: 11, Exact: true},
+	} {
+		res, err := Maximize(sampler, k, eps, delta, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := exact.Spread(g, diffusion.IC, res.Seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < res.Target*opt-1e-12 {
+			t.Fatalf("%v (exact=%v): spread %.4f below target %.4f·%.4f", opts.Variant, opts.Exact, got, res.Target, opt)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/reprolab/opim/internal/bound"
+	"github.com/reprolab/opim/internal/rng"
+	"github.com/reprolab/opim/internal/rrset"
+)
+
+// CResult is the outcome of one OPIM-C run (Algorithm 2).
+type CResult struct {
+	// Seeds is the returned size-k seed set.
+	Seeds []int32
+	// Alpha is the guarantee certified in the stopping round; when the
+	// algorithm exhausts i_max rounds it still returns a valid
+	// (1−1/e−ε)-approximation via Lemma 6.1, and Alpha carries the last
+	// computed value.
+	Alpha float64
+	// Certified reports whether the α ≥ 1−1/e−ε early-stop condition fired
+	// (as opposed to exiting on the i_max-th round's Lemma 6.1 fallback).
+	Certified bool
+	// Rounds is the number of doubling rounds executed (1-based).
+	Rounds int
+	// MaxRounds is i_max = ⌈log2(θmax/θ0)⌉.
+	MaxRounds int
+	// RRGenerated counts RR sets across both halves.
+	RRGenerated int64
+	// Theta1, Theta2 are the final half sizes.
+	Theta1, Theta2 int64
+	// SigmaLower, SigmaUpper are the final bounds.
+	SigmaLower, SigmaUpper float64
+	// Target is 1−1/e−ε.
+	Target float64
+}
+
+// String implements fmt.Stringer.
+func (r *CResult) String() string {
+	return fmt.Sprintf("k=%d α=%.4f target=%.4f rounds=%d/%d θ=%d+%d certified=%v",
+		len(r.Seeds), r.Alpha, r.Target, r.Rounds, r.MaxRounds, r.Theta1, r.Theta2, r.Certified)
+}
+
+// Maximize runs OPIM-C (Algorithm 2): conventional influence maximization
+// returning a (1−1/e−ε)-approximate seed set with probability ≥ 1−δ.
+//
+// eps must lie in (0, 1); per the paper's footnote, eps ≥ 1−1/e simply
+// makes the guarantee vacuous and the algorithm stops after its first
+// round. opts.Delta and opts.UnionBudget are ignored in favour of the
+// explicit delta parameter and Algorithm 2's δ/(3·i_max) per-round budget.
+func Maximize(sampler *rrset.Sampler, k int, eps, delta float64, opts Options) (*CResult, error) {
+	g := sampler.Graph()
+	n := g.N()
+	opts.K = k
+	opts.Delta = delta
+	if err := opts.validate(n); err != nil {
+		return nil, err
+	}
+	if !(eps > 0 && eps < 1) {
+		return nil, fmt.Errorf("core: ε = %v outside (0, 1)", eps)
+	}
+
+	// Line 1: θmax by eq. (16), θ0 by eq. (17).
+	thetaMax := bound.ThetaMax(n, k, eps, delta)
+	theta0 := bound.Theta0(n, k, eps, delta)
+	imax := bound.ImaxRounds(thetaMax, theta0)
+	perRoundDelta := delta / (3 * float64(imax))
+
+	root := rng.New(opts.Seed)
+	base1, base2 := root.Split(1), root.Split(2)
+	r1 := rrset.NewCollection(n)
+	r2 := rrset.NewCollection(n)
+
+	// Line 2: |R1| = |R2| = θ0.
+	size := int64(math.Ceil(theta0))
+	if size < 1 {
+		size = 1
+	}
+	target := bound.OneMinusInvE - eps
+
+	res := &CResult{MaxRounds: imax, Target: target}
+	for i := 1; ; i++ {
+		if i == imax {
+			// Final round: Lemma 6.1's fallback needs |R1| ≥ θmax, but pure
+			// doubling from θ0 can land at θmax/2 when θmax/θ0 is not a
+			// power of two; top the last round up to the cap.
+			if cap := int64(math.Ceil(thetaMax)); size < cap {
+				size = cap
+			}
+		}
+		rrset.Generate(r1, sampler, int(size-int64(r1.Count())), base1, opts.Workers)
+		rrset.Generate(r2, sampler, int(size-int64(r2.Count())), base2, opts.Workers)
+
+		// Lines 5–7: greedy on R1, bounds with δ1 = δ2 = δ/(3·i_max).
+		snap := deriveSnapshotBase(r1, r2, k, 2*perRoundDelta, opts.Variant, opts.Exact, opts.BaseSeeds)
+		if opts.OnRound != nil {
+			opts.OnRound(i, snap)
+		}
+
+		res.Seeds = snap.Seeds
+		res.Alpha = snap.Alpha
+		res.Rounds = i
+		res.Theta1, res.Theta2 = snap.Theta1, snap.Theta2
+		res.SigmaLower, res.SigmaUpper = snap.SigmaLower, snap.SigmaUpper
+		res.RRGenerated = snap.Theta1 + snap.Theta2
+
+		// Line 8: stop on certification or on the final round (where
+		// |R1| ≥ θmax makes Lemma 6.1 guarantee the approximation).
+		if snap.Alpha >= target {
+			res.Certified = true
+			return res, nil
+		}
+		if i >= imax {
+			return res, nil
+		}
+		// Line 9: double both halves.
+		size *= 2
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+// Session persistence: an Online session can be saved to disk and resumed
+// later — the natural complement to the online-processing paradigm, where
+// a user may pause for hours between quality checks. Because RR-set
+// generation derives stream i of each half from Split(i) of a seed-keyed
+// source, a resumed session continues the exact sample stream the original
+// would have produced: save → load → Advance is byte-identical to a
+// never-paused session.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/reprolab/opim/internal/rng"
+	"github.com/reprolab/opim/internal/rrset"
+)
+
+const sessionMagic = "OPIMS1\n"
+
+// ErrBadSession reports a malformed serialized session.
+var ErrBadSession = errors.New("core: bad session format")
+
+// SaveSession serializes o. The graph and diffusion model are NOT saved;
+// LoadSession must be given a sampler equivalent to the original (same
+// graph, same model) — it checks the node count as a cheap guard.
+func SaveSession(w io.Writer, o *Online) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(sessionMagic); err != nil {
+		return err
+	}
+	var hdr [45]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(o.sampler.Graph().N()))
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(o.opts.K))
+	binary.LittleEndian.PutUint64(hdr[12:20], math.Float64bits(o.opts.Delta))
+	binary.LittleEndian.PutUint32(hdr[20:24], uint32(o.opts.Variant))
+	binary.LittleEndian.PutUint64(hdr[24:32], o.opts.Seed)
+	binary.LittleEndian.PutUint32(hdr[32:36], uint32(o.opts.Workers))
+	if o.opts.UnionBudget {
+		hdr[36] = 1
+	}
+	binary.LittleEndian.PutUint64(hdr[37:45], uint64(o.queries))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if err := rrset.WriteCollection(bw, o.r1); err != nil {
+		return err
+	}
+	if err := rrset.WriteCollection(bw, o.r2); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadSession restores a session saved by SaveSession onto sampler, which
+// must be built over the same graph and diffusion model as the original.
+func LoadSession(r io.Reader, sampler *rrset.Sampler) (*Online, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(sessionMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: short magic: %v", ErrBadSession, err)
+	}
+	if string(magic) != sessionMagic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadSession, magic)
+	}
+	var hdr [45]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadSession, err)
+	}
+	n := int32(binary.LittleEndian.Uint32(hdr[0:4]))
+	if n != sampler.Graph().N() {
+		return nil, fmt.Errorf("%w: session is for n=%d, sampler has n=%d", ErrBadSession, n, sampler.Graph().N())
+	}
+	opts := Options{
+		K:           int(binary.LittleEndian.Uint64(hdr[4:12])),
+		Delta:       math.Float64frombits(binary.LittleEndian.Uint64(hdr[12:20])),
+		Variant:     Variant(binary.LittleEndian.Uint32(hdr[20:24])),
+		Seed:        binary.LittleEndian.Uint64(hdr[24:32]),
+		Workers:     int(int32(binary.LittleEndian.Uint32(hdr[32:36]))),
+		UnionBudget: hdr[36] == 1,
+	}
+	if err := opts.validate(n); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSession, err)
+	}
+	queries := int(binary.LittleEndian.Uint64(hdr[37:45]))
+
+	r1, err := rrset.ReadCollection(br)
+	if err != nil {
+		return nil, err
+	}
+	r2, err := rrset.ReadCollection(br)
+	if err != nil {
+		return nil, err
+	}
+	if r1.N() != n || r2.N() != n {
+		return nil, fmt.Errorf("%w: collections sized for a different graph", ErrBadSession)
+	}
+
+	root := rng.New(opts.Seed)
+	return &Online{
+		sampler: sampler,
+		opts:    opts,
+		r1:      r1,
+		r2:      r2,
+		base1:   root.Split(1),
+		base2:   root.Split(2),
+		queries: queries,
+	}, nil
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/rrset"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := testGraph(t, 500, 40)
+	s := rrset.NewSampler(g, diffusion.IC)
+	o, err := NewOnline(s, Options{K: 7, Delta: 0.05, Variant: Prime, Seed: 41, Workers: 2, UnionBudget: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Advance(1500)
+	o.Snapshot() // consume one union-budget query
+
+	var buf bytes.Buffer
+	if err := SaveSession(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadSession(&buf, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.NumRR() != o.NumRR() || restored.EdgesExamined() != o.EdgesExamined() {
+		t.Fatalf("restored counts differ: rr %d/%d γ %d/%d",
+			restored.NumRR(), o.NumRR(), restored.EdgesExamined(), o.EdgesExamined())
+	}
+	a, b := o.Snapshot(), restored.Snapshot()
+	if a.Alpha != b.Alpha || a.DeltaSpent != b.DeltaSpent {
+		t.Fatalf("snapshots differ after restore: %v vs %v", a, b)
+	}
+	for i := range a.Seeds {
+		if a.Seeds[i] != b.Seeds[i] {
+			t.Fatalf("seed %d differs", i)
+		}
+	}
+}
+
+func TestResumeMatchesUninterrupted(t *testing.T) {
+	// save → load → Advance must be byte-identical to never pausing.
+	g := testGraph(t, 400, 42)
+	s := rrset.NewSampler(g, diffusion.LT)
+
+	uninterrupted, err := NewOnline(s, Options{K: 5, Delta: 0.05, Variant: Plus, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uninterrupted.Advance(3000)
+	want := uninterrupted.Snapshot()
+
+	paused, err := NewOnline(s, Options{K: 5, Delta: 0.05, Variant: Plus, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paused.Advance(1000)
+	var buf bytes.Buffer
+	if err := SaveSession(&buf, paused); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := LoadSession(&buf, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed.Advance(2000)
+	got := resumed.Snapshot()
+
+	if got.Alpha != want.Alpha || got.SigmaLower != want.SigmaLower || got.SigmaUpper != want.SigmaUpper {
+		t.Fatalf("resumed session diverged: %v vs %v", got, want)
+	}
+	for i := range want.Seeds {
+		if got.Seeds[i] != want.Seeds[i] {
+			t.Fatalf("seed %d differs", i)
+		}
+	}
+}
+
+func TestLoadSessionWrongGraph(t *testing.T) {
+	g := testGraph(t, 300, 44)
+	s := rrset.NewSampler(g, diffusion.IC)
+	o, err := NewOnline(s, Options{K: 3, Delta: 0.1, Seed: 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Advance(100)
+	var buf bytes.Buffer
+	if err := SaveSession(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	other := rrset.NewSampler(testGraph(t, 301, 46), diffusion.IC)
+	if _, err := LoadSession(&buf, other); !errors.Is(err, ErrBadSession) {
+		t.Fatalf("wrong-graph load error = %v", err)
+	}
+}
+
+func TestLoadSessionCorrupt(t *testing.T) {
+	g := testGraph(t, 200, 47)
+	s := rrset.NewSampler(g, diffusion.IC)
+	if _, err := LoadSession(strings.NewReader("garbage data here"), s); !errors.Is(err, ErrBadSession) {
+		t.Fatalf("garbage load error = %v", err)
+	}
+
+	o, _ := NewOnline(s, Options{K: 3, Delta: 0.1, Seed: 48})
+	o.Advance(200)
+	var buf bytes.Buffer
+	if err := SaveSession(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{3, 20, len(full) / 2, len(full) - 3} {
+		if _, err := LoadSession(bytes.NewReader(full[:cut]), s); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestCollectionSerializationRoundTrip(t *testing.T) {
+	g := testGraph(t, 300, 49)
+	s := rrset.NewSampler(g, diffusion.IC)
+	o, _ := NewOnline(s, Options{K: 3, Delta: 0.1, Seed: 50})
+	o.Advance(500)
+	var buf bytes.Buffer
+	if err := rrset.WriteCollection(&buf, o.r1); err != nil {
+		t.Fatal(err)
+	}
+	c, err := rrset.ReadCollection(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Count() != o.r1.Count() || c.TotalSize() != o.r1.TotalSize() || c.EdgesExamined() != o.r1.EdgesExamined() {
+		t.Fatal("collection round trip changed shape")
+	}
+	for i := int32(0); i < int32(c.Count()); i++ {
+		a, b := c.Set(i), o.r1.Set(i)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("set %d differs", i)
+			}
+		}
+	}
+	// Index rebuilt correctly: degrees match.
+	for v := int32(0); v < c.N(); v++ {
+		if c.Degree(v) != o.r1.Degree(v) {
+			t.Fatalf("degree(%d) differs after reload", v)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/gen"
+	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/rrset"
+)
+
+// TestGuaranteeValidityStatistical verifies the paper's central claim
+// empirically: across many independent OPIM runs on an instance with a
+// KNOWN optimum, the fraction of runs whose reported bounds are violated
+// stays within the failure budget δ.
+//
+// Instance: a star with hub 0 and 399 leaves at p = 0.25 under IC, k = 1.
+// The optimal seed is the hub with σ(S°) = 1 + 399·0.25 = 100.75 exactly,
+// and the greedy always selects it once any RR sets are drawn, so
+// σ(S*) = σ(S°) is known in closed form. A run fails iff
+// σˡ(S*) > σ(S*) or σᵘ(S°) < σ(S°).
+func TestGuaranteeValidityStatistical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test skipped in -short mode")
+	}
+	g, err := gen.Star(400, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueOpt := 1 + 399*0.25
+	sampler := rrset.NewSampler(g, diffusion.IC)
+
+	const (
+		trials = 400
+		delta  = 0.2 // loose δ so violations are observable if bounds were wrong
+	)
+	violations := 0
+	for trial := 0; trial < trials; trial++ {
+		o, err := NewOnline(sampler, Options{K: 1, Delta: delta, Variant: Plus, Seed: uint64(1000 + trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.Advance(3000)
+		snap := o.Snapshot()
+		if snap.Seeds[0] != 0 {
+			// Greedy picked a leaf (possible only with pathological samples);
+			// count as a failure of the overall guarantee.
+			violations++
+			continue
+		}
+		if snap.SigmaLower > trueOpt || snap.SigmaUpper < trueOpt {
+			violations++
+		}
+	}
+	rate := float64(violations) / trials
+	// The bound is conservative (Lemma 4.2/4.3 are not tight), so the
+	// observed rate should be well under δ; flag anything above it.
+	if rate > delta {
+		t.Fatalf("guarantee violated in %.1f%% of runs, budget δ = %.0f%%", 100*rate, 100*delta)
+	}
+	t.Logf("violation rate %.2f%% (budget %.0f%%)", 100*rate, 100*delta)
+}
+
+// TestAlphaSoundAgainstExhaustiveOptimum checks the end-to-end guarantee on
+// instances small enough to brute-force: σ(S*) ≥ α·σ(S°) must hold for the
+// measured spreads (with Monte-Carlo tolerance).
+func TestAlphaSoundAgainstExhaustiveOptimum(t *testing.T) {
+	g, err := gen.PreferentialAttachment(60, 4, 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err = graph.Reweight(g, graph.WeightedCascade, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler := rrset.NewSampler(g, diffusion.IC)
+	o, err := NewOnline(sampler, Options{K: 2, Delta: 0.05, Variant: Plus, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Advance(20000)
+	snap := o.Snapshot()
+
+	// Brute-force σ(S°) over all pairs by Monte-Carlo.
+	var best float64
+	n := g.N()
+	for a := int32(0); a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			est := diffusion.EstimateSpread(g, diffusion.IC, []int32{a, b}, 3000, 11, 0)
+			if est.Spread > best {
+				best = est.Spread
+			}
+		}
+	}
+	got := diffusion.EstimateSpread(g, diffusion.IC, snap.Seeds, 30000, 13, 0)
+	if got.Spread+5*got.StdErr < snap.Alpha*best {
+		t.Fatalf("σ(S*) = %v below α·σ(S°) = %.3f·%.3f", got, snap.Alpha, best)
+	}
+	if snap.SigmaUpper < best*0.95 {
+		t.Fatalf("σᵘ = %v below brute-force optimum %v", snap.SigmaUpper, best)
+	}
+}

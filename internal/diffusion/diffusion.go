@@ -1,0 +1,272 @@
+// Package diffusion implements forward simulation of the independent
+// cascade (IC) and linear threshold (LT) models of §2.1, plus Monte-Carlo
+// estimation of the expected spread σ(S). The paper uses 10 000 Monte-Carlo
+// simulations to evaluate the seed sets returned by each algorithm (§8.1);
+// EstimateSpread is that evaluator.
+package diffusion
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/rng"
+)
+
+// Model selects the influence diffusion model.
+type Model int
+
+const (
+	// IC is the independent cascade model: a newly activated node u gets a
+	// single chance to activate each inactive out-neighbor v, succeeding
+	// with probability p(u,v).
+	IC Model = iota
+	// LT is the linear threshold model: each node v draws a uniform
+	// threshold λ_v and activates once the probability mass of its
+	// activated in-neighbors reaches λ_v.
+	LT
+)
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	switch m {
+	case IC:
+		return "IC"
+	case LT:
+		return "LT"
+	}
+	return fmt.Sprintf("Model(%d)", int(m))
+}
+
+// Simulator runs forward cascades on one graph. It holds reusable scratch
+// buffers, so a Simulator is NOT safe for concurrent use; create one per
+// goroutine (they can share the Graph).
+type Simulator struct {
+	g *graph.Graph
+
+	// Epoch-stamped activation marks avoid clearing arrays between runs.
+	mark  []uint32
+	epoch uint32
+
+	queue []int32
+
+	// LT scratch: accumulated incoming weight and lazily drawn thresholds,
+	// both epoch-stamped via mark-like arrays.
+	ltAcc      []float32
+	ltThresh   []float32
+	ltTouched  []uint32
+	ltThreshEp []uint32
+}
+
+// NewSimulator returns a Simulator for g.
+func NewSimulator(g *graph.Graph) *Simulator {
+	n := g.N()
+	return &Simulator{
+		g:          g,
+		mark:       make([]uint32, n),
+		queue:      make([]int32, 0, 1024),
+		ltAcc:      make([]float32, n),
+		ltThresh:   make([]float32, n),
+		ltTouched:  make([]uint32, n),
+		ltThreshEp: make([]uint32, n),
+	}
+}
+
+// Graph returns the simulator's graph.
+func (s *Simulator) Graph() *graph.Graph { return s.g }
+
+func (s *Simulator) nextEpoch() {
+	s.epoch++
+	if s.epoch == 0 { // wrapped: clear everything once per 2^32 runs
+		for i := range s.mark {
+			s.mark[i] = 0
+			s.ltTouched[i] = 0
+			s.ltThreshEp[i] = 0
+		}
+		s.epoch = 1
+	}
+}
+
+// Run simulates one cascade from seeds under model and returns the number
+// of activated nodes (including the seeds themselves). Duplicate seeds are
+// counted once. It panics if a seed is out of range.
+func (s *Simulator) Run(model Model, seeds []int32, src *rng.Source) int {
+	return s.RunHops(model, seeds, 0, src)
+}
+
+// RunHops is Run with the cascade truncated after maxHops rounds of
+// activation (0 = unlimited) — the hop-limited spread σ_h(S) objective of
+// the hop-based heuristics the paper surveys in §7. Activations at
+// timestamp i correspond to hop distance i from the seeds.
+func (s *Simulator) RunHops(model Model, seeds []int32, maxHops int, src *rng.Source) int {
+	switch model {
+	case IC:
+		return s.runIC(seeds, maxHops, src)
+	case LT:
+		return s.runLT(seeds, maxHops, src)
+	}
+	panic(fmt.Sprintf("diffusion: unknown model %d", int(model)))
+}
+
+func (s *Simulator) runIC(seeds []int32, maxHops int, src *rng.Source) int {
+	s.nextEpoch()
+	q := s.queue[:0]
+	activated := 0
+	for _, v := range seeds {
+		if s.mark[v] == s.epoch {
+			continue
+		}
+		s.mark[v] = s.epoch
+		q = append(q, v)
+		activated++
+	}
+	levelEnd := len(q) // frontier boundary for hop counting
+	hop := 0
+	for head := 0; head < len(q); head++ {
+		if head == levelEnd {
+			hop++
+			levelEnd = len(q)
+		}
+		if maxHops > 0 && hop >= maxHops {
+			break
+		}
+		u := q[head]
+		to, p := s.g.OutNeighbors(u)
+		for i, v := range to {
+			if s.mark[v] == s.epoch {
+				continue
+			}
+			if src.Float64() < float64(p[i]) {
+				s.mark[v] = s.epoch
+				q = append(q, v)
+				activated++
+			}
+		}
+	}
+	s.queue = q
+	return activated
+}
+
+func (s *Simulator) runLT(seeds []int32, maxHops int, src *rng.Source) int {
+	s.nextEpoch()
+	q := s.queue[:0]
+	activated := 0
+	for _, v := range seeds {
+		if s.mark[v] == s.epoch {
+			continue
+		}
+		s.mark[v] = s.epoch
+		q = append(q, v)
+		activated++
+	}
+	levelEnd := len(q)
+	hop := 0
+	for head := 0; head < len(q); head++ {
+		if head == levelEnd {
+			hop++
+			levelEnd = len(q)
+		}
+		if maxHops > 0 && hop >= maxHops {
+			break
+		}
+		u := q[head]
+		to, p := s.g.OutNeighbors(u)
+		for i, v := range to {
+			if s.mark[v] == s.epoch {
+				continue
+			}
+			// Lazily draw v's threshold the first time it is touched this
+			// epoch, and accumulate incoming active weight.
+			if s.ltThreshEp[v] != s.epoch {
+				s.ltThreshEp[v] = s.epoch
+				s.ltThresh[v] = float32(src.Float64())
+			}
+			if s.ltTouched[v] != s.epoch {
+				s.ltTouched[v] = s.epoch
+				s.ltAcc[v] = 0
+			}
+			s.ltAcc[v] += p[i]
+			if s.ltAcc[v] >= s.ltThresh[v] {
+				s.mark[v] = s.epoch
+				q = append(q, v)
+				activated++
+			}
+		}
+	}
+	s.queue = q
+	return activated
+}
+
+// Estimate is the result of a Monte-Carlo spread estimation.
+type Estimate struct {
+	// Spread is the sample mean of the cascade size.
+	Spread float64
+	// StdErr is the standard error of Spread.
+	StdErr float64
+	// Runs is the number of simulations performed.
+	Runs int
+}
+
+// String implements fmt.Stringer.
+func (e Estimate) String() string {
+	return fmt.Sprintf("%.2f ± %.2f (%d runs)", e.Spread, e.StdErr, e.Runs)
+}
+
+// EstimateSpread estimates σ(seeds) under model by averaging `runs`
+// independent cascades, parallelized across workers (≤ 0 means GOMAXPROCS).
+// The estimate is deterministic for a fixed (seed, runs) pair regardless of
+// worker count.
+func EstimateSpread(g *graph.Graph, model Model, seeds []int32, runs int, seed uint64, workers int) Estimate {
+	if runs <= 0 {
+		return Estimate{}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > runs {
+		workers = runs
+	}
+	type partial struct {
+		sum, sumSq float64
+	}
+	parts := make([]partial, workers)
+	var wg sync.WaitGroup
+	base := rng.New(seed)
+	for w := 0; w < workers; w++ {
+		lo := runs * w / workers
+		hi := runs * (w + 1) / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			sim := NewSimulator(g)
+			var p partial
+			for i := lo; i < hi; i++ {
+				// One split stream per run keeps results independent of the
+				// worker partitioning.
+				src := base.Split(uint64(i))
+				size := float64(sim.Run(model, seeds, src))
+				p.sum += size
+				p.sumSq += size * size
+			}
+			parts[w] = p
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var sum, sumSq float64
+	for _, p := range parts {
+		sum += p.sum
+		sumSq += p.sumSq
+	}
+	mean := sum / float64(runs)
+	variance := sumSq/float64(runs) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Estimate{
+		Spread: mean,
+		StdErr: math.Sqrt(variance / float64(runs)),
+		Runs:   runs,
+	}
+}

@@ -1,0 +1,301 @@
+package diffusion
+
+import (
+	"math"
+	"testing"
+
+	"github.com/reprolab/opim/internal/gen"
+	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/rng"
+)
+
+func build(t *testing.T, n int32, edges []graph.Edge) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n, len(edges))
+	for _, e := range edges {
+		b.AddEdge(e.From, e.To, e.P)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestICDeterministicLine(t *testing.T) {
+	g, err := gen.Line(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulator(g)
+	src := rng.New(1)
+	for i := 0; i < 10; i++ {
+		if got := sim.Run(IC, []int32{0}, src); got != 10 {
+			t.Fatalf("IC p=1 line spread = %d, want 10", got)
+		}
+	}
+}
+
+func TestICZeroProbability(t *testing.T) {
+	g, err := gen.Line(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulator(g)
+	src := rng.New(1)
+	if got := sim.Run(IC, []int32{0}, src); got != 1 {
+		t.Fatalf("IC p=0 spread = %d, want 1", got)
+	}
+}
+
+func TestICLineExpectedSpread(t *testing.T) {
+	// Line 0→1→2 with p=0.5: σ({0}) = 1 + 0.5 + 0.25 = 1.75.
+	g, err := gen.Line(3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := EstimateSpread(g, IC, []int32{0}, 200000, 1, 4)
+	if math.Abs(est.Spread-1.75) > 0.01 {
+		t.Fatalf("spread = %v, want ≈ 1.75", est.Spread)
+	}
+}
+
+func TestICStarExpectedSpread(t *testing.T) {
+	// Star hub with 99 leaves at p=0.3: σ({0}) = 1 + 99·0.3 = 30.7.
+	g, err := gen.Star(100, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := EstimateSpread(g, IC, []int32{0}, 100000, 2, 0)
+	if math.Abs(est.Spread-30.7) > 0.2 {
+		t.Fatalf("spread = %v ± %v, want ≈ 30.7", est.Spread, est.StdErr)
+	}
+}
+
+func TestLTDeterministicLine(t *testing.T) {
+	// LT with a single in-edge of weight 1: the threshold λ ∈ [0,1] is
+	// always reached, so the whole line activates.
+	g, err := gen.Line(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulator(g)
+	src := rng.New(3)
+	if got := sim.Run(LT, []int32{0}, src); got != 10 {
+		t.Fatalf("LT weight-1 line spread = %d, want 10", got)
+	}
+}
+
+func TestLTLineExpectedSpread(t *testing.T) {
+	// Under LT a single in-edge of weight p activates with probability p,
+	// so the line behaves exactly like IC: σ = 1 + p + p².
+	g, err := gen.Line(3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := EstimateSpread(g, LT, []int32{0}, 200000, 4, 4)
+	if math.Abs(est.Spread-1.75) > 0.01 {
+		t.Fatalf("LT spread = %v, want ≈ 1.75", est.Spread)
+	}
+}
+
+func TestLTBothInNeighborsActive(t *testing.T) {
+	// Node 2 has in-edges from 0 and 1, each weight 0.5. With both seeds
+	// active the accumulated weight is 1 ≥ λ always, so node 2 activates
+	// deterministically.
+	g := build(t, 3, []graph.Edge{{From: 0, To: 2, P: 0.5}, {From: 1, To: 2, P: 0.5}})
+	sim := NewSimulator(g)
+	src := rng.New(5)
+	for i := 0; i < 20; i++ {
+		if got := sim.Run(LT, []int32{0, 1}, src); got != 3 {
+			t.Fatalf("LT spread = %d, want 3", got)
+		}
+	}
+}
+
+func TestLTSingleOfTwoNeighbors(t *testing.T) {
+	// Only node 0 seeded: node 2 activates iff λ ≤ 0.5, probability 0.5.
+	g := build(t, 3, []graph.Edge{{From: 0, To: 2, P: 0.5}, {From: 1, To: 2, P: 0.5}})
+	est := EstimateSpread(g, LT, []int32{0}, 100000, 6, 0)
+	if math.Abs(est.Spread-1.5) > 0.01 {
+		t.Fatalf("LT spread = %v, want ≈ 1.5", est.Spread)
+	}
+}
+
+func TestDuplicateSeedsCountedOnce(t *testing.T) {
+	g, err := gen.Line(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulator(g)
+	src := rng.New(7)
+	if got := sim.Run(IC, []int32{2, 2, 2}, src); got != 1 {
+		t.Fatalf("duplicate seeds counted: spread = %d", got)
+	}
+}
+
+func TestSeedsOnlySpread(t *testing.T) {
+	g := build(t, 4, nil)
+	sim := NewSimulator(g)
+	src := rng.New(8)
+	for _, model := range []Model{IC, LT} {
+		if got := sim.Run(model, []int32{0, 3}, src); got != 2 {
+			t.Fatalf("%v: edgeless spread = %d, want 2", model, got)
+		}
+	}
+}
+
+func TestRunUnknownModelPanics(t *testing.T) {
+	g := build(t, 2, nil)
+	sim := NewSimulator(g)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown model did not panic")
+		}
+	}()
+	sim.Run(Model(42), []int32{0}, rng.New(1))
+}
+
+func TestEstimateSpreadDeterministicAcrossWorkers(t *testing.T) {
+	g, err := gen.PreferentialAttachment(2000, 5, 0.1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err = graph.Reweight(g, graph.WeightedCascade, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := EstimateSpread(g, IC, []int32{0, 1, 2}, 2000, 42, 1)
+	b := EstimateSpread(g, IC, []int32{0, 1, 2}, 2000, 42, 7)
+	if a.Spread != b.Spread || a.StdErr != b.StdErr {
+		t.Fatalf("worker count changed estimate: %v vs %v", a, b)
+	}
+}
+
+func TestEstimateSpreadZeroRuns(t *testing.T) {
+	g := build(t, 2, nil)
+	if e := EstimateSpread(g, IC, []int32{0}, 0, 1, 1); e.Runs != 0 || e.Spread != 0 {
+		t.Fatalf("zero-run estimate = %+v", e)
+	}
+}
+
+func TestEstimateStdErrShrinks(t *testing.T) {
+	g, err := gen.Star(200, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := EstimateSpread(g, IC, []int32{0}, 100, 1, 0)
+	big := EstimateSpread(g, IC, []int32{0}, 10000, 1, 0)
+	if big.StdErr >= small.StdErr {
+		t.Fatalf("StdErr did not shrink: %v → %v", small.StdErr, big.StdErr)
+	}
+}
+
+func TestMonotonicityInSeeds(t *testing.T) {
+	// Adding a seed can only increase the expected spread (submodular σ).
+	g, err := gen.PreferentialAttachment(1000, 4, 0.1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err = graph.Reweight(g, graph.WeightedCascade, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range []Model{IC, LT} {
+		s1 := EstimateSpread(g, model, []int32{0}, 20000, 11, 0)
+		s2 := EstimateSpread(g, model, []int32{0, 1, 2, 3}, 20000, 11, 0)
+		if s2.Spread+3*s2.StdErr < s1.Spread {
+			t.Fatalf("%v: spread decreased when adding seeds: %v → %v", model, s1, s2)
+		}
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if IC.String() != "IC" || LT.String() != "LT" {
+		t.Fatal("model names wrong")
+	}
+	if Model(9).String() != "Model(9)" {
+		t.Fatalf("unknown model string = %q", Model(9).String())
+	}
+}
+
+func TestEpochWraparound(t *testing.T) {
+	// Force the epoch counter near wraparound and verify marks stay sound.
+	g, err := gen.Line(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulator(g)
+	sim.epoch = math.MaxUint32 - 2
+	src := rng.New(12)
+	for i := 0; i < 6; i++ {
+		if got := sim.Run(IC, []int32{0}, src); got != 4 {
+			t.Fatalf("run %d after wrap: spread = %d, want 4", i, got)
+		}
+	}
+}
+
+func BenchmarkICCascade(b *testing.B) {
+	g, err := gen.PreferentialAttachment(10000, 10, 0.1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, _ = graph.Reweight(g, graph.WeightedCascade, 0, 1)
+	sim := NewSimulator(g)
+	src := rng.New(1)
+	seeds := []int32{0, 1, 2, 3, 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(IC, seeds, src)
+	}
+}
+
+func BenchmarkLTCascade(b *testing.B) {
+	g, err := gen.PreferentialAttachment(10000, 10, 0.1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, _ = graph.Reweight(g, graph.WeightedCascade, 0, 1)
+	sim := NewSimulator(g)
+	src := rng.New(1)
+	seeds := []int32{0, 1, 2, 3, 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(LT, seeds, src)
+	}
+}
+
+func TestRunHopsTruncation(t *testing.T) {
+	// Line 0→1→2→3→4 with p=1: h hops reach exactly h+1 nodes.
+	g, err := gen.Line(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulator(g)
+	src := rng.New(40)
+	for _, model := range []Model{IC, LT} {
+		for h := 1; h <= 4; h++ {
+			if got := sim.RunHops(model, []int32{0}, h, src); got != h+1 {
+				t.Fatalf("%v h=%d: spread = %d, want %d", model, h, got, h+1)
+			}
+		}
+		if got := sim.RunHops(model, []int32{0}, 0, src); got != 5 {
+			t.Fatalf("%v unlimited: spread = %d, want 5", model, got)
+		}
+	}
+}
+
+func TestRunHopsMultipleSeedsLevels(t *testing.T) {
+	// Seeds at both ends of a 5-line: 1 hop covers {0,1,3,4} (node 4's
+	// neighbor is nothing; node 3→4 covered by seed 4 side... seeds {0,4}:
+	// hop 1 activates 1 (from 0); 4 has no out-edges. Total 3.
+	g, err := gen.Line(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulator(g)
+	src := rng.New(41)
+	if got := sim.RunHops(IC, []int32{0, 4}, 1, src); got != 3 {
+		t.Fatalf("spread = %d, want 3", got)
+	}
+}

@@ -1,0 +1,100 @@
+package diffusion
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/reprolab/opim/internal/gen"
+	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/rng"
+)
+
+// TestSpreadBoundsProperty: every cascade activates at least the distinct
+// seeds and at most n nodes, for random graphs, models and seed sets.
+func TestSpreadBoundsProperty(t *testing.T) {
+	src := rng.New(101)
+	g, err := gen.PreferentialAttachment(64, 4, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err = graph.Reweight(g, graph.WeightedCascade, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulator(g)
+	f := func(seedRaw []uint8, modelBit bool) bool {
+		if len(seedRaw) == 0 {
+			return true
+		}
+		model := IC
+		if modelBit {
+			model = LT
+		}
+		seeds := make([]int32, 0, len(seedRaw))
+		distinct := map[int32]bool{}
+		for _, s := range seedRaw {
+			v := int32(s) % g.N()
+			seeds = append(seeds, v)
+			distinct[v] = true
+		}
+		got := sim.Run(model, seeds, src)
+		return got >= len(distinct) && got <= int(g.N())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpreadScaleInvarianceProperty: on an edgeless graph the spread equals
+// exactly the number of distinct seeds, under both models.
+func TestSpreadEdgelessExactProperty(t *testing.T) {
+	b := graph.NewBuilder(32, 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulator(g)
+	src := rng.New(102)
+	f := func(seedRaw []uint8, modelBit bool) bool {
+		model := IC
+		if modelBit {
+			model = LT
+		}
+		seeds := make([]int32, 0, len(seedRaw))
+		distinct := map[int32]bool{}
+		for _, s := range seedRaw {
+			v := int32(s) % 32
+			seeds = append(seeds, v)
+			distinct[v] = true
+		}
+		return sim.Run(model, seeds, src) == len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpreadMonotoneInProbability: raising every edge probability cannot
+// lower the expected spread (checked with matched estimator noise).
+func TestSpreadMonotoneInProbability(t *testing.T) {
+	base, err := gen.PreferentialAttachment(300, 5, 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := graph.Reweight(base, graph.Uniform, 0.02, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := graph.Reweight(base, graph.Uniform, 0.08, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := []int32{0, 1, 2}
+	for _, model := range []Model{IC, LT} {
+		a := EstimateSpread(low, model, seeds, 20000, 4, 0)
+		b := EstimateSpread(high, model, seeds, 20000, 4, 0)
+		if b.Spread+4*(a.StdErr+b.StdErr) < a.Spread {
+			t.Fatalf("%v: spread decreased when probabilities rose: %v → %v", model, a, b)
+		}
+	}
+}

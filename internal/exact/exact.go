@@ -1,0 +1,184 @@
+// Package exact computes expected influence spreads σ(S) in closed form by
+// enumerating live-edge worlds, for tiny graphs only. It exists as a
+// testing oracle: Monte-Carlo simulation (diffusion), reverse sampling
+// (rrset), and the paper's bounds can all be validated against exact
+// values instead of statistical comparisons.
+//
+// Kempe et al. (2003) prove both IC and LT are equivalent to live-edge
+// models:
+//
+//   - IC: each edge ⟨u,v⟩ is independently live with probability p(u,v);
+//     σ(S) = E[#nodes reachable from S via live edges]. Enumeration is
+//     over all 2^m edge subsets.
+//   - LT: each node v selects AT MOST ONE live in-edge, ⟨u,v⟩ with
+//     probability p(u,v) (none with 1−Σp). Enumeration is over
+//     ∏_v (indeg(v)+1) configurations.
+//
+// Cost grows exponentially; Spread panics if the world count exceeds
+// MaxWorlds.
+package exact
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/graph"
+)
+
+// MaxWorlds bounds the number of live-edge worlds Spread will enumerate.
+const MaxWorlds = 1 << 24
+
+// Spread returns the exact expected spread of seeds under model.
+func Spread(g *graph.Graph, model diffusion.Model, seeds []int32) (float64, error) {
+	switch model {
+	case diffusion.IC:
+		return spreadIC(g, seeds)
+	case diffusion.LT:
+		return spreadLT(g, seeds)
+	}
+	return 0, fmt.Errorf("exact: unknown model %d", int(model))
+}
+
+// spreadIC enumerates all 2^m live-edge subsets.
+func spreadIC(g *graph.Graph, seeds []int32) (float64, error) {
+	m := g.M()
+	if m > 24 || (int64(1)<<uint(m)) > MaxWorlds {
+		return 0, fmt.Errorf("exact: IC enumeration needs 2^%d worlds (max %d)", m, MaxWorlds)
+	}
+	edges := make([]graph.Edge, 0, m)
+	g.Edges(func(e graph.Edge) bool {
+		edges = append(edges, e)
+		return true
+	})
+	var total float64
+	worlds := int64(1) << uint(m)
+	live := make([]graph.Edge, 0, m)
+	for w := int64(0); w < worlds; w++ {
+		prob := 1.0
+		live = live[:0]
+		for i, e := range edges {
+			if w&(1<<uint(i)) != 0 {
+				prob *= float64(e.P)
+				live = append(live, e)
+			} else {
+				prob *= 1 - float64(e.P)
+			}
+		}
+		if prob == 0 {
+			continue
+		}
+		total += prob * float64(reachable(g.N(), live, seeds))
+	}
+	return total, nil
+}
+
+// spreadLT enumerates per-node in-edge selections.
+func spreadLT(g *graph.Graph, seeds []int32) (float64, error) {
+	n := g.N()
+	worlds := 1.0
+	for v := int32(0); v < n; v++ {
+		worlds *= float64(g.InDegree(v)) + 1
+		if worlds > MaxWorlds {
+			return 0, fmt.Errorf("exact: LT enumeration needs > %d worlds", MaxWorlds)
+		}
+	}
+	// choice[v] ∈ [0, indeg(v)]: index of the live in-edge, indeg(v) = none.
+	choice := make([]int32, n)
+	live := make([]graph.Edge, 0, n)
+	var total float64
+	var rec func(v int32, prob float64)
+	rec = func(v int32, prob float64) {
+		if prob == 0 {
+			return
+		}
+		if v == n {
+			live = live[:0]
+			for u := int32(0); u < n; u++ {
+				from, p := g.InNeighbors(u)
+				if int(choice[u]) < len(from) {
+					live = append(live, graph.Edge{From: from[choice[u]], To: u, P: p[choice[u]]})
+				}
+			}
+			total += prob * float64(reachable(n, live, seeds))
+			return
+		}
+		from, p := g.InNeighbors(v)
+		var sum float64
+		for i := range from {
+			choice[v] = int32(i)
+			rec(v+1, prob*float64(p[i]))
+			sum += float64(p[i])
+		}
+		choice[v] = int32(len(from)) // no live in-edge
+		none := 1 - sum
+		if none < 0 {
+			none = 0
+		}
+		rec(v+1, prob*none)
+	}
+	rec(0, 1)
+	return total, nil
+}
+
+// reachable counts nodes reachable from seeds via the live edges.
+func reachable(n int32, live []graph.Edge, seeds []int32) int {
+	adj := make(map[int32][]int32, len(live))
+	for _, e := range live {
+		adj[e.From] = append(adj[e.From], e.To)
+	}
+	seen := make(map[int32]bool, len(seeds))
+	queue := make([]int32, 0, len(seeds))
+	for _, s := range seeds {
+		if !seen[s] {
+			seen[s] = true
+			queue = append(queue, s)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		for _, v := range adj[queue[head]] {
+			if !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return len(seen)
+}
+
+// OptimalSeedSet brute-forces the best size-k seed set by exact spread.
+// Exponential in both worlds and subsets; tiny fixtures only.
+func OptimalSeedSet(g *graph.Graph, model diffusion.Model, k int) ([]int32, float64, error) {
+	n := int(g.N())
+	if k > n {
+		k = n
+	}
+	var bestSet []int32
+	best := math.Inf(-1)
+	idx := make([]int32, k)
+	var rec func(start, depth int) error
+	rec = func(start, depth int) error {
+		if depth == k {
+			v, err := Spread(g, model, idx)
+			if err != nil {
+				return err
+			}
+			if v > best {
+				best = v
+				bestSet = append(bestSet[:0:0], idx...)
+			}
+			return nil
+		}
+		for v := start; v < n; v++ {
+			idx[depth] = int32(v)
+			if err := rec(v+1, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0, 0); err != nil {
+		return nil, 0, err
+	}
+	return bestSet, best, nil
+}

@@ -1,0 +1,505 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§8) on the synthetic dataset profiles: the approximation-
+// guarantee-versus-samples curves of Figures 2–5, the conventional
+// influence maximization comparison of Figures 6–7, the Lemma 4.4 ratio of
+// Figure 1, and the Table 1/2 summaries. Each experiment prints the same
+// rows/series the paper plots; EXPERIMENTS.md records paper-vs-measured.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/reprolab/opim/internal/adapt"
+	"github.com/reprolab/opim/internal/analysis"
+	"github.com/reprolab/opim/internal/asciichart"
+	"github.com/reprolab/opim/internal/borgs"
+	"github.com/reprolab/opim/internal/bound"
+	"github.com/reprolab/opim/internal/core"
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/gen"
+	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/imm"
+	"github.com/reprolab/opim/internal/rrset"
+	"github.com/reprolab/opim/internal/ssa"
+)
+
+// Config tunes the scale/fidelity trade-off of every experiment. The zero
+// value is not usable; start from Default().
+type Config struct {
+	// Scale divides each profile's BaseN (0 = the profile default).
+	Scale int32
+	// Seed drives all randomness.
+	Seed uint64
+	// Workers caps sampling parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Reps is the number of repetitions averaged per data point
+	// (the paper uses 50).
+	Reps int
+	// MCRuns is the number of Monte-Carlo simulations per spread estimate
+	// (the paper uses 10 000).
+	MCRuns int
+	// Checkpoints are the RR-set counts at which online algorithms report
+	// (the paper uses 1000·2^i, i = 0…10).
+	Checkpoints []int64
+	// K is the seed-set size for the k=50 experiments.
+	K int
+	// EpsGrid is the ε sweep of the conventional-IM experiments (the paper
+	// uses 0.01…0.1; the default grid is shifted up so IMM completes at
+	// reduced graph scale — see DESIGN.md §3).
+	EpsGrid []float64
+	// AdoptionBudgetFactor multiplies the largest checkpoint to bound the
+	// RR sets an adoption trace may generate.
+	AdoptionBudgetFactor int64
+	// Chart additionally renders each online panel as an ASCII line chart.
+	Chart bool
+}
+
+// Default returns the configuration used by `imbench` unless overridden:
+// profile default scales, 3 repetitions, 10k Monte-Carlo runs, checkpoints
+// 1000·2^i for i = 0…10.
+func Default() Config {
+	cp := make([]int64, 11)
+	for i := range cp {
+		cp[i] = 1000 << uint(i)
+	}
+	return Config{
+		Seed:                 1,
+		Reps:                 3,
+		MCRuns:               10000,
+		Checkpoints:          cp,
+		K:                    50,
+		EpsGrid:              []float64{0.3, 0.2, 0.1, 0.05},
+		AdoptionBudgetFactor: 1,
+	}
+}
+
+// delta is the paper's default failure probability δ = 1/n.
+func delta(n int32) float64 { return 1 / float64(n) }
+
+// loadProfile generates one synthetic dataset.
+func (c Config) loadProfile(name string) (*graph.Graph, error) {
+	p, err := gen.ProfileByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return p.Generate(c.Scale, c.Seed)
+}
+
+// OnlineSeries is the measured α of one algorithm at each checkpoint.
+type OnlineSeries struct {
+	Name  string
+	Alpha []float64 // parallel to Config.Checkpoints
+}
+
+// RunOnline produces the Figure 2–5 series for one graph, model, and k:
+// the seven algorithms' reported approximation guarantees at each RR-set
+// checkpoint, averaged over Reps repetitions.
+func (c Config) RunOnline(g *graph.Graph, model diffusion.Model, k int) ([]OnlineSeries, error) {
+	sampler := rrset.NewSampler(g, model)
+	d := delta(g.N())
+	names := []string{"OPIM+", "OPIM'", "OPIM0", "IMM-adopt", "SSA-Fix-adopt", "D-SSA-Fix-adopt", "Borgs"}
+	sums := make([][]float64, len(names))
+	for i := range sums {
+		sums[i] = make([]float64, len(c.Checkpoints))
+	}
+	maxCP := c.Checkpoints[len(c.Checkpoints)-1]
+
+	for rep := 0; rep < c.Reps; rep++ {
+		seed := c.Seed + uint64(rep)*7919
+
+		// Our three OPIM variants share checkpointed sessions.
+		for vi, v := range []core.Variant{core.Plus, core.Prime, core.Vanilla} {
+			o, err := core.NewOnline(sampler, core.Options{K: k, Delta: d, Variant: v, Seed: seed, Workers: c.Workers})
+			if err != nil {
+				return nil, err
+			}
+			for ci, cp := range c.Checkpoints {
+				o.AdvanceTo(cp)
+				sums[vi][ci] += o.Snapshot().Alpha
+			}
+		}
+
+		// OPIM-adoptions of IMM, SSA-Fix, D-SSA-Fix (§3.3).
+		budget := maxCP * c.AdoptionBudgetFactor
+		algos := []adapt.Algorithm{
+			adapt.IMM{Sampler: sampler, K: k, Delta: d, Seed: seed, Workers: c.Workers},
+			adapt.SSAFix{Sampler: sampler, K: k, Delta: d, Seed: seed, Workers: c.Workers},
+			adapt.DSSAFix{Sampler: sampler, K: k, Delta: d, Seed: seed, Workers: c.Workers},
+		}
+		for ai, a := range algos {
+			steps, err := adapt.Trace(a, budget, 0)
+			if err != nil {
+				return nil, err
+			}
+			for ci, cp := range c.Checkpoints {
+				sums[3+ai][ci] += adapt.GuaranteeAt(steps, cp)
+			}
+		}
+
+		// Borgs et al.'s OPIM.
+		bs := borgs.NewSession(sampler, k, seed)
+		for ci, cp := range c.Checkpoints {
+			if add := cp - bs.NumRR(); add > 0 {
+				bs.Advance(int(add))
+			}
+			_, alpha := bs.Query()
+			sums[6][ci] += alpha
+		}
+	}
+
+	out := make([]OnlineSeries, len(names))
+	for i, name := range names {
+		alphas := make([]float64, len(c.Checkpoints))
+		for j := range alphas {
+			alphas[j] = sums[i][j] / float64(c.Reps)
+		}
+		out[i] = OnlineSeries{Name: name, Alpha: alphas}
+	}
+	return out, nil
+}
+
+// printOnline renders one figure panel as an aligned table.
+func (c Config) printOnline(w io.Writer, title string, series []OnlineSeries) {
+	fmt.Fprintf(w, "\n== %s ==\n", title)
+	fmt.Fprintf(w, "%10s", "#RR")
+	for _, s := range series {
+		fmt.Fprintf(w, " %16s", s.Name)
+	}
+	fmt.Fprintln(w)
+	for ci, cp := range c.Checkpoints {
+		fmt.Fprintf(w, "%10d", cp)
+		for _, s := range series {
+			fmt.Fprintf(w, " %16.4f", s.Alpha[ci])
+		}
+		fmt.Fprintln(w)
+	}
+	if c.Chart {
+		labels := make([]string, len(c.Checkpoints))
+		for i, cp := range c.Checkpoints {
+			labels[i] = asciichart.CompactLabel(cp)
+		}
+		lines := make([]asciichart.Series, len(series))
+		for i, s := range series {
+			lines[i] = asciichart.Series{Name: s.Name, Values: s.Alpha}
+		}
+		fmt.Fprintln(w, asciichart.Chart("α vs #RR", labels, lines, 16, 0, 1))
+	}
+}
+
+// Fig2 reproduces Figure 2 (LT, k=50, all four graphs) when model is LT,
+// and Figure 4 when model is IC.
+func (c Config) FigOnlineAllGraphs(w io.Writer, model diffusion.Model) error {
+	for _, p := range gen.Profiles {
+		g, err := c.loadProfile(p.Name)
+		if err != nil {
+			return err
+		}
+		series, err := c.RunOnline(g, model, c.K)
+		if err != nil {
+			return err
+		}
+		c.printOnline(w, fmt.Sprintf("%s under %v, k=%d (n=%d m=%d)", p.Name, model, c.K, g.N(), g.M()), series)
+	}
+	return nil
+}
+
+// FigOnlineVaryK reproduces Figure 3 (LT) / Figure 5 (IC): the largest
+// graph with k ∈ {1, 10, 100, 1000}.
+func (c Config) FigOnlineVaryK(w io.Writer, model diffusion.Model) error {
+	g, err := c.loadProfile("synth-twitter")
+	if err != nil {
+		return err
+	}
+	for _, k := range []int{1, 10, 100, 1000} {
+		if int64(k) > int64(g.N()) {
+			fmt.Fprintf(w, "\n== synth-twitter under %v, k=%d skipped: graph has only %d nodes ==\n", model, k, g.N())
+			continue
+		}
+		series, err := c.RunOnline(g, model, k)
+		if err != nil {
+			return err
+		}
+		c.printOnline(w, fmt.Sprintf("synth-twitter under %v, k=%d", model, k), series)
+	}
+	return nil
+}
+
+// ConventionalRow is one (algorithm, ε) measurement of Figures 6–7.
+type ConventionalRow struct {
+	Algorithm string
+	Eps       float64
+	Spread    float64
+	SpreadErr float64
+	Seconds   float64
+	RRSets    int64
+	Truncated bool // hit the safety cap before completing
+}
+
+// RunConventional produces the Figure 6 (LT) / Figure 7 (IC) measurements
+// on the largest graph: expected spread and running time versus ε for
+// OPIM-C⁰/′/⁺, IMM, SSA-Fix and D-SSA-Fix. rrCap bounds any single run's
+// RR generation (0 = no cap) to keep the harness robust at small ε.
+func (c Config) RunConventional(g *graph.Graph, model diffusion.Model, rrCap int64) ([]ConventionalRow, error) {
+	sampler := rrset.NewSampler(g, model)
+	d := delta(g.N())
+	if rrCap <= 0 {
+		rrCap = int64(1) << 62
+	}
+	var rows []ConventionalRow
+
+	type runner struct {
+		name string
+		run  func(eps float64, seed uint64) (seeds []int32, rr int64, complete bool, err error)
+	}
+	runners := []runner{
+		{"OPIM-C+", func(eps float64, seed uint64) ([]int32, int64, bool, error) {
+			r, err := core.Maximize(sampler, c.K, eps, d, core.Options{Variant: core.Plus, Seed: seed, Workers: c.Workers})
+			if err != nil {
+				return nil, 0, false, err
+			}
+			return r.Seeds, r.RRGenerated, true, nil
+		}},
+		{"OPIM-C'", func(eps float64, seed uint64) ([]int32, int64, bool, error) {
+			r, err := core.Maximize(sampler, c.K, eps, d, core.Options{Variant: core.Prime, Seed: seed, Workers: c.Workers})
+			if err != nil {
+				return nil, 0, false, err
+			}
+			return r.Seeds, r.RRGenerated, true, nil
+		}},
+		{"OPIM-C0", func(eps float64, seed uint64) ([]int32, int64, bool, error) {
+			r, err := core.Maximize(sampler, c.K, eps, d, core.Options{Variant: core.Vanilla, Seed: seed, Workers: c.Workers})
+			if err != nil {
+				return nil, 0, false, err
+			}
+			return r.Seeds, r.RRGenerated, true, nil
+		}},
+		{"IMM", func(eps float64, seed uint64) ([]int32, int64, bool, error) {
+			r, complete, err := imm.RunLimited(sampler, c.K, eps, d, seed, c.Workers, rrCap)
+			if err != nil {
+				return nil, 0, false, err
+			}
+			return r.Seeds, r.RRGenerated, complete, nil
+		}},
+		{"SSA-Fix", func(eps float64, seed uint64) ([]int32, int64, bool, error) {
+			r, complete, err := ssa.RunSSAFixLimited(sampler, c.K, eps, d, seed, c.Workers, rrCap)
+			if err != nil {
+				return nil, 0, false, err
+			}
+			return r.Seeds, r.RRGenerated, complete, nil
+		}},
+		{"D-SSA-Fix", func(eps float64, seed uint64) ([]int32, int64, bool, error) {
+			r, complete, err := ssa.RunDSSAFixLimited(sampler, c.K, eps, d, seed, c.Workers, rrCap)
+			if err != nil {
+				return nil, 0, false, err
+			}
+			return r.Seeds, r.RRGenerated, complete, nil
+		}},
+	}
+
+	for _, eps := range c.EpsGrid {
+		for _, r := range runners {
+			var secs float64
+			var rrTotal int64
+			var spreadSum, spreadErrSum float64
+			truncated := false
+			var lastSeeds []int32
+			for rep := 0; rep < c.Reps; rep++ {
+				seed := c.Seed + uint64(rep)*7919
+				start := time.Now()
+				seeds, rr, complete, err := r.run(eps, seed)
+				if err != nil {
+					return nil, fmt.Errorf("%s ε=%v: %w", r.name, eps, err)
+				}
+				secs += time.Since(start).Seconds()
+				rrTotal += rr
+				if !complete {
+					truncated = true
+					continue
+				}
+				lastSeeds = seeds
+				est := diffusion.EstimateSpread(g, model, seeds, c.MCRuns, seed+1, c.Workers)
+				spreadSum += est.Spread
+				spreadErrSum += est.StdErr
+			}
+			_ = lastSeeds
+			row := ConventionalRow{
+				Algorithm: r.name,
+				Eps:       eps,
+				Seconds:   secs / float64(c.Reps),
+				RRSets:    rrTotal / int64(c.Reps),
+				Truncated: truncated,
+			}
+			if !truncated {
+				row.Spread = spreadSum / float64(c.Reps)
+				row.SpreadErr = spreadErrSum / float64(c.Reps)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// FigConventional prints the Figure 6/7 analogue.
+func (c Config) FigConventional(w io.Writer, model diffusion.Model, rrCap int64) error {
+	g, err := c.loadProfile("synth-twitter")
+	if err != nil {
+		return err
+	}
+	rows, err := c.RunConventional(g, model, rrCap)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n== conventional IM on synth-twitter under %v, k=%d (n=%d m=%d) ==\n", model, c.K, g.N(), g.M())
+	fmt.Fprintf(w, "%10s %12s %14s %14s %12s %10s\n", "eps", "algorithm", "spread", "±stderr", "seconds", "#RR")
+	for _, r := range rows {
+		if r.Truncated {
+			fmt.Fprintf(w, "%10.3f %12s %14s %14s %12.3f %10d (hit RR cap)\n", r.Eps, r.Algorithm, "—", "—", r.Seconds, r.RRSets)
+			continue
+		}
+		fmt.Fprintf(w, "%10.3f %12s %14.1f %14.2f %12.3f %10d\n", r.Eps, r.Algorithm, r.Spread, r.SpreadErr, r.Seconds, r.RRSets)
+	}
+	return nil
+}
+
+// Fig1 prints the Lemma 4.4 ratio surface of Figure 1: Λ2 = 100, δ from
+// 1e−10 to 0.1, Λ1 ∈ {10², 10³, 10⁴, 10⁵}.
+func Fig1(w io.Writer) {
+	lambdas := []float64{1e2, 1e3, 1e4, 1e5}
+	fmt.Fprintf(w, "\n== Figure 1: f(ln 2/δ)g(ln 1/δ) / f(ln 1/δ)g(ln 2/δ), Λ2 = 100 ==\n")
+	fmt.Fprintf(w, "%12s", "delta")
+	for _, l1 := range lambdas {
+		fmt.Fprintf(w, " %12.0f", l1)
+	}
+	fmt.Fprintln(w)
+	for _, d := range []float64{1e-10, 1e-8, 1e-6, 1e-4, 1e-2, 1e-1} {
+		fmt.Fprintf(w, "%12.0e", d)
+		for _, l1 := range lambdas {
+			fmt.Fprintf(w, " %12.6f", bound.Lemma44Ratio(l1, 100, d))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Tab1 measures the guarantee-computation overhead of the three OPIM
+// variants (the Table 1 complexity ablation): time to derive (S*, α) from
+// fixed collections, isolating the O(Σ|R|) vs O(kn+Σ|R|) vs O(n+Σ|R|)
+// difference.
+func (c Config) Tab1(w io.Writer) error {
+	g, err := c.loadProfile("synth-livejournal")
+	if err != nil {
+		return err
+	}
+	sampler := rrset.NewSampler(g, diffusion.IC)
+	d := delta(g.N())
+	fmt.Fprintf(w, "\n== Table 1 ablation: guarantee computation cost (n=%d, k=%d) ==\n", g.N(), c.K)
+	fmt.Fprintf(w, "%10s %10s %14s %10s\n", "variant", "#RR", "snapshot(ms)", "alpha")
+	for _, v := range []core.Variant{core.Vanilla, core.Plus, core.Prime} {
+		o, err := core.NewOnline(sampler, core.Options{K: c.K, Delta: d, Variant: v, Seed: c.Seed, Workers: c.Workers})
+		if err != nil {
+			return err
+		}
+		o.AdvanceTo(64000)
+		start := time.Now()
+		var snap interface{ String() string }
+		reps := 5
+		var alpha float64
+		for i := 0; i < reps; i++ {
+			s := o.Snapshot()
+			alpha = s.Alpha
+			snap = s
+		}
+		_ = snap
+		ms := time.Since(start).Seconds() * 1000 / float64(reps)
+		fmt.Fprintf(w, "%10v %10d %14.2f %10.4f\n", v, o.NumRR(), ms, alpha)
+	}
+	return nil
+}
+
+// Agreement runs every conventional algorithm at one (k, ε, δ) on one
+// graph and prints each algorithm's spread plus the pairwise Jaccard
+// agreement of their seed sets — the "they agree on quality, not on WHO"
+// phenomenon behind Figures 6(a)/7(a)'s near-identical spreads.
+func (c Config) Agreement(w io.Writer, model diffusion.Model, eps float64) error {
+	g, err := c.loadProfile("synth-pokec")
+	if err != nil {
+		return err
+	}
+	sampler := rrset.NewSampler(g, model)
+	d := delta(g.N())
+
+	names := []string{}
+	sets := [][]int32{}
+	add := func(name string, seeds []int32, err error) error {
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		names = append(names, name)
+		sets = append(sets, seeds)
+		return nil
+	}
+	cres, err := core.Maximize(sampler, c.K, eps, d, core.Options{Variant: core.Plus, Seed: c.Seed, Workers: c.Workers})
+	if err == nil {
+		err = add("OPIM-C+", cres.Seeds, nil)
+	}
+	if err != nil {
+		return err
+	}
+	ires, err := imm.Run(sampler, c.K, eps, d, c.Seed, c.Workers)
+	if err == nil {
+		err = add("IMM", ires.Seeds, nil)
+	}
+	if err != nil {
+		return err
+	}
+	sres, err := ssa.RunSSAFix(sampler, c.K, eps, d, c.Seed, c.Workers)
+	if err == nil {
+		err = add("SSA-Fix", sres.Seeds, nil)
+	}
+	if err != nil {
+		return err
+	}
+	dres, err := ssa.RunDSSAFix(sampler, c.K, eps, d, c.Seed, c.Workers)
+	if err == nil {
+		err = add("D-SSA-Fix", dres.Seeds, nil)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "\n== algorithm agreement on synth-pokec under %v (k=%d, ε=%.2f) ==\n", model, c.K, eps)
+	for i, name := range names {
+		est := diffusion.EstimateSpread(g, model, sets[i], c.MCRuns, c.Seed+100, c.Workers)
+		fmt.Fprintf(w, "  %-10s spread %v\n", name, est)
+	}
+	m, err := analysis.Agreement(names, sets)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\npairwise Jaccard of seed sets:")
+	m.Print(w)
+	return nil
+}
+
+// Tab2 prints the dataset-statistics table (Table 2 analogue) for the four
+// synthetic profiles at the configured scale.
+func (c Config) Tab2(w io.Writer) error {
+	fmt.Fprintf(w, "\n== Table 2: synthetic dataset profiles ==\n")
+	fmt.Fprintf(w, "%-20s %10s %12s %12s %12s %-10s\n", "dataset", "n", "m", "avg.deg", "max.indeg", "type")
+	for _, p := range gen.Profiles {
+		g, err := p.Generate(c.Scale, c.Seed)
+		if err != nil {
+			return err
+		}
+		st := g.ComputeStats()
+		avg := 2 * st.AvgOutDeg
+		typ := "directed"
+		if p.Undirected {
+			typ = "undirected"
+			avg = st.AvgOutDeg
+		}
+		fmt.Fprintf(w, "%-20s %10d %12d %12.1f %12d %-10s\n", p.Name, st.N, st.M, avg, st.MaxInDeg, typ)
+	}
+	return nil
+}

@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/gen"
+	"github.com/reprolab/opim/internal/graph"
+)
+
+// testConfig uses a fixed small scale so the graphs are non-trivial.
+func testConfig() Config {
+	c := Default()
+	c.Scale = 20000 // pokec→81 nodes … twitter→2082 nodes
+	c.Reps = 1
+	c.MCRuns = 500
+	c.Checkpoints = []int64{250, 500, 1000, 2000}
+	c.K = 5
+	c.EpsGrid = []float64{0.4}
+	return c
+}
+
+func TestDefaultConfig(t *testing.T) {
+	c := Default()
+	if len(c.Checkpoints) != 11 || c.Checkpoints[0] != 1000 || c.Checkpoints[10] != 1024000 {
+		t.Fatalf("checkpoints = %v", c.Checkpoints)
+	}
+	if c.K != 50 || c.MCRuns != 10000 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+}
+
+func TestRunOnlineSeriesShape(t *testing.T) {
+	c := testConfig()
+	g, err := c.loadProfile("synth-pokec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := c.RunOnline(g, diffusion.LT, c.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 7 {
+		t.Fatalf("series count = %d", len(series))
+	}
+	byName := map[string][]float64{}
+	for _, s := range series {
+		if len(s.Alpha) != len(c.Checkpoints) {
+			t.Fatalf("%s: %d points", s.Name, len(s.Alpha))
+		}
+		for _, a := range s.Alpha {
+			if a < 0 || a > 1 {
+				t.Fatalf("%s: α = %v out of [0,1]", s.Name, a)
+			}
+		}
+		byName[s.Name] = s.Alpha
+	}
+	last := len(c.Checkpoints) - 1
+	// Headline orderings from Figures 2/4 at the final checkpoint:
+	if byName["OPIM+"][last] < byName["OPIM0"][last] {
+		t.Fatalf("OPIM+ %v below OPIM0 %v", byName["OPIM+"][last], byName["OPIM0"][last])
+	}
+	if byName["Borgs"][last] > 0.01 {
+		t.Fatalf("Borgs α = %v, expected ≈ 0", byName["Borgs"][last])
+	}
+	if byName["OPIM+"][last] <= byName["Borgs"][last] {
+		t.Fatal("OPIM+ not above Borgs")
+	}
+}
+
+func TestRunConventionalRows(t *testing.T) {
+	c := testConfig()
+	g, err := c.loadProfile("synth-pokec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.RunConventional(g, diffusion.IC, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(c.EpsGrid)*6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Truncated {
+			continue
+		}
+		if r.Spread <= 0 || r.RRSets <= 0 {
+			t.Fatalf("row %+v has empty measurements", r)
+		}
+	}
+}
+
+func TestFig1Output(t *testing.T) {
+	var buf bytes.Buffer
+	Fig1(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "Figure 1") {
+		t.Fatal("missing header")
+	}
+	if strings.Count(out, "\n") < 7 {
+		t.Fatalf("too few rows:\n%s", out)
+	}
+	// All printed ratios should be ≤ 1 and near 1.
+	for _, f := range strings.Fields(out) {
+		if strings.HasPrefix(f, "0.9") && len(f) == 8 {
+			return // found at least one near-1 ratio
+		}
+	}
+}
+
+func TestTab2Output(t *testing.T) {
+	c := testConfig()
+	var buf bytes.Buffer
+	if err := c.Tab2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, p := range gen.Profiles {
+		if !strings.Contains(out, p.Name) {
+			t.Fatalf("Tab2 missing %s:\n%s", p.Name, out)
+		}
+	}
+}
+
+func TestTab1Output(t *testing.T) {
+	c := testConfig()
+	c.K = 10
+	var buf bytes.Buffer
+	if err := c.Tab1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, v := range []string{"OPIM0", "OPIM+", "OPIM'"} {
+		if !strings.Contains(out, v) {
+			t.Fatalf("Tab1 missing %s:\n%s", v, out)
+		}
+	}
+}
+
+func TestPrintOnlineFormatting(t *testing.T) {
+	c := testConfig()
+	var buf bytes.Buffer
+	series := []OnlineSeries{{Name: "X", Alpha: []float64{0.1, 0.2, 0.3, 0.4}}}
+	c.printOnline(&buf, "demo", series)
+	if !strings.Contains(buf.String(), "demo") || !strings.Contains(buf.String(), "0.4000") {
+		t.Fatalf("bad formatting:\n%s", buf.String())
+	}
+}
+
+func TestLoadProfileUnknown(t *testing.T) {
+	c := testConfig()
+	if _, err := c.loadProfile("nope"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestDeltaIsOneOverN(t *testing.T) {
+	if d := delta(1000); d != 0.001 {
+		t.Fatalf("delta(1000) = %v", d)
+	}
+}
+
+var _ = graph.Edge{} // keep the import used if assertions above change
+
+func TestFigOnlineAllGraphsSmoke(t *testing.T) {
+	c := testConfig()
+	c.Scale = 1 << 20 // minimum-size graphs: structure only
+	c.Checkpoints = []int64{100, 200}
+	c.K = 1
+	var buf bytes.Buffer
+	if err := c.FigOnlineAllGraphs(&buf, diffusion.IC); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range gen.Profiles {
+		if !strings.Contains(buf.String(), p.Name) {
+			t.Fatalf("missing panel for %s", p.Name)
+		}
+	}
+}
+
+func TestFigOnlineVaryKSmoke(t *testing.T) {
+	c := testConfig()
+	c.Scale = 1 << 16 // synth-twitter → ~635 nodes
+	c.Checkpoints = []int64{100}
+	var buf bytes.Buffer
+	if err := c.FigOnlineVaryK(&buf, diffusion.LT); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"k=1", "k=10", "k=100", "k=1000"} {
+		if !strings.Contains(buf.String(), k) {
+			t.Fatalf("missing %s panel", k)
+		}
+	}
+}
+
+func TestFigConventionalSmoke(t *testing.T) {
+	c := testConfig()
+	c.Scale = 1 << 16
+	c.K = 3
+	c.MCRuns = 100
+	c.EpsGrid = []float64{0.5}
+	var buf bytes.Buffer
+	if err := c.FigConventional(&buf, diffusion.IC, 500_000); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"OPIM-C+", "IMM", "SSA-Fix", "D-SSA-Fix"} {
+		if !strings.Contains(buf.String(), name) {
+			t.Fatalf("missing %s row:\n%s", name, buf.String())
+		}
+	}
+}
+
+func TestConventionalTruncationReported(t *testing.T) {
+	c := testConfig()
+	c.Scale = 1 << 16
+	c.K = 3
+	c.MCRuns = 50
+	c.EpsGrid = []float64{0.05} // tight ε with a tiny cap forces truncation
+	g, err := c.loadProfile("synth-twitter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.RunConventional(g, diffusion.IC, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyTruncated := false
+	for _, r := range rows {
+		if r.Truncated {
+			anyTruncated = true
+		}
+	}
+	if !anyTruncated {
+		t.Fatal("no run reported truncation despite a 200-RR cap at ε=0.05")
+	}
+}
+
+func TestChartModeRenders(t *testing.T) {
+	c := testConfig()
+	c.Chart = true
+	var buf bytes.Buffer
+	series := []OnlineSeries{{Name: "X", Alpha: []float64{0.1, 0.2, 0.3, 0.4}}}
+	c.printOnline(&buf, "demo", series)
+	if !strings.Contains(buf.String(), "α vs #RR") || !strings.Contains(buf.String(), "+=X") {
+		t.Fatalf("chart not rendered:\n%s", buf.String())
+	}
+}
+
+func TestAgreementSmoke(t *testing.T) {
+	c := testConfig()
+	c.Scale = 4000 // synth-pokec → ~408 nodes
+	c.K = 5
+	c.MCRuns = 300
+	var buf bytes.Buffer
+	if err := c.Agreement(&buf, diffusion.IC, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{"OPIM-C+", "IMM", "SSA-Fix", "D-SSA-Fix", "Jaccard"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("missing %s:\n%s", name, out)
+		}
+	}
+}

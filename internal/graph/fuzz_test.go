@@ -1,0 +1,70 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadText checks the text parser never panics and that everything it
+// accepts round-trips through the writer.
+func FuzzReadText(f *testing.F) {
+	f.Add("0 1 0.5\n1 2 0.25\n")
+	f.Add("# comment\n\n3 4\n")
+	f.Add("0 0 1\n")
+	f.Add("x y z\n")
+	f.Add("999999999999 1 0.1\n")
+	f.Add("0 1 NaN\n")
+	f.Add("-1 -2 -3\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadText(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, g); err != nil {
+			t.Fatalf("accepted graph failed to serialize: %v", err)
+		}
+		g2, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("writer output rejected: %v", err)
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			t.Fatalf("round trip changed shape: %v vs %v", g2, g)
+		}
+	})
+}
+
+// FuzzReadBinary checks the binary decoder never panics and rejects or
+// round-trips arbitrary bytes.
+func FuzzReadBinary(f *testing.F) {
+	g := mustLine(f)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("OPIMG1\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		g, err := ReadBinary(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteBinary(&out, g); err != nil {
+			t.Fatalf("accepted graph failed to serialize: %v", err)
+		}
+	})
+}
+
+func mustLine(f *testing.F) *Graph {
+	b := NewBuilder(3, 2)
+	b.AddEdge(0, 1, 0.5)
+	b.AddEdge(1, 2, 0.25)
+	g, err := b.Build()
+	if err != nil {
+		f.Fatal(err)
+	}
+	return g
+}

@@ -1,0 +1,61 @@
+package graph
+
+import "github.com/reprolab/opim/internal/rng"
+
+// LTSampler packs one Walker alias table per node over that node's in-edge
+// probabilities, enabling the LT reverse random walk of Appendix A to draw
+// a weighted in-neighbor in O(1) per step. Construction is O(n+m) and the
+// tables share the graph's CSR layout (offsets are reused), so the memory
+// cost is 8 bytes per edge.
+//
+// An LTSampler is immutable after construction and safe for concurrent use.
+type LTSampler struct {
+	g     *Graph
+	prob  []float32 // parallel to g.inFrom
+	alias []int32   // parallel to g.inFrom
+}
+
+// NewLTSampler builds the per-node alias tables for g.
+func NewLTSampler(g *Graph) *LTSampler {
+	s := &LTSampler{
+		g:     g,
+		prob:  make([]float32, g.m),
+		alias: make([]int32, g.m),
+	}
+	maxDeg := 0
+	for v := int32(0); v < g.n; v++ {
+		if d := int(g.InDegree(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	small := make([]int32, 0, maxDeg)
+	large := make([]int32, 0, maxDeg)
+	for v := int32(0); v < g.n; v++ {
+		lo, hi := g.inOff[v], g.inOff[v+1]
+		if lo == hi {
+			continue
+		}
+		rng.BuildCompactInto(g.inP[lo:hi], s.prob[lo:hi], s.alias[lo:hi], small, large)
+	}
+	return s
+}
+
+// Graph returns the graph the sampler was built for.
+func (s *LTSampler) Graph() *Graph { return s.g }
+
+// SampleInNeighbor performs one step of the LT reverse walk at node v:
+// with probability 1 − Σ_{u∈in(v)} p(u,v) the walk stops (ok=false);
+// otherwise it returns an in-neighbor u drawn with probability proportional
+// to p(u,v).
+func (s *LTSampler) SampleInNeighbor(v NodeID, src *rng.Source) (u NodeID, ok bool) {
+	sum := s.g.inPSum[v]
+	if sum <= 0 {
+		return 0, false
+	}
+	if sum < 1 && !src.Bernoulli(float64(sum)) {
+		return 0, false
+	}
+	lo, hi := s.g.inOff[v], s.g.inOff[v+1]
+	idx := rng.SampleCompact(s.prob[lo:hi], s.alias[lo:hi], src)
+	return s.g.inFrom[lo+int64(idx)], true
+}

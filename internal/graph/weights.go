@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"fmt"
+
+	"github.com/reprolab/opim/internal/rng"
+)
+
+// WeightScheme names a rule for assigning propagation probabilities to the
+// edges of an unweighted graph.
+type WeightScheme int
+
+const (
+	// WeightedCascade sets p(u,v) = 1 / indeg(v): the "WC" setting used in
+	// the paper's experiments (§8.1) and most prior work. Under LT this
+	// makes every node's incoming weights sum to exactly 1.
+	WeightedCascade WeightScheme = iota
+	// Uniform sets every p(u,v) to a constant (the classic IC benchmark
+	// setting, e.g. p = 0.01 or 0.1).
+	Uniform
+	// Trivalency draws each p(u,v) uniformly from {0.1, 0.01, 0.001}
+	// (the TR model of Chen et al.).
+	Trivalency
+)
+
+// String implements fmt.Stringer.
+func (w WeightScheme) String() string {
+	switch w {
+	case WeightedCascade:
+		return "weighted-cascade"
+	case Uniform:
+		return "uniform"
+	case Trivalency:
+		return "trivalency"
+	}
+	return fmt.Sprintf("WeightScheme(%d)", int(w))
+}
+
+// Reweight returns a copy of g with edge probabilities reassigned by scheme.
+// For Uniform, p is the constant probability; it is ignored by the other
+// schemes. seed drives Trivalency's random draws.
+func Reweight(g *Graph, scheme WeightScheme, p float64, seed uint64) (*Graph, error) {
+	if scheme == Uniform && (p < 0 || p > 1) {
+		return nil, fmt.Errorf("graph: uniform probability %v outside [0,1]", p)
+	}
+	src := rng.New(seed)
+	b := NewBuilder(g.N(), int(g.M()))
+	var err error
+	g.Edges(func(e Edge) bool {
+		var prob float32
+		switch scheme {
+		case WeightedCascade:
+			d := g.InDegree(e.To)
+			if d == 0 {
+				err = fmt.Errorf("graph: node %d has an in-edge but in-degree 0", e.To)
+				return false
+			}
+			prob = 1 / float32(d)
+		case Uniform:
+			prob = float32(p)
+		case Trivalency:
+			switch src.Intn(3) {
+			case 0:
+				prob = 0.1
+			case 1:
+				prob = 0.01
+			default:
+				prob = 0.001
+			}
+		default:
+			err = fmt.Errorf("graph: unknown weight scheme %v", scheme)
+			return false
+		}
+		b.AddEdge(e.From, e.To, prob)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return b.Build()
+}

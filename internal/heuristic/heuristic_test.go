@@ -1,0 +1,188 @@
+package heuristic
+
+import (
+	"math"
+	"testing"
+
+	"github.com/reprolab/opim/internal/gen"
+	"github.com/reprolab/opim/internal/graph"
+)
+
+func build(t *testing.T, n int32, edges []graph.Edge) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n, len(edges))
+	for _, e := range edges {
+		b.AddEdge(e.From, e.To, e.P)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestTopDegree(t *testing.T) {
+	g := build(t, 5, []graph.Edge{
+		{From: 1, To: 0, P: 1}, {From: 1, To: 2, P: 1}, {From: 1, To: 3, P: 1},
+		{From: 2, To: 0, P: 1}, {From: 2, To: 3, P: 1},
+		{From: 4, To: 0, P: 1},
+	})
+	got := TopDegree(g, 3)
+	want := []int32{1, 2, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopDegree = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTopDegreeTieBreak(t *testing.T) {
+	g := build(t, 4, []graph.Edge{
+		{From: 2, To: 0, P: 1}, {From: 1, To: 0, P: 1},
+	})
+	got := TopDegree(g, 2)
+	if got[0] != 1 || got[1] != 2 {
+		t.Fatalf("tie-break order = %v", got)
+	}
+}
+
+func TestTopDegreeEdgeCases(t *testing.T) {
+	g := build(t, 3, nil)
+	if got := TopDegree(g, 0); got != nil {
+		t.Fatalf("k=0: %v", got)
+	}
+	if got := TopDegree(g, 10); len(got) != 3 {
+		t.Fatalf("k>n: %v", got)
+	}
+}
+
+func TestDegreeDiscountPrefersSpreadOut(t *testing.T) {
+	// Two hubs whose neighborhoods overlap completely vs one independent
+	// hub: after picking hub A, hub B (same neighbors) is discounted below
+	// the independent hub C.
+	edges := []graph.Edge{}
+	// Hub 0 and hub 1 both point to nodes 3..12.
+	for v := int32(3); v < 13; v++ {
+		edges = append(edges, graph.Edge{From: 0, To: v, P: 1}, graph.Edge{From: 1, To: v, P: 1})
+	}
+	// Hub 2 points to its own nodes 13..20 (8 targets — fewer than 0/1).
+	for v := int32(13); v < 21; v++ {
+		edges = append(edges, graph.Edge{From: 2, To: v, P: 1})
+	}
+	// Hubs point at each other so the discount applies.
+	edges = append(edges, graph.Edge{From: 0, To: 1, P: 1}, graph.Edge{From: 1, To: 0, P: 1})
+	g := build(t, 21, edges)
+	seeds := DegreeDiscount(g, 2, 0.5)
+	if seeds[0] != 0 {
+		t.Fatalf("first seed = %d, want hub 0", seeds[0])
+	}
+	if seeds[1] != 2 {
+		t.Fatalf("second seed = %d, want independent hub 2 (got overlapping hub?)", seeds[1])
+	}
+}
+
+func TestDegreeDiscountEdgeCases(t *testing.T) {
+	g := build(t, 3, nil)
+	if got := DegreeDiscount(g, 0, 0.1); got != nil {
+		t.Fatalf("k=0: %v", got)
+	}
+	if got := DegreeDiscount(g, 5, 0.1); len(got) != 3 {
+		t.Fatalf("k>n: %v", got)
+	}
+}
+
+func TestPageRankUniformOnCycle(t *testing.T) {
+	// On a directed cycle every node has identical PageRank 1/n.
+	b := graph.NewBuilder(5, 5)
+	for v := int32(0); v < 5; v++ {
+		b.AddEdge(v, (v+1)%5, 1)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := PageRank(g, 0.85, 100, 1e-12)
+	for i, p := range pr {
+		if math.Abs(p-0.2) > 1e-9 {
+			t.Fatalf("pr[%d] = %v, want 0.2", i, p)
+		}
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g, err := gen.PreferentialAttachment(500, 5, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := PageRank(g, 0.85, 100, 1e-10)
+	var sum float64
+	for _, p := range pr {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("PageRank sums to %v", sum)
+	}
+}
+
+func TestPageRankSinkAttractsMass(t *testing.T) {
+	// 0→2, 1→2: node 2 must outrank its parents.
+	g := build(t, 3, []graph.Edge{{From: 0, To: 2, P: 1}, {From: 1, To: 2, P: 1}})
+	pr := PageRank(g, 0.85, 100, 1e-12)
+	if pr[2] <= pr[0] || pr[2] <= pr[1] {
+		t.Fatalf("sink PageRank %v not largest: %v", pr[2], pr)
+	}
+}
+
+func TestPageRankEmptyGraph(t *testing.T) {
+	b := graph.NewBuilder(0, 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr := PageRank(g, 0.85, 10, 1e-9); pr != nil {
+		t.Fatalf("empty graph PageRank = %v", pr)
+	}
+}
+
+func TestTopPageRank(t *testing.T) {
+	// The preferential-attachment hub structure: node 0 collects most
+	// in-links, so its PageRank is the largest.
+	g, err := gen.PreferentialAttachment(1000, 5, 0.05, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := TopPageRank(g, 5)
+	if len(top) != 5 {
+		t.Fatalf("top = %v", top)
+	}
+	pr := PageRank(g, 0.85, 100, 1e-9)
+	// Verify ordering is by PageRank.
+	for i := 0; i+1 < len(top); i++ {
+		if pr[top[i]] < pr[top[i+1]] {
+			t.Fatalf("TopPageRank not sorted: %v", top)
+		}
+	}
+	if got := TopPageRank(g, 0); got != nil {
+		t.Fatalf("k=0: %v", got)
+	}
+}
+
+func TestTopReversePageRankFindsSpreaders(t *testing.T) {
+	// Star: the hub points at all leaves. Forward PageRank ranks the
+	// leaves (authority); reverse PageRank must rank the hub first.
+	g, err := gen.Star(50, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := TopReversePageRank(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev[0] != 0 {
+		t.Fatalf("reverse PageRank top = %d, want hub 0", rev[0])
+	}
+	fwd := TopPageRank(g, 1)
+	if fwd[0] == 0 {
+		t.Fatalf("forward PageRank unexpectedly ranked the hub first")
+	}
+}

@@ -1,0 +1,160 @@
+package imm
+
+import (
+	"testing"
+
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/gen"
+	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/rrset"
+)
+
+func testGraph(t testing.TB, n int32) *graph.Graph {
+	t.Helper()
+	g, err := gen.PreferentialAttachment(n, 8, 0.15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err = graph.Reweight(g, graph.WeightedCascade, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRunBasic(t *testing.T) {
+	g := testGraph(t, 1000)
+	s := rrset.NewSampler(g, diffusion.IC)
+	res, err := Run(s, 10, 0.4, 0.1, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 10 {
+		t.Fatalf("seeds = %d", len(res.Seeds))
+	}
+	if res.RRGenerated <= 0 || res.Theta <= 0 {
+		t.Fatalf("bad accounting: %v", res)
+	}
+	if res.LB < 1 {
+		t.Fatalf("LB = %v", res.LB)
+	}
+	seen := map[int32]bool{}
+	for _, v := range res.Seeds {
+		if seen[v] {
+			t.Fatalf("duplicate seed %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	g := testGraph(t, 100)
+	s := rrset.NewSampler(g, diffusion.IC)
+	if _, err := Run(s, 0, 0.3, 0.1, 1, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Run(s, 5, 0, 0.1, 1, 1); err == nil {
+		t.Error("ε=0 accepted")
+	}
+	if _, err := Run(s, 5, 0.3, 1, 1, 1); err == nil {
+		t.Error("δ=1 accepted")
+	}
+	if _, err := Run(s, 101, 0.3, 0.1, 1, 1); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	g := testGraph(t, 500)
+	s := rrset.NewSampler(g, diffusion.LT)
+	a, err := Run(s, 5, 0.4, 0.1, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(s, 5, 0.4, 0.1, 7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RRGenerated != b.RRGenerated || a.Theta != b.Theta {
+		t.Fatalf("runs differ: %v vs %v", a, b)
+	}
+	for i := range a.Seeds {
+		if a.Seeds[i] != b.Seeds[i] {
+			t.Fatalf("seed %d differs", i)
+		}
+	}
+}
+
+func TestRunPicksHubOnStar(t *testing.T) {
+	g, err := gen.Star(400, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rrset.NewSampler(g, diffusion.IC)
+	res, err := Run(s, 1, 0.3, 0.1, 9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seeds[0] != 0 {
+		t.Fatalf("IMM picked %d, want hub", res.Seeds[0])
+	}
+}
+
+func TestTighterEpsCostsMore(t *testing.T) {
+	g := testGraph(t, 800)
+	s := rrset.NewSampler(g, diffusion.IC)
+	loose, err := Run(s, 10, 0.5, 0.1, 11, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Run(s, 10, 0.2, 0.1, 11, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.RRGenerated <= loose.RRGenerated {
+		t.Fatalf("ε=0.2 cost %d RR sets vs ε=0.5's %d", tight.RRGenerated, loose.RRGenerated)
+	}
+}
+
+func TestSpreadMeetsGuarantee(t *testing.T) {
+	// IMM's seed set spread should comfortably beat the (1−1/e−ε) fraction
+	// of any heuristic competitor (here: its own top-degree baseline).
+	g := testGraph(t, 1500)
+	s := rrset.NewSampler(g, diffusion.IC)
+	res, err := Run(s, 10, 0.3, 0.05, 13, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	immSpread := diffusion.EstimateSpread(g, diffusion.IC, res.Seeds, 20000, 14, 0)
+	// Top in-degree nodes as a competitor seed set.
+	type nd struct {
+		v int32
+		d int32
+	}
+	best := make([]nd, 0, g.N())
+	for v := int32(0); v < g.N(); v++ {
+		best = append(best, nd{v, g.OutDegree(v)})
+	}
+	for i := 0; i < 10; i++ {
+		for j := i + 1; j < len(best); j++ {
+			if best[j].d > best[i].d {
+				best[i], best[j] = best[j], best[i]
+			}
+		}
+	}
+	comp := make([]int32, 10)
+	for i := range comp {
+		comp[i] = best[i].v
+	}
+	compSpread := diffusion.EstimateSpread(g, diffusion.IC, comp, 20000, 15, 0)
+	if immSpread.Spread < (0.632-0.3)*compSpread.Spread {
+		t.Fatalf("IMM spread %v below guarantee vs competitor %v", immSpread, compSpread)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := &Result{Seeds: []int32{1}, Theta: 5, LB: 2, RRGenerated: 10}
+	if r.String() == "" {
+		t.Fatal("empty string")
+	}
+}

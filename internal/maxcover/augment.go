@@ -1,0 +1,133 @@
+package maxcover
+
+import "github.com/reprolab/opim/internal/rrset"
+
+// GreedyAugment runs Algorithm 1 on the RESIDUAL coverage function given a
+// base seed set that is already committed: it returns the k nodes that
+// greedily maximize Λ(base ∪ S) − Λ(base). The residual of a monotone
+// submodular function is itself monotone submodular, so the (1−1/e)
+// guarantee — and therefore the whole OPIM bound machinery — applies to
+// the augmentation problem unchanged. This is the "grow an existing
+// campaign" workflow: the base nodes are excluded from selection and their
+// covered RR sets contribute nothing to marginals.
+//
+// The returned Result's Coverage and bound fields are all with respect to
+// the residual function; PrefixCoverage[0] = 0 still.
+func GreedyAugment(c *rrset.Collection, base []int32, k int) *Result {
+	return runAugment(c, base, k, boundsNone)
+}
+
+// GreedyAugmentWithBounds additionally computes the residual-function
+// versions of Λ1ᵘ (eq. 10) and Λ1⋄.
+func GreedyAugmentWithBounds(c *rrset.Collection, base []int32, k int) *Result {
+	return runAugment(c, base, k, boundsAll)
+}
+
+func runAugment(c *rrset.Collection, base []int32, k int, mode boundsMode) *Result {
+	n := int(c.N())
+	count := c.Count()
+
+	covered := make([]bool, count)
+	chosen := make([]bool, n)
+	// Commit the base: mark its sets covered and its nodes unselectable.
+	for _, v := range base {
+		chosen[v] = true
+		for _, id := range c.SetsCovering(v) {
+			covered[id] = true
+		}
+	}
+	free := n - distinct(base)
+	if k > free {
+		k = free
+	}
+	if k < 0 {
+		k = 0
+	}
+
+	// cov[v] = residual marginal coverage of v.
+	cov := make([]int64, n)
+	for v := 0; v < n; v++ {
+		if chosen[v] {
+			continue
+		}
+		for _, id := range c.SetsCovering(int32(v)) {
+			if !covered[id] {
+				cov[v]++
+			}
+		}
+	}
+
+	res := &Result{
+		Seeds:          make([]int32, 0, k),
+		PrefixCoverage: make([]int64, 1, k+1),
+	}
+	var scratch []int64
+	if mode != boundsNone {
+		scratch = make([]int64, n)
+		res.HasBounds = true
+		res.LambdaU = int64(1) << 62
+	}
+
+	var total int64
+	residualUniverse := int64(0)
+	for id := 0; id < count; id++ {
+		if !covered[id] {
+			residualUniverse++
+		}
+	}
+	for i := 0; i < k; i++ {
+		if mode == boundsAll {
+			if cand := total + topKSum(cov, scratch, k); cand < res.LambdaU {
+				res.LambdaU = cand
+			}
+		}
+		best := -1
+		var bestCov int64 = -1
+		for v := 0; v < n; v++ {
+			if !chosen[v] && cov[v] > bestCov {
+				best = v
+				bestCov = cov[v]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		chosen[best] = true
+		res.Seeds = append(res.Seeds, int32(best))
+		total += bestCov
+		for _, id := range c.SetsCovering(int32(best)) {
+			if covered[id] {
+				continue
+			}
+			covered[id] = true
+			for _, w := range c.Set(id) {
+				cov[w]--
+			}
+		}
+		res.PrefixCoverage = append(res.PrefixCoverage, total)
+	}
+	res.Coverage = total
+
+	if mode != boundsNone {
+		top := topKSum(cov, scratch, k)
+		if cand := total + top; cand < res.LambdaU {
+			res.LambdaU = cand
+		}
+		res.LambdaDiamond = total + top
+		if res.LambdaU > residualUniverse {
+			res.LambdaU = residualUniverse
+		}
+		if res.LambdaDiamond > residualUniverse {
+			res.LambdaDiamond = residualUniverse
+		}
+	}
+	return res
+}
+
+func distinct(s []int32) int {
+	seen := make(map[int32]struct{}, len(s))
+	for _, v := range s {
+		seen[v] = struct{}{}
+	}
+	return len(seen)
+}

@@ -1,0 +1,96 @@
+package maxcover
+
+import (
+	"testing"
+
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/gen"
+	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/rng"
+	"github.com/reprolab/opim/internal/rrset"
+)
+
+func TestGreedyAugmentEmptyBaseMatchesGreedy(t *testing.T) {
+	c := collect(5, [][]int32{{0, 1}, {0}, {1, 2}, {3}, {4, 0}})
+	a := Greedy(c, 3)
+	b := GreedyAugment(c, nil, 3)
+	if a.Coverage != b.Coverage {
+		t.Fatalf("coverage %d vs %d", a.Coverage, b.Coverage)
+	}
+	for i := range a.Seeds {
+		if a.Seeds[i] != b.Seeds[i] {
+			t.Fatalf("seed %d differs: %v vs %v", i, a.Seeds, b.Seeds)
+		}
+	}
+}
+
+func TestGreedyAugmentExcludesBase(t *testing.T) {
+	c := collect(4, [][]int32{{0}, {0}, {0}, {1}, {2}})
+	// Node 0 dominates but is already committed: augmentation must pick
+	// from the rest and count only residual coverage.
+	r := GreedyAugment(c, []int32{0}, 2)
+	for _, s := range r.Seeds {
+		if s == 0 {
+			t.Fatalf("base node reselected: %v", r.Seeds)
+		}
+	}
+	if r.Coverage != 2 { // sets {1} and {2}
+		t.Fatalf("residual coverage = %d, want 2", r.Coverage)
+	}
+}
+
+func TestGreedyAugmentResidualSemantics(t *testing.T) {
+	c := collect(4, [][]int32{{0, 1}, {1}, {2}, {2, 3}})
+	// Base {1} covers sets 0 and 1. Residual marginals: node 2 → 2, node 3 → 1.
+	r := GreedyAugment(c, []int32{1}, 1)
+	if len(r.Seeds) != 1 || r.Seeds[0] != 2 {
+		t.Fatalf("seeds = %v, want [2]", r.Seeds)
+	}
+	if r.Coverage != 2 {
+		t.Fatalf("coverage = %d, want 2", r.Coverage)
+	}
+}
+
+func TestGreedyAugmentKClamp(t *testing.T) {
+	c := collect(3, [][]int32{{0}, {1}})
+	r := GreedyAugment(c, []int32{0, 0, 1}, 5) // duplicates in base
+	if len(r.Seeds) != 1 || r.Seeds[0] != 2 {
+		t.Fatalf("seeds = %v, want just node 2", r.Seeds)
+	}
+}
+
+func TestGreedyAugmentBoundsResidualUniverse(t *testing.T) {
+	c := collect(4, [][]int32{{0}, {0}, {1}, {2}, {3}})
+	r := GreedyAugmentWithBounds(c, []int32{0}, 2)
+	// Residual universe: 3 uncovered sets; bounds must be capped by it.
+	if r.LambdaU > 3 || r.LambdaDiamond > 3 {
+		t.Fatalf("bounds exceed residual universe: Λᵘ=%d Λ⋄=%d", r.LambdaU, r.LambdaDiamond)
+	}
+	if r.LambdaU < r.Coverage {
+		t.Fatalf("Λᵘ=%d below achieved residual coverage %d", r.LambdaU, r.Coverage)
+	}
+}
+
+func TestGreedyAugmentOnRealCollection(t *testing.T) {
+	g, _ := gen.PreferentialAttachment(600, 6, 0.15, 3)
+	g, _ = graph.Reweight(g, graph.WeightedCascade, 0, 1)
+	s := rrset.NewSampler(g, diffusion.IC)
+	c := rrset.NewCollection(g.N())
+	rrset.Generate(c, s, 4000, rng.New(4), 4)
+	base := Greedy(c, 5).Seeds
+	aug := GreedyAugmentWithBounds(c, base, 5)
+	// Residual gain must equal Λ(base∪aug) − Λ(base) exactly.
+	both := append(append([]int32{}, base...), aug.Seeds...)
+	want := c.Coverage(both) - c.Coverage(base)
+	if aug.Coverage != want {
+		t.Fatalf("residual coverage %d, direct computation %d", aug.Coverage, want)
+	}
+	// Augmentation after the first 5 greedy picks should equal picks 6–10
+	// of a single 10-seed greedy run (greedy is order-consistent).
+	full := Greedy(c, 10)
+	for i := 0; i < 5; i++ {
+		if full.Seeds[5+i] != aug.Seeds[i] {
+			t.Fatalf("augment diverged from greedy continuation at %d: %v vs %v", i, full.Seeds[5:], aug.Seeds)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package maxcover
+
+import (
+	"testing"
+
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/gen"
+	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/rng"
+	"github.com/reprolab/opim/internal/rrset"
+)
+
+func TestGreedyLazyMatchesCountingOnFixtures(t *testing.T) {
+	cases := []struct {
+		n    int32
+		sets [][]int32
+		k    int
+	}{
+		{4, [][]int32{{0, 1}, {0}, {1, 2}, {3}}, 2},
+		{3, [][]int32{{0}, {0}, {1}, {2}}, 3},
+		{5, [][]int32{}, 3},
+		{4, [][]int32{{2}, {1}, {3}}, 2},
+		{6, [][]int32{{0, 1, 2}, {3, 4, 5}, {0, 3}, {1, 4}, {2, 5}}, 4},
+	}
+	for i, tc := range cases {
+		c := collect(tc.n, tc.sets)
+		a := Greedy(c, tc.k)
+		b := GreedyLazy(c, tc.k)
+		if a.Coverage != b.Coverage {
+			t.Fatalf("case %d: coverage %d vs %d", i, a.Coverage, b.Coverage)
+		}
+		if len(a.Seeds) != len(b.Seeds) {
+			t.Fatalf("case %d: seed counts %d vs %d", i, len(a.Seeds), len(b.Seeds))
+		}
+		for j := range a.Seeds {
+			if a.Seeds[j] != b.Seeds[j] {
+				t.Fatalf("case %d: seed %d differs: %d vs %d", i, j, a.Seeds[j], b.Seeds[j])
+			}
+		}
+	}
+}
+
+func TestGreedyLazyMatchesCountingOnRandomCollections(t *testing.T) {
+	src := rng.New(77)
+	for trial := 0; trial < 40; trial++ {
+		n := int32(5 + src.Intn(30))
+		numSets := src.Intn(60)
+		c := rrset.NewCollection(n)
+		for i := 0; i < numSets; i++ {
+			size := 1 + src.Intn(4)
+			seen := map[int32]bool{}
+			for len(seen) < size {
+				seen[src.Int31n(n)] = true
+			}
+			var set []int32
+			for v := int32(0); v < n; v++ {
+				if seen[v] {
+					set = append(set, v)
+				}
+			}
+			c.Add(set, 0)
+		}
+		k := 1 + src.Intn(6)
+		a := Greedy(c, k)
+		b := GreedyLazy(c, k)
+		if a.Coverage != b.Coverage {
+			t.Fatalf("trial %d: coverage %d vs %d", trial, a.Coverage, b.Coverage)
+		}
+		for j := range a.Seeds {
+			if a.Seeds[j] != b.Seeds[j] {
+				t.Fatalf("trial %d: seeds differ at %d: %v vs %v", trial, j, a.Seeds, b.Seeds)
+			}
+		}
+		for j := range a.PrefixCoverage {
+			if a.PrefixCoverage[j] != b.PrefixCoverage[j] {
+				t.Fatalf("trial %d: prefix %d differs", trial, j)
+			}
+		}
+	}
+}
+
+func TestGreedyLazyOnRealRRSets(t *testing.T) {
+	g, _ := gen.PreferentialAttachment(1000, 8, 0.15, 5)
+	g, _ = graph.Reweight(g, graph.WeightedCascade, 0, 1)
+	s := rrset.NewSampler(g, diffusion.IC)
+	c := rrset.NewCollection(g.N())
+	rrset.Generate(c, s, 5000, rng.New(6), 4)
+	a := Greedy(c, 25)
+	b := GreedyLazy(c, 25)
+	if a.Coverage != b.Coverage {
+		t.Fatalf("coverage %d vs %d", a.Coverage, b.Coverage)
+	}
+	for j := range a.Seeds {
+		if a.Seeds[j] != b.Seeds[j] {
+			t.Fatalf("seeds differ at %d", j)
+		}
+	}
+}
+
+func TestGreedyLazyEdgeCases(t *testing.T) {
+	c := collect(3, [][]int32{{0}})
+	if r := GreedyLazy(c, 0); len(r.Seeds) != 0 || r.Coverage != 0 {
+		t.Fatalf("k=0: %v", r)
+	}
+	if r := GreedyLazy(c, 10); len(r.Seeds) != 3 {
+		t.Fatalf("k>n seeds = %v", r.Seeds)
+	}
+}
+
+// BenchmarkGreedyCountingVsLazy is the design-choice ablation DESIGN.md
+// calls out: counting greedy (used by the library, O(kn+Σ|R|)) versus CELF
+// lazy greedy on the same RR collections.
+func BenchmarkGreedyCountingVsLazy(b *testing.B) {
+	g, _ := gen.PreferentialAttachment(20000, 15, 0.1, 1)
+	g, _ = graph.Reweight(g, graph.WeightedCascade, 0, 1)
+	s := rrset.NewSampler(g, diffusion.IC)
+	c := rrset.NewCollection(g.N())
+	rrset.Generate(c, s, 16000, rng.New(2), 0)
+	for _, k := range []int{10, 100} {
+		b.Run("counting-k"+itoa(k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Greedy(c, k)
+			}
+		})
+		b.Run("lazy-k"+itoa(k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				GreedyLazy(c, k)
+			}
+		})
+	}
+}
+
+func itoa(k int) string {
+	if k == 10 {
+		return "10"
+	}
+	return "100"
+}

@@ -1,0 +1,230 @@
+// Package maxcover implements Algorithm 1 of the paper — the greedy
+// maximum-coverage seed selection over a collection of RR sets — together
+// with the per-prefix coverage traces that §5's tightened upper bounds
+// need:
+//
+//   - Λ1(S_i*) for every greedy prefix S_i* (i = 0 … k),
+//   - Λ1ᵘ(S°) of eq. (10): min_i ( Λ1(S_i*) + Σ_{v∈maxMC(S_i*,k)} Λ1(v|S_i*) ),
+//   - Λ1⋄(S°), the Leskovec-style bound used by the OPIM′ variant.
+//
+// The greedy is the counting variant: it maintains the marginal coverage of
+// every node and, when a node is selected, walks the newly covered RR sets
+// decrementing their members' marginals. Total selection cost is
+// O(Σ_{R∈R1} |R|); each maxMC top-k sum is an O(n) quickselect, adding the
+// O(kn) term of Table 1.
+package maxcover
+
+import "github.com/reprolab/opim/internal/rrset"
+
+// Result carries the greedy seed set and every coverage statistic the
+// bound computations consume.
+type Result struct {
+	// Seeds is S* in selection order (size min(k, n)).
+	Seeds []int32
+	// Coverage is Λ1(S*), the number of RR sets covered by the full seed set.
+	Coverage int64
+	// PrefixCoverage[i] is Λ1(S_i*), i = 0 … len(Seeds); PrefixCoverage[0] = 0.
+	PrefixCoverage []int64
+	// LambdaU is Λ1ᵘ(S°) per eq. (10); 0 unless computed with WithBounds.
+	LambdaU int64
+	// LambdaDiamond is Λ1⋄(S°) (Leskovec bound); 0 unless WithBounds.
+	LambdaDiamond int64
+	// HasBounds reports whether LambdaU/LambdaDiamond were computed.
+	HasBounds bool
+}
+
+// boundsMode selects which §5 upper bounds run computes alongside the
+// greedy selection.
+type boundsMode int
+
+const (
+	boundsNone    boundsMode = iota // plain Algorithm 1
+	boundsAll                       // Λ1ᵘ (eq. 10, O(kn) extra) and Λ1⋄
+	boundsDiamond                   // Λ1⋄ only (O(n) extra) — Table 1's OPIM′ row
+)
+
+// Greedy runs Algorithm 1 on c for a size-k seed set. Ties are broken by
+// smallest node id, so the result is deterministic.
+func Greedy(c *rrset.Collection, k int) *Result {
+	return run(c, k, boundsNone)
+}
+
+// GreedyWithBounds runs Algorithm 1 and additionally computes the §5 upper
+// bounds Λ1ᵘ(S°) (eq. 10) and Λ1⋄(S°). This costs an extra O(kn) on top of
+// plain selection, exactly as Table 1 states.
+func GreedyWithBounds(c *rrset.Collection, k int) *Result {
+	return run(c, k, boundsAll)
+}
+
+// GreedyWithDiamond runs Algorithm 1 and computes only the Leskovec-style
+// bound Λ1⋄(S°) (one O(n) top-k selection at the final prefix), matching
+// Table 1's O(n + Σ|R|) complexity for the OPIM′ variant. LambdaU is left 0.
+func GreedyWithDiamond(c *rrset.Collection, k int) *Result {
+	return run(c, k, boundsDiamond)
+}
+
+func run(c *rrset.Collection, k int, mode boundsMode) *Result {
+	n := int(c.N())
+	if k > n {
+		k = n
+	}
+	if k < 0 {
+		k = 0
+	}
+	count := c.Count()
+
+	// cov[v] = Λ1(v | S_i*): marginal coverage given the current prefix.
+	cov := make([]int64, n)
+	for v := 0; v < n; v++ {
+		cov[v] = int64(c.Degree(int32(v)))
+	}
+	covered := make([]bool, count)
+	chosen := make([]bool, n)
+
+	res := &Result{
+		Seeds:          make([]int32, 0, k),
+		PrefixCoverage: make([]int64, 1, k+1),
+	}
+
+	var scratch []int64
+	if mode != boundsNone {
+		scratch = make([]int64, n)
+		res.HasBounds = true
+		res.LambdaU = int64(1) << 62
+	}
+
+	var total int64
+	for i := 0; i < k; i++ {
+		if mode == boundsAll {
+			// Bound candidate for prefix S_i* (before selecting node i+1):
+			// Λ1(S_i*) + Σ of the k largest marginals.
+			cand := total + topKSum(cov, scratch, k)
+			if cand < res.LambdaU {
+				res.LambdaU = cand
+			}
+		}
+
+		// argmax_v cov[v] over unchosen nodes, smallest id wins ties.
+		best := -1
+		var bestCov int64 = -1
+		for v := 0; v < n; v++ {
+			if !chosen[v] && cov[v] > bestCov {
+				best = v
+				bestCov = cov[v]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		chosen[best] = true
+		res.Seeds = append(res.Seeds, int32(best))
+		total += bestCov
+
+		// Mark best's uncovered sets covered and update marginals.
+		for _, id := range c.SetsCovering(int32(best)) {
+			if covered[id] {
+				continue
+			}
+			covered[id] = true
+			for _, w := range c.Set(id) {
+				cov[w]--
+			}
+		}
+		res.PrefixCoverage = append(res.PrefixCoverage, total)
+	}
+	res.Coverage = total
+
+	if mode != boundsNone {
+		// Final prefix S_k* contributes both the last eq. (10) candidate and
+		// the Leskovec bound Λ1⋄(S°).
+		top := topKSum(cov, scratch, k)
+		if cand := total + top; cand < res.LambdaU {
+			res.LambdaU = cand
+		}
+		res.LambdaDiamond = total + top
+		if res.LambdaU > int64(count) {
+			res.LambdaU = int64(count) // Λ1(S°) can never exceed |R1|
+		}
+		if res.LambdaDiamond > int64(count) {
+			res.LambdaDiamond = int64(count)
+		}
+		if mode == boundsDiamond {
+			res.LambdaU = 0 // not computed in the O(n + Σ|R|) mode
+		}
+	}
+	return res
+}
+
+// topKSum returns the sum of the k largest values in vals, copying them
+// into scratch and running an average-O(n) quickselect. vals is not
+// modified. k ≥ len(vals) sums everything.
+func topKSum(vals, scratch []int64, k int) int64 {
+	n := len(vals)
+	if k <= 0 {
+		return 0
+	}
+	if k >= n {
+		var s int64
+		for _, v := range vals {
+			s += v
+		}
+		return s
+	}
+	s := scratch[:n]
+	copy(s, vals)
+	selectTopK(s, k)
+	var sum int64
+	for _, v := range s[:k] {
+		sum += v
+	}
+	return sum
+}
+
+// selectTopK partitions s so that its k largest elements occupy s[:k]
+// (in arbitrary order). Average O(len(s)); falls back to insertion-style
+// behaviour only on tiny ranges.
+func selectTopK(s []int64, k int) {
+	lo, hi := 0, len(s)
+	for hi-lo > 1 {
+		// Median-of-three pivot for deterministic, adversary-resistant
+		// behaviour on sorted or constant inputs.
+		mid := lo + (hi-lo)/2
+		p := median3(s[lo], s[mid], s[hi-1])
+		// Partition descending: [lo, i) > p, [i, j) == p, [j, hi) < p.
+		i, j, l := lo, lo, hi
+		for j < l {
+			switch {
+			case s[j] > p:
+				s[i], s[j] = s[j], s[i]
+				i++
+				j++
+			case s[j] < p:
+				l--
+				s[j], s[l] = s[l], s[j]
+			default:
+				j++
+			}
+		}
+		switch {
+		case k <= i:
+			hi = i
+		case k >= j:
+			lo = j
+		default:
+			return // boundary falls inside the == p run
+		}
+	}
+}
+
+func median3(a, b, c int64) int64 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}

@@ -1,0 +1,142 @@
+package mcgreedy
+
+import (
+	"math"
+	"testing"
+
+	"github.com/reprolab/opim/internal/core"
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/gen"
+	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/rrset"
+)
+
+func TestRunPicksHubOnStar(t *testing.T) {
+	g, err := gen.Star(100, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, diffusion.IC, 1, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seeds[0] != 0 {
+		t.Fatalf("picked %d, want hub", res.Seeds[0])
+	}
+	// σ({hub}) = 1 + 99·0.4 = 40.6.
+	if math.Abs(res.Spread-40.6) > 3 {
+		t.Fatalf("spread estimate %v, want ≈ 40.6", res.Spread)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	g, _ := gen.Line(5, 0.5)
+	if _, err := Run(g, diffusion.IC, 0, 10, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Run(g, diffusion.IC, 6, 10, 1); err == nil {
+		t.Error("k>n accepted")
+	}
+	if _, err := Run(g, diffusion.IC, 2, 0, 1); err == nil {
+		t.Error("r=0 accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	g, err := gen.PreferentialAttachment(150, 4, 0.2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ = graph.Reweight(g, graph.WeightedCascade, 0, 3)
+	a, err := Run(g, diffusion.IC, 4, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(g, diffusion.IC, 4, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Spread != b.Spread || a.Simulations != b.Simulations {
+		t.Fatalf("runs differ: %v vs %v", a, b)
+	}
+	for i := range a.Seeds {
+		if a.Seeds[i] != b.Seeds[i] {
+			t.Fatalf("seed %d differs", i)
+		}
+	}
+}
+
+func TestGainsNonIncreasingRoughly(t *testing.T) {
+	// Submodularity: marginal gains shrink along the greedy sequence
+	// (up to Monte-Carlo noise).
+	g, err := gen.PreferentialAttachment(200, 5, 0.2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ = graph.Reweight(g, graph.WeightedCascade, 0, 5)
+	res, err := Run(g, diffusion.IC, 6, 300, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Gains); i++ {
+		if res.Gains[i] > res.Gains[i-1]*1.5+1 {
+			t.Fatalf("gain sequence not roughly decreasing: %v", res.Gains)
+		}
+	}
+}
+
+func TestCrossValidatesOPIMC(t *testing.T) {
+	// The foundational MC greedy and OPIM-C must find seed sets of similar
+	// quality on the same instance — the core soundness cross-check between
+	// the two independent algorithm families in this repository.
+	g, err := gen.PreferentialAttachment(300, 6, 0.15, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ = graph.Reweight(g, graph.WeightedCascade, 0, 9)
+
+	for _, model := range []diffusion.Model{diffusion.IC, diffusion.LT} {
+		mc, err := Run(g, model, 5, 300, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sampler := rrset.NewSampler(g, model)
+		ris, err := core.Maximize(sampler, 5, 0.15, 0.05, core.Options{Variant: core.Plus, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := diffusion.EstimateSpread(g, model, mc.Seeds, 20000, 12, 0)
+		b := diffusion.EstimateSpread(g, model, ris.Seeds, 20000, 12, 0)
+		if b.Spread < 0.85*a.Spread {
+			t.Fatalf("%v: OPIM-C spread %v well below MC-greedy %v", model, b, a)
+		}
+		if a.Spread < 0.85*b.Spread {
+			t.Fatalf("%v: MC-greedy spread %v well below OPIM-C %v", model, a, b)
+		}
+	}
+}
+
+func TestLazyEvaluationSavesSimulations(t *testing.T) {
+	// CELF should need far fewer than the naive k·n full re-estimations.
+	g, err := gen.PreferentialAttachment(300, 5, 0.15, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ = graph.Reweight(g, graph.WeightedCascade, 0, 14)
+	const r = 50
+	res, err := Run(g, diffusion.IC, 10, r, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := int64(10) * int64(g.N()) * r
+	if res.Simulations >= naive {
+		t.Fatalf("CELF used %d simulations, naive bound is %d", res.Simulations, naive)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := &Result{Seeds: []int32{1}, Spread: 2, Simulations: 3}
+	if r.String() == "" {
+		t.Fatal("empty string")
+	}
+}

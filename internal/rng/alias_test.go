@@ -1,0 +1,205 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// empiricalDist samples the table `draws` times and returns the frequency of
+// each outcome.
+func empiricalDist(t *testing.T, a *Alias, draws int, seed uint64) []float64 {
+	t.Helper()
+	src := New(seed)
+	counts := make([]int, a.N())
+	for i := 0; i < draws; i++ {
+		v := a.Sample(src)
+		if v < 0 || int(v) >= a.N() {
+			t.Fatalf("Sample out of range: %d (n=%d)", v, a.N())
+		}
+		counts[v]++
+	}
+	out := make([]float64, a.N())
+	for i, c := range counts {
+		out[i] = float64(c) / float64(draws)
+	}
+	return out
+}
+
+func TestAliasUniform(t *testing.T) {
+	a := NewAlias([]float64{1, 1, 1, 1})
+	dist := empiricalDist(t, a, 100000, 1)
+	for i, p := range dist {
+		if math.Abs(p-0.25) > 0.01 {
+			t.Fatalf("outcome %d frequency %v, want ≈ 0.25", i, p)
+		}
+	}
+}
+
+func TestAliasSkewed(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	a := NewAlias(weights)
+	dist := empiricalDist(t, a, 200000, 2)
+	for i, w := range weights {
+		want := w / 10
+		if math.Abs(dist[i]-want) > 0.01 {
+			t.Fatalf("outcome %d frequency %v, want ≈ %v", i, dist[i], want)
+		}
+	}
+}
+
+func TestAliasSingleOutcome(t *testing.T) {
+	a := NewAlias([]float64{5})
+	src := New(3)
+	for i := 0; i < 100; i++ {
+		if v := a.Sample(src); v != 0 {
+			t.Fatalf("single-outcome table returned %d", v)
+		}
+	}
+}
+
+func TestAliasZeroWeightOutcomeNeverDrawn(t *testing.T) {
+	a := NewAlias([]float64{1, 0, 1})
+	src := New(4)
+	for i := 0; i < 50000; i++ {
+		if v := a.Sample(src); v == 1 {
+			t.Fatal("zero-weight outcome was drawn")
+		}
+	}
+}
+
+func TestAliasEmpty(t *testing.T) {
+	a := NewAlias(nil)
+	if !a.Empty() {
+		t.Fatal("empty weights should give empty table")
+	}
+	a = NewAlias([]float64{0, 0})
+	if !a.Empty() {
+		t.Fatal("all-zero weights should give empty table")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sample on empty table did not panic")
+		}
+	}()
+	a.Sample(New(1))
+}
+
+func TestAliasNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative weight did not panic")
+		}
+	}()
+	NewAlias([]float64{1, -1})
+}
+
+func TestAliasMatchesDistributionProperty(t *testing.T) {
+	// Property: for random small weight vectors, empirical frequencies match
+	// normalized weights within statistical tolerance.
+	src := New(99)
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 8 {
+			return true
+		}
+		weights := make([]float64, len(raw))
+		var total float64
+		for i, r := range raw {
+			weights[i] = float64(r % 16)
+			total += weights[i]
+		}
+		if total == 0 {
+			return NewAlias(weights).Empty()
+		}
+		a := NewAlias(weights)
+		const draws = 40000
+		counts := make([]int, len(weights))
+		for i := 0; i < draws; i++ {
+			counts[a.Sample(src)]++
+		}
+		for i := range weights {
+			want := weights[i] / total
+			got := float64(counts[i]) / draws
+			if math.Abs(got-want) > 0.025 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildCompactIntoMatchesAlias(t *testing.T) {
+	weights32 := []float32{0.5, 0.125, 0.25, 0.125}
+	n := len(weights32)
+	prob := make([]float32, n)
+	alias := make([]int32, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	if !BuildCompactInto(weights32, prob, alias, small, large) {
+		t.Fatal("BuildCompactInto reported no mass")
+	}
+	src := New(7)
+	const draws = 200000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		v := SampleCompact(prob, alias, src)
+		if v < 0 || int(v) >= n {
+			t.Fatalf("SampleCompact out of range: %d", v)
+		}
+		counts[v]++
+	}
+	want := []float64{0.5, 0.125, 0.25, 0.125}
+	for i := range counts {
+		got := float64(counts[i]) / draws
+		if math.Abs(got-want[i]) > 0.01 {
+			t.Fatalf("outcome %d frequency %v, want ≈ %v", i, got, want[i])
+		}
+	}
+}
+
+func TestBuildCompactIntoZeroMass(t *testing.T) {
+	prob := make([]float32, 3)
+	alias := make([]int32, 3)
+	if BuildCompactInto([]float32{0, 0, 0}, prob, alias, nil, nil) {
+		t.Fatal("zero-mass weights reported as sampleable")
+	}
+	if BuildCompactInto(nil, nil, nil, nil, nil) {
+		t.Fatal("empty weights reported as sampleable")
+	}
+}
+
+func BenchmarkAliasSample(b *testing.B) {
+	weights := make([]float64, 64)
+	for i := range weights {
+		weights[i] = float64(i + 1)
+	}
+	a := NewAlias(weights)
+	src := New(1)
+	b.ResetTimer()
+	var sink int32
+	for i := 0; i < b.N; i++ {
+		sink += a.Sample(src)
+	}
+	_ = sink
+}
+
+func BenchmarkCompactSample(b *testing.B) {
+	n := 64
+	weights := make([]float32, n)
+	for i := range weights {
+		weights[i] = float32(i + 1)
+	}
+	prob := make([]float32, n)
+	alias := make([]int32, n)
+	BuildCompactInto(weights, prob, alias, make([]int32, 0, n), make([]int32, 0, n))
+	src := New(1)
+	b.ResetTimer()
+	var sink int32
+	for i := 0; i < b.N; i++ {
+		sink += SampleCompact(prob, alias, src)
+	}
+	_ = sink
+}

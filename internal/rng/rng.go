@@ -1,0 +1,193 @@
+// Package rng provides the deterministic random-number machinery used by
+// every randomized component of the library: a fast 64-bit PRNG with
+// splittable streams (so parallel RR-set generators stay reproducible), and
+// Walker's alias method for O(1) sampling from discrete distributions, which
+// Appendix A of the paper uses to generate LT-model RR sets in O(1) time per
+// random-walk step.
+//
+// The generator is PCG-XSL-RR 128/64 (a permuted congruential generator).
+// It is not cryptographically secure; it is chosen for speed, statistical
+// quality, and the ability to derive independent streams from a single seed,
+// which is what reproducible sampling experiments need.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Source is a deterministic 64-bit pseudo-random generator. The zero value
+// is not ready for use; construct one with New or Split.
+type Source struct {
+	hi, lo uint64 // 128-bit LCG state
+	incHi  uint64 // stream selector (must be odd in low word)
+	incLo  uint64
+	// key0/key1 snapshot the seeding material so Split can derive children
+	// that depend on the parent's SEED (not only its stream), without
+	// depending on how far the parent has been advanced.
+	key0, key1 uint64
+}
+
+// 128-bit multiplier used by the reference PCG implementation.
+const (
+	pcgMulHi = 2549297995355413924
+	pcgMulLo = 4865540595714422341
+)
+
+// New returns a Source seeded from seed on stream 0.
+func New(seed uint64) *Source {
+	return NewStream(seed, 0)
+}
+
+// NewStream returns a Source seeded from seed on the given stream. Distinct
+// streams with the same seed produce statistically independent sequences.
+func NewStream(seed, stream uint64) *Source {
+	s := &Source{}
+	s.seed(seed, stream)
+	return s
+}
+
+func (s *Source) seed(seed, stream uint64) {
+	// Standard PCG seeding: state = 0, advance, add seed, advance.
+	s.key0 = mix(seed)
+	s.key1 = mix(stream + 0x9e3779b97f4a7c15)
+	s.incHi = mix(seed ^ mix(stream+0x9e3779b97f4a7c15))
+	s.incLo = mix(seed+mix(stream+0xbf58476d1ce4e5b9)) | 1
+	s.hi, s.lo = 0, 0
+	s.step()
+	s.lo, s.hi = add128(s.lo, s.hi, mix(seed), mix(seed+0x94d049bb133111eb))
+	s.step()
+}
+
+// Split derives a new independent Source from s, keyed by id. Calling Split
+// with distinct ids yields decorrelated streams. Split depends only on the
+// parent's SEEDING material (seed and stream, snapshotted at construction),
+// never on its current position, so splitting is deterministic regardless
+// of how many draws the parent has made — the property the deterministic
+// parallel RR generation relies on.
+func (s *Source) Split(id uint64) *Source {
+	c := &Source{}
+	c.seed(s.key0^mix(id+0xd6e8feb86659fd93), s.key1^mix(id+0xa5a5a5a5a5a5a5a5))
+	return c
+}
+
+func mix(x uint64) uint64 {
+	// splitmix64 finalizer.
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func add128(aLo, aHi, bLo, bHi uint64) (lo, hi uint64) {
+	lo, carry := bits.Add64(aLo, bLo, 0)
+	hi, _ = bits.Add64(aHi, bHi, carry)
+	return lo, hi
+}
+
+func (s *Source) step() {
+	// state = state*mul + inc (128-bit).
+	hi, lo := bits.Mul64(s.lo, pcgMulLo)
+	hi += s.hi*pcgMulLo + s.lo*pcgMulHi
+	lo, carry := bits.Add64(lo, s.incLo, 0)
+	hi, _ = bits.Add64(hi, s.incHi, carry)
+	s.lo, s.hi = lo, hi
+}
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (s *Source) Uint64() uint64 {
+	s.step()
+	// XSL-RR output permutation.
+	return bits.RotateLeft64(s.hi^s.lo, -int(s.hi>>58))
+}
+
+// Uint32 returns a uniformly distributed 32-bit value.
+func (s *Source) Uint32() uint32 { return uint32(s.Uint64() >> 32) }
+
+// Float64 returns a uniformly distributed value in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Float32 returns a uniformly distributed value in [0, 1).
+func (s *Source) Float32() float32 {
+	return float32(s.Uint64()>>40) * (1.0 / (1 << 24))
+}
+
+// Intn returns a uniformly distributed value in [0, n). It panics if n <= 0.
+// It uses Lemire's nearly-divisionless bounded rejection method.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(s.Uint64n(uint64(n)))
+}
+
+// Int31n returns a uniformly distributed int32 in [0, n). It panics if n <= 0.
+func (s *Source) Int31n(n int32) int32 {
+	if n <= 0 {
+		panic("rng: Int31n with non-positive n")
+	}
+	return int32(s.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniformly distributed value in [0, n). It panics if n == 0.
+func (s *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	hi, lo := bits.Mul64(s.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(s.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Bernoulli reports true with probability p (p is clamped to [0, 1]).
+func (s *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Perm fills out with a uniformly random permutation of 0..len(out)-1.
+func (s *Source) Perm(out []int32) {
+	for i := range out {
+		out[i] = int32(i)
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+}
+
+// Shuffle randomly permutes the first n elements using swap, mirroring
+// math/rand.Shuffle.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// NormFloat64 returns a normally distributed value with mean 0 and standard
+// deviation 1, using the polar (Marsaglia) method. It is used by the
+// synthetic-workload generators, not by the core sampling algorithms.
+func (s *Source) NormFloat64() float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q == 0 || q >= 1 {
+			continue
+		}
+		return u * math.Sqrt(-2*math.Log(q)/q)
+	}
+}

@@ -1,0 +1,341 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("draw %d: sources with same seed diverged: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 produced %d identical draws out of 100", same)
+	}
+}
+
+func TestDifferentStreamsDiffer(t *testing.T) {
+	a := NewStream(7, 0)
+	b := NewStream(7, 1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams 0 and 1 produced %d identical draws out of 100", same)
+	}
+}
+
+func TestSplitIndependentOfDraws(t *testing.T) {
+	a := New(9)
+	fresh := a.Split(3)
+	b := New(9)
+	for i := 0; i < 50; i++ {
+		b.Uint64() // advance the parent
+	}
+	after := b.Split(3)
+	for i := 0; i < 100; i++ {
+		if got, want := after.Uint64(), fresh.Uint64(); got != want {
+			t.Fatalf("draw %d: Split(3) depends on parent position: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestSplitDistinctIDs(t *testing.T) {
+	parent := New(5)
+	a := parent.Split(1)
+	b := parent.Split(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split streams 1 and 2 produced %d identical draws", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(11)
+	for i := 0; i < 100000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat32Range(t *testing.T) {
+	s := New(12)
+	for i := 0; i < 100000; i++ {
+		f := s.Float32()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float32 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(13)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean = %v, want ≈ 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(14)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	s := New(15)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d: count %d too far from %v", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestInt31n(t *testing.T) {
+	s := New(16)
+	for i := 0; i < 10000; i++ {
+		v := s.Int31n(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Int31n(17) = %d", v)
+		}
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	s := New(17)
+	if s.Bernoulli(0) {
+		t.Fatal("Bernoulli(0) returned true")
+	}
+	if !s.Bernoulli(1) {
+		t.Fatal("Bernoulli(1) returned false")
+	}
+	const draws = 100000
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / draws
+	if math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) empirical rate %v", p)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(18)
+	out := make([]int32, 100)
+	s.Perm(out)
+	seen := make([]bool, 100)
+	for _, v := range out {
+		if v < 0 || int(v) >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid/duplicate element %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	s := New(19)
+	vals := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	orig := append([]int(nil), vals...)
+	s.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	sum := 0
+	for _, v := range vals {
+		sum += v
+	}
+	wantSum := 0
+	for _, v := range orig {
+		wantSum += v
+	}
+	if sum != wantSum {
+		t.Fatalf("Shuffle changed multiset: %v", vals)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(20)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("NormFloat64 mean = %v, want ≈ 0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("NormFloat64 variance = %v, want ≈ 1", variance)
+	}
+}
+
+func TestUint64nPropertyInRange(t *testing.T) {
+	s := New(21)
+	f := func(n uint64) bool {
+		if n == 0 {
+			return true
+		}
+		return s.Uint64n(n) < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64BitBalance(t *testing.T) {
+	// Each of the 64 output bits should be ~50% ones.
+	s := New(22)
+	const draws = 20000
+	var counts [64]int
+	for i := 0; i < draws; i++ {
+		v := s.Uint64()
+		for b := 0; b < 64; b++ {
+			counts[b] += int((v >> b) & 1)
+		}
+	}
+	for b, c := range counts {
+		p := float64(c) / draws
+		if math.Abs(p-0.5) > 0.02 {
+			t.Fatalf("bit %d has ones-rate %v", b, p)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkFloat64(b *testing.B) {
+	s := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += s.Float64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn1000(b *testing.B) {
+	s := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += s.Intn(1000)
+	}
+	_ = sink
+}
+
+func TestSplitSensitiveToParentSeed(t *testing.T) {
+	// Regression: Split children must depend on the parent's seed, not only
+	// on the split id — otherwise every seed produces identical RR streams.
+	a := New(1).Split(5)
+	b := New(2).Split(5)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("children of different seeds matched %d/100 draws", same)
+	}
+}
+
+func TestSplitSensitiveToParentStream(t *testing.T) {
+	a := NewStream(1, 0).Split(5)
+	b := NewStream(1, 1).Split(5)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("children of different streams matched %d/100 draws", same)
+	}
+}
+
+func TestNestedSplitSeedSensitivity(t *testing.T) {
+	// Two-level splits (the Online engine's pattern: New(seed).Split(1)
+	// then .Split(rrIndex)) must also differ across seeds.
+	a := New(1).Split(1).Split(42)
+	b := New(2).Split(1).Split(42)
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("nested split children identical across seeds")
+	}
+}
+
+func TestSplitFirstDrawUniform(t *testing.T) {
+	// The FIRST draw of Split(i) for i = 0..N-1 must look uniform — this is
+	// the draw that selects every RR set's root.
+	base := New(7)
+	const buckets, draws = 16, 4000
+	counts := make([]int, buckets)
+	for i := 0; i < draws; i++ {
+		counts[base.Split(uint64(i)).Intn(buckets)]++
+	}
+	want := float64(draws) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Fatalf("bucket %d: %d first-draws, want ≈ %v", b, c, want)
+		}
+	}
+}

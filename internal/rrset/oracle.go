@@ -1,0 +1,85 @@
+package rrset
+
+import (
+	"fmt"
+
+	"github.com/reprolab/opim/internal/bound"
+)
+
+// Oracle answers expected-spread queries for MANY candidate seed sets from
+// one fixed collection of RR sets — the workflow of a campaign planner
+// comparing hand-picked seed alternatives. Each estimate costs
+// O(Σ_{v∈S} |index(v)|) instead of a fresh Monte-Carlo run, and comes with
+// a two-sided confidence interval from the same martingale bounds the OPIM
+// guarantees use (eq. 5 for the lower side, its mirror for the upper).
+//
+// IMPORTANT: the bounds are valid for seed sets chosen INDEPENDENTLY of
+// the oracle's RR sets (the paper's nominator/judge separation). Scoring a
+// seed set that was optimized against this same collection biases the
+// estimate upward, exactly as §4.2's discussion warns.
+type Oracle struct {
+	c *Collection
+}
+
+// NewOracle wraps a collection (which must not be modified afterwards).
+func NewOracle(c *Collection) *Oracle { return &Oracle{c: c} }
+
+// Interval is a spread estimate with a (1−δ)-confidence interval.
+type Interval struct {
+	// Estimate is the unbiased point estimate n·Λ(S)/θ.
+	Estimate float64
+	// Lower and Upper bracket σ(S), each one-sided at δ/2.
+	Lower, Upper float64
+	// Coverage is Λ(S); Theta is the collection size.
+	Coverage int64
+	Theta    int64
+}
+
+// String implements fmt.Stringer.
+func (iv Interval) String() string {
+	return fmt.Sprintf("%.1f [%.1f, %.1f]", iv.Estimate, iv.Lower, iv.Upper)
+}
+
+// Spread estimates σ(seeds) with a (1−δ)-confidence interval.
+func (o *Oracle) Spread(seeds []int32, delta float64) Interval {
+	theta := int64(o.c.Count())
+	lam := o.c.Coverage(seeds)
+	n := o.c.N()
+	iv := Interval{Coverage: lam, Theta: theta}
+	if theta == 0 {
+		iv.Upper = float64(n)
+		return iv
+	}
+	iv.Estimate = float64(n) * float64(lam) / float64(theta)
+	iv.Lower = bound.SigmaLower(float64(lam), n, theta, delta/2)
+	// Upper side via the exact binomial limit (always valid for fixed θ).
+	iv.Upper = bound.SigmaUpperExact(float64(lam), theta, n, delta/2)
+	if iv.Upper < iv.Estimate {
+		iv.Upper = iv.Estimate
+	}
+	return iv
+}
+
+// Rank orders candidate seed sets by estimated spread (descending),
+// returning indices into candidates. Ties keep input order.
+func (o *Oracle) Rank(candidates [][]int32) []int {
+	type scored struct {
+		idx int
+		lam int64
+	}
+	s := make([]scored, len(candidates))
+	for i, c := range candidates {
+		s[i] = scored{idx: i, lam: o.c.Coverage(c)}
+	}
+	// Insertion sort: candidate lists are short.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].lam > s[j-1].lam; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	out := make([]int, len(s))
+	for i, v := range s {
+		out[i] = v.idx
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package rrset
+
+import (
+	"math"
+	"testing"
+
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/gen"
+	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/rng"
+)
+
+func oracleFixture(t *testing.T) (*graph.Graph, *Oracle) {
+	t.Helper()
+	g, err := gen.PreferentialAttachment(500, 6, 0.15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err = graph.Reweight(g, graph.WeightedCascade, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(g, diffusion.IC)
+	c := NewCollection(g.N())
+	Generate(c, s, 40000, rng.New(3), 4)
+	return g, NewOracle(c)
+}
+
+func TestOracleIntervalBracketsTruth(t *testing.T) {
+	g, o := oracleFixture(t)
+	// Seeds chosen independently of the oracle's RR sets.
+	for _, seeds := range [][]int32{{0}, {1, 2, 3}, {10, 20, 30, 40, 50}} {
+		iv := o.Spread(seeds, 0.01)
+		mc := diffusion.EstimateSpread(g, diffusion.IC, seeds, 40000, 9, 0)
+		if iv.Lower > mc.Spread+4*mc.StdErr {
+			t.Fatalf("seeds %v: oracle lower %v above MC %v", seeds, iv.Lower, mc)
+		}
+		if iv.Upper < mc.Spread-4*mc.StdErr {
+			t.Fatalf("seeds %v: oracle upper %v below MC %v", seeds, iv.Upper, mc)
+		}
+		if iv.Lower > iv.Estimate || iv.Estimate > iv.Upper {
+			t.Fatalf("interval disordered: %v", iv)
+		}
+		if math.Abs(iv.Estimate-mc.Spread) > 0.1*mc.Spread+4*mc.StdErr+1 {
+			t.Fatalf("seeds %v: point estimate %v far from MC %v", seeds, iv.Estimate, mc)
+		}
+	}
+}
+
+func TestOracleIntervalShrinksWithSamples(t *testing.T) {
+	g, err := gen.PreferentialAttachment(300, 5, 0.1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ = graph.Reweight(g, graph.WeightedCascade, 0, 5)
+	s := NewSampler(g, diffusion.IC)
+	widths := make([]float64, 0, 2)
+	for _, count := range []int{2000, 50000} {
+		c := NewCollection(g.N())
+		Generate(c, s, count, rng.New(6), 4)
+		iv := NewOracle(c).Spread([]int32{0, 1}, 0.05)
+		widths = append(widths, iv.Upper-iv.Lower)
+	}
+	if widths[1] >= widths[0] {
+		t.Fatalf("interval did not shrink: %v", widths)
+	}
+}
+
+func TestOracleEmptyCollection(t *testing.T) {
+	o := NewOracle(NewCollection(10))
+	iv := o.Spread([]int32{0}, 0.1)
+	if iv.Lower != 0 || iv.Upper != 10 || iv.Estimate != 0 {
+		t.Fatalf("empty oracle interval = %v", iv)
+	}
+}
+
+func TestOracleRank(t *testing.T) {
+	// Handcrafted collection with known coverages:
+	// node 0 covers 3 sets, node 1 covers 2, node 2 covers 1, node 3 none.
+	c := NewCollection(4)
+	c.Add([]int32{0}, 0)
+	c.Add([]int32{0, 1}, 0)
+	c.Add([]int32{0, 1}, 0)
+	c.Add([]int32{2}, 0)
+	o := NewOracle(c)
+	candidates := [][]int32{
+		{3},    // coverage 0
+		{0, 2}, // coverage 4
+		{1},    // coverage 2
+		{3},    // duplicate tie with candidate 0 — keeps input order
+	}
+	order := o.Rank(candidates)
+	want := []int{1, 2, 0, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestOracleIntervalString(t *testing.T) {
+	iv := Interval{Estimate: 10, Lower: 8, Upper: 12}
+	if iv.String() == "" {
+		t.Fatal("empty string")
+	}
+}

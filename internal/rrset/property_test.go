@@ -1,0 +1,117 @@
+package rrset
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"github.com/reprolab/opim/internal/rng"
+)
+
+// randomCollection builds a collection from fuzz bytes: every pair of
+// bytes (a, b) becomes a set {a%n, b%n} (deduplicated).
+func randomCollection(raw []uint8, n int32) *Collection {
+	c := NewCollection(n)
+	for i := 0; i+1 < len(raw); i += 2 {
+		a := int32(raw[i]) % n
+		b := int32(raw[i+1]) % n
+		if a == b {
+			c.Add([]int32{a}, 1)
+		} else {
+			c.Add([]int32{a, b}, 1)
+		}
+	}
+	return c
+}
+
+func TestCoverageUpperBoundedByCountProperty(t *testing.T) {
+	f := func(raw []uint8, seedRaw []uint8) bool {
+		c := randomCollection(raw, 16)
+		seeds := make([]int32, 0, len(seedRaw))
+		for _, s := range seedRaw {
+			seeds = append(seeds, int32(s)%16)
+		}
+		cov := c.Coverage(seeds)
+		return cov >= 0 && cov <= int64(c.Count())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoverageMonotoneUnderSupersetProperty(t *testing.T) {
+	f := func(raw []uint8, a, b uint8) bool {
+		c := randomCollection(raw, 16)
+		s1 := []int32{int32(a) % 16}
+		s2 := []int32{int32(a) % 16, int32(b) % 16}
+		return c.Coverage(s2) >= c.Coverage(s1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoverageSubadditiveProperty(t *testing.T) {
+	// Λ(A ∪ B) ≤ Λ(A) + Λ(B).
+	f := func(raw []uint8, a, b uint8) bool {
+		c := randomCollection(raw, 16)
+		sa := []int32{int32(a) % 16}
+		sb := []int32{int32(b) % 16}
+		union := append(append([]int32{}, sa...), sb...)
+		return c.Coverage(union) <= c.Coverage(sa)+c.Coverage(sb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreeSumEqualsTotalSizeProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		c := randomCollection(raw, 16)
+		var sum int64
+		for v := int32(0); v < 16; v++ {
+			sum += int64(c.Degree(v))
+		}
+		return sum == c.TotalSize()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullSeedSetCoversEverythingProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		c := randomCollection(raw, 16)
+		all := make([]int32, 16)
+		for i := range all {
+			all[i] = int32(i)
+		}
+		return c.Coverage(all) == int64(c.Count())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerializationRoundTripProperty(t *testing.T) {
+	// Any randomly built collection survives a write/read cycle.
+	src := rng.New(5)
+	for trial := 0; trial < 30; trial++ {
+		raw := make([]uint8, src.Intn(64))
+		for i := range raw {
+			raw[i] = uint8(src.Intn(256))
+		}
+		c := randomCollection(raw, 16)
+		var buf bytes.Buffer
+		if err := WriteCollection(&buf, c); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadCollection(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Count() != c.Count() || got.TotalSize() != c.TotalSize() {
+			t.Fatalf("trial %d: shape changed", trial)
+		}
+	}
+}

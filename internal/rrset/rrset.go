@@ -1,0 +1,343 @@
+// Package rrset implements reverse influence sampling (RIS) [Borgs et al.
+// 2014], the substrate of every algorithm in the paper: random
+// reverse-reachable (RR) set generation under the IC and LT models
+// (Appendix A), and an indexed Collection that supports the coverage
+// queries of Algorithm 1 and the bound computations of §§4–5.
+package rrset
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/rng"
+)
+
+// TriggeringDistribution samples triggering sets [Kempe et al. 2003] for
+// the nodes of one graph; see the trigger package, whose Distribution
+// implementations satisfy this interface. It lets every RIS-based algorithm
+// in this library run on any triggering model, the generality under which
+// the paper states Theorem 6.4.
+type TriggeringDistribution interface {
+	// SampleTriggering appends a triggering set for v to buf and returns
+	// the extended slice; members must be in-neighbors of v, no duplicates.
+	SampleTriggering(v int32, src *rng.Source, buf []int32) []int32
+}
+
+// Sampler draws random RR sets on one graph under one diffusion model.
+// A Sampler is immutable and safe for concurrent use; per-goroutine mutable
+// state lives in Scratch.
+type Sampler struct {
+	g     *graph.Graph
+	model diffusion.Model
+	lt    *graph.LTSampler       // non-nil iff model == LT
+	dist  TriggeringDistribution // non-nil iff built by NewSamplerTriggering
+	hops  int32                  // > 0 limits reverse traversal depth
+}
+
+// NewSampler builds a Sampler for g under model. For LT it precomputes the
+// per-node alias tables (O(n+m)).
+func NewSampler(g *graph.Graph, model diffusion.Model) *Sampler {
+	s := &Sampler{g: g, model: model}
+	if model == diffusion.LT {
+		s.lt = graph.NewLTSampler(g)
+	}
+	return s
+}
+
+// NewSamplerHops builds a Sampler whose RR sets only contain nodes within
+// maxHops reverse steps of the root, so n·Λ/θ estimates the HOP-LIMITED
+// spread σ_h(S) (the objective of the hop-based heuristics line the paper
+// surveys in §7). All OPIM machinery applies to σ_h unchanged — it is
+// monotone submodular like σ. maxHops ≤ 0 means unlimited.
+func NewSamplerHops(g *graph.Graph, model diffusion.Model, maxHops int) *Sampler {
+	s := NewSampler(g, model)
+	if maxHops > 0 {
+		s.hops = int32(maxHops)
+	}
+	return s
+}
+
+// NewSamplerTriggering builds a Sampler over an arbitrary triggering
+// distribution. The reported edges-examined count for each RR set is the
+// total size of the triggering sets drawn (the work the distribution
+// exposes); Model() reports IC as a placeholder and should not be
+// interpreted for such samplers.
+func NewSamplerTriggering(g *graph.Graph, dist TriggeringDistribution) *Sampler {
+	return &Sampler{g: g, dist: dist}
+}
+
+// Graph returns the sampler's graph.
+func (s *Sampler) Graph() *graph.Graph { return s.g }
+
+// Model returns the sampler's diffusion model.
+func (s *Sampler) Model() diffusion.Model { return s.model }
+
+// Scratch holds the per-goroutine buffers of RR-set generation.
+type Scratch struct {
+	mark  []uint32
+	epoch uint32
+	buf   []int32
+	tbuf  []int32 // triggering-set buffer for generic samplers
+	depth []int32 // BFS depth per queue slot, used by hop-limited samplers
+}
+
+// NewScratch returns a Scratch sized for s's graph.
+func (s *Sampler) NewScratch() *Scratch {
+	return &Scratch{
+		mark: make([]uint32, s.g.N()),
+		buf:  make([]int32, 0, 256),
+	}
+}
+
+func (sc *Scratch) nextEpoch() {
+	sc.epoch++
+	if sc.epoch == 0 {
+		for i := range sc.mark {
+			sc.mark[i] = 0
+		}
+		sc.epoch = 1
+	}
+}
+
+// Sample draws one random RR set using src, returning the member nodes and
+// the number of edges examined during construction (the γ quantity that
+// Borgs et al.'s OPIM algorithm monitors). The returned slice aliases
+// sc.buf and is only valid until the next Sample call on sc.
+func (s *Sampler) Sample(src *rng.Source, sc *Scratch) (nodes []int32, edgesExamined int64) {
+	root := src.Int31n(s.g.N())
+	return s.SampleFrom(root, src, sc)
+}
+
+// SampleFrom draws one RR set rooted at the given node. Exposed for tests
+// and for stratified sampling experiments.
+func (s *Sampler) SampleFrom(root int32, src *rng.Source, sc *Scratch) (nodes []int32, edgesExamined int64) {
+	if s.dist != nil {
+		return s.sampleTriggering(root, src, sc)
+	}
+	switch s.model {
+	case diffusion.IC:
+		return s.sampleIC(root, src, sc)
+	case diffusion.LT:
+		return s.sampleLT(root, src, sc)
+	}
+	panic(fmt.Sprintf("rrset: unknown model %d", int(s.model)))
+}
+
+// sampleTriggering reverse-traverses sampled triggering sets from root —
+// Appendix A's construction in its general triggering-model form.
+func (s *Sampler) sampleTriggering(root int32, src *rng.Source, sc *Scratch) ([]int32, int64) {
+	sc.nextEpoch()
+	q := sc.buf[:0]
+	q = append(q, root)
+	sc.mark[root] = sc.epoch
+	var examined int64
+	for head := 0; head < len(q); head++ {
+		v := q[head]
+		sc.tbuf = s.dist.SampleTriggering(v, src, sc.tbuf[:0])
+		examined += int64(len(sc.tbuf))
+		for _, u := range sc.tbuf {
+			if sc.mark[u] == sc.epoch {
+				continue
+			}
+			sc.mark[u] = sc.epoch
+			q = append(q, u)
+		}
+	}
+	sc.buf = q
+	return q, examined
+}
+
+// sampleIC performs the stochastic reverse BFS of Appendix A: starting from
+// root, each incoming edge ⟨w,u⟩ is traversed with probability p(w,u).
+func (s *Sampler) sampleIC(root int32, src *rng.Source, sc *Scratch) ([]int32, int64) {
+	sc.nextEpoch()
+	q := sc.buf[:0]
+	q = append(q, root)
+	sc.mark[root] = sc.epoch
+	depth := sc.depth[:0]
+	depth = append(depth, 0)
+	var examined int64
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		if s.hops > 0 && depth[head] >= s.hops {
+			continue
+		}
+		from, p := s.g.InNeighbors(u)
+		examined += int64(len(from))
+		for i, w := range from {
+			if sc.mark[w] == sc.epoch {
+				continue
+			}
+			if src.Float64() < float64(p[i]) {
+				sc.mark[w] = sc.epoch
+				q = append(q, w)
+				depth = append(depth, depth[head]+1)
+			}
+		}
+	}
+	sc.buf = q
+	sc.depth = depth
+	return q, examined
+}
+
+// sampleLT performs the reverse random walk of Appendix A: at each node the
+// walk stops with probability 1 − Σp(·,u), otherwise it moves to one
+// in-neighbor drawn via the alias table; it also stops upon revisiting a
+// node already in the set (a cycle adds nothing under LT).
+func (s *Sampler) sampleLT(root int32, src *rng.Source, sc *Scratch) ([]int32, int64) {
+	sc.nextEpoch()
+	set := sc.buf[:0]
+	set = append(set, root)
+	sc.mark[root] = sc.epoch
+	var examined int64
+	u := root
+	for steps := int32(0); s.hops <= 0 || steps < s.hops; steps++ {
+		w, ok := s.lt.SampleInNeighbor(u, src)
+		if !ok {
+			break
+		}
+		examined++ // alias sampling inspects O(1) edges per step
+		if sc.mark[w] == sc.epoch {
+			break // walked into a cycle
+		}
+		sc.mark[w] = sc.epoch
+		set = append(set, w)
+		u = w
+	}
+	sc.buf = set
+	return set, examined
+}
+
+// Collection stores RR sets in pooled form with an inverted node→set index,
+// supporting the coverage computations of Algorithm 1. The zero value is an
+// empty collection for a graph with 0 nodes; use NewCollection.
+type Collection struct {
+	n    int32
+	offs []int64 // len = Count()+1; set i occupies pool[offs[i]:offs[i+1]]
+	pool []int32
+
+	// index[v] lists the ids of RR sets containing node v.
+	index [][]int32
+
+	edgesExamined int64
+}
+
+// NewCollection returns an empty Collection for a graph with n nodes.
+func NewCollection(n int32) *Collection {
+	return &Collection{
+		n:     n,
+		offs:  []int64{0},
+		index: make([][]int32, n),
+	}
+}
+
+// N returns the node-universe size.
+func (c *Collection) N() int32 { return c.n }
+
+// Count returns the number of RR sets stored.
+func (c *Collection) Count() int { return len(c.offs) - 1 }
+
+// TotalSize returns Σ|R| over all stored sets.
+func (c *Collection) TotalSize() int64 { return int64(len(c.pool)) }
+
+// EdgesExamined returns the cumulative γ across all Add calls.
+func (c *Collection) EdgesExamined() int64 { return c.edgesExamined }
+
+// Add appends one RR set (copying nodes) and credits edgesExamined to γ.
+// It returns the new set's id.
+func (c *Collection) Add(nodes []int32, edgesExamined int64) int32 {
+	id := int32(c.Count())
+	c.pool = append(c.pool, nodes...)
+	c.offs = append(c.offs, int64(len(c.pool)))
+	for _, v := range nodes {
+		c.index[v] = append(c.index[v], id)
+	}
+	c.edgesExamined += edgesExamined
+	return id
+}
+
+// Set returns the member nodes of set id. The slice aliases internal
+// storage and must not be modified.
+func (c *Collection) Set(id int32) []int32 {
+	return c.pool[c.offs[id]:c.offs[id+1]]
+}
+
+// SetsCovering returns the ids of sets containing v. The slice aliases
+// internal storage and must not be modified.
+func (c *Collection) SetsCovering(v int32) []int32 { return c.index[v] }
+
+// Degree returns the number of stored sets containing v, i.e. Λ({v}).
+func (c *Collection) Degree(v int32) int32 { return int32(len(c.index[v])) }
+
+// Coverage returns Λ(S): the number of stored sets intersecting the seed
+// set. It runs in O(Σ_{v∈S} |SetsCovering(v)|).
+func (c *Collection) Coverage(seeds []int32) int64 {
+	covered := make(map[int32]struct{}, 64)
+	for _, v := range seeds {
+		for _, id := range c.index[v] {
+			covered[id] = struct{}{}
+		}
+	}
+	return int64(len(covered))
+}
+
+// Generate draws count RR sets with s and appends them to c, splitting work
+// across workers (≤ 0 means 1). Each RR set i is driven by the split stream
+// base.Split(startID+i) where startID is the collection size before the
+// call, so the resulting collection is byte-identical for any worker count
+// and growing a collection incrementally matches generating it in one shot.
+func Generate(c *Collection, s *Sampler, count int, base *rng.Source, workers int) {
+	if count <= 0 {
+		return
+	}
+	if workers <= 1 || count < 64 {
+		sc := s.NewScratch()
+		start := uint64(c.Count())
+		for i := 0; i < count; i++ {
+			src := base.Split(start + uint64(i))
+			nodes, examined := s.Sample(src, sc)
+			c.Add(nodes, examined)
+		}
+		return
+	}
+
+	type chunk struct {
+		pool     []int32
+		offs     []int32 // local, starts at 0
+		examined int64
+	}
+	if workers > count {
+		workers = count
+	}
+	chunks := make([]chunk, workers)
+	start := uint64(c.Count())
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := count * w / workers
+		hi := count * (w + 1) / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			sc := s.NewScratch()
+			ck := chunk{offs: make([]int32, 0, hi-lo+1)}
+			ck.offs = append(ck.offs, 0)
+			for i := lo; i < hi; i++ {
+				src := base.Split(start + uint64(i))
+				nodes, examined := s.Sample(src, sc)
+				ck.pool = append(ck.pool, nodes...)
+				ck.offs = append(ck.offs, int32(len(ck.pool)))
+				ck.examined += examined
+			}
+			chunks[w] = ck
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, ck := range chunks {
+		for i := 0; i+1 < len(ck.offs); i++ {
+			c.Add(ck.pool[ck.offs[i]:ck.offs[i+1]], 0)
+		}
+		c.edgesExamined += ck.examined
+	}
+}

@@ -1,0 +1,434 @@
+package rrset
+
+import (
+	"math"
+	"testing"
+
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/gen"
+	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/rng"
+)
+
+func build(t *testing.T, n int32, edges []graph.Edge) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n, len(edges))
+	for _, e := range edges {
+		b.AddEdge(e.From, e.To, e.P)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSampleContainsRoot(t *testing.T) {
+	g, _ := gen.Line(10, 0.5)
+	for _, model := range []diffusion.Model{diffusion.IC, diffusion.LT} {
+		s := NewSampler(g, model)
+		sc := s.NewScratch()
+		src := rng.New(1)
+		for i := 0; i < 100; i++ {
+			nodes, _ := s.Sample(src, sc)
+			if len(nodes) == 0 {
+				t.Fatalf("%v: empty RR set", model)
+			}
+			root := nodes[0]
+			if root < 0 || root >= 10 {
+				t.Fatalf("%v: root %d out of range", model, root)
+			}
+		}
+	}
+}
+
+func TestSampleNoDuplicates(t *testing.T) {
+	g, _ := gen.PreferentialAttachment(500, 6, 0.1, 2)
+	g, _ = graph.Reweight(g, graph.WeightedCascade, 0, 1)
+	for _, model := range []diffusion.Model{diffusion.IC, diffusion.LT} {
+		s := NewSampler(g, model)
+		sc := s.NewScratch()
+		src := rng.New(3)
+		for i := 0; i < 200; i++ {
+			nodes, _ := s.Sample(src, sc)
+			seen := make(map[int32]bool, len(nodes))
+			for _, v := range nodes {
+				if seen[v] {
+					t.Fatalf("%v: duplicate node %d in RR set", model, v)
+				}
+				seen[v] = true
+			}
+		}
+	}
+}
+
+func TestSampleFromLineIC(t *testing.T) {
+	// Reverse BFS from node 2 on the line 0→1→2 with p=0.5: node 1 joins
+	// with probability 0.5, node 0 with 0.25.
+	g, _ := gen.Line(3, 0.5)
+	s := NewSampler(g, diffusion.IC)
+	sc := s.NewScratch()
+	src := rng.New(4)
+	const draws = 100000
+	c1, c0 := 0, 0
+	for i := 0; i < draws; i++ {
+		nodes, _ := s.SampleFrom(2, src, sc)
+		for _, v := range nodes {
+			switch v {
+			case 1:
+				c1++
+			case 0:
+				c0++
+			}
+		}
+	}
+	if p := float64(c1) / draws; math.Abs(p-0.5) > 0.01 {
+		t.Fatalf("P(1 ∈ R) = %v, want ≈ 0.5", p)
+	}
+	if p := float64(c0) / draws; math.Abs(p-0.25) > 0.01 {
+		t.Fatalf("P(0 ∈ R) = %v, want ≈ 0.25", p)
+	}
+}
+
+func TestSampleFromLineLT(t *testing.T) {
+	// LT behaves identically to IC on in-degree-1 graphs.
+	g, _ := gen.Line(3, 0.5)
+	s := NewSampler(g, diffusion.LT)
+	sc := s.NewScratch()
+	src := rng.New(5)
+	const draws = 100000
+	c0 := 0
+	for i := 0; i < draws; i++ {
+		nodes, _ := s.SampleFrom(2, src, sc)
+		for _, v := range nodes {
+			if v == 0 {
+				c0++
+			}
+		}
+	}
+	if p := float64(c0) / draws; math.Abs(p-0.25) > 0.01 {
+		t.Fatalf("P(0 ∈ R) = %v, want ≈ 0.25", p)
+	}
+}
+
+func TestLTWalkTerminatesOnCycle(t *testing.T) {
+	// 0 ⇄ 1 with both weights 1: the reverse walk must stop when it
+	// revisits a node rather than looping forever.
+	g := build(t, 2, []graph.Edge{{From: 0, To: 1, P: 1}, {From: 1, To: 0, P: 1}})
+	s := NewSampler(g, diffusion.LT)
+	sc := s.NewScratch()
+	src := rng.New(6)
+	for i := 0; i < 100; i++ {
+		nodes, _ := s.Sample(src, sc)
+		if len(nodes) != 2 {
+			t.Fatalf("cycle RR set has %d nodes, want 2", len(nodes))
+		}
+	}
+}
+
+func TestLemma31Unbiasedness(t *testing.T) {
+	// Lemma 3.1: σ({u}) = n · Pr[u ∈ R]. Cross-validate the RIS estimate
+	// n·Degree(u)/θ against forward Monte-Carlo simulation.
+	g, _ := gen.PreferentialAttachment(300, 5, 0.2, 7)
+	g, _ = graph.Reweight(g, graph.WeightedCascade, 0, 1)
+	for _, model := range []diffusion.Model{diffusion.IC, diffusion.LT} {
+		s := NewSampler(g, model)
+		c := NewCollection(g.N())
+		Generate(c, s, 60000, rng.New(8), 4)
+		for _, u := range []int32{0, 1, 5, 100} {
+			ris := float64(g.N()) * float64(c.Degree(u)) / float64(c.Count())
+			mc := diffusion.EstimateSpread(g, model, []int32{u}, 60000, 9, 0)
+			// Binomial noise of the RIS estimator itself:
+			// std ≈ n·√(θ·p̂)/θ with p̂ = Degree/θ.
+			risStd := float64(g.N()) * math.Sqrt(float64(c.Degree(u))+1) / float64(c.Count())
+			tol := 4*mc.StdErr + 4*risStd + 0.05*mc.Spread + 0.05
+			if math.Abs(ris-mc.Spread) > tol {
+				t.Fatalf("%v node %d: RIS estimate %v vs MC %v (tol %v)", model, u, ris, mc, tol)
+			}
+		}
+	}
+}
+
+func TestEdgesExaminedIC(t *testing.T) {
+	// On the line graph every visited node's full in-edge list is examined.
+	g, _ := gen.Line(2, 1) // 0→1
+	s := NewSampler(g, diffusion.IC)
+	sc := s.NewScratch()
+	src := rng.New(10)
+	nodes, examined := s.SampleFrom(1, src, sc)
+	if len(nodes) != 2 {
+		t.Fatalf("RR set = %v", nodes)
+	}
+	if examined != 1 {
+		t.Fatalf("edges examined = %d, want 1", examined)
+	}
+}
+
+func TestCollectionBasics(t *testing.T) {
+	c := NewCollection(5)
+	if c.Count() != 0 || c.TotalSize() != 0 {
+		t.Fatal("new collection not empty")
+	}
+	id := c.Add([]int32{1, 2}, 3)
+	if id != 0 {
+		t.Fatalf("first id = %d", id)
+	}
+	c.Add([]int32{2, 3}, 4)
+	if c.Count() != 2 || c.TotalSize() != 4 || c.EdgesExamined() != 7 {
+		t.Fatalf("count=%d size=%d γ=%d", c.Count(), c.TotalSize(), c.EdgesExamined())
+	}
+	if got := c.Set(0); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Set(0) = %v", got)
+	}
+	if got := c.SetsCovering(2); len(got) != 2 {
+		t.Fatalf("SetsCovering(2) = %v", got)
+	}
+	if c.Degree(2) != 2 || c.Degree(0) != 0 {
+		t.Fatalf("degrees wrong: %d %d", c.Degree(2), c.Degree(0))
+	}
+}
+
+func TestCollectionCoverage(t *testing.T) {
+	c := NewCollection(5)
+	c.Add([]int32{0, 1}, 0)
+	c.Add([]int32{1, 2}, 0)
+	c.Add([]int32{3}, 0)
+	if got := c.Coverage([]int32{1}); got != 2 {
+		t.Fatalf("Λ({1}) = %d, want 2", got)
+	}
+	if got := c.Coverage([]int32{0, 2}); got != 2 {
+		t.Fatalf("Λ({0,2}) = %d, want 2", got)
+	}
+	if got := c.Coverage([]int32{0, 1, 3}); got != 3 {
+		t.Fatalf("Λ({0,1,3}) = %d, want 3", got)
+	}
+	if got := c.Coverage([]int32{4}); got != 0 {
+		t.Fatalf("Λ({4}) = %d, want 0", got)
+	}
+}
+
+func TestGenerateDeterministicAcrossWorkers(t *testing.T) {
+	g, _ := gen.PreferentialAttachment(1000, 6, 0.1, 11)
+	g, _ = graph.Reweight(g, graph.WeightedCascade, 0, 1)
+	for _, model := range []diffusion.Model{diffusion.IC, diffusion.LT} {
+		s := NewSampler(g, model)
+		a := NewCollection(g.N())
+		Generate(a, s, 500, rng.New(12), 1)
+		b := NewCollection(g.N())
+		Generate(b, s, 500, rng.New(12), 8)
+		if a.Count() != b.Count() || a.TotalSize() != b.TotalSize() {
+			t.Fatalf("%v: shape differs across workers", model)
+		}
+		for i := int32(0); i < int32(a.Count()); i++ {
+			sa, sb := a.Set(i), b.Set(i)
+			if len(sa) != len(sb) {
+				t.Fatalf("%v: set %d sizes differ", model, i)
+			}
+			for j := range sa {
+				if sa[j] != sb[j] {
+					t.Fatalf("%v: set %d differs at %d", model, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateIncrementalMatchesOneShot(t *testing.T) {
+	g, _ := gen.PreferentialAttachment(500, 5, 0.1, 13)
+	g, _ = graph.Reweight(g, graph.WeightedCascade, 0, 1)
+	s := NewSampler(g, diffusion.IC)
+	one := NewCollection(g.N())
+	Generate(one, s, 300, rng.New(14), 4)
+	inc := NewCollection(g.N())
+	Generate(inc, s, 100, rng.New(14), 2)
+	Generate(inc, s, 200, rng.New(14), 8)
+	if one.TotalSize() != inc.TotalSize() {
+		t.Fatalf("incremental generation diverged: %d vs %d", one.TotalSize(), inc.TotalSize())
+	}
+	for i := int32(0); i < 300; i++ {
+		sa, sb := one.Set(i), inc.Set(i)
+		for j := range sa {
+			if sa[j] != sb[j] {
+				t.Fatalf("set %d differs", i)
+			}
+		}
+	}
+}
+
+func TestGenerateZeroOrNegativeCount(t *testing.T) {
+	g, _ := gen.Line(3, 0.5)
+	s := NewSampler(g, diffusion.IC)
+	c := NewCollection(g.N())
+	Generate(c, s, 0, rng.New(1), 4)
+	Generate(c, s, -5, rng.New(1), 4)
+	if c.Count() != 0 {
+		t.Fatalf("count = %d", c.Count())
+	}
+}
+
+func TestEdgesExaminedAccumulatesParallel(t *testing.T) {
+	g, _ := gen.PreferentialAttachment(500, 5, 0.1, 15)
+	g, _ = graph.Reweight(g, graph.WeightedCascade, 0, 1)
+	s := NewSampler(g, diffusion.IC)
+	a := NewCollection(g.N())
+	Generate(a, s, 400, rng.New(16), 1)
+	b := NewCollection(g.N())
+	Generate(b, s, 400, rng.New(16), 8)
+	if a.EdgesExamined() == 0 {
+		t.Fatal("γ = 0 after generation")
+	}
+	if a.EdgesExamined() != b.EdgesExamined() {
+		t.Fatalf("γ differs across workers: %d vs %d", a.EdgesExamined(), b.EdgesExamined())
+	}
+}
+
+func TestInvertedIndexConsistency(t *testing.T) {
+	g, _ := gen.PreferentialAttachment(300, 5, 0.1, 17)
+	g, _ = graph.Reweight(g, graph.WeightedCascade, 0, 1)
+	s := NewSampler(g, diffusion.LT)
+	c := NewCollection(g.N())
+	Generate(c, s, 500, rng.New(18), 4)
+	// Every membership listed in the index must appear in the set, and
+	// total index size must equal total pool size.
+	var indexed int64
+	for v := int32(0); v < g.N(); v++ {
+		for _, id := range c.SetsCovering(v) {
+			indexed++
+			found := false
+			for _, u := range c.Set(id) {
+				if u == v {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("index lists node %d in set %d but set lacks it", v, id)
+			}
+		}
+	}
+	if indexed != c.TotalSize() {
+		t.Fatalf("index size %d != pool size %d", indexed, c.TotalSize())
+	}
+}
+
+func BenchmarkSampleIC(b *testing.B) {
+	g, _ := gen.PreferentialAttachment(20000, 15, 0.1, 1)
+	g, _ = graph.Reweight(g, graph.WeightedCascade, 0, 1)
+	s := NewSampler(g, diffusion.IC)
+	sc := s.NewScratch()
+	src := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample(src, sc)
+	}
+}
+
+func BenchmarkSampleLT(b *testing.B) {
+	g, _ := gen.PreferentialAttachment(20000, 15, 0.1, 1)
+	g, _ = graph.Reweight(g, graph.WeightedCascade, 0, 1)
+	s := NewSampler(g, diffusion.LT)
+	sc := s.NewScratch()
+	src := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample(src, sc)
+	}
+}
+
+func BenchmarkGenerate1kParallel(b *testing.B) {
+	g, _ := gen.PreferentialAttachment(20000, 15, 0.1, 1)
+	g, _ = graph.Reweight(g, graph.WeightedCascade, 0, 1)
+	s := NewSampler(g, diffusion.IC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := NewCollection(g.N())
+		Generate(c, s, 1000, rng.New(uint64(i)), 0)
+	}
+}
+
+func TestGenerateSeedSensitivity(t *testing.T) {
+	// Regression for the Split seeding bug: collections generated with
+	// different base seeds must differ.
+	g, _ := gen.PreferentialAttachment(500, 6, 0.1, 30)
+	g, _ = graph.Reweight(g, graph.WeightedCascade, 0, 1)
+	s := NewSampler(g, diffusion.IC)
+	a := NewCollection(g.N())
+	Generate(a, s, 500, rng.New(1), 2)
+	b := NewCollection(g.N())
+	Generate(b, s, 500, rng.New(2), 2)
+	identical := 0
+	for i := int32(0); i < 500; i++ {
+		sa, sb := a.Set(i), b.Set(i)
+		if len(sa) == len(sb) {
+			same := true
+			for j := range sa {
+				if sa[j] != sb[j] {
+					same = false
+					break
+				}
+			}
+			if same {
+				identical++
+			}
+		}
+	}
+	// Singleton sets can coincide by chance; wholesale equality cannot.
+	if identical > 400 {
+		t.Fatalf("%d/500 RR sets identical across different seeds", identical)
+	}
+}
+
+func TestHopLimitedSamplerLemma31(t *testing.T) {
+	// Hop-limited RIS must estimate the hop-limited spread: cross-validate
+	// n·Degree/θ against forward RunHops Monte-Carlo on both models.
+	g, _ := gen.PreferentialAttachment(300, 5, 0.2, 50)
+	g, _ = graph.Reweight(g, graph.WeightedCascade, 0, 1)
+	const h = 2
+	for _, model := range []diffusion.Model{diffusion.IC, diffusion.LT} {
+		s := NewSamplerHops(g, model, h)
+		c := NewCollection(g.N())
+		Generate(c, s, 60000, rng.New(51), 4)
+		sim := diffusion.NewSimulator(g)
+		src := rng.New(52)
+		for _, u := range []int32{100, 200, 299} {
+			const runs = 60000
+			var sum float64
+			for i := 0; i < runs; i++ {
+				sum += float64(sim.RunHops(model, []int32{u}, h, src))
+			}
+			mc := sum / runs
+			ris := float64(g.N()) * float64(c.Degree(u)) / float64(c.Count())
+			risStd := float64(g.N()) * math.Sqrt(float64(c.Degree(u))+1) / float64(c.Count())
+			if math.Abs(ris-mc) > 4*risStd+0.05*mc+0.1 {
+				t.Fatalf("%v node %d: hop-limited RIS %v vs MC %v", model, u, ris, mc)
+			}
+		}
+	}
+}
+
+func TestHopLimitedSetsSmaller(t *testing.T) {
+	g, _ := gen.PreferentialAttachment(2000, 8, 0.15, 53)
+	g, _ = graph.Reweight(g, graph.WeightedCascade, 0, 1)
+	unlimited := NewCollection(g.N())
+	Generate(unlimited, NewSampler(g, diffusion.IC), 5000, rng.New(54), 4)
+	oneHop := NewCollection(g.N())
+	Generate(oneHop, NewSamplerHops(g, diffusion.IC, 1), 5000, rng.New(54), 4)
+	if oneHop.TotalSize() >= unlimited.TotalSize() {
+		t.Fatalf("1-hop total %d not below unlimited %d", oneHop.TotalSize(), unlimited.TotalSize())
+	}
+}
+
+func TestHopLimitedLTWalkLength(t *testing.T) {
+	// LT on a long line with weight 1 walks forever until the source; a
+	// 3-hop limit caps RR sets at 4 nodes.
+	g, _ := gen.Line(50, 1)
+	s := NewSamplerHops(g, diffusion.LT, 3)
+	sc := s.NewScratch()
+	src := rng.New(55)
+	for i := 0; i < 100; i++ {
+		set, _ := s.Sample(src, sc)
+		if len(set) > 4 {
+			t.Fatalf("3-hop LT RR set has %d nodes", len(set))
+		}
+	}
+}

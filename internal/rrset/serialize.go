@@ -1,0 +1,123 @@
+package rrset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary collection format (little-endian): magic "OPIMR1\n", int32 n,
+// int64 count, int64 poolLen, int64 edgesExamined, count+1 int64 offsets,
+// poolLen int32 node ids. The inverted index is rebuilt on load.
+
+const collectionMagic = "OPIMR1\n"
+
+// ErrBadCollection reports a malformed serialized collection.
+var ErrBadCollection = errors.New("rrset: bad collection format")
+
+// WriteCollection serializes c.
+func WriteCollection(w io.Writer, c *Collection) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(collectionMagic); err != nil {
+		return err
+	}
+	var hdr [28]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(c.n))
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(c.Count()))
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(len(c.pool)))
+	binary.LittleEndian.PutUint64(hdr[20:28], uint64(c.edgesExamined))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var b8 [8]byte
+	for _, off := range c.offs {
+		binary.LittleEndian.PutUint64(b8[:], uint64(off))
+		if _, err := bw.Write(b8[:]); err != nil {
+			return err
+		}
+	}
+	var b4 [4]byte
+	for _, v := range c.pool {
+		binary.LittleEndian.PutUint32(b4[:], uint32(v))
+		if _, err := bw.Write(b4[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCollection deserializes a collection, rebuilding the inverted index.
+func ReadCollection(r io.Reader) (*Collection, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(collectionMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: short magic: %v", ErrBadCollection, err)
+	}
+	if string(magic) != collectionMagic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadCollection, magic)
+	}
+	var hdr [28]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadCollection, err)
+	}
+	n := int32(binary.LittleEndian.Uint32(hdr[0:4]))
+	count := int64(binary.LittleEndian.Uint64(hdr[4:12]))
+	poolLen := int64(binary.LittleEndian.Uint64(hdr[12:20]))
+	gamma := int64(binary.LittleEndian.Uint64(hdr[20:28]))
+	if n < 0 || count < 0 || poolLen < 0 || gamma < 0 || n > 1<<28 {
+		return nil, fmt.Errorf("%w: implausible sizes n=%d count=%d pool=%d", ErrBadCollection, n, count, poolLen)
+	}
+
+	// Grow incrementally so a forged header cannot force a huge up-front
+	// allocation: capacity hints are clamped and appends track real bytes.
+	clamp := func(v int64) int {
+		if v > 1<<20 {
+			return 1 << 20
+		}
+		return int(v)
+	}
+	c := &Collection{
+		n:             n,
+		offs:          make([]int64, 0, clamp(count+1)),
+		pool:          make([]int32, 0, clamp(poolLen)),
+		index:         make([][]int32, n),
+		edgesExamined: gamma,
+	}
+	var b8 [8]byte
+	for i := int64(0); i <= count; i++ {
+		if _, err := io.ReadFull(br, b8[:]); err != nil {
+			return nil, fmt.Errorf("%w: short offsets: %v", ErrBadCollection, err)
+		}
+		off := int64(binary.LittleEndian.Uint64(b8[:]))
+		if i == 0 && off != 0 {
+			return nil, fmt.Errorf("%w: first offset %d != 0", ErrBadCollection, off)
+		}
+		if i > 0 && off < c.offs[i-1] {
+			return nil, fmt.Errorf("%w: offsets not monotone", ErrBadCollection)
+		}
+		c.offs = append(c.offs, off)
+	}
+	if c.offs[count] != poolLen {
+		return nil, fmt.Errorf("%w: inconsistent offsets", ErrBadCollection)
+	}
+	var b4 [4]byte
+	for i := int64(0); i < poolLen; i++ {
+		if _, err := io.ReadFull(br, b4[:]); err != nil {
+			return nil, fmt.Errorf("%w: short pool: %v", ErrBadCollection, err)
+		}
+		v := int32(binary.LittleEndian.Uint32(b4[:]))
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("%w: node %d outside [0,%d)", ErrBadCollection, v, n)
+		}
+		c.pool = append(c.pool, v)
+	}
+	// Rebuild the inverted index.
+	for id := int64(0); id < count; id++ {
+		for _, v := range c.pool[c.offs[id]:c.offs[id+1]] {
+			c.index[v] = append(c.index[v], int32(id))
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,145 @@
+package rrset
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/gen"
+	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/rng"
+)
+
+func sampleCollection(t *testing.T) (*Collection, *Sampler) {
+	t.Helper()
+	g, err := gen.PreferentialAttachment(200, 5, 0.15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err = graph.Reweight(g, graph.WeightedCascade, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(g, diffusion.IC)
+	c := NewCollection(g.N())
+	Generate(c, s, 300, rng.New(3), 2)
+	return c, s
+}
+
+func TestCollectionRoundTrip(t *testing.T) {
+	c, _ := sampleCollection(t)
+	var buf bytes.Buffer
+	if err := WriteCollection(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCollection(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != c.N() || got.Count() != c.Count() || got.TotalSize() != c.TotalSize() || got.EdgesExamined() != c.EdgesExamined() {
+		t.Fatal("shape changed in round trip")
+	}
+	for i := int32(0); i < int32(c.Count()); i++ {
+		a, b := c.Set(i), got.Set(i)
+		if len(a) != len(b) {
+			t.Fatalf("set %d length differs", i)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("set %d element %d differs", i, j)
+			}
+		}
+	}
+	for v := int32(0); v < c.N(); v++ {
+		if c.Degree(v) != got.Degree(v) {
+			t.Fatalf("rebuilt index wrong at node %d", v)
+		}
+	}
+}
+
+func TestCollectionRoundTripEmpty(t *testing.T) {
+	c := NewCollection(7)
+	var buf bytes.Buffer
+	if err := WriteCollection(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCollection(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 7 || got.Count() != 0 {
+		t.Fatalf("empty round trip: n=%d count=%d", got.N(), got.Count())
+	}
+}
+
+func TestReadCollectionBadMagic(t *testing.T) {
+	if _, err := ReadCollection(strings.NewReader("NOPE and more bytes to be sure")); !errors.Is(err, ErrBadCollection) {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestReadCollectionTruncated(t *testing.T) {
+	c, _ := sampleCollection(t)
+	var buf bytes.Buffer
+	if err := WriteCollection(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{3, 10, 40, len(full) / 2, len(full) - 2} {
+		if _, err := ReadCollection(bytes.NewReader(full[:cut])); !errors.Is(err, ErrBadCollection) {
+			t.Errorf("truncation at %d: error = %v", cut, err)
+		}
+	}
+}
+
+func TestReadCollectionCorruptNode(t *testing.T) {
+	c := NewCollection(4)
+	c.Add([]int32{1, 2}, 5)
+	var buf bytes.Buffer
+	if err := WriteCollection(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// The last 4 bytes are the final pool entry; overwrite with an
+	// out-of-range node id.
+	raw[len(raw)-4] = 0xFF
+	raw[len(raw)-3] = 0xFF
+	raw[len(raw)-2] = 0xFF
+	raw[len(raw)-1] = 0x7F
+	if _, err := ReadCollection(bytes.NewReader(raw)); !errors.Is(err, ErrBadCollection) {
+		t.Fatalf("corrupt node id accepted: %v", err)
+	}
+}
+
+func TestSamplerAccessors(t *testing.T) {
+	_, s := sampleCollection(t)
+	if s.Graph() == nil {
+		t.Fatal("Graph() nil")
+	}
+	if s.Model() != diffusion.IC {
+		t.Fatalf("Model() = %v", s.Model())
+	}
+	c := NewCollection(5)
+	if c.N() != 5 {
+		t.Fatalf("N() = %d", c.N())
+	}
+}
+
+func TestScratchEpochWraparound(t *testing.T) {
+	_, s := sampleCollection(t)
+	sc := s.NewScratch()
+	sc.epoch = ^uint32(0) - 1
+	src := rng.New(9)
+	for i := 0; i < 5; i++ {
+		nodes, _ := s.Sample(src, sc)
+		seen := map[int32]bool{}
+		for _, v := range nodes {
+			if seen[v] {
+				t.Fatal("duplicate after epoch wrap")
+			}
+			seen[v] = true
+		}
+	}
+}

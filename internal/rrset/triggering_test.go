@@ -1,0 +1,99 @@
+package rrset
+
+import (
+	"math"
+	"testing"
+
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/gen"
+	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/rng"
+	"github.com/reprolab/opim/internal/trigger"
+)
+
+func TestTriggeringSamplerMatchesBuiltins(t *testing.T) {
+	// A Sampler over trigger.NewIC / trigger.NewLT must match the
+	// distribution of the specialized IC/LT samplers: compare per-node RR
+	// membership frequencies.
+	g, err := gen.PreferentialAttachment(300, 6, 0.15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err = graph.Reweight(g, graph.WeightedCascade, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const draws = 40000
+	cases := []struct {
+		name    string
+		special *Sampler
+		generic *Sampler
+	}{
+		{"IC", NewSampler(g, diffusion.IC), NewSamplerTriggering(g, trigger.NewIC(g))},
+		{"LT", NewSampler(g, diffusion.LT), NewSamplerTriggering(g, trigger.NewLT(g))},
+	}
+	for _, tc := range cases {
+		degOf := func(s *Sampler, seed uint64) []float64 {
+			c := NewCollection(g.N())
+			Generate(c, s, draws, rng.New(seed), 4)
+			out := make([]float64, g.N())
+			for v := int32(0); v < g.N(); v++ {
+				out[v] = float64(c.Degree(v)) / draws
+			}
+			return out
+		}
+		a := degOf(tc.special, 3)
+		b := degOf(tc.generic, 4)
+		for v := int32(0); v < g.N(); v++ {
+			// Binomial std of each frequency.
+			std := math.Sqrt(a[v]/draws) + math.Sqrt(b[v]/draws) + 1e-4
+			if math.Abs(a[v]-b[v]) > 6*std {
+				t.Fatalf("%s node %d: specialized freq %v vs triggering freq %v", tc.name, v, a[v], b[v])
+			}
+		}
+	}
+}
+
+func TestTriggeringSamplerCountsWork(t *testing.T) {
+	g, err := gen.Line(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSamplerTriggering(g, trigger.NewIC(g))
+	sc := s.NewScratch()
+	nodes, examined := s.SampleFrom(2, rng.New(1), sc)
+	if len(nodes) != 3 {
+		t.Fatalf("RR set = %v", nodes)
+	}
+	// T(2)={1}, T(1)={0}, T(0)=∅ → 2 triggering members drawn.
+	if examined != 2 {
+		t.Fatalf("examined = %d, want 2", examined)
+	}
+}
+
+func TestTriggeringSamplerDeterministicParallel(t *testing.T) {
+	g, err := gen.PreferentialAttachment(400, 5, 0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err = graph.Reweight(g, graph.WeightedCascade, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSamplerTriggering(g, trigger.NewLT(g))
+	a := NewCollection(g.N())
+	Generate(a, s, 400, rng.New(7), 1)
+	b := NewCollection(g.N())
+	Generate(b, s, 400, rng.New(7), 8)
+	if a.TotalSize() != b.TotalSize() {
+		t.Fatalf("sizes differ: %d vs %d", a.TotalSize(), b.TotalSize())
+	}
+	for i := int32(0); i < 400; i++ {
+		sa, sb := a.Set(i), b.Set(i)
+		for j := range sa {
+			if sa[j] != sb[j] {
+				t.Fatalf("set %d differs", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+)
+
+// Client is a typed client for the opimd HTTP API, so Go programs can
+// drive a remote OPIM session the way a database client drives an online
+// aggregation query.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a Client for the given base URL.
+func NewClient(baseURL string) *Client { return &Client{BaseURL: baseURL} }
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) do(method, path string, out any) error {
+	req, err := http.NewRequest(method, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("opimd: %s %s: %s: %s", method, path, resp.Status, body)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Status fetches the session counters.
+func (c *Client) Status() (Status, error) {
+	var s Status
+	err := c.do(http.MethodGet, "/status", &s)
+	return s, err
+}
+
+// Snapshot fetches the current seed set and guarantee. Each call spends
+// failure budget on the server exactly like a local Snapshot.
+func (c *Client) Snapshot() (SnapshotResponse, error) {
+	var s SnapshotResponse
+	err := c.do(http.MethodGet, "/snapshot", &s)
+	return s, err
+}
+
+// Advance generates count RR sets synchronously.
+func (c *Client) Advance(count int) (Status, error) {
+	var s Status
+	err := c.do(http.MethodPost, "/advance?count="+url.QueryEscape(fmt.Sprint(count)), &s)
+	return s, err
+}
+
+// Start begins background sampling.
+func (c *Client) Start() (Status, error) {
+	var s Status
+	err := c.do(http.MethodPost, "/start", &s)
+	return s, err
+}
+
+// Stop pauses background sampling.
+func (c *Client) Stop() (Status, error) {
+	var s Status
+	err := c.do(http.MethodPost, "/stop", &s)
+	return s, err
+}

@@ -1,0 +1,229 @@
+// Package server exposes an OPIM session over HTTP — the paper's
+// online-query-processing paradigm as a long-running service. A background
+// loop streams RR sets; clients poll the current seed set and guarantee
+// and stop the refinement when satisfied, exactly as a database user
+// monitors an online aggregation query.
+//
+// Endpoints (all JSON):
+//
+//	GET  /status            session counters
+//	GET  /snapshot          current (seed set, α, bounds); spends δ budget
+//	POST /advance?count=N   generate N more RR sets synchronously
+//	POST /start             start background sampling (idempotent)
+//	POST /stop              pause background sampling (idempotent)
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"github.com/reprolab/opim/internal/core"
+)
+
+// Server wraps one Online session behind an HTTP API. All session access
+// is serialized by an internal mutex, so the background sampler and HTTP
+// clients can interleave safely.
+type Server struct {
+	mu      sync.Mutex
+	session *core.Online
+
+	// Batch is the RR-set count generated per background iteration.
+	batch int
+	// MaxRR caps the session size; the background loop stops there.
+	maxRR int64
+
+	loopMu  sync.Mutex // guards running/stopCh transitions
+	running bool
+	stopCh  chan struct{}
+	done    chan struct{}
+}
+
+// New wraps session. batch is the background generation granularity
+// (≤ 0 defaults to 10 000); maxRR caps total RR sets (≤ 0 defaults to 2²⁶).
+func New(session *core.Online, batch int, maxRR int64) *Server {
+	if batch <= 0 {
+		batch = 10000
+	}
+	if maxRR <= 0 {
+		maxRR = 1 << 26
+	}
+	return &Server{session: session, batch: batch, maxRR: maxRR}
+}
+
+// Handler returns the HTTP handler for the server's API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/advance", s.handleAdvance)
+	mux.HandleFunc("/start", s.handleStart)
+	mux.HandleFunc("/stop", s.handleStop)
+	return mux
+}
+
+// Status is the /status response body.
+type Status struct {
+	NumRR         int64 `json:"num_rr"`
+	EdgesExamined int64 `json:"edges_examined"`
+	Running       bool  `json:"running"`
+	MaxRR         int64 `json:"max_rr"`
+}
+
+// SnapshotResponse is the /snapshot response body.
+type SnapshotResponse struct {
+	Seeds      []int32 `json:"seeds"`
+	Alpha      float64 `json:"alpha"`
+	SigmaLower float64 `json:"sigma_lower"`
+	SigmaUpper float64 `json:"sigma_upper"`
+	Theta1     int64   `json:"theta1"`
+	Theta2     int64   `json:"theta2"`
+	DeltaSpent float64 `json:"delta_spent"`
+	Variant    string  `json:"variant"`
+}
+
+func (s *Server) status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Status{
+		NumRR:         s.session.NumRR(),
+		EdgesExamined: s.session.EdgesExamined(),
+		Running:       s.isRunning(),
+		MaxRR:         s.maxRR,
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, s.status())
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	snap := s.session.Snapshot()
+	s.mu.Unlock()
+	writeJSON(w, SnapshotResponse{
+		Seeds:      snap.Seeds,
+		Alpha:      snap.Alpha,
+		SigmaLower: snap.SigmaLower,
+		SigmaUpper: snap.SigmaUpper,
+		Theta1:     snap.Theta1,
+		Theta2:     snap.Theta2,
+		DeltaSpent: snap.DeltaSpent,
+		Variant:    snap.Variant.String(),
+	})
+}
+
+func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	count, err := strconv.Atoi(r.URL.Query().Get("count"))
+	if err != nil || count <= 0 {
+		http.Error(w, "count must be a positive integer", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	if remaining := s.maxRR - s.session.NumRR(); int64(count) > remaining {
+		count = int(remaining)
+	}
+	if count > 0 {
+		s.session.Advance(count)
+	}
+	s.mu.Unlock()
+	writeJSON(w, s.status())
+}
+
+func (s *Server) isRunning() bool {
+	s.loopMu.Lock()
+	defer s.loopMu.Unlock()
+	return s.running
+}
+
+func (s *Server) handleStart(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.loopMu.Lock()
+	if !s.running {
+		s.running = true
+		s.stopCh = make(chan struct{})
+		s.done = make(chan struct{})
+		go s.loop(s.stopCh, s.done)
+	}
+	s.loopMu.Unlock()
+	writeJSON(w, s.status())
+}
+
+func (s *Server) handleStop(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.Stop()
+	writeJSON(w, s.status())
+}
+
+// Stop halts background sampling and waits for the loop to exit. Safe to
+// call at any time, including when not running.
+func (s *Server) Stop() {
+	s.loopMu.Lock()
+	if !s.running {
+		s.loopMu.Unlock()
+		return
+	}
+	close(s.stopCh)
+	done := s.done
+	s.running = false
+	s.loopMu.Unlock()
+	<-done
+}
+
+func (s *Server) loop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		s.mu.Lock()
+		remaining := s.maxRR - s.session.NumRR()
+		batch := int64(s.batch)
+		if batch > remaining {
+			batch = remaining
+		}
+		if batch > 0 {
+			s.session.Advance(int(batch))
+		}
+		s.mu.Unlock()
+		if batch <= 0 {
+			// Budget exhausted: mark ourselves stopped and exit.
+			s.loopMu.Lock()
+			if s.running {
+				s.running = false
+				close(s.stopCh)
+			}
+			s.loopMu.Unlock()
+			return
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, fmt.Sprintf("encoding response: %v", err), http.StatusInternalServerError)
+	}
+}

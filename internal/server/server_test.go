@@ -1,0 +1,249 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/reprolab/opim/internal/core"
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/gen"
+	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/rrset"
+)
+
+func newTestServer(t *testing.T, maxRR int64) (*Server, *httptest.Server) {
+	t.Helper()
+	g, err := gen.PreferentialAttachment(500, 6, 0.15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err = graph.Reweight(g, graph.WeightedCascade, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler := rrset.NewSampler(g, diffusion.IC)
+	session, err := core.NewOnline(sampler, core.Options{K: 5, Delta: 0.05, Variant: core.Plus, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(session, 500, maxRR)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		srv.Stop()
+		ts.Close()
+	})
+	return srv, ts
+}
+
+func getJSON[T any](t *testing.T, url string) T {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func postJSON[T any](t *testing.T, url string) T {
+	t.Helper()
+	resp, err := http.Post(url, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: status %d", url, resp.StatusCode)
+	}
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestStatusInitial(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+	st := getJSON[Status](t, ts.URL+"/status")
+	if st.NumRR != 0 || st.Running {
+		t.Fatalf("initial status = %+v", st)
+	}
+}
+
+func TestAdvanceAndSnapshot(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+	st := postJSON[Status](t, ts.URL+"/advance?count=2000")
+	if st.NumRR != 2000 {
+		t.Fatalf("after advance: %+v", st)
+	}
+	snap := getJSON[SnapshotResponse](t, ts.URL+"/snapshot")
+	if len(snap.Seeds) != 5 {
+		t.Fatalf("snapshot seeds = %v", snap.Seeds)
+	}
+	if snap.Alpha <= 0 || snap.Alpha > 1 {
+		t.Fatalf("α = %v", snap.Alpha)
+	}
+	if snap.Theta1+snap.Theta2 != 2000 {
+		t.Fatalf("θ1+θ2 = %d", snap.Theta1+snap.Theta2)
+	}
+	if snap.Variant != "OPIM+" {
+		t.Fatalf("variant = %q", snap.Variant)
+	}
+}
+
+func TestAdvanceValidation(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+	for _, q := range []string{"", "?count=0", "?count=-5", "?count=zebra"} {
+		resp, err := http.Post(ts.URL+"/advance"+q, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("advance%s: status %d", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestMethodEnforcement(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+	cases := []struct {
+		method, path string
+	}{
+		{http.MethodPost, "/status"},
+		{http.MethodPost, "/snapshot"},
+		{http.MethodGet, "/advance"},
+		{http.MethodGet, "/start"},
+		{http.MethodGet, "/stop"},
+	}
+	for _, c := range cases {
+		req, _ := http.NewRequest(c.method, ts.URL+c.path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("%s %s: status %d", c.method, c.path, resp.StatusCode)
+		}
+	}
+}
+
+func TestBackgroundLoop(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+	st := postJSON[Status](t, ts.URL+"/start")
+	if !st.Running {
+		t.Fatal("not running after /start")
+	}
+	// Idempotent start.
+	postJSON[Status](t, ts.URL+"/start")
+
+	deadline := time.Now().Add(5 * time.Second)
+	var progressed bool
+	for time.Now().Before(deadline) {
+		if getJSON[Status](t, ts.URL+"/status").NumRR > 0 {
+			progressed = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !progressed {
+		t.Fatal("background loop generated nothing in 5s")
+	}
+	// Snapshot concurrently with the loop.
+	snap := getJSON[SnapshotResponse](t, ts.URL+"/snapshot")
+	if len(snap.Seeds) != 5 {
+		t.Fatalf("concurrent snapshot = %+v", snap)
+	}
+	st = postJSON[Status](t, ts.URL+"/stop")
+	if st.Running {
+		t.Fatal("still running after /stop")
+	}
+	// Idempotent stop.
+	postJSON[Status](t, ts.URL+"/stop")
+	frozen := getJSON[Status](t, ts.URL+"/status").NumRR
+	time.Sleep(50 * time.Millisecond)
+	if got := getJSON[Status](t, ts.URL+"/status").NumRR; got != frozen {
+		t.Fatalf("session advanced after stop: %d → %d", frozen, got)
+	}
+}
+
+func TestBudgetStopsLoop(t *testing.T) {
+	_, ts := newTestServer(t, 1200)
+	postJSON[Status](t, ts.URL+"/start")
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getJSON[Status](t, ts.URL+"/status")
+		if !st.Running {
+			if st.NumRR != 1200 {
+				t.Fatalf("stopped at %d RR sets, budget 1200", st.NumRR)
+			}
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("loop did not stop at budget")
+}
+
+func TestAdvanceRespectsBudget(t *testing.T) {
+	_, ts := newTestServer(t, 1000)
+	st := postJSON[Status](t, ts.URL+"/advance?count=5000")
+	if st.NumRR != 1000 {
+		t.Fatalf("advance exceeded budget: %d", st.NumRR)
+	}
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+	c := NewClient(ts.URL)
+
+	st, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumRR != 0 {
+		t.Fatalf("initial status %+v", st)
+	}
+	st, err = c.Advance(1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumRR != 1500 {
+		t.Fatalf("after advance %+v", st)
+	}
+	snap, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Seeds) != 5 || snap.Alpha <= 0 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	if st, err = c.Start(); err != nil || !st.Running {
+		t.Fatalf("start: %v %+v", err, st)
+	}
+	if st, err = c.Stop(); err != nil || st.Running {
+		t.Fatalf("stop: %v %+v", err, st)
+	}
+}
+
+func TestClientErrorPropagation(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+	c := NewClient(ts.URL)
+	if _, err := c.Advance(-5); err == nil {
+		t.Fatal("invalid advance accepted")
+	}
+	bad := NewClient("http://127.0.0.1:1")
+	if _, err := bad.Status(); err == nil {
+		t.Fatal("unreachable server accepted")
+	}
+}

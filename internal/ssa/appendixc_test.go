@@ -1,0 +1,92 @@
+package ssa
+
+import (
+	"math"
+	"testing"
+
+	"github.com/reprolab/opim/internal/bound"
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/rng"
+	"github.com/reprolab/opim/internal/rrset"
+)
+
+// TestAppendixCCounterexample reproduces the paper's Appendix C analysis of
+// why D-SSA-Fix's ε_b check cannot provide instance-specific guarantees:
+// on an edgeless graph with n = 10⁵, k = 1, δ' = 10⁻³ and θ2 = 10⁵ RR sets,
+//
+//   - every RR set is the singleton {root}, so σ(S*) = 1 for any seed;
+//   - Pr[Λ2(S*) = 0] = (1 − 1/n)^θ2 ≈ e⁻¹ ≈ 0.37;
+//   - the ε̂ that the Chernoff bound actually requires solves
+//     ε̂² = (2 + 2ε̂/3)·n/(θ2·σ(S*))·ln(1/δ'), giving ε̂ ≈ 6.67,
+//     while D-SSA's ε_b stays below it — so its acceptance test fires with
+//     probability far above δ'.
+//
+// We verify each quantity numerically and by direct sampling.
+func TestAppendixCCounterexample(t *testing.T) {
+	const (
+		n          = 100000
+		theta2     = 100000
+		deltaPrime = 1e-3
+	)
+
+	// Pr[Λ2(S*) = 0] = (1−1/n)^θ2 ≈ 0.3679 (paper: "0.37").
+	pZero := math.Pow(1-1.0/n, theta2)
+	if math.Abs(pZero-0.37) > 0.005 {
+		t.Fatalf("Pr[Λ2 = 0] = %v, appendix says 0.37", pZero)
+	}
+
+	// ε̂ solves ε̂² = (2 + 2ε̂/3)·(n/(θ2·σ))·ln(1/δ') with σ(S*) = 1.
+	lnInv := math.Log(1 / deltaPrime)
+	f := func(e float64) float64 {
+		return e*e - (2+2*e/3)*(float64(n)/float64(theta2))*lnInv
+	}
+	lo, hi := 0.0, 100.0
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	epsHat := (lo + hi) / 2
+	if math.Abs(epsHat-6.67) > 0.05 {
+		t.Fatalf("ε̂ = %v, appendix computes 6.67", epsHat)
+	}
+
+	// With ε = 1−1/e and σ2(S*) ≥ σ(S*) (which happens with probability
+	// 1 − 0.37 = 0.63), the appendix's ratio ε_b²/ε̂² < 0.62 < 1.
+	eps := bound.OneMinusInvE
+	ratio := (2 + 2*eps/3) * (1 + eps) / (2 + 2*epsHat/3) // σ(S*)/σ2(S*) ≤ 1
+	if ratio >= 0.62 {
+		t.Fatalf("ε_b²/ε̂² bound = %v, appendix says < 0.62", ratio)
+	}
+
+	// Empirically confirm the RR-set structure on a (smaller) edgeless
+	// graph: every set is a singleton and Pr[Λ2({v}) = 0] tracks
+	// (1−1/n)^θ.
+	b := graph.NewBuilder(2000, 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rrset.NewSampler(g, diffusion.IC)
+	const trials = 300
+	zeros := 0
+	for trial := 0; trial < trials; trial++ {
+		c := rrset.NewCollection(g.N())
+		rrset.Generate(c, s, 2000, rng.New(uint64(trial)), 0)
+		if c.TotalSize() != int64(c.Count()) {
+			t.Fatal("edgeless RR set larger than a singleton")
+		}
+		if c.Degree(7) == 0 {
+			zeros++
+		}
+	}
+	want := math.Pow(1-1.0/2000, 2000) // ≈ e⁻¹
+	got := float64(zeros) / trials
+	if math.Abs(got-want) > 0.08 {
+		t.Fatalf("empirical Pr[Λ=0] = %v, want ≈ %v", got, want)
+	}
+}

@@ -1,0 +1,282 @@
+// Package ssa implements the stop-and-stare baselines the paper evaluates:
+//
+//   - SSA-Fix — the revised Stop-and-Stare algorithm of Huang et al. [18],
+//     which restored the (1−1/e−ε) guarantee of Nguyen et al.'s SSA [28].
+//   - D-SSA-Fix — the dynamic variant of Nguyen et al. [29], implemented
+//     verbatim from Algorithm 3 reproduced in the OPIM paper's Appendix C.
+//
+// Both follow the stop-and-stare pattern: grow a collection R1 of RR sets
+// by doubling ("stop"), derive a greedy seed set, then validate its spread
+// estimate against an INDEPENDENT collection R2 ("stare"); terminate when
+// the two estimates agree within the ε decomposition, or when R1 reaches
+// the worst-case cap θ'max of Lemma 6.1 (with SSA's constant 8(1−1/e)).
+//
+// SSA-Fix here keeps the published control structure and ε1=ε2=ε3
+// decomposition (solved from the same combination rule as Algorithm 3's
+// line 14) with this library's bound plumbing; see DESIGN.md §3 for the
+// substitution note.
+package ssa
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/reprolab/opim/internal/bound"
+	"github.com/reprolab/opim/internal/maxcover"
+	"github.com/reprolab/opim/internal/rng"
+	"github.com/reprolab/opim/internal/rrset"
+)
+
+// Result is the outcome of one SSA-Fix or D-SSA-Fix run.
+type Result struct {
+	// Seeds is the returned size-k seed set.
+	Seeds []int32
+	// RRGenerated counts all RR sets generated (R1 stream plus stare sets).
+	RRGenerated int64
+	// Iterations is the number of doubling rounds executed.
+	Iterations int
+	// CapReached reports termination by the θ'max worst-case cap rather
+	// than by the stare validation.
+	CapReached bool
+	// Eps, Delta echo the parameters.
+	Eps, Delta float64
+}
+
+// String implements fmt.Stringer.
+func (r *Result) String() string {
+	return fmt.Sprintf("ssa{k=%d rr=%d iters=%d cap=%v}", len(r.Seeds), r.RRGenerated, r.Iterations, r.CapReached)
+}
+
+func validate(n int32, k int, eps, delta float64) error {
+	if k < 1 || int64(k) > int64(n) {
+		return fmt.Errorf("ssa: k = %d outside [1, n=%d]", k, n)
+	}
+	if !(eps > 0 && eps < 1) {
+		return fmt.Errorf("ssa: ε = %v outside (0, 1)", eps)
+	}
+	if !(delta > 0 && delta < 1) {
+		return fmt.Errorf("ssa: δ = %v outside (0, 1)", delta)
+	}
+	return nil
+}
+
+// thetaPrimeMax is Algorithm 3 line 1: 8(1−1/e)(ln(6/δ)+ln C(n,k))·n/(ε²k).
+func thetaPrimeMax(n int32, k int, eps, delta float64) float64 {
+	return 8 * bound.OneMinusInvE * (math.Log(6/delta) + bound.LnChoose(n, k)) * float64(n) / (eps * eps * float64(k))
+}
+
+// solveEps123 finds e0 with ε1 = ε2 = ε3 = e0 satisfying the Algorithm 3
+// line-14 combination rule (2e0+e0²)(1−1/e−ε) + (1−1/e)e0 = ε, by bisection.
+func solveEps123(eps float64) float64 {
+	target := eps
+	f := func(e0 float64) float64 {
+		return (2*e0+e0*e0)*(bound.OneMinusInvE-eps) + bound.OneMinusInvE*e0
+	}
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// RunSSAFix executes SSA-Fix.
+func RunSSAFix(sampler *rrset.Sampler, k int, eps, delta float64, seed uint64, workers int) (*Result, error) {
+	res, _, err := RunSSAFixLimited(sampler, k, eps, delta, seed, workers, math.MaxInt64)
+	return res, err
+}
+
+// RunSSAFixLimited is RunSSAFix with a hard cap on generated RR sets; it
+// aborts with complete=false when the cap would be exceeded (used by the
+// §3.3 OPIM-adoption).
+func RunSSAFixLimited(sampler *rrset.Sampler, k int, eps, delta float64, seed uint64, workers int, maxRR int64) (res *Result, complete bool, err error) {
+	g := sampler.Graph()
+	n := g.N()
+	if err := validate(n, k, eps, delta); err != nil {
+		return nil, false, err
+	}
+	res = &Result{Eps: eps, Delta: delta}
+
+	e0 := solveEps123(eps)
+	thetaMax := thetaPrimeMax(n, k, eps, delta)
+	// Round count for the union bound: doublings from the initial Λ-sized
+	// sample up to θ'max.
+	lambda0 := (2 + 2*e0/3) * math.Log(3/delta) / (e0 * e0)
+	imax := bound.ImaxRounds(thetaMax, lambda0)
+	deltaIter := delta / (3 * float64(imax))
+	lnIter := math.Log(1 / deltaIter)
+
+	// Initial "stop" size: enough coverage for a reliable R1 estimate.
+	theta := int64(math.Ceil((1 + e0) * (2 + 2*e0/3) * lnIter / (e0 * e0)))
+	if theta < 1 {
+		theta = 1
+	}
+	lambdaMin := float64(theta)
+
+	root := rng.New(seed)
+	base1, base2 := root.Split(1), root.Split(2)
+	r1 := rrset.NewCollection(n)
+
+	for iter := 1; ; iter++ {
+		res.Iterations = iter
+		if theta+res.RRGenerated > maxRR {
+			res.RRGenerated += int64(r1.Count())
+			res.Seeds = nil
+			return res, false, nil
+		}
+		if add := theta - int64(r1.Count()); add > 0 {
+			rrset.Generate(r1, sampler, int(add), base1, workers)
+		}
+		sel := maxcover.Greedy(r1, k)
+		res.Seeds = sel.Seeds
+		theta1 := int64(r1.Count())
+
+		if float64(sel.Coverage) >= lambdaMin {
+			sigma1 := float64(n) * float64(sel.Coverage) / float64(theta1)
+			// Stare: independent estimate with enough samples for an
+			// ε2-accurate check of σ1/(1+ε1).
+			need := (2 + 2*e0/3) * lnIter * float64(n) / (e0 * e0 * sigma1 / (1 + e0))
+			theta2 := int64(math.Ceil(need))
+			if theta2 < 1 {
+				theta2 = 1
+			}
+			if theta1+theta2+res.RRGenerated > maxRR {
+				res.RRGenerated += theta1
+				res.Seeds = nil
+				return res, false, nil
+			}
+			r2 := rrset.NewCollection(n)
+			rrset.Generate(r2, sampler, int(theta2), base2.Split(uint64(iter)), workers)
+			res.RRGenerated += theta2
+			sigma2 := float64(n) * float64(r2.Coverage(sel.Seeds)) / float64(theta2)
+			if sigma2 >= sigma1/(1+e0) {
+				res.RRGenerated += theta1
+				return res, true, nil
+			}
+		}
+		if float64(theta1) >= thetaMax {
+			res.CapReached = true
+			res.RRGenerated += theta1
+			return res, true, nil
+		}
+		theta *= 2
+	}
+}
+
+// RunDSSAFix executes D-SSA-Fix exactly as Algorithm 3 (Appendix C).
+func RunDSSAFix(sampler *rrset.Sampler, k int, eps, delta float64, seed uint64, workers int) (*Result, error) {
+	res, _, err := RunDSSAFixLimited(sampler, k, eps, delta, seed, workers, math.MaxInt64)
+	return res, err
+}
+
+// RunDSSAFixLimited is RunDSSAFix with a hard cap on generated RR sets; it
+// aborts with complete=false when the cap would be exceeded.
+func RunDSSAFixLimited(sampler *rrset.Sampler, k int, eps, delta float64, seed uint64, workers int, maxRR int64) (res *Result, complete bool, err error) {
+	g := sampler.Graph()
+	n := g.N()
+	if err := validate(n, k, eps, delta); err != nil {
+		return nil, false, err
+	}
+	res = &Result{Eps: eps, Delta: delta}
+
+	// Line 1.
+	thetaMax := thetaPrimeMax(n, k, eps, delta)
+	// Line 2: i'max = ⌈log2(2·θ'max·ε² / ((2+2ε/3)·ln(3/δ)))⌉.
+	imax := int(math.Ceil(math.Log2(2 * thetaMax * eps * eps / ((2 + 2*eps/3) * math.Log(3/delta)))))
+	if imax < 1 {
+		imax = 1
+	}
+	// Line 3.
+	theta0 := (2 + 2*eps/3) * math.Log(3*float64(imax)/delta) / (eps * eps)
+	lambda1Min := 1 + (1+eps)*theta0
+	t0 := int64(math.Ceil(theta0))
+	if t0 < 1 {
+		t0 = 1
+	}
+
+	root := rng.New(seed)
+	base := root.Split(1)
+	var next uint64 // global RR stream index
+
+	genInto := func(c *rrset.Collection, count int64) {
+		// Stream-indexed split sources keep the single RR stream
+		// R_1, R_2, … deterministic.
+		start := next
+		next += uint64(count)
+		sc := sampler.NewScratch()
+		for j := int64(0); j < count; j++ {
+			src := base.Split(start + uint64(j))
+			nodes, examined := sampler.Sample(src, sc)
+			c.Add(nodes, examined)
+		}
+	}
+
+	r1 := rrset.NewCollection(n)
+	r2 := rrset.NewCollection(n)
+
+	target := bound.OneMinusInvE - eps
+	for i := 1; ; i++ {
+		res.Iterations = i
+		half := t0 << uint(i-1) // θ'0 · 2^{i−1}
+		if 2*half > maxRR {
+			res.RRGenerated = int64(next)
+			res.Seeds = nil
+			return res, false, nil
+		}
+
+		// Lines 5–6: R1 = first half of the stream prefix, R2 = second.
+		// R1 of round i equals R1 ∪ R2 of round i−1; R2 is always fresh.
+		for _, id := range allSets(r2) {
+			r1.Add(r2.Set(id), 0)
+		}
+		if add := half - int64(r1.Count()); add > 0 {
+			genInto(r1, add)
+		}
+		r2 = rrset.NewCollection(n)
+		genInto(r2, half)
+
+		theta1 := int64(r1.Count())
+		theta2 := int64(r2.Count())
+
+		// Line 7.
+		sel := maxcover.Greedy(r1, k)
+		res.Seeds = sel.Seeds
+
+		// Lines 8–16.
+		if float64(sel.Coverage) >= lambda1Min {
+			sigma1 := float64(n) * float64(sel.Coverage) / float64(theta1)
+			lambda2 := r2.Coverage(sel.Seeds)
+			if lambda2 > 0 {
+				sigma2 := float64(n) * float64(lambda2) / float64(theta2)
+				pow := math.Pow(2, float64(i-1))
+				epsA := sigma1/sigma2 - 1
+				epsB := eps * math.Sqrt(float64(n)*(1+eps)/(pow*sigma2))
+				epsC := eps * math.Sqrt(float64(n)*(1+eps)*target/((1+eps/3)*pow*sigma2))
+				epsI := (epsA+epsB+epsA*epsB)*target + bound.OneMinusInvE*epsC
+				if epsI <= eps {
+					res.RRGenerated = int64(next)
+					return res, true, nil
+				}
+			}
+		}
+		// Line 17.
+		if float64(theta1) >= thetaMax {
+			res.CapReached = true
+			res.RRGenerated = int64(next)
+			return res, true, nil
+		}
+	}
+}
+
+// allSets returns the ids 0..Count−1 of a collection.
+func allSets(c *rrset.Collection) []int32 {
+	ids := make([]int32, c.Count())
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	return ids
+}

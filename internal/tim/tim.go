@@ -1,0 +1,140 @@
+// Package tim implements TIM⁺ [Tang, Xiao, Shi — SIGMOD 2014], the first
+// practical RIS-based influence-maximization algorithm and IMM's
+// predecessor (discussed in the paper's §7). It is included for
+// completeness of the baseline family: TIM → IMM → SSA/D-SSA → OPIM-C.
+//
+// TIM has two phases:
+//
+//  1. KPT estimation: estimate a lower bound KPT⁺ on the optimal spread
+//     from the *widths* of sampled RR sets — the width ω(R) is the number
+//     of in-edges entering R's members, and E[1 − (1 − ω(R)/m)^k] relates
+//     to the spread of the best size-k set.
+//  2. Node selection: θ = λ/KPT⁺ fresh RR sets, then the greedy.
+//
+// As with the imm package, the original n^−ℓ failure probability is
+// generalized to an explicit δ by substituting ln(1/δ) for ℓ·ln n.
+package tim
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/reprolab/opim/internal/bound"
+	"github.com/reprolab/opim/internal/maxcover"
+	"github.com/reprolab/opim/internal/rng"
+	"github.com/reprolab/opim/internal/rrset"
+)
+
+// Result is the outcome of one TIM run.
+type Result struct {
+	// Seeds is the returned size-k seed set.
+	Seeds []int32
+	// KPT is the estimated lower bound on the optimal spread.
+	KPT float64
+	// Theta is the phase-2 sample size.
+	Theta int64
+	// RRGenerated counts RR sets across both phases.
+	RRGenerated int64
+	// Eps, Delta echo the parameters.
+	Eps, Delta float64
+}
+
+// String implements fmt.Stringer.
+func (r *Result) String() string {
+	return fmt.Sprintf("TIM{k=%d KPT=%.1f θ=%d rr=%d}", len(r.Seeds), r.KPT, r.Theta, r.RRGenerated)
+}
+
+// Run executes TIM on the sampler's graph.
+func Run(sampler *rrset.Sampler, k int, eps, delta float64, seed uint64, workers int) (*Result, error) {
+	g := sampler.Graph()
+	n := g.N()
+	m := g.M()
+	if k < 1 || int64(k) > int64(n) {
+		return nil, fmt.Errorf("tim: k = %d outside [1, n=%d]", k, n)
+	}
+	if !(eps > 0 && eps < 1) {
+		return nil, fmt.Errorf("tim: ε = %v outside (0, 1)", eps)
+	}
+	if !(delta > 0 && delta < 1) {
+		return nil, fmt.Errorf("tim: δ = %v outside (0, 1)", delta)
+	}
+	if m == 0 {
+		// Degenerate: no edges, every size-k set has spread k; any k nodes do.
+		seeds := make([]int32, k)
+		for i := range seeds {
+			seeds[i] = int32(i)
+		}
+		return &Result{Seeds: seeds, KPT: float64(k), Theta: 1, Eps: eps, Delta: delta}, nil
+	}
+
+	root := rng.New(seed)
+	res := &Result{Eps: eps, Delta: delta}
+	lnInvDelta := math.Log(1 / delta)
+	log2n := math.Log2(float64(n))
+
+	// Phase 1: KPT estimation (TIM's Algorithm 2).
+	kpt := 1.0
+	phase1 := rrset.NewCollection(n)
+	base1 := root.Split(1)
+	maxI := int(log2n) - 1
+	if maxI < 1 {
+		maxI = 1
+	}
+	for i := 1; i <= maxI; i++ {
+		ci := int64(math.Ceil((6*lnInvDelta + 6*math.Log(log2n+1)) * math.Pow(2, float64(i))))
+		if add := ci - int64(phase1.Count()); add > 0 {
+			rrset.Generate(phase1, sampler, int(add), base1, workers)
+		}
+		var sum float64
+		for id := int32(0); id < int32(phase1.Count()); id++ {
+			w := width(sampler, phase1.Set(id))
+			kappa := 1 - math.Pow(1-float64(w)/float64(m), float64(k))
+			sum += kappa
+		}
+		if sum/float64(phase1.Count()) > 1/math.Pow(2, float64(i)) {
+			kpt = float64(n) * sum / (2 * float64(phase1.Count()))
+			break
+		}
+	}
+	res.RRGenerated += int64(phase1.Count())
+
+	// KPT refinement (TIM⁺'s intermediate step): greedy on the phase-1 sets
+	// and a fresh estimate of that seed set's spread give a second, often
+	// tighter lower bound.
+	refineSel := maxcover.Greedy(phase1, k)
+	refine := rrset.NewCollection(n)
+	refineCount := int64(math.Ceil((2 + eps) * float64(n) * lnInvDelta / (eps * eps * kpt)))
+	if refineCount > 0 && refineCount < 1<<22 {
+		rrset.Generate(refine, sampler, int(refineCount), root.Split(2), workers)
+		res.RRGenerated += refineCount
+		est := float64(n) * float64(refine.Coverage(refineSel.Seeds)) / float64(refine.Count())
+		if refined := est / (1 + eps); refined > kpt {
+			kpt = refined
+		}
+	}
+	res.KPT = kpt
+
+	// Phase 2: θ = λ/KPT with λ = (8+2ε)n(ln(1/δ) + ln C(n,k) + ln 2)ε⁻².
+	lambda := (8 + 2*eps) * float64(n) * (lnInvDelta + bound.LnChoose(n, k) + math.Ln2) / (eps * eps)
+	theta := int64(math.Ceil(lambda / kpt))
+	if theta < 1 {
+		theta = 1
+	}
+	res.Theta = theta
+	phase2 := rrset.NewCollection(n)
+	rrset.Generate(phase2, sampler, int(theta), root.Split(3), workers)
+	res.RRGenerated += theta
+	sel := maxcover.Greedy(phase2, k)
+	res.Seeds = sel.Seeds
+	return res, nil
+}
+
+// width returns ω(R): the number of edges entering R's members.
+func width(s *rrset.Sampler, set []int32) int64 {
+	var w int64
+	g := s.Graph()
+	for _, v := range set {
+		w += int64(g.InDegree(v))
+	}
+	return w
+}

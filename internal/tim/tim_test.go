@@ -1,0 +1,144 @@
+package tim
+
+import (
+	"testing"
+
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/gen"
+	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/imm"
+	"github.com/reprolab/opim/internal/rrset"
+)
+
+func testGraph(t testing.TB, n int32) *graph.Graph {
+	t.Helper()
+	g, err := gen.PreferentialAttachment(n, 8, 0.15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err = graph.Reweight(g, graph.WeightedCascade, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRunBasic(t *testing.T) {
+	g := testGraph(t, 800)
+	s := rrset.NewSampler(g, diffusion.IC)
+	res, err := Run(s, 10, 0.4, 0.1, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 10 {
+		t.Fatalf("seeds = %d", len(res.Seeds))
+	}
+	if res.KPT < 1 || res.Theta < 1 || res.RRGenerated < res.Theta {
+		t.Fatalf("accounting: %v", res)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	g := testGraph(t, 100)
+	s := rrset.NewSampler(g, diffusion.IC)
+	if _, err := Run(s, 0, 0.3, 0.1, 1, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Run(s, 5, 1.5, 0.1, 1, 1); err == nil {
+		t.Error("ε=1.5 accepted")
+	}
+	if _, err := Run(s, 5, 0.3, 0, 1, 1); err == nil {
+		t.Error("δ=0 accepted")
+	}
+}
+
+func TestRunEdgelessGraph(t *testing.T) {
+	b := graph.NewBuilder(10, 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rrset.NewSampler(g, diffusion.IC)
+	res, err := Run(s, 3, 0.3, 0.1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 3 {
+		t.Fatalf("seeds = %v", res.Seeds)
+	}
+}
+
+func TestRunPicksHubOnStar(t *testing.T) {
+	g, err := gen.Star(400, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rrset.NewSampler(g, diffusion.IC)
+	res, err := Run(s, 1, 0.3, 0.1, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seeds[0] != 0 {
+		t.Fatalf("TIM picked %d, want hub", res.Seeds[0])
+	}
+	// KPT must lower-bound σ(S°) = 1 + 399·0.3 = 120.7.
+	if res.KPT > 120.7*1.2 {
+		t.Fatalf("KPT = %v above the optimum", res.KPT)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	g := testGraph(t, 500)
+	s := rrset.NewSampler(g, diffusion.LT)
+	a, err := Run(s, 5, 0.4, 0.1, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(s, 5, 0.4, 0.1, 7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Theta != b.Theta || a.KPT != b.KPT {
+		t.Fatalf("runs differ: %v vs %v", a, b)
+	}
+	for i := range a.Seeds {
+		if a.Seeds[i] != b.Seeds[i] {
+			t.Fatalf("seed %d differs", i)
+		}
+	}
+}
+
+func TestTIMComparableToIMM(t *testing.T) {
+	// TIM and IMM have the same guarantee; seed quality should match, and
+	// IMM should not need more RR sets (IMM's LB estimation is tighter —
+	// that was IMM's contribution).
+	g := testGraph(t, 1000)
+	s := rrset.NewSampler(g, diffusion.IC)
+	timRes, err := Run(s, 10, 0.3, 0.1, 9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	immRes, err := imm.Run(s, 10, 0.3, 0.1, 9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := diffusion.EstimateSpread(g, diffusion.IC, timRes.Seeds, 10000, 10, 0)
+	b := diffusion.EstimateSpread(g, diffusion.IC, immRes.Seeds, 10000, 10, 0)
+	if a.Spread < 0.85*b.Spread || b.Spread < 0.85*a.Spread {
+		t.Fatalf("TIM %v vs IMM %v diverge", a, b)
+	}
+}
+
+func TestWidth(t *testing.T) {
+	g := testGraph(t, 100)
+	s := rrset.NewSampler(g, diffusion.IC)
+	var set []int32
+	var want int64
+	for v := int32(0); v < 5; v++ {
+		set = append(set, v)
+		want += int64(g.InDegree(v))
+	}
+	if got := width(s, set); got != want {
+		t.Fatalf("width = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,246 @@
+// Package trigger implements the triggering model [Kempe et al. 2003],
+// the generalization of IC and LT under which the paper states its
+// complexity results (Theorem 6.4 and Appendix A): every node v
+// independently draws a random triggering set T(v) from a distribution
+// over subsets of its in-neighbors; an inactive v activates at step t+1
+// iff some node of T(v) is active at step t.
+//
+//   - IC is the triggering model where each in-neighbor u joins T(v)
+//     independently with probability p(u,v).
+//   - LT is the triggering model where T(v) holds at most one in-neighbor,
+//     u with probability p(u,v) (and ∅ with probability 1 − Σp).
+//
+// The package provides forward cascade simulation and random RR-set
+// generation for ANY Distribution, plus the two built-ins. The built-ins
+// are sampled with the same primitives as the specialized code in
+// diffusion/rrset, so distributional equivalence is testable.
+package trigger
+
+import (
+	"fmt"
+
+	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/rng"
+)
+
+// Distribution samples triggering sets for the nodes of one graph.
+// Implementations must be safe for concurrent use; per-goroutine state
+// belongs to the caller's rng.Source and buffer.
+type Distribution interface {
+	// SampleTriggering appends a triggering set for v to buf and returns
+	// the extended slice. Members must be in-neighbors of v, without
+	// duplicates.
+	SampleTriggering(v int32, src *rng.Source, buf []int32) []int32
+}
+
+// IC is the independent-cascade triggering distribution for one graph.
+type IC struct {
+	g *graph.Graph
+}
+
+// NewIC returns the IC triggering distribution of g.
+func NewIC(g *graph.Graph) *IC { return &IC{g: g} }
+
+// SampleTriggering implements Distribution: each in-neighbor joins
+// independently with its edge probability.
+func (d *IC) SampleTriggering(v int32, src *rng.Source, buf []int32) []int32 {
+	from, p := d.g.InNeighbors(v)
+	for i, u := range from {
+		if src.Float64() < float64(p[i]) {
+			buf = append(buf, u)
+		}
+	}
+	return buf
+}
+
+// LT is the linear-threshold triggering distribution for one graph: at
+// most one in-neighbor, drawn proportionally to edge weight via the
+// graph's alias tables.
+type LT struct {
+	s *graph.LTSampler
+}
+
+// NewLT returns the LT triggering distribution of g (O(n+m) preprocessing).
+func NewLT(g *graph.Graph) *LT { return &LT{s: graph.NewLTSampler(g)} }
+
+// SampleTriggering implements Distribution.
+func (d *LT) SampleTriggering(v int32, src *rng.Source, buf []int32) []int32 {
+	if u, ok := d.s.SampleInNeighbor(v, src); ok {
+		buf = append(buf, u)
+	}
+	return buf
+}
+
+// Simulator runs forward cascades under an arbitrary triggering
+// distribution. Not safe for concurrent use; create one per goroutine.
+type Simulator struct {
+	g    *graph.Graph
+	dist Distribution
+
+	active  []uint32 // epoch-stamped activation marks
+	sampled []uint32 // epoch-stamped "T(v) already drawn" marks
+	trig    [][]int32
+	epoch   uint32
+	queue   []int32
+}
+
+// NewSimulator returns a Simulator for g under dist.
+func NewSimulator(g *graph.Graph, dist Distribution) *Simulator {
+	n := g.N()
+	return &Simulator{
+		g:       g,
+		dist:    dist,
+		active:  make([]uint32, n),
+		sampled: make([]uint32, n),
+		trig:    make([][]int32, n),
+	}
+}
+
+func (s *Simulator) nextEpoch() {
+	s.epoch++
+	if s.epoch == 0 {
+		for i := range s.active {
+			s.active[i] = 0
+			s.sampled[i] = 0
+		}
+		s.epoch = 1
+	}
+}
+
+// Run simulates one cascade from seeds and returns the number of activated
+// nodes. Each node's triggering set is drawn at most once per cascade (on
+// first contact), exactly matching the model's semantics.
+func (s *Simulator) Run(seeds []int32, src *rng.Source) int {
+	s.nextEpoch()
+	q := s.queue[:0]
+	activated := 0
+	for _, v := range seeds {
+		if s.active[v] == s.epoch {
+			continue
+		}
+		s.active[v] = s.epoch
+		q = append(q, v)
+		activated++
+	}
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		to, _ := s.g.OutNeighbors(u)
+		for _, v := range to {
+			if s.active[v] == s.epoch {
+				continue
+			}
+			if s.sampled[v] != s.epoch {
+				s.sampled[v] = s.epoch
+				s.trig[v] = s.dist.SampleTriggering(v, src, s.trig[v][:0])
+			}
+			if contains(s.trig[v], u) {
+				s.active[v] = s.epoch
+				q = append(q, v)
+				activated++
+			}
+		}
+	}
+	s.queue = q
+	return activated
+}
+
+func contains(set []int32, u int32) bool {
+	for _, w := range set {
+		if w == u {
+			return true
+		}
+	}
+	return false
+}
+
+// RRSampler generates random RR sets under an arbitrary triggering
+// distribution: reverse-traverse sampled triggering sets from a random
+// root (Appendix A's construction in its general form). Immutable; use one
+// Scratch per goroutine.
+type RRSampler struct {
+	g    *graph.Graph
+	dist Distribution
+}
+
+// NewRRSampler returns an RRSampler for g under dist.
+func NewRRSampler(g *graph.Graph, dist Distribution) *RRSampler {
+	return &RRSampler{g: g, dist: dist}
+}
+
+// Scratch holds the per-goroutine buffers of RR generation.
+type Scratch struct {
+	mark  []uint32
+	epoch uint32
+	buf   []int32
+	tbuf  []int32
+}
+
+// NewScratch returns a Scratch sized for the sampler's graph.
+func (s *RRSampler) NewScratch() *Scratch {
+	return &Scratch{mark: make([]uint32, s.g.N())}
+}
+
+// Sample draws one random RR set. The returned slice aliases scratch
+// storage valid until the next call.
+func (s *RRSampler) Sample(src *rng.Source, sc *Scratch) []int32 {
+	root := src.Int31n(s.g.N())
+	return s.SampleFrom(root, src, sc)
+}
+
+// SampleFrom draws one RR set rooted at root.
+func (s *RRSampler) SampleFrom(root int32, src *rng.Source, sc *Scratch) []int32 {
+	sc.epoch++
+	if sc.epoch == 0 {
+		for i := range sc.mark {
+			sc.mark[i] = 0
+		}
+		sc.epoch = 1
+	}
+	q := sc.buf[:0]
+	q = append(q, root)
+	sc.mark[root] = sc.epoch
+	for head := 0; head < len(q); head++ {
+		v := q[head]
+		sc.tbuf = s.dist.SampleTriggering(v, src, sc.tbuf[:0])
+		for _, u := range sc.tbuf {
+			if sc.mark[u] == sc.epoch {
+				continue
+			}
+			sc.mark[u] = sc.epoch
+			q = append(q, u)
+		}
+	}
+	sc.buf = q
+	return q
+}
+
+// Validate checks that dist produces legal triggering sets for every node
+// of g over `trials` draws: members are in-neighbors, no duplicates. It is
+// a development aid for user-supplied distributions.
+func Validate(g *graph.Graph, dist Distribution, trials int, seed uint64) error {
+	src := rng.New(seed)
+	buf := make([]int32, 0, 64)
+	for t := 0; t < trials; t++ {
+		v := src.Int31n(g.N())
+		buf = dist.SampleTriggering(v, src, buf[:0])
+		seen := make(map[int32]bool, len(buf))
+		for _, u := range buf {
+			if seen[u] {
+				return fmt.Errorf("trigger: duplicate member %d in T(%d)", u, v)
+			}
+			seen[u] = true
+			from, _ := g.InNeighbors(v)
+			ok := false
+			for _, w := range from {
+				if w == u {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return fmt.Errorf("trigger: %d ∈ T(%d) is not an in-neighbor", u, v)
+			}
+		}
+	}
+	return nil
+}

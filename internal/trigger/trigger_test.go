@@ -1,0 +1,224 @@
+package trigger
+
+import (
+	"math"
+	"testing"
+
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/gen"
+	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/rng"
+)
+
+func wcGraph(t testing.TB, n int32, seed uint64) *graph.Graph {
+	t.Helper()
+	g, err := gen.PreferentialAttachment(n, 6, 0.15, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err = graph.Reweight(g, graph.WeightedCascade, 0, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestValidateBuiltins(t *testing.T) {
+	g := wcGraph(t, 500, 1)
+	if err := Validate(g, NewIC(g), 2000, 2); err != nil {
+		t.Fatalf("IC: %v", err)
+	}
+	if err := Validate(g, NewLT(g), 2000, 3); err != nil {
+		t.Fatalf("LT: %v", err)
+	}
+}
+
+// badDist returns non-in-neighbors to exercise Validate.
+type badDist struct{ g *graph.Graph }
+
+func (d badDist) SampleTriggering(v int32, src *rng.Source, buf []int32) []int32 {
+	return append(buf, (v+1)%d.g.N()) // usually not an in-neighbor
+}
+
+// dupDist returns duplicates.
+type dupDist struct{ g *graph.Graph }
+
+func (d dupDist) SampleTriggering(v int32, src *rng.Source, buf []int32) []int32 {
+	from, _ := d.g.InNeighbors(v)
+	if len(from) > 0 {
+		buf = append(buf, from[0], from[0])
+	}
+	return buf
+}
+
+func TestValidateCatchesBadDistributions(t *testing.T) {
+	g := wcGraph(t, 100, 4)
+	if err := Validate(g, badDist{g}, 500, 5); err == nil {
+		t.Fatal("non-in-neighbor member accepted")
+	}
+	if err := Validate(g, dupDist{g}, 500, 6); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+}
+
+func TestICTriggeringMatchesSpecializedSimulator(t *testing.T) {
+	// The triggering-model simulator under NewIC must produce the same
+	// expected spread as the specialized diffusion.IC simulator.
+	g := wcGraph(t, 600, 7)
+	seeds := []int32{0, 1, 2}
+	const runs = 40000
+
+	sim := NewSimulator(g, NewIC(g))
+	src := rng.New(8)
+	var sum float64
+	for i := 0; i < runs; i++ {
+		sum += float64(sim.Run(seeds, src))
+	}
+	got := sum / runs
+
+	want := diffusion.EstimateSpread(g, diffusion.IC, seeds, runs, 9, 0)
+	if math.Abs(got-want.Spread) > 5*want.StdErr+0.05*want.Spread {
+		t.Fatalf("triggering-IC spread %v vs specialized %v", got, want)
+	}
+}
+
+func TestLTTriggeringMatchesSpecializedSimulator(t *testing.T) {
+	g := wcGraph(t, 600, 10)
+	seeds := []int32{0, 5}
+	const runs = 40000
+
+	sim := NewSimulator(g, NewLT(g))
+	src := rng.New(11)
+	var sum float64
+	for i := 0; i < runs; i++ {
+		sum += float64(sim.Run(seeds, src))
+	}
+	got := sum / runs
+
+	want := diffusion.EstimateSpread(g, diffusion.LT, seeds, runs, 12, 0)
+	if math.Abs(got-want.Spread) > 5*want.StdErr+0.05*want.Spread {
+		t.Fatalf("triggering-LT spread %v vs specialized %v", got, want)
+	}
+}
+
+func TestRRSamplerLemma31(t *testing.T) {
+	// Under the generic RR sampler, n·Pr[u ∈ R] must estimate σ({u})
+	// (Lemma 3.1 holds for any triggering model).
+	g := wcGraph(t, 300, 13)
+	for name, dist := range map[string]Distribution{"IC": NewIC(g), "LT": NewLT(g)} {
+		s := NewRRSampler(g, dist)
+		sc := s.NewScratch()
+		src := rng.New(14)
+		const draws = 50000
+		deg := make(map[int32]int)
+		for i := 0; i < draws; i++ {
+			for _, v := range s.Sample(src, sc) {
+				deg[v]++
+			}
+		}
+		var model diffusion.Model
+		if name == "LT" {
+			model = diffusion.LT
+		}
+		for _, u := range []int32{1, 10, 50} {
+			ris := float64(g.N()) * float64(deg[u]) / draws
+			mc := diffusion.EstimateSpread(g, model, []int32{u}, 50000, 15, 0)
+			risStd := float64(g.N()) * math.Sqrt(float64(deg[u])+1) / draws
+			tol := 4*mc.StdErr + 4*risStd + 0.05*mc.Spread + 0.05
+			if math.Abs(ris-mc.Spread) > tol {
+				t.Fatalf("%s node %d: RIS %v vs MC %v (tol %v)", name, u, ris, mc, tol)
+			}
+		}
+	}
+}
+
+func TestRRSamplerNoDuplicates(t *testing.T) {
+	g := wcGraph(t, 300, 16)
+	s := NewRRSampler(g, NewIC(g))
+	sc := s.NewScratch()
+	src := rng.New(17)
+	for i := 0; i < 500; i++ {
+		set := s.Sample(src, sc)
+		seen := make(map[int32]bool, len(set))
+		for _, v := range set {
+			if seen[v] {
+				t.Fatalf("duplicate %d in RR set", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSimulatorDuplicateSeeds(t *testing.T) {
+	g := wcGraph(t, 100, 18)
+	sim := NewSimulator(g, NewIC(g))
+	src := rng.New(19)
+	a := sim.Run([]int32{3, 3, 3}, src)
+	if a < 1 {
+		t.Fatalf("spread = %d", a)
+	}
+}
+
+func TestTriggeringSetDrawnOncePerCascade(t *testing.T) {
+	// Node 2 has two in-edges (from 0 and 1) with p=0.5 each. Under IC the
+	// two chances are independent: P(activate | both active) = 0.75. If the
+	// triggering set were redrawn per contact this would still hold, but if
+	// membership were rechecked against a single draw it must also be 0.75;
+	// the distinguishing case is LT: P = p0 + p1 = 1 with a single draw,
+	// NOT 1 − (1−p0)(1−p1).
+	b := graph.NewBuilder(3, 2)
+	b.AddEdge(0, 2, 0.5)
+	b.AddEdge(1, 2, 0.5)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runs = 50000
+	src := rng.New(20)
+
+	simLT := NewSimulator(g, NewLT(g))
+	hits := 0
+	for i := 0; i < runs; i++ {
+		if simLT.Run([]int32{0, 1}, src) == 3 {
+			hits++
+		}
+	}
+	if p := float64(hits) / runs; p < 0.999 {
+		t.Fatalf("LT triggering with both parents active: P = %v, want 1", p)
+	}
+
+	simIC := NewSimulator(g, NewIC(g))
+	hits = 0
+	for i := 0; i < runs; i++ {
+		if simIC.Run([]int32{0, 1}, src) == 3 {
+			hits++
+		}
+	}
+	if p := float64(hits) / runs; math.Abs(p-0.75) > 0.01 {
+		t.Fatalf("IC triggering with both parents active: P = %v, want 0.75", p)
+	}
+}
+
+func BenchmarkTriggeringCascadeIC(b *testing.B) {
+	g, _ := gen.PreferentialAttachment(10000, 10, 0.1, 1)
+	g, _ = graph.Reweight(g, graph.WeightedCascade, 0, 1)
+	sim := NewSimulator(g, NewIC(g))
+	src := rng.New(1)
+	seeds := []int32{0, 1, 2, 3, 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(seeds, src)
+	}
+}
+
+func BenchmarkTriggeringRRSample(b *testing.B) {
+	g, _ := gen.PreferentialAttachment(10000, 10, 0.1, 1)
+	g, _ = graph.Reweight(g, graph.WeightedCascade, 0, 1)
+	s := NewRRSampler(g, NewIC(g))
+	sc := s.NewScratch()
+	src := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample(src, sc)
+	}
+}

@@ -1,0 +1,102 @@
+package opim
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	g, err := GenerateProfile("synth-pokec", 20000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() < 50 {
+		t.Fatalf("n = %d", g.N())
+	}
+	sampler := NewSampler(g, IC)
+
+	// Online session.
+	session, err := NewOnline(sampler, Options{K: 5, Delta: 0.05, Variant: Plus, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	session.Advance(2000)
+	snap := session.Snapshot()
+	if len(snap.Seeds) != 5 || snap.Alpha <= 0 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+
+	// Conventional run.
+	res, err := Maximize(sampler, 5, 0.3, 0.05, Options{Variant: Plus, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 5 {
+		t.Fatalf("maximize seeds = %v", res.Seeds)
+	}
+
+	// Spread evaluation.
+	est := EstimateSpread(g, IC, res.Seeds, 2000, 4, 0)
+	if est.Spread < 5 {
+		t.Fatalf("spread = %v below seed count", est.Spread)
+	}
+}
+
+func TestFacadeGraphIO(t *testing.T) {
+	b := NewBuilder(3, 2)
+	b.AddEdge(0, 1, 0.5)
+	b.AddEdge(1, 2, 0.5)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.bin")
+	if err := SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != 3 || g2.M() != 2 {
+		t.Fatalf("round trip: n=%d m=%d", g2.N(), g2.M())
+	}
+}
+
+func TestFacadeReweight(t *testing.T) {
+	b := NewBuilder(3, 2)
+	b.AddEdge(0, 2, 0)
+	b.AddEdge(1, 2, 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, err := Reweight(g, WeightedCascade, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := wc.InWeightSum(2); got < 0.99 || got > 1.01 {
+		t.Fatalf("WC in-weight sum = %v", got)
+	}
+	if _, err := Reweight(g, Uniform, 0.01, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Reweight(g, Trivalency, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileNames(t *testing.T) {
+	names := ProfileNames()
+	if len(names) != 4 {
+		t.Fatalf("profiles = %v", names)
+	}
+	for _, n := range names {
+		if _, err := GenerateProfile(n, 1<<20, 1); err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+	}
+	if _, err := GenerateProfile("bogus", 0, 1); err == nil {
+		t.Fatal("bogus profile accepted")
+	}
+}
