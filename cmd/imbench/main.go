@@ -19,6 +19,7 @@ import (
 
 	"github.com/reprolab/opim/internal/diffusion"
 	"github.com/reprolab/opim/internal/experiments"
+	"github.com/reprolab/opim/internal/obs"
 )
 
 func main() {
@@ -34,6 +35,7 @@ func main() {
 		chart   = flag.Bool("chart", false, "render online panels as ASCII charts")
 		rrCap   = flag.Int64("rrcap", 50_000_000, "per-run RR-set safety cap for fig6/fig7 (0 = unlimited)")
 		epsList = flag.String("eps", "", "comma-separated ε grid for fig6/fig7 (default 0.3,0.2,0.1,0.05)")
+		logEv   = flag.String("log-events", "", "write a JSONL event per measured data point to this file")
 	)
 	flag.Parse()
 
@@ -45,6 +47,18 @@ func main() {
 	cfg.K = *k
 	cfg.Workers = *workers
 	cfg.Chart = *chart
+	if *logEv != "" {
+		sink, err := obs.CreateJSONL(*logEv)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer func() {
+			if err := sink.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "imbench: closing %s: %v\n", *logEv, err)
+			}
+		}()
+		cfg.Events = sink
+	}
 	if *maxCP > 0 && *maxCP < len(cfg.Checkpoints) {
 		cfg.Checkpoints = cfg.Checkpoints[:*maxCP]
 	}

@@ -9,6 +9,7 @@
 //
 //	opimcli -profile synth-pokec -model LT -k 50 -target 0.8
 //	opimcli -graph edges.txt -weights wc -model IC -k 10 -budget 2000000 -o seeds.txt
+//	opimcli -profile synth-pokec -k 50 -log-events run.jsonl   # replayable JSONL trace
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 
 	"github.com/reprolab/opim"
 	"github.com/reprolab/opim/internal/cliutil"
+	"github.com/reprolab/opim/internal/obs"
 )
 
 func main() {
@@ -40,6 +42,7 @@ func main() {
 		union     = flag.Bool("union", false, "union-budget mode: all reports valid simultaneously with prob ≥ 1−δ")
 		mc        = flag.Int("mc", 0, "if > 0, Monte-Carlo runs to evaluate the final seed set")
 		outSeeds  = flag.String("o", "", "write the final seed set to this file (one id per line)")
+		logEvents = flag.String("log-events", "", "write a JSONL event per snapshot to this file (see docs/OBSERVABILITY.md)")
 		resume    = flag.String("resume", "", "resume a session saved with -save (graph flags must match)")
 		save      = flag.String("save", "", "save the session here on exit, for later -resume")
 		repl      = flag.Bool("i", false, "interactive mode: read commands from stdin (type 'help')")
@@ -64,6 +67,18 @@ func main() {
 	}
 
 	fmt.Printf("graph: n=%d m=%d  model=%v  k=%d  δ=%.2e  variant=%v\n", g.N(), g.M(), model, *k, delta, variant)
+	var events *opim.JSONLEventSink
+	if *logEvents != "" {
+		events, err = obs.CreateJSONL(*logEvents)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer func() {
+			if err := events.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "opimcli: closing %s: %v\n", *logEvents, err)
+			}
+		}()
+	}
 	sampler := opim.NewSampler(g, model)
 	var session *opim.Online
 	if *resume != "" {
@@ -76,11 +91,18 @@ func main() {
 		if err != nil {
 			fatalf("resuming %s: %v", *resume, err)
 		}
+		if events != nil {
+			session.SetEvents(events)
+		}
 		fmt.Printf("resumed session with %d RR sets\n", session.NumRR())
 	} else {
-		session, err = opim.NewOnline(sampler, opim.Options{
+		opts := opim.Options{
 			K: *k, Delta: delta, Variant: variant, Seed: *seed, Workers: *workers, UnionBudget: *union,
-		})
+		}
+		if events != nil {
+			opts.Events = events
+		}
+		session, err = opim.NewOnline(sampler, opts)
 		if err != nil {
 			fatalf("%v", err)
 		}

@@ -11,6 +11,11 @@
 //	curl -X POST localhost:8080/stop       # pause
 //	curl -X POST 'localhost:8080/advance?count=100000'
 //	curl localhost:8080/status
+//	curl localhost:8080/metrics            # throughput, latencies, last α
+//
+// With -pprof, Go's net/http/pprof profiling handlers are mounted under
+// /debug/pprof/. See docs/API.md for the full HTTP surface and
+// docs/OBSERVABILITY.md for the metric catalogue.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -25,6 +31,7 @@ import (
 
 	"github.com/reprolab/opim"
 	"github.com/reprolab/opim/internal/cliutil"
+	"github.com/reprolab/opim/internal/obs"
 	"github.com/reprolab/opim/internal/server"
 )
 
@@ -44,6 +51,8 @@ func main() {
 		maxRR     = flag.Int64("maxrr", 1<<26, "RR-set budget")
 		listen    = flag.String("listen", ":8080", "listen address")
 		union     = flag.Bool("union", false, "union-budget mode across snapshots")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		logEvents = flag.String("log-events", "", "append a JSONL event per served snapshot to this file")
 	)
 	flag.Parse()
 
@@ -64,14 +73,31 @@ func main() {
 		delta = 1 / float64(g.N())
 	}
 
+	var events *obs.JSONLSink
+	if *logEvents != "" {
+		events, err = obs.CreateJSONL(*logEvents)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
 	session, err := opim.NewOnline(opim.NewSampler(g, model), opim.Options{
 		K: *k, Delta: delta, Variant: variant, Seed: *seed, Workers: *workers, UnionBudget: *union,
+		Events: flushingSinkOrNil(events),
 	})
 	if err != nil {
 		fatalf("%v", err)
 	}
 	srv := server.New(session, *batch, *maxRR)
-	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	}
+	httpSrv := &http.Server{Addr: *listen, Handler: mux}
 
 	// Graceful shutdown: stop the sampler loop and drain connections on
 	// SIGINT/SIGTERM.
@@ -82,6 +108,11 @@ func main() {
 		<-sig
 		fmt.Println("\nopimd: shutting down")
 		srv.Stop()
+		if events != nil {
+			if err := events.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "opimd: closing event log: %v\n", err)
+			}
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
@@ -92,10 +123,33 @@ func main() {
 
 	fmt.Printf("opimd: n=%d m=%d model=%v k=%d δ=%.2e — listening on %s\n",
 		g.N(), g.M(), model, *k, delta, *listen)
+	if *pprofOn {
+		fmt.Printf("opimd: pprof mounted at %s/debug/pprof/\n", *listen)
+	}
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fatalf("%v", err)
 	}
 	<-idle
+}
+
+// flushingSink writes each event through to disk immediately. Events in
+// the daemon are rare (one per served /snapshot) but the process is
+// long-running, so leaving them in the JSONL buffer until shutdown would
+// make `tail -f` on the log useless.
+type flushingSink struct{ s *obs.JSONLSink }
+
+func (f flushingSink) Emit(event string, fields map[string]any) {
+	f.s.Emit(event, fields)
+	f.s.Flush()
+}
+
+// flushingSinkOrNil converts a possibly-nil *JSONLSink without producing
+// a non-nil interface around a nil pointer.
+func flushingSinkOrNil(s *obs.JSONLSink) obs.Sink {
+	if s == nil {
+		return nil
+	}
+	return flushingSink{s}
 }
 
 func fatalf(format string, args ...any) {

@@ -24,8 +24,23 @@ import (
 
 	"github.com/reprolab/opim/internal/bound"
 	"github.com/reprolab/opim/internal/maxcover"
+	"github.com/reprolab/opim/internal/obs"
 	"github.com/reprolab/opim/internal/rng"
 	"github.com/reprolab/opim/internal/rrset"
+)
+
+// Guarantee-derivation metrics (obs.Default(), see docs/OBSERVABILITY.md).
+// The core_last_* gauges always hold the most recent snapshot's paper
+// quantities, which is what opimd's GET /metrics reports without spending
+// any δ budget.
+var (
+	mSnapshots  = obs.Default().Counter("core_snapshots_total")
+	mRounds     = obs.Default().Counter("core_rounds_total")
+	mLastAlpha  = obs.Default().Gauge("core_last_alpha")
+	mLastSigmaL = obs.Default().Gauge("core_last_sigma_lower")
+	mLastSigmaU = obs.Default().Gauge("core_last_sigma_upper")
+	mLastTheta1 = obs.Default().Gauge("core_last_theta1")
+	mLastTheta2 = obs.Default().Gauge("core_last_theta2")
 )
 
 // Variant selects how the upper bound σᵘ(S°) is derived.
@@ -86,6 +101,14 @@ type Options struct {
 	// binomial; typically a slightly tighter α at small sample counts.
 	// Experimental extension — see bound.SigmaLowerExact/SigmaUpperExact.
 	Exact bool
+	// Events, when non-nil, receives one structured event per derived
+	// snapshot ("snapshot") and, in Maximize, per doubling round ("round")
+	// plus a final "maximize" summary — each carrying the paper quantities
+	// (θ1, θ2, Λ1, Λ2, σˡ, σᵘ, α) at that instant. Wire an obs.JSONLSink
+	// here to make a run replayable; see docs/OBSERVABILITY.md. Sinks are
+	// not persisted by SaveSession; reattach with SetEvents after
+	// LoadSession.
+	Events obs.Sink
 	// BaseSeeds, when non-empty, switches the session to the AUGMENTATION
 	// problem: the base set is already committed, selection picks K
 	// additional nodes maximizing the residual spread σ(B∪S) − σ(B), and
@@ -128,6 +151,7 @@ type Online struct {
 	base1   *rng.Source
 	base2   *rng.Source
 	queries int
+	start   time.Time // session epoch, for event elapsed_seconds
 }
 
 // NewOnline starts an OPIM session on the sampler's graph.
@@ -143,8 +167,13 @@ func NewOnline(sampler *rrset.Sampler, opts Options) (*Online, error) {
 		r2:      rrset.NewCollection(sampler.Graph().N()),
 		base1:   root.Split(1),
 		base2:   root.Split(2),
+		start:   time.Now(),
 	}, nil
 }
+
+// SetEvents attaches (or replaces, or with nil detaches) the session's
+// event sink. Needed after LoadSession, which cannot restore one.
+func (o *Online) SetEvents(s obs.Sink) { o.opts.Events = s }
 
 // NumRR returns the total number of RR sets generated so far (both halves).
 func (o *Online) NumRR() int64 {
@@ -232,7 +261,40 @@ func (o *Online) Snapshot() *Snapshot {
 	if o.opts.UnionBudget {
 		delta = o.opts.Delta / math.Pow(2, float64(o.queries))
 	}
-	return deriveSnapshotBase(o.r1, o.r2, o.opts.K, delta, o.opts.Variant, o.opts.Exact, o.opts.BaseSeeds)
+	snap := deriveSnapshotBase(o.r1, o.r2, o.opts.K, delta, o.opts.Variant, o.opts.Exact, o.opts.BaseSeeds)
+	mSnapshots.Inc()
+	recordSnapshotGauges(snap)
+	obs.Emit(o.opts.Events, "snapshot", snapshotFields(snap, map[string]any{
+		"query":           o.queries,
+		"elapsed_seconds": time.Since(o.start).Seconds(),
+	}))
+	return snap
+}
+
+// recordSnapshotGauges publishes a snapshot's paper quantities as the
+// core_last_* gauges.
+func recordSnapshotGauges(s *Snapshot) {
+	mLastAlpha.Set(s.Alpha)
+	mLastSigmaL.Set(s.SigmaLower)
+	mLastSigmaU.Set(s.SigmaUpper)
+	mLastTheta1.Set(float64(s.Theta1))
+	mLastTheta2.Set(float64(s.Theta2))
+}
+
+// snapshotFields merges a snapshot's paper quantities into extra (which it
+// mutates and returns).
+func snapshotFields(s *Snapshot, extra map[string]any) map[string]any {
+	extra["theta1"] = s.Theta1
+	extra["theta2"] = s.Theta2
+	extra["lambda1"] = s.CoverageR1
+	extra["lambda2"] = s.CoverageR2
+	extra["sigma_lower"] = s.SigmaLower
+	extra["sigma_upper"] = s.SigmaUpper
+	extra["alpha"] = s.Alpha
+	extra["delta_spent"] = s.DeltaSpent
+	extra["variant"] = s.Variant.String()
+	extra["k"] = len(s.Seeds)
+	return extra
 }
 
 // deriveSnapshot implements §4.1's three steps on explicit halves: greedy

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/gen"
+	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/obs"
+	"github.com/reprolab/opim/internal/rrset"
+)
+
+func eventsTestSampler(t *testing.T) *rrset.Sampler {
+	t.Helper()
+	g, err := gen.PreferentialAttachment(300, 5, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err = graph.Reweight(g, graph.WeightedCascade, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rrset.NewSampler(g, diffusion.IC)
+}
+
+// TestSnapshotEmitsEvents asserts each Snapshot call produces one
+// "snapshot" event whose fields match the returned value.
+func TestSnapshotEmitsEvents(t *testing.T) {
+	sink := &obs.MemorySink{}
+	o, err := NewOnline(eventsTestSampler(t), Options{
+		K: 3, Delta: 0.1, Variant: Plus, Seed: 7, Events: sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Advance(1000)
+	s1 := o.Snapshot()
+	o.Advance(1000)
+	s2 := o.Snapshot()
+
+	evs := sink.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	for i, want := range []*Snapshot{s1, s2} {
+		ev := evs[i]
+		if ev.Event != "snapshot" {
+			t.Fatalf("event %d = %q", i, ev.Event)
+		}
+		if ev.Fields["alpha"] != want.Alpha {
+			t.Fatalf("event %d alpha = %v, want %v", i, ev.Fields["alpha"], want.Alpha)
+		}
+		if ev.Fields["sigma_lower"] != want.SigmaLower || ev.Fields["sigma_upper"] != want.SigmaUpper {
+			t.Fatalf("event %d bounds = %v/%v", i, ev.Fields["sigma_lower"], ev.Fields["sigma_upper"])
+		}
+		if ev.Fields["theta1"] != want.Theta1 || ev.Fields["theta2"] != want.Theta2 {
+			t.Fatalf("event %d thetas = %v/%v", i, ev.Fields["theta1"], ev.Fields["theta2"])
+		}
+		if ev.Fields["lambda1"] != want.CoverageR1 || ev.Fields["lambda2"] != want.CoverageR2 {
+			t.Fatalf("event %d coverages = %v/%v", i, ev.Fields["lambda1"], ev.Fields["lambda2"])
+		}
+		if ev.Fields["variant"] != "OPIM+" || ev.Fields["query"] != i+1 {
+			t.Fatalf("event %d meta = %+v", i, ev.Fields)
+		}
+		if _, ok := ev.Fields["elapsed_seconds"].(float64); !ok {
+			t.Fatalf("event %d missing elapsed_seconds", i)
+		}
+	}
+}
+
+// TestSnapshotEventsUpdateGauges asserts the core_last_* gauges track the
+// latest snapshot, which is what opimd's /metrics reports.
+func TestSnapshotEventsUpdateGauges(t *testing.T) {
+	o, err := NewOnline(eventsTestSampler(t), Options{K: 3, Delta: 0.1, Variant: Plus, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Advance(2000)
+	snap := o.Snapshot()
+	m := obs.Default().Snapshot()
+	if got := m.Gauges["core_last_alpha"]; got != snap.Alpha {
+		t.Fatalf("core_last_alpha = %v, want %v", got, snap.Alpha)
+	}
+	if got := m.Gauges["core_last_theta1"]; got != float64(snap.Theta1) {
+		t.Fatalf("core_last_theta1 = %v, want %v", got, snap.Theta1)
+	}
+	if m.Counters["core_snapshots_total"] < 1 {
+		t.Fatal("core_snapshots_total not incremented")
+	}
+}
+
+// TestMaximizeEmitsRoundEvents asserts a Maximize run emits one "round"
+// event per doubling round and a final "maximize" summary that matches
+// the returned result.
+func TestMaximizeEmitsRoundEvents(t *testing.T) {
+	sink := &obs.MemorySink{}
+	res, err := Maximize(eventsTestSampler(t), 3, 0.3, 0.1, Options{
+		Variant: Plus, Seed: 5, Events: sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := sink.Events()
+	if len(evs) != res.Rounds+1 {
+		t.Fatalf("got %d events for %d rounds", len(evs), res.Rounds)
+	}
+	for i := 0; i < res.Rounds; i++ {
+		if evs[i].Event != "round" || evs[i].Fields["round"] != i+1 {
+			t.Fatalf("event %d = %q %v", i, evs[i].Event, evs[i].Fields["round"])
+		}
+		if evs[i].Fields["max_rounds"] != res.MaxRounds {
+			t.Fatalf("event %d max_rounds = %v", i, evs[i].Fields["max_rounds"])
+		}
+	}
+	last := evs[len(evs)-1]
+	if last.Event != "maximize" {
+		t.Fatalf("final event = %q", last.Event)
+	}
+	if last.Fields["alpha"] != res.Alpha || last.Fields["certified"] != res.Certified {
+		t.Fatalf("maximize event %+v vs result %+v", last.Fields, res)
+	}
+	if last.Fields["rounds"] != res.Rounds || last.Fields["rr_generated"] != res.RRGenerated {
+		t.Fatalf("maximize event %+v vs result %+v", last.Fields, res)
+	}
+	// The round trajectory's final α must equal the returned α.
+	if evs[res.Rounds-1].Fields["alpha"] != res.Alpha {
+		t.Fatalf("last round alpha %v != result alpha %v", evs[res.Rounds-1].Fields["alpha"], res.Alpha)
+	}
+}
+
+// TestEventsDoNotPerturbResults asserts instrumentation is passive: the
+// same seed with and without a sink yields identical snapshots.
+func TestEventsDoNotPerturbResults(t *testing.T) {
+	run := func(sink obs.Sink) *Snapshot {
+		o, err := NewOnline(eventsTestSampler(t), Options{K: 3, Delta: 0.1, Variant: Plus, Seed: 13, Events: sink})
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.Advance(1500)
+		return o.Snapshot()
+	}
+	a, b := run(nil), run(&obs.MemorySink{})
+	if a.Alpha != b.Alpha || a.SigmaLower != b.SigmaLower || a.SigmaUpper != b.SigmaUpper {
+		t.Fatalf("sink perturbed results: %v vs %v", a, b)
+	}
+	for i := range a.Seeds {
+		if a.Seeds[i] != b.Seeds[i] {
+			t.Fatalf("seed sets differ: %v vs %v", a.Seeds, b.Seeds)
+		}
+	}
+}

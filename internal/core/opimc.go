@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"github.com/reprolab/opim/internal/bound"
+	"github.com/reprolab/opim/internal/obs"
 	"github.com/reprolab/opim/internal/rng"
 	"github.com/reprolab/opim/internal/rrset"
 )
@@ -77,6 +79,7 @@ func Maximize(sampler *rrset.Sampler, k int, eps, delta float64, opts Options) (
 		size = 1
 	}
 	target := bound.OneMinusInvE - eps
+	start := time.Now()
 
 	res := &CResult{MaxRounds: imax, Target: target}
 	for i := 1; ; i++ {
@@ -93,6 +96,14 @@ func Maximize(sampler *rrset.Sampler, k int, eps, delta float64, opts Options) (
 
 		// Lines 5–7: greedy on R1, bounds with δ1 = δ2 = δ/(3·i_max).
 		snap := deriveSnapshotBase(r1, r2, k, 2*perRoundDelta, opts.Variant, opts.Exact, opts.BaseSeeds)
+		mRounds.Inc()
+		recordSnapshotGauges(snap)
+		obs.Emit(opts.Events, "round", snapshotFields(snap, map[string]any{
+			"round":           i,
+			"max_rounds":      imax,
+			"target":          target,
+			"elapsed_seconds": time.Since(start).Seconds(),
+		}))
 		if opts.OnRound != nil {
 			opts.OnRound(i, snap)
 		}
@@ -108,12 +119,33 @@ func Maximize(sampler *rrset.Sampler, k int, eps, delta float64, opts Options) (
 		// |R1| ≥ θmax makes Lemma 6.1 guarantee the approximation).
 		if snap.Alpha >= target {
 			res.Certified = true
+			emitMaximizeDone(opts.Events, res, start)
 			return res, nil
 		}
 		if i >= imax {
+			emitMaximizeDone(opts.Events, res, start)
 			return res, nil
 		}
 		// Line 9: double both halves.
 		size *= 2
 	}
+}
+
+// emitMaximizeDone emits the final "maximize" summary event of one OPIM-C
+// run.
+func emitMaximizeDone(sink obs.Sink, res *CResult, start time.Time) {
+	obs.Emit(sink, "maximize", map[string]any{
+		"k":               len(res.Seeds),
+		"alpha":           res.Alpha,
+		"target":          res.Target,
+		"certified":       res.Certified,
+		"rounds":          res.Rounds,
+		"max_rounds":      res.MaxRounds,
+		"rr_generated":    res.RRGenerated,
+		"theta1":          res.Theta1,
+		"theta2":          res.Theta2,
+		"sigma_lower":     res.SigmaLower,
+		"sigma_upper":     res.SigmaUpper,
+		"elapsed_seconds": time.Since(start).Seconds(),
+	})
 }

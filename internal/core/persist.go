@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"github.com/reprolab/opim/internal/rng"
 	"github.com/reprolab/opim/internal/rrset"
@@ -109,5 +110,6 @@ func LoadSession(r io.Reader, sampler *rrset.Sampler) (*Online, error) {
 		base1:   root.Split(1),
 		base2:   root.Split(2),
 		queries: queries,
+		start:   time.Now(),
 	}, nil
 }

@@ -21,6 +21,7 @@ import (
 	"github.com/reprolab/opim/internal/gen"
 	"github.com/reprolab/opim/internal/graph"
 	"github.com/reprolab/opim/internal/imm"
+	"github.com/reprolab/opim/internal/obs"
 	"github.com/reprolab/opim/internal/rrset"
 	"github.com/reprolab/opim/internal/ssa"
 )
@@ -54,6 +55,12 @@ type Config struct {
 	AdoptionBudgetFactor int64
 	// Chart additionally renders each online panel as an ASCII line chart.
 	Chart bool
+	// Events, when non-nil, receives one structured event per measured
+	// data point ("online_point", "conventional_row", "tab1_row")
+	// alongside the printed tables, so `imbench -log-events run.jsonl`
+	// leaves a machine-readable record of every figure. See
+	// docs/OBSERVABILITY.md.
+	Events obs.Sink
 }
 
 // Default returns the configuration used by `imbench` unless overridden:
@@ -156,6 +163,13 @@ func (c Config) RunOnline(g *graph.Graph, model diffusion.Model, k int) ([]Onlin
 			alphas[j] = sums[i][j] / float64(c.Reps)
 		}
 		out[i] = OnlineSeries{Name: name, Alpha: alphas}
+		for j, cp := range c.Checkpoints {
+			obs.Emit(c.Events, "online_point", map[string]any{
+				"n": g.N(), "m": g.M(), "model": model.String(),
+				"k": k, "algorithm": name, "rr": cp,
+				"alpha": alphas[j], "reps": c.Reps,
+			})
+		}
 	}
 	return out, nil
 }
@@ -335,6 +349,13 @@ func (c Config) RunConventional(g *graph.Graph, model diffusion.Model, rrCap int
 				row.Spread = spreadSum / float64(c.Reps)
 				row.SpreadErr = spreadErrSum / float64(c.Reps)
 			}
+			obs.Emit(c.Events, "conventional_row", map[string]any{
+				"n": g.N(), "m": g.M(), "model": model.String(),
+				"k": c.K, "algorithm": row.Algorithm, "eps": row.Eps,
+				"spread": row.Spread, "spread_stderr": row.SpreadErr,
+				"seconds": row.Seconds, "rr": row.RRSets,
+				"truncated": row.Truncated, "reps": c.Reps,
+			})
 			rows = append(rows, row)
 		}
 	}
@@ -413,6 +434,10 @@ func (c Config) Tab1(w io.Writer) error {
 		_ = snap
 		ms := time.Since(start).Seconds() * 1000 / float64(reps)
 		fmt.Fprintf(w, "%10v %10d %14.2f %10.4f\n", v, o.NumRR(), ms, alpha)
+		obs.Emit(c.Events, "tab1_row", map[string]any{
+			"n": g.N(), "k": c.K, "variant": v.String(),
+			"rr": o.NumRR(), "snapshot_ms": ms, "alpha": alpha,
+		})
 	}
 	return nil
 }

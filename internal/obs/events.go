@@ -1,0 +1,154 @@
+package obs
+
+// Structured events: where metrics aggregate, events record. Every
+// Snapshot of an OPIM session and every doubling round of OPIM-C emits one
+// event carrying the paper quantities at that instant (θ1, θ2, Λ1, Λ2,
+// σˡ, σᵘ, α, elapsed time), so a run's whole α-trajectory is replayable
+// from its JSONL log instead of being scraped from stdout.
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Sink receives structured events. Implementations must be safe for
+// concurrent use. Callers should go through Emit, which tolerates a nil
+// Sink, so unconfigured observability costs one nil check.
+type Sink interface {
+	// Emit records one event. The fields map must not be retained or
+	// mutated after Emit returns.
+	Emit(event string, fields map[string]any)
+}
+
+// Emit forwards to s.Emit, doing nothing when s is nil.
+func Emit(s Sink, event string, fields map[string]any) {
+	if s != nil {
+		s.Emit(event, fields)
+	}
+}
+
+// JSONLSink writes one JSON object per event, one per line (JSON Lines).
+// Each record carries three sink-added fields alongside the caller's:
+//
+//	seq   monotonically increasing sequence number (file order == seq order)
+//	ts    RFC3339Nano UTC wall-clock timestamp
+//	event the event name
+//
+// Records are buffered; call Flush (or Close, for sinks that own their
+// file) to guarantee durability. Encoding errors are sticky and reported
+// by Flush/Close.
+type JSONLSink struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	closer io.Closer // non-nil when the sink owns the underlying file
+	seq    int64
+	err    error
+}
+
+// NewJSONLSink wraps w. The caller retains ownership of w; Close only
+// flushes.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriter(w)}
+}
+
+// CreateJSONL creates (or truncates) path and returns a sink that owns the
+// file: Close flushes and closes it.
+func CreateJSONL(path string) (*JSONLSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	s := NewJSONLSink(f)
+	s.closer = f
+	return s, nil
+}
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(event string, fields map[string]any) {
+	rec := make(map[string]any, len(fields)+3)
+	for k, v := range fields {
+		rec[k] = v
+	}
+	rec["event"] = event
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec["seq"] = s.seq
+	rec["ts"] = time.Now().UTC().Format(time.RFC3339Nano)
+	s.seq++
+	if s.err != nil {
+		return
+	}
+	enc := json.NewEncoder(s.w) // Encode appends the newline
+	if err := enc.Encode(rec); err != nil {
+		s.err = err
+	}
+}
+
+// Flush forces buffered records to the underlying writer and returns the
+// first error encountered so far.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// Close flushes and, if the sink owns its file (CreateJSONL), closes it.
+func (s *JSONLSink) Close() error {
+	err := s.Flush()
+	s.mu.Lock()
+	closer := s.closer
+	s.closer = nil
+	s.mu.Unlock()
+	if closer != nil {
+		if cerr := closer.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// MemoryEvent is one event captured by a MemorySink.
+type MemoryEvent struct {
+	Event  string
+	Fields map[string]any
+}
+
+// MemorySink collects events in memory — the Sink for tests and for
+// programmatic consumers that post-process a run without touching disk.
+type MemorySink struct {
+	mu     sync.Mutex
+	events []MemoryEvent
+}
+
+// Emit implements Sink; it deep-copies the fields map.
+func (s *MemorySink) Emit(event string, fields map[string]any) {
+	cp := make(map[string]any, len(fields))
+	for k, v := range fields {
+		cp[k] = v
+	}
+	s.mu.Lock()
+	s.events = append(s.events, MemoryEvent{Event: event, Fields: cp})
+	s.mu.Unlock()
+}
+
+// Events returns a copy of everything emitted so far, in order.
+func (s *MemorySink) Events() []MemoryEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]MemoryEvent(nil), s.events...)
+}
+
+// Len returns the number of events emitted so far.
+func (s *MemorySink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}

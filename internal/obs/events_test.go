@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func decodeLines(t *testing.T, data []byte) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %d not JSON: %q: %v", len(out), sc.Text(), err)
+		}
+		out = append(out, m)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestJSONLSinkBasic(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	s.Emit("snapshot", map[string]any{"alpha": 0.5, "theta1": int64(100)})
+	s.Emit("snapshot", map[string]any{"alpha": 0.75})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs := decodeLines(t, buf.Bytes())
+	if len(recs) != 2 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0]["event"] != "snapshot" || recs[0]["alpha"] != 0.5 {
+		t.Fatalf("rec0 = %v", recs[0])
+	}
+	if recs[0]["seq"] != float64(0) || recs[1]["seq"] != float64(1) {
+		t.Fatalf("seq = %v, %v", recs[0]["seq"], recs[1]["seq"])
+	}
+	if _, ok := recs[0]["ts"].(string); !ok {
+		t.Fatalf("ts missing: %v", recs[0])
+	}
+}
+
+// TestJSONLSinkConcurrentOrdering asserts the sink's core contract: every
+// concurrently emitted record lands as one intact JSON line and the file
+// order equals seq order.
+func TestJSONLSinkConcurrentOrdering(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	const goroutines, per = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Emit("e", map[string]any{"g": g, "i": i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs := decodeLines(t, buf.Bytes())
+	if len(recs) != goroutines*per {
+		t.Fatalf("got %d records, want %d", len(recs), goroutines*per)
+	}
+	for i, r := range recs {
+		if r["seq"] != float64(i) {
+			t.Fatalf("record %d has seq %v: file order != seq order", i, r["seq"])
+		}
+	}
+}
+
+func TestJSONLSinkFlushMakesRecordsVisible(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	s.Emit("e", nil)
+	// Small records may sit in the bufio buffer until flushed.
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(decodeLines(t, buf.Bytes())); got != 1 {
+		t.Fatalf("after flush: %d records", got)
+	}
+}
+
+func TestCreateJSONLOwnsFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	s, err := CreateJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Emit("done", map[string]any{"ok": true})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := decodeLines(t, data)
+	if len(recs) != 1 || recs[0]["event"] != "done" || recs[0]["ok"] != true {
+		t.Fatalf("recs = %v", recs)
+	}
+	// Double Close is harmless.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmitNilSink(t *testing.T) {
+	Emit(nil, "ignored", map[string]any{"x": 1}) // must not panic
+}
+
+func TestMemorySink(t *testing.T) {
+	var s MemorySink
+	fields := map[string]any{"k": 1}
+	Emit(&s, "a", fields)
+	fields["k"] = 2 // sink must have copied
+	s.Emit("b", nil)
+	evs := s.Events()
+	if s.Len() != 2 || len(evs) != 2 {
+		t.Fatalf("len = %d / %d", s.Len(), len(evs))
+	}
+	if evs[0].Event != "a" || evs[0].Fields["k"] != 1 {
+		t.Fatalf("ev0 = %+v", evs[0])
+	}
+	if evs[1].Event != "b" || len(evs[1].Fields) != 0 {
+		t.Fatalf("ev1 = %+v", evs[1])
+	}
+}

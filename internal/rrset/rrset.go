@@ -8,10 +8,23 @@ package rrset
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/reprolab/opim/internal/diffusion"
 	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/obs"
 	"github.com/reprolab/opim/internal/rng"
+)
+
+// Generation metrics (obs.Default(), see docs/OBSERVABILITY.md). Updated
+// once per Generate call / per worker — never per RR set — so the cost is
+// a handful of atomics per batch.
+var (
+	mGenerated     = obs.Default().Counter("rrset_generated_total")
+	mNodes         = obs.Default().Counter("rrset_nodes_total")
+	mEdgesExamined = obs.Default().Counter("rrset_edges_examined_total")
+	mGenerateTime  = obs.Default().Timer("rrset_generate_seconds")
+	mWorkerTime    = obs.Default().Timer("rrset_worker_seconds")
 )
 
 // TriggeringDistribution samples triggering sets [Kempe et al. 2003] for
@@ -292,6 +305,14 @@ func Generate(c *Collection, s *Sampler, count int, base *rng.Source, workers in
 	if count <= 0 {
 		return
 	}
+	t0 := time.Now()
+	nodesBefore, edgesBefore := c.TotalSize(), c.EdgesExamined()
+	defer func() {
+		mGenerated.Add(int64(count))
+		mNodes.Add(c.TotalSize() - nodesBefore)
+		mEdgesExamined.Add(c.EdgesExamined() - edgesBefore)
+		mGenerateTime.Observe(time.Since(t0))
+	}()
 	if workers <= 1 || count < 64 {
 		sc := s.NewScratch()
 		start := uint64(c.Count())
@@ -300,6 +321,7 @@ func Generate(c *Collection, s *Sampler, count int, base *rng.Source, workers in
 			nodes, examined := s.Sample(src, sc)
 			c.Add(nodes, examined)
 		}
+		mWorkerTime.Observe(time.Since(t0))
 		return
 	}
 
@@ -320,6 +342,8 @@ func Generate(c *Collection, s *Sampler, count int, base *rng.Source, workers in
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			wt0 := time.Now()
+			defer func() { mWorkerTime.Observe(time.Since(wt0)) }()
 			sc := s.NewScratch()
 			ck := chunk{offs: make([]int32, 0, hi-lo+1)}
 			ck.offs = append(ck.offs, 0)

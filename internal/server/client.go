@@ -6,6 +6,8 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+
+	"github.com/reprolab/opim/internal/obs"
 )
 
 // Client is a typed client for the opimd HTTP API, so Go programs can
@@ -60,7 +62,17 @@ func (c *Client) Snapshot() (SnapshotResponse, error) {
 	return s, err
 }
 
-// Advance generates count RR sets synchronously.
+// Metrics fetches the server's metrics registry: RR-generation
+// throughput, per-endpoint request counters/latencies, and the latest
+// snapshot's (θ, σˡ, σᵘ, α) gauges. Costs no δ budget.
+func (c *Client) Metrics() (obs.Snapshot, error) {
+	var s obs.Snapshot
+	err := c.do(http.MethodGet, "/metrics", &s)
+	return s, err
+}
+
+// Advance generates count RR sets synchronously. Counts above the
+// server's RR budget (Status.MaxRR) are rejected with 400.
 func (c *Client) Advance(count int) (Status, error) {
 	var s Status
 	err := c.do(http.MethodPost, "/advance?count="+url.QueryEscape(fmt.Sprint(count)), &s)

@@ -8,9 +8,17 @@
 //
 //	GET  /status            session counters
 //	GET  /snapshot          current (seed set, α, bounds); spends δ budget
+//	GET  /metrics           process metrics (JSON; ?format=text for lines)
 //	POST /advance?count=N   generate N more RR sets synchronously
 //	POST /start             start background sampling (idempotent)
 //	POST /stop              pause background sampling (idempotent)
+//
+// docs/API.md documents every endpoint with its parameters, response
+// schema and curl examples. Every endpoint is instrumented: a request
+// counter (server_<name>_requests_total) and a latency timer
+// (server_<name>_seconds) in obs.Default(), which /metrics itself exposes
+// together with the RR-generation throughput counters and the latest
+// snapshot's (θ, σˡ, σᵘ, α) gauges — without spending any δ budget.
 package server
 
 import (
@@ -19,8 +27,10 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"github.com/reprolab/opim/internal/core"
+	"github.com/reprolab/opim/internal/obs"
 )
 
 // Server wraps one Online session behind an HTTP API. All session access
@@ -56,12 +66,27 @@ func New(session *core.Online, batch int, maxRR int64) *Server {
 // Handler returns the HTTP handler for the server's API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/status", s.handleStatus)
-	mux.HandleFunc("/snapshot", s.handleSnapshot)
-	mux.HandleFunc("/advance", s.handleAdvance)
-	mux.HandleFunc("/start", s.handleStart)
-	mux.HandleFunc("/stop", s.handleStop)
+	mux.HandleFunc("/status", instrument("status", s.handleStatus))
+	mux.HandleFunc("/snapshot", instrument("snapshot", s.handleSnapshot))
+	mux.HandleFunc("/advance", instrument("advance", s.handleAdvance))
+	mux.HandleFunc("/start", instrument("start", s.handleStart))
+	mux.HandleFunc("/stop", instrument("stop", s.handleStop))
+	mux.HandleFunc("/metrics", instrument("metrics", s.handleMetrics))
 	return mux
+}
+
+// instrument wraps a handler with a per-endpoint request counter and
+// latency timer in obs.Default(). Every request counts, including
+// rejected ones.
+func instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	requests := obs.Default().Counter("server_" + name + "_requests_total")
+	latency := obs.Default().Timer("server_" + name + "_seconds")
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		requests.Inc()
+		latency.Observe(time.Since(start))
+	}
 }
 
 // Status is the /status response body.
@@ -133,6 +158,13 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "count must be a positive integer", http.StatusBadRequest)
 		return
 	}
+	// A count above the session budget is a client error, not a request to
+	// be silently clamped; the remaining-budget clamp below only trims
+	// otherwise-valid requests near exhaustion (see docs/API.md).
+	if int64(count) > s.maxRR {
+		http.Error(w, fmt.Sprintf("count %d exceeds the session RR budget max_rr=%d", count, s.maxRR), http.StatusBadRequest)
+		return
+	}
 	s.mu.Lock()
 	if remaining := s.maxRR - s.session.NumRR(); int64(count) > remaining {
 		count = int(remaining)
@@ -142,6 +174,30 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	writeJSON(w, s.status())
+}
+
+// handleMetrics dumps obs.Default(). Unlike /snapshot it spends no δ
+// budget: the core_last_* gauges reflect the most recent snapshot already
+// derived (zero if none yet).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		if err := obs.Default().WriteJSON(w); err != nil {
+			http.Error(w, fmt.Sprintf("encoding metrics: %v", err), http.StatusInternalServerError)
+		}
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := obs.Default().WriteText(w); err != nil {
+			http.Error(w, fmt.Sprintf("encoding metrics: %v", err), http.StatusInternalServerError)
+		}
+	default:
+		http.Error(w, fmt.Sprintf("unknown format %q (want json or text)", format), http.StatusBadRequest)
+	}
 }
 
 func (s *Server) isRunning() bool {

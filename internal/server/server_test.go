@@ -2,8 +2,10 @@ package server
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -11,6 +13,7 @@ import (
 	"github.com/reprolab/opim/internal/diffusion"
 	"github.com/reprolab/opim/internal/gen"
 	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/obs"
 	"github.com/reprolab/opim/internal/rrset"
 )
 
@@ -125,6 +128,7 @@ func TestMethodEnforcement(t *testing.T) {
 		{http.MethodGet, "/advance"},
 		{http.MethodGet, "/start"},
 		{http.MethodGet, "/stop"},
+		{http.MethodPost, "/metrics"},
 	}
 	for _, c := range cases {
 		req, _ := http.NewRequest(c.method, ts.URL+c.path, nil)
@@ -195,11 +199,104 @@ func TestBudgetStopsLoop(t *testing.T) {
 	t.Fatal("loop did not stop at budget")
 }
 
-func TestAdvanceRespectsBudget(t *testing.T) {
+func TestAdvanceRejectsCountAboveBudget(t *testing.T) {
 	_, ts := newTestServer(t, 1000)
-	st := postJSON[Status](t, ts.URL+"/advance?count=5000")
-	if st.NumRR != 1000 {
-		t.Fatalf("advance exceeded budget: %d", st.NumRR)
+	resp, err := http.Post(ts.URL+"/advance?count=5000", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("count above max_rr: status %d, want 400", resp.StatusCode)
+	}
+	if st := getJSON[Status](t, ts.URL+"/status"); st.NumRR != 0 {
+		t.Fatalf("rejected advance still generated %d RR sets", st.NumRR)
+	}
+}
+
+func TestAdvanceClampsToRemainingBudget(t *testing.T) {
+	// Valid counts (≤ max_rr) near exhaustion are clamped to the remaining
+	// budget, not rejected.
+	_, ts := newTestServer(t, 1000)
+	if st := postJSON[Status](t, ts.URL+"/advance?count=800"); st.NumRR != 800 {
+		t.Fatalf("first advance: %+v", st)
+	}
+	if st := postJSON[Status](t, ts.URL+"/advance?count=800"); st.NumRR != 1000 {
+		t.Fatalf("second advance not clamped to budget: %+v", st)
+	}
+}
+
+func TestMetricsAdvanceAfterAdvance(t *testing.T) {
+	// The metrics registry is process-global, so assert deltas, not
+	// absolute values.
+	_, ts := newTestServer(t, 0)
+	before := getJSON[obs.Snapshot](t, ts.URL+"/metrics")
+
+	postJSON[Status](t, ts.URL+"/advance?count=2000")
+	snap := getJSON[SnapshotResponse](t, ts.URL+"/snapshot")
+	after := getJSON[obs.Snapshot](t, ts.URL+"/metrics")
+
+	if d := after.Counters["rrset_generated_total"] - before.Counters["rrset_generated_total"]; d < 2000 {
+		t.Fatalf("rrset_generated_total advanced by %d, want ≥ 2000", d)
+	}
+	if d := after.Counters["server_advance_requests_total"] - before.Counters["server_advance_requests_total"]; d != 1 {
+		t.Fatalf("server_advance_requests_total advanced by %d, want 1", d)
+	}
+	if d := after.Counters["server_snapshot_requests_total"] - before.Counters["server_snapshot_requests_total"]; d != 1 {
+		t.Fatalf("server_snapshot_requests_total advanced by %d, want 1", d)
+	}
+	if d := after.Counters["core_snapshots_total"] - before.Counters["core_snapshots_total"]; d != 1 {
+		t.Fatalf("core_snapshots_total advanced by %d, want 1", d)
+	}
+	// The gauges must reflect the snapshot we just took.
+	if got := after.Gauges["core_last_alpha"]; got != snap.Alpha {
+		t.Fatalf("core_last_alpha = %v, snapshot α = %v", got, snap.Alpha)
+	}
+	if got := after.Gauges["core_last_theta1"]; got != float64(snap.Theta1) {
+		t.Fatalf("core_last_theta1 = %v, θ1 = %d", got, snap.Theta1)
+	}
+	if after.Timers["server_advance_seconds"].Count < 1 {
+		t.Fatal("server_advance_seconds never observed")
+	}
+	if after.Timers["rrset_generate_seconds"].Count <= before.Timers["rrset_generate_seconds"].Count {
+		t.Fatal("rrset_generate_seconds never observed")
+	}
+}
+
+func TestMetricsTextFormat(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+	postJSON[Status](t, ts.URL+"/advance?count=100")
+	resp, err := http.Get(ts.URL + "/metrics?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content-type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"rrset_generated_total ", "server_advance_requests_total ", "rrset_generate_seconds_count "} {
+		if !strings.Contains(string(body), name) {
+			t.Fatalf("text exposition missing %q:\n%s", name, body)
+		}
+	}
+}
+
+func TestMetricsBadFormat(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+	resp, err := http.Get(ts.URL + "/metrics?format=xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown format: status %d, want 400", resp.StatusCode)
 	}
 }
 
@@ -233,6 +330,16 @@ func TestClientRoundTrip(t *testing.T) {
 	}
 	if st, err = c.Stop(); err != nil || st.Running {
 		t.Fatalf("stop: %v %+v", err, st)
+	}
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Counters["rrset_generated_total"] < 1500 {
+		t.Fatalf("client metrics: rrset_generated_total = %d", m.Counters["rrset_generated_total"])
+	}
+	if m.Gauges["core_last_alpha"] != snap.Alpha {
+		t.Fatalf("client metrics: core_last_alpha = %v, want %v", m.Gauges["core_last_alpha"], snap.Alpha)
 	}
 }
 

@@ -39,6 +39,7 @@ import (
 	"github.com/reprolab/opim/internal/gen"
 	"github.com/reprolab/opim/internal/graph"
 	"github.com/reprolab/opim/internal/heuristic"
+	"github.com/reprolab/opim/internal/obs"
 	"github.com/reprolab/opim/internal/rrset"
 )
 
@@ -207,6 +208,33 @@ func SaveSession(w io.Writer, o *Online) error { return core.SaveSession(w, o) }
 func LoadSession(r io.Reader, sampler *Sampler) (*Online, error) {
 	return core.LoadSession(r, sampler)
 }
+
+// EventSink receives the structured events emitted through
+// Options.Events: one "snapshot" event per Online.Snapshot and one
+// "round" + final "maximize" event per Maximize run, each carrying the
+// paper quantities (θ1, θ2, Λ1, Λ2, σˡ, σᵘ, α) at that instant. See
+// docs/OBSERVABILITY.md for the event catalogue.
+type EventSink = obs.Sink
+
+// JSONLEventSink writes events as JSON Lines (one object per line).
+type JSONLEventSink = obs.JSONLSink
+
+// NewJSONLEventSink wraps w in a JSON Lines event sink; the caller
+// retains ownership of w (Close only flushes).
+func NewJSONLEventSink(w io.Writer) *JSONLEventSink { return obs.NewJSONLSink(w) }
+
+// CreateJSONLEventSink creates (or truncates) path and returns a sink
+// that owns the file: Close flushes and closes it.
+func CreateJSONLEventSink(path string) (*JSONLEventSink, error) { return obs.CreateJSONL(path) }
+
+// MetricsRegistry is a namespace of process metrics (counters, gauges,
+// timers) with JSON and text exposition.
+type MetricsRegistry = obs.Registry
+
+// Metrics returns the process-wide metrics registry that the library's
+// hot paths report into (RR-set generation throughput, latest-snapshot
+// guarantee gauges) and that opimd's GET /metrics exposes.
+func Metrics() *MetricsRegistry { return obs.Default() }
 
 // CResult is the outcome of one OPIM-C run.
 type CResult = core.CResult
