@@ -9,6 +9,7 @@ package opim
 // The benchmark names map to the per-experiment index in DESIGN.md §4.
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -164,6 +165,29 @@ func BenchmarkOPIMCvsIMM(b *testing.B) {
 		}
 		b.ReportMetric(rr/float64(b.N), "rr-sets/op")
 	})
+}
+
+// BenchmarkGenerateParallel measures end-to-end sharded construction —
+// sampling, pool/offset merge and the parallel inverted-index build — at 1
+// and 8 workers over the imbench synthetic workload. The two sub-benchmarks
+// produce byte-identical collections (the determinism invariant), so their
+// ratio is the pure parallel-construction speedup.
+func BenchmarkGenerateParallel(b *testing.B) {
+	g, err := GenerateProfile("synth-pokec", 20000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sampler := rrset.NewSampler(g, diffusion.IC)
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := rrset.NewCollection(g.N())
+				rrset.Generate(c, sampler, 20000, rng.New(uint64(i)), workers)
+				_ = c
+			}
+		})
+	}
 }
 
 // BenchmarkRRGenerationModels compares IC and LT RR-set generation cost on

@@ -151,7 +151,8 @@ type Online struct {
 	base1   *rng.Source
 	base2   *rng.Source
 	queries int
-	start   time.Time // session epoch, for event elapsed_seconds
+	start   time.Time    // session epoch, for event elapsed_seconds
+	scratch *snapScratch // persistent selection/coverage buffers, reused per snapshot
 }
 
 // NewOnline starts an OPIM session on the sampler's graph.
@@ -168,6 +169,7 @@ func NewOnline(sampler *rrset.Sampler, opts Options) (*Online, error) {
 		base1:   root.Split(1),
 		base2:   root.Split(2),
 		start:   time.Now(),
+		scratch: newSnapScratch(),
 	}, nil
 }
 
@@ -261,7 +263,7 @@ func (o *Online) Snapshot() *Snapshot {
 	if o.opts.UnionBudget {
 		delta = o.opts.Delta / math.Pow(2, float64(o.queries))
 	}
-	snap := deriveSnapshotBase(o.r1, o.r2, o.opts.K, delta, o.opts.Variant, o.opts.Exact, o.opts.BaseSeeds)
+	snap := deriveSnapshotBase(o.r1, o.r2, o.opts.K, delta, o.opts.Variant, o.opts.Exact, o.opts.BaseSeeds, o.scratch)
 	mSnapshots.Inc()
 	recordSnapshotGauges(snap)
 	obs.Emit(o.opts.Events, "snapshot", snapshotFields(snap, map[string]any{
@@ -297,16 +299,35 @@ func snapshotFields(s *Snapshot, extra map[string]any) map[string]any {
 	return extra
 }
 
+// snapScratch bundles the reusable buffers one snapshot derivation needs:
+// the greedy-selection scratch (marginals, epoch-marked covered/chosen
+// flags, quickselect buffer) and the epoch-marked coverage kernel used for
+// the Λ2 queries. One snapScratch per session (or per Maximize run) means
+// repeated snapshots allocate only their Result; it is not safe for
+// concurrent use, matching Online's single-driver contract.
+type snapScratch struct {
+	sel  *maxcover.Scratch
+	cov  *rrset.CoverageScratch
+	both []int32 // base∪seeds buffer for the augmentation Λ2 query
+}
+
+func newSnapScratch() *snapScratch {
+	return &snapScratch{sel: maxcover.NewScratch(), cov: rrset.NewCoverageScratch()}
+}
+
 // deriveSnapshot implements §4.1's three steps on explicit halves: greedy
 // on R1, lower bound from R2, upper bound from R1.
 func deriveSnapshot(r1, r2 *rrset.Collection, k int, delta float64, variant Variant, exact bool) *Snapshot {
-	return deriveSnapshotBase(r1, r2, k, delta, variant, exact, nil)
+	return deriveSnapshotBase(r1, r2, k, delta, variant, exact, nil, nil)
 }
 
 // deriveSnapshotBase additionally supports the augmentation problem: with
 // a non-empty base, selection and all coverages refer to the residual
-// function Λ(B∪·) − Λ(B).
-func deriveSnapshotBase(r1, r2 *rrset.Collection, k int, delta float64, variant Variant, exact bool, base []int32) *Snapshot {
+// function Λ(B∪·) − Λ(B). A nil sc allocates fresh buffers.
+func deriveSnapshotBase(r1, r2 *rrset.Collection, k int, delta float64, variant Variant, exact bool, base []int32, sc *snapScratch) *Snapshot {
+	if sc == nil {
+		sc = newSnapScratch()
+	}
 	n := r1.N()
 	theta1 := int64(r1.Count())
 	theta2 := int64(r2.Count())
@@ -316,23 +337,23 @@ func deriveSnapshotBase(r1, r2 *rrset.Collection, k int, delta float64, variant 
 	var sel *maxcover.Result
 	switch {
 	case len(base) > 0 && variant == Vanilla:
-		sel = maxcover.GreedyAugment(r1, base, k)
+		sel = sc.sel.GreedyAugment(r1, base, k)
 	case len(base) > 0:
-		sel = maxcover.GreedyAugmentWithBounds(r1, base, k)
+		sel = sc.sel.GreedyAugmentWithBounds(r1, base, k)
 	case variant == Vanilla:
-		sel = maxcover.Greedy(r1, k)
+		sel = sc.sel.Greedy(r1, k)
 	case variant == Prime:
 		// Table 1: OPIM′ only needs Λ1⋄, at O(n + Σ|R|).
-		sel = maxcover.GreedyWithDiamond(r1, k)
+		sel = sc.sel.GreedyWithDiamond(r1, k)
 	default:
-		sel = maxcover.GreedyWithBounds(r1, k)
+		sel = sc.sel.GreedyWithBounds(r1, k)
 	}
 
-	lambda2 := r2.Coverage(sel.Seeds)
+	lambda2 := r2.CoverageWith(sc.cov, sel.Seeds)
 	if len(base) > 0 {
 		// Residual coverage in R2: sets covered by base∪S but not by base.
-		both := append(append([]int32{}, base...), sel.Seeds...)
-		lambda2 = r2.Coverage(both) - r2.Coverage(base)
+		sc.both = append(append(sc.both[:0], base...), sel.Seeds...)
+		lambda2 = r2.CoverageWith(sc.cov, sc.both) - r2.CoverageWith(sc.cov, base)
 	}
 	var lambdaUpper float64
 	switch variant {

@@ -80,6 +80,7 @@ func Maximize(sampler *rrset.Sampler, k int, eps, delta float64, opts Options) (
 	}
 	target := bound.OneMinusInvE - eps
 	start := time.Now()
+	scratch := newSnapScratch() // selection/coverage buffers shared by all rounds
 
 	res := &CResult{MaxRounds: imax, Target: target}
 	for i := 1; ; i++ {
@@ -95,7 +96,7 @@ func Maximize(sampler *rrset.Sampler, k int, eps, delta float64, opts Options) (
 		rrset.Generate(r2, sampler, int(size-int64(r2.Count())), base2, opts.Workers)
 
 		// Lines 5–7: greedy on R1, bounds with δ1 = δ2 = δ/(3·i_max).
-		snap := deriveSnapshotBase(r1, r2, k, 2*perRoundDelta, opts.Variant, opts.Exact, opts.BaseSeeds)
+		snap := deriveSnapshotBase(r1, r2, k, 2*perRoundDelta, opts.Variant, opts.Exact, opts.BaseSeeds, scratch)
 		mRounds.Inc()
 		recordSnapshotGauges(snap)
 		obs.Emit(opts.Events, "round", snapshotFields(snap, map[string]any{

@@ -111,5 +111,6 @@ func LoadSession(r io.Reader, sampler *rrset.Sampler) (*Online, error) {
 		base2:   root.Split(2),
 		queries: queries,
 		start:   time.Now(),
+		scratch: newSnapScratch(),
 	}, nil
 }

@@ -14,29 +14,43 @@ import "github.com/reprolab/opim/internal/rrset"
 // The returned Result's Coverage and bound fields are all with respect to
 // the residual function; PrefixCoverage[0] = 0 still.
 func GreedyAugment(c *rrset.Collection, base []int32, k int) *Result {
-	return runAugment(c, base, k, boundsNone)
+	return NewScratch().GreedyAugment(c, base, k)
 }
 
 // GreedyAugmentWithBounds additionally computes the residual-function
 // versions of Λ1ᵘ (eq. 10) and Λ1⋄.
 func GreedyAugmentWithBounds(c *rrset.Collection, base []int32, k int) *Result {
-	return runAugment(c, base, k, boundsAll)
+	return NewScratch().GreedyAugmentWithBounds(c, base, k)
 }
 
-func runAugment(c *rrset.Collection, base []int32, k int, mode boundsMode) *Result {
+// GreedyAugment is the scratch-reusing form of the package-level
+// GreedyAugment.
+func (sc *Scratch) GreedyAugment(c *rrset.Collection, base []int32, k int) *Result {
+	return sc.runAugment(c, base, k, boundsNone)
+}
+
+// GreedyAugmentWithBounds is the scratch-reusing form of
+// GreedyAugmentWithBounds.
+func (sc *Scratch) GreedyAugmentWithBounds(c *rrset.Collection, base []int32, k int) *Result {
+	return sc.runAugment(c, base, k, boundsAll)
+}
+
+func (sc *Scratch) runAugment(c *rrset.Collection, base []int32, k int, mode boundsMode) *Result {
 	n := int(c.N())
 	count := c.Count()
+	sc.reset(n, count)
 
-	covered := make([]bool, count)
-	chosen := make([]bool, n)
 	// Commit the base: mark its sets covered and its nodes unselectable.
+	free := n
 	for _, v := range base {
-		chosen[v] = true
+		if sc.chosen[v] != sc.epoch {
+			sc.chosen[v] = sc.epoch
+			free--
+		}
 		for _, id := range c.SetsCovering(v) {
-			covered[id] = true
+			sc.covered[id] = sc.epoch
 		}
 	}
-	free := n - distinct(base)
 	if k > free {
 		k = free
 	}
@@ -45,13 +59,14 @@ func runAugment(c *rrset.Collection, base []int32, k int, mode boundsMode) *Resu
 	}
 
 	// cov[v] = residual marginal coverage of v.
-	cov := make([]int64, n)
+	cov := sc.cov[:n]
 	for v := 0; v < n; v++ {
-		if chosen[v] {
+		cov[v] = 0
+		if sc.chosen[v] == sc.epoch {
 			continue
 		}
 		for _, id := range c.SetsCovering(int32(v)) {
-			if !covered[id] {
+			if sc.covered[id] != sc.epoch {
 				cov[v]++
 			}
 		}
@@ -61,9 +76,9 @@ func runAugment(c *rrset.Collection, base []int32, k int, mode boundsMode) *Resu
 		Seeds:          make([]int32, 0, k),
 		PrefixCoverage: make([]int64, 1, k+1),
 	}
-	var scratch []int64
+	var top []int64
 	if mode != boundsNone {
-		scratch = make([]int64, n)
+		top = sc.top[:n]
 		res.HasBounds = true
 		res.LambdaU = int64(1) << 62
 	}
@@ -71,20 +86,20 @@ func runAugment(c *rrset.Collection, base []int32, k int, mode boundsMode) *Resu
 	var total int64
 	residualUniverse := int64(0)
 	for id := 0; id < count; id++ {
-		if !covered[id] {
+		if sc.covered[id] != sc.epoch {
 			residualUniverse++
 		}
 	}
 	for i := 0; i < k; i++ {
 		if mode == boundsAll {
-			if cand := total + topKSum(cov, scratch, k); cand < res.LambdaU {
+			if cand := total + topKSum(cov, top, k); cand < res.LambdaU {
 				res.LambdaU = cand
 			}
 		}
 		best := -1
 		var bestCov int64 = -1
 		for v := 0; v < n; v++ {
-			if !chosen[v] && cov[v] > bestCov {
+			if sc.chosen[v] != sc.epoch && cov[v] > bestCov {
 				best = v
 				bestCov = cov[v]
 			}
@@ -92,14 +107,14 @@ func runAugment(c *rrset.Collection, base []int32, k int, mode boundsMode) *Resu
 		if best < 0 {
 			break
 		}
-		chosen[best] = true
+		sc.chosen[best] = sc.epoch
 		res.Seeds = append(res.Seeds, int32(best))
 		total += bestCov
 		for _, id := range c.SetsCovering(int32(best)) {
-			if covered[id] {
+			if sc.covered[id] == sc.epoch {
 				continue
 			}
-			covered[id] = true
+			sc.covered[id] = sc.epoch
 			for _, w := range c.Set(id) {
 				cov[w]--
 			}
@@ -109,11 +124,11 @@ func runAugment(c *rrset.Collection, base []int32, k int, mode boundsMode) *Resu
 	res.Coverage = total
 
 	if mode != boundsNone {
-		top := topKSum(cov, scratch, k)
-		if cand := total + top; cand < res.LambdaU {
+		topSum := topKSum(cov, top, k)
+		if cand := total + topSum; cand < res.LambdaU {
 			res.LambdaU = cand
 		}
-		res.LambdaDiamond = total + top
+		res.LambdaDiamond = total + topSum
 		if res.LambdaU > residualUniverse {
 			res.LambdaU = residualUniverse
 		}
@@ -122,12 +137,4 @@ func runAugment(c *rrset.Collection, base []int32, k int, mode boundsMode) *Resu
 		}
 	}
 	return res
-}
-
-func distinct(s []int32) int {
-	seen := make(map[int32]struct{}, len(s))
-	for _, v := range s {
-		seen[v] = struct{}{}
-	}
-	return len(seen)
 }

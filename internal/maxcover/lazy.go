@@ -22,6 +22,12 @@ import (
 // GreedyLazy does not compute the §5 bound traces; use GreedyWithBounds
 // when Λ1ᵘ/Λ1⋄ are needed.
 func GreedyLazy(c *rrset.Collection, k int) *Result {
+	return NewScratch().GreedyLazy(c, k)
+}
+
+// GreedyLazy is the scratch-reusing form of the package-level GreedyLazy:
+// the covered flags and the heap's backing array come from sc.
+func (sc *Scratch) GreedyLazy(c *rrset.Collection, k int) *Result {
 	n := int(c.N())
 	if k > n {
 		k = n
@@ -29,16 +35,16 @@ func GreedyLazy(c *rrset.Collection, k int) *Result {
 	if k < 0 {
 		k = 0
 	}
+	sc.reset(n, c.Count())
 
-	covered := make([]bool, c.Count())
 	res := &Result{
 		Seeds:          make([]int32, 0, k),
 		PrefixCoverage: make([]int64, 1, k+1),
 	}
 
-	h := make(lazyHeap, n)
+	h := sc.heap[:0]
 	for v := 0; v < n; v++ {
-		h[v] = lazyEntry{node: int32(v), gain: int64(c.Degree(int32(v)))}
+		h = append(h, lazyEntry{node: int32(v), gain: int64(c.Degree(int32(v)))})
 	}
 	heap.Init(&h)
 
@@ -48,7 +54,7 @@ func GreedyLazy(c *rrset.Collection, k int) *Result {
 		// Recompute the stored gain: count this node's uncovered sets.
 		var fresh int64
 		for _, id := range c.SetsCovering(top.node) {
-			if !covered[id] {
+			if sc.covered[id] != sc.epoch {
 				fresh++
 			}
 		}
@@ -63,9 +69,10 @@ func GreedyLazy(c *rrset.Collection, k int) *Result {
 		total += fresh
 		res.PrefixCoverage = append(res.PrefixCoverage, total)
 		for _, id := range c.SetsCovering(top.node) {
-			covered[id] = true
+			sc.covered[id] = sc.epoch
 		}
 	}
+	sc.heap = h[:cap(h)][:0] // retain the backing array for reuse
 	// Pad with zero-gain nodes if the heap ran dry before k (cannot happen
 	// while h covers all nodes, but keep the contract explicit).
 	res.Coverage = total

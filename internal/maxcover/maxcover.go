@@ -12,6 +12,12 @@
 // decrementing their members' marginals. Total selection cost is
 // O(Σ_{R∈R1} |R|); each maxMC top-k sum is an O(n) quickselect, adding the
 // O(kn) term of Table 1.
+//
+// All selection state (marginal arrays, epoch-marked covered/chosen flags,
+// the quickselect buffer, the CELF heap) lives in a reusable Scratch so a
+// long-lived session pays zero selection allocations per snapshot beyond
+// the returned Result. The package-level functions are compatibility
+// wrappers that allocate a fresh Scratch per call.
 package maxcover
 
 import "github.com/reprolab/opim/internal/rrset"
@@ -43,27 +49,86 @@ const (
 	boundsDiamond                   // Λ1⋄ only (O(n) extra) — Table 1's OPIM′ row
 )
 
+// Scratch holds the reusable buffers of greedy selection. The covered and
+// chosen flags are epoch-marked, so reuse costs one counter bump instead
+// of clearing count- and n-sized arrays; the marginal and quickselect
+// arrays are overwritten in full each run. A Scratch adapts to whatever
+// collection size and node count it is handed (growing monotonically) and
+// may be reused across collections; it is not safe for concurrent use —
+// keep one per goroutine or session.
+type Scratch struct {
+	cov     []int64  // marginal coverage per node
+	covered []uint32 // epoch mark per RR-set id
+	chosen  []uint32 // epoch mark per node
+	top     []int64  // quickselect buffer for topKSum
+	heap    lazyHeap // CELF heap storage (GreedyLazy only)
+	epoch   uint32
+}
+
+// NewScratch returns an empty Scratch; buffers are sized lazily on first
+// use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// reset sizes the buffers for a run over n nodes and count sets and opens
+// a fresh epoch. Freshly allocated zero marks can never equal a live epoch,
+// so growth needs no copying of stale marks.
+func (sc *Scratch) reset(n, count int) {
+	if len(sc.cov) < n {
+		sc.cov = make([]int64, n)
+		sc.chosen = make([]uint32, n)
+		sc.top = make([]int64, n)
+	}
+	if len(sc.covered) < count {
+		sc.covered = make([]uint32, count)
+	}
+	sc.epoch++
+	if sc.epoch == 0 {
+		for i := range sc.covered {
+			sc.covered[i] = 0
+		}
+		for i := range sc.chosen {
+			sc.chosen[i] = 0
+		}
+		sc.epoch = 1
+	}
+}
+
 // Greedy runs Algorithm 1 on c for a size-k seed set. Ties are broken by
 // smallest node id, so the result is deterministic.
 func Greedy(c *rrset.Collection, k int) *Result {
-	return run(c, k, boundsNone)
+	return NewScratch().Greedy(c, k)
 }
 
 // GreedyWithBounds runs Algorithm 1 and additionally computes the §5 upper
 // bounds Λ1ᵘ(S°) (eq. 10) and Λ1⋄(S°). This costs an extra O(kn) on top of
 // plain selection, exactly as Table 1 states.
 func GreedyWithBounds(c *rrset.Collection, k int) *Result {
-	return run(c, k, boundsAll)
+	return NewScratch().GreedyWithBounds(c, k)
 }
 
 // GreedyWithDiamond runs Algorithm 1 and computes only the Leskovec-style
 // bound Λ1⋄(S°) (one O(n) top-k selection at the final prefix), matching
 // Table 1's O(n + Σ|R|) complexity for the OPIM′ variant. LambdaU is left 0.
 func GreedyWithDiamond(c *rrset.Collection, k int) *Result {
-	return run(c, k, boundsDiamond)
+	return NewScratch().GreedyWithDiamond(c, k)
 }
 
-func run(c *rrset.Collection, k int, mode boundsMode) *Result {
+// Greedy is the scratch-reusing form of the package-level Greedy.
+func (sc *Scratch) Greedy(c *rrset.Collection, k int) *Result {
+	return sc.run(c, k, boundsNone)
+}
+
+// GreedyWithBounds is the scratch-reusing form of GreedyWithBounds.
+func (sc *Scratch) GreedyWithBounds(c *rrset.Collection, k int) *Result {
+	return sc.run(c, k, boundsAll)
+}
+
+// GreedyWithDiamond is the scratch-reusing form of GreedyWithDiamond.
+func (sc *Scratch) GreedyWithDiamond(c *rrset.Collection, k int) *Result {
+	return sc.run(c, k, boundsDiamond)
+}
+
+func (sc *Scratch) run(c *rrset.Collection, k int, mode boundsMode) *Result {
 	n := int(c.N())
 	if k > n {
 		k = n
@@ -72,23 +137,22 @@ func run(c *rrset.Collection, k int, mode boundsMode) *Result {
 		k = 0
 	}
 	count := c.Count()
+	sc.reset(n, count)
 
 	// cov[v] = Λ1(v | S_i*): marginal coverage given the current prefix.
-	cov := make([]int64, n)
+	cov := sc.cov[:n]
 	for v := 0; v < n; v++ {
 		cov[v] = int64(c.Degree(int32(v)))
 	}
-	covered := make([]bool, count)
-	chosen := make([]bool, n)
 
 	res := &Result{
 		Seeds:          make([]int32, 0, k),
 		PrefixCoverage: make([]int64, 1, k+1),
 	}
 
-	var scratch []int64
+	var top []int64
 	if mode != boundsNone {
-		scratch = make([]int64, n)
+		top = sc.top[:n]
 		res.HasBounds = true
 		res.LambdaU = int64(1) << 62
 	}
@@ -98,7 +162,7 @@ func run(c *rrset.Collection, k int, mode boundsMode) *Result {
 		if mode == boundsAll {
 			// Bound candidate for prefix S_i* (before selecting node i+1):
 			// Λ1(S_i*) + Σ of the k largest marginals.
-			cand := total + topKSum(cov, scratch, k)
+			cand := total + topKSum(cov, top, k)
 			if cand < res.LambdaU {
 				res.LambdaU = cand
 			}
@@ -108,7 +172,7 @@ func run(c *rrset.Collection, k int, mode boundsMode) *Result {
 		best := -1
 		var bestCov int64 = -1
 		for v := 0; v < n; v++ {
-			if !chosen[v] && cov[v] > bestCov {
+			if sc.chosen[v] != sc.epoch && cov[v] > bestCov {
 				best = v
 				bestCov = cov[v]
 			}
@@ -116,16 +180,16 @@ func run(c *rrset.Collection, k int, mode boundsMode) *Result {
 		if best < 0 {
 			break
 		}
-		chosen[best] = true
+		sc.chosen[best] = sc.epoch
 		res.Seeds = append(res.Seeds, int32(best))
 		total += bestCov
 
 		// Mark best's uncovered sets covered and update marginals.
 		for _, id := range c.SetsCovering(int32(best)) {
-			if covered[id] {
+			if sc.covered[id] == sc.epoch {
 				continue
 			}
-			covered[id] = true
+			sc.covered[id] = sc.epoch
 			for _, w := range c.Set(id) {
 				cov[w]--
 			}
@@ -137,11 +201,11 @@ func run(c *rrset.Collection, k int, mode boundsMode) *Result {
 	if mode != boundsNone {
 		// Final prefix S_k* contributes both the last eq. (10) candidate and
 		// the Leskovec bound Λ1⋄(S°).
-		top := topKSum(cov, scratch, k)
-		if cand := total + top; cand < res.LambdaU {
+		topSum := topKSum(cov, top, k)
+		if cand := total + topSum; cand < res.LambdaU {
 			res.LambdaU = cand
 		}
-		res.LambdaDiamond = total + top
+		res.LambdaDiamond = total + topSum
 		if res.LambdaU > int64(count) {
 			res.LambdaU = int64(count) // Λ1(S°) can never exceed |R1|
 		}

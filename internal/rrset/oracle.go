@@ -17,12 +17,17 @@ import (
 // the oracle's RR sets (the paper's nominator/judge separation). Scoring a
 // seed set that was optimized against this same collection biases the
 // estimate upward, exactly as §4.2's discussion warns.
+//
+// An Oracle holds a persistent CoverageScratch so back-to-back queries
+// allocate nothing; it is therefore NOT safe for concurrent use — create
+// one Oracle per goroutine (they may share the Collection).
 type Oracle struct {
-	c *Collection
+	c  *Collection
+	sc *CoverageScratch
 }
 
 // NewOracle wraps a collection (which must not be modified afterwards).
-func NewOracle(c *Collection) *Oracle { return &Oracle{c: c} }
+func NewOracle(c *Collection) *Oracle { return &Oracle{c: c, sc: NewCoverageScratch()} }
 
 // Interval is a spread estimate with a (1−δ)-confidence interval.
 type Interval struct {
@@ -43,7 +48,7 @@ func (iv Interval) String() string {
 // Spread estimates σ(seeds) with a (1−δ)-confidence interval.
 func (o *Oracle) Spread(seeds []int32, delta float64) Interval {
 	theta := int64(o.c.Count())
-	lam := o.c.Coverage(seeds)
+	lam := o.c.CoverageWith(o.sc, seeds)
 	n := o.c.N()
 	iv := Interval{Coverage: lam, Theta: theta}
 	if theta == 0 {
@@ -69,7 +74,7 @@ func (o *Oracle) Rank(candidates [][]int32) []int {
 	}
 	s := make([]scored, len(candidates))
 	for i, c := range candidates {
-		s[i] = scored{idx: i, lam: o.c.Coverage(c)}
+		s[i] = scored{idx: i, lam: o.c.CoverageWith(o.sc, c)}
 	}
 	// Insertion sort: candidate lists are short.
 	for i := 1; i < len(s); i++ {

@@ -3,10 +3,19 @@
 // reverse-reachable (RR) set generation under the IC and LT models
 // (Appendix A), and an indexed Collection that supports the coverage
 // queries of Algorithm 1 and the bound computations of §§4–5.
+//
+// Collection construction is sharded: Generate samples RR sets on parallel
+// workers into per-shard pools and merges pools, offsets and the inverted
+// node→set index with parallel phase barriers, so there is no
+// single-threaded merge loop between sampling and selection. The layout is
+// byte-identical for every worker count (see Generate), which is the
+// invariant the determinism and persistence guarantees of the whole
+// library rest on.
 package rrset
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -17,14 +26,17 @@ import (
 )
 
 // Generation metrics (obs.Default(), see docs/OBSERVABILITY.md). Updated
-// once per Generate call / per worker — never per RR set — so the cost is
-// a handful of atomics per batch.
+// once per Generate call / per worker / per shard — never per RR set — so
+// the cost is a handful of atomics per batch.
 var (
-	mGenerated     = obs.Default().Counter("rrset_generated_total")
-	mNodes         = obs.Default().Counter("rrset_nodes_total")
-	mEdgesExamined = obs.Default().Counter("rrset_edges_examined_total")
-	mGenerateTime  = obs.Default().Timer("rrset_generate_seconds")
-	mWorkerTime    = obs.Default().Timer("rrset_worker_seconds")
+	mGenerated      = obs.Default().Counter("rrset_generated_total")
+	mNodes          = obs.Default().Counter("rrset_nodes_total")
+	mEdgesExamined  = obs.Default().Counter("rrset_edges_examined_total")
+	mGenerateTime   = obs.Default().Timer("rrset_generate_seconds")
+	mWorkerTime     = obs.Default().Timer("rrset_worker_seconds")
+	mIndexBuildTime = obs.Default().Timer("rrset_index_build_seconds")
+	mIndexShardTime = obs.Default().Timer("rrset_index_shard_seconds")
+	mIndexShards    = obs.Default().Counter("rrset_index_shards_total")
 )
 
 // TriggeringDistribution samples triggering sets [Kempe et al. 2003] for
@@ -163,8 +175,39 @@ func (s *Sampler) sampleTriggering(root int32, src *rng.Source, sc *Scratch) ([]
 }
 
 // sampleIC performs the stochastic reverse BFS of Appendix A: starting from
-// root, each incoming edge ⟨w,u⟩ is traversed with probability p(w,u).
+// root, each incoming edge ⟨w,u⟩ is traversed with probability p(w,u). In
+// the common unlimited-hops case no per-node depth bookkeeping is done; the
+// random draws are identical to the hop-limited variant's, so the two paths
+// produce the same RR sets when hops is effectively unlimited.
 func (s *Sampler) sampleIC(root int32, src *rng.Source, sc *Scratch) ([]int32, int64) {
+	if s.hops > 0 {
+		return s.sampleICHops(root, src, sc)
+	}
+	sc.nextEpoch()
+	q := sc.buf[:0]
+	q = append(q, root)
+	sc.mark[root] = sc.epoch
+	var examined int64
+	for head := 0; head < len(q); head++ {
+		from, p := s.g.InNeighbors(q[head])
+		examined += int64(len(from))
+		for i, w := range from {
+			if sc.mark[w] == sc.epoch {
+				continue
+			}
+			if src.Float64() < float64(p[i]) {
+				sc.mark[w] = sc.epoch
+				q = append(q, w)
+			}
+		}
+	}
+	sc.buf = q
+	return q, examined
+}
+
+// sampleICHops is sampleIC with per-queue-slot depth tracking, used only
+// when the sampler is hop-limited.
+func (s *Sampler) sampleICHops(root int32, src *rng.Source, sc *Scratch) ([]int32, int64) {
 	sc.nextEpoch()
 	q := sc.buf[:0]
 	q = append(q, root)
@@ -174,7 +217,7 @@ func (s *Sampler) sampleIC(root int32, src *rng.Source, sc *Scratch) ([]int32, i
 	var examined int64
 	for head := 0; head < len(q); head++ {
 		u := q[head]
-		if s.hops > 0 && depth[head] >= s.hops {
+		if depth[head] >= s.hops {
 			continue
 		}
 		from, p := s.g.InNeighbors(u)
@@ -226,15 +269,22 @@ func (s *Sampler) sampleLT(root int32, src *rng.Source, sc *Scratch) ([]int32, i
 // Collection stores RR sets in pooled form with an inverted node→set index,
 // supporting the coverage computations of Algorithm 1. The zero value is an
 // empty collection for a graph with 0 nodes; use NewCollection.
+//
+// A Collection is safe for concurrent reads; writes (Add, Generate) must
+// not overlap with each other or with reads.
 type Collection struct {
 	n    int32
 	offs []int64 // len = Count()+1; set i occupies pool[offs[i]:offs[i+1]]
 	pool []int32
 
-	// index[v] lists the ids of RR sets containing node v.
+	// index[v] lists the ids of RR sets containing node v, ascending.
 	index [][]int32
 
 	edgesExamined int64
+
+	// covPool recycles CoverageScratch values for the allocation-free
+	// Coverage compatibility wrapper; CoverageWith is the explicit form.
+	covPool sync.Pool
 }
 
 // NewCollection returns an empty Collection for a graph with n nodes.
@@ -284,26 +334,96 @@ func (c *Collection) SetsCovering(v int32) []int32 { return c.index[v] }
 // Degree returns the number of stored sets containing v, i.e. Λ({v}).
 func (c *Collection) Degree(v int32) int32 { return int32(len(c.index[v])) }
 
-// Coverage returns Λ(S): the number of stored sets intersecting the seed
-// set. It runs in O(Σ_{v∈S} |SetsCovering(v)|).
-func (c *Collection) Coverage(seeds []int32) int64 {
-	covered := make(map[int32]struct{}, 64)
+// CoverageScratch is the reusable state of the epoch-marked coverage
+// kernel: one mark word per RR-set id, invalidated by bumping an epoch
+// counter instead of clearing, so repeated Λ(S) queries (OPIM-C's
+// per-round bound checks, the Oracle's candidate scoring) cost zero
+// allocations after the first call. A CoverageScratch may be reused across
+// collections and across collection growth; it is not safe for concurrent
+// use — keep one per goroutine.
+type CoverageScratch struct {
+	mark  []uint32
+	epoch uint32
+}
+
+// NewCoverageScratch returns an empty scratch; it sizes itself lazily on
+// first use.
+func NewCoverageScratch() *CoverageScratch { return &CoverageScratch{} }
+
+// CoverageWith returns Λ(S) like Coverage, accumulating into sc instead of
+// allocating. It runs in O(Σ_{v∈S} |SetsCovering(v)|) with no allocation
+// once sc has grown to the collection's set count.
+func (c *Collection) CoverageWith(sc *CoverageScratch, seeds []int32) int64 {
+	if count := c.Count(); len(sc.mark) < count {
+		// Stale marks never collide: the epoch bump below invalidates the
+		// old region and fresh zeros can never equal a live epoch.
+		grown := make([]uint32, count)
+		copy(grown, sc.mark)
+		sc.mark = grown
+	}
+	sc.epoch++
+	if sc.epoch == 0 {
+		for i := range sc.mark {
+			sc.mark[i] = 0
+		}
+		sc.epoch = 1
+	}
+	var covered int64
 	for _, v := range seeds {
 		for _, id := range c.index[v] {
-			covered[id] = struct{}{}
+			if sc.mark[id] != sc.epoch {
+				sc.mark[id] = sc.epoch
+				covered++
+			}
 		}
 	}
-	return int64(len(covered))
+	return covered
+}
+
+// Coverage returns Λ(S): the number of stored sets intersecting the seed
+// set. It is the allocation-compatible wrapper over the epoch-marked
+// kernel (CoverageWith), drawing scratch from an internal pool so it stays
+// safe for concurrent readers; hot paths should hold their own
+// CoverageScratch instead.
+func (c *Collection) Coverage(seeds []int32) int64 {
+	sc, _ := c.covPool.Get().(*CoverageScratch)
+	if sc == nil {
+		sc = NewCoverageScratch()
+	}
+	covered := c.CoverageWith(sc, seeds)
+	c.covPool.Put(sc)
+	return covered
+}
+
+// chunk is one shard's private output of parallel generation: a local pool
+// with local offsets (offs[0] == 0). Offsets are int64 — a shard whose
+// pooled nodes exceed 2^31 must rebase without truncation (regression:
+// these were int32 once, silently corrupting large chunks).
+type chunk struct {
+	pool     []int32
+	offs     []int64
+	examined int64
 }
 
 // Generate draws count RR sets with s and appends them to c, splitting work
-// across workers (≤ 0 means 1). Each RR set i is driven by the split stream
-// base.Split(startID+i) where startID is the collection size before the
-// call, so the resulting collection is byte-identical for any worker count
-// and growing a collection incrementally matches generating it in one shot.
+// across workers (≤ 0 means GOMAXPROCS). Each RR set i is driven by the
+// split stream base.Split(startID+i) where startID is the collection size
+// before the call, and shard outputs are merged at deterministic positions,
+// so the resulting collection — pool bytes, offsets, and inverted index —
+// is byte-identical for any worker count, and growing a collection
+// incrementally matches generating it in one shot.
+//
+// Construction is fully sharded: workers sample into per-shard pools, the
+// pool/offset merge copies each shard into its pre-computed extent, and
+// the node→set index is built by a two-pass counting build (count per
+// shard, prefix per node partition, parallel fill) with no single-threaded
+// merge loop.
 func Generate(c *Collection, s *Sampler, count int, base *rng.Source, workers int) {
 	if count <= 0 {
 		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 	t0 := time.Now()
 	nodesBefore, edgesBefore := c.TotalSize(), c.EdgesExamined()
@@ -313,7 +433,7 @@ func Generate(c *Collection, s *Sampler, count int, base *rng.Source, workers in
 		mEdgesExamined.Add(c.EdgesExamined() - edgesBefore)
 		mGenerateTime.Observe(time.Since(t0))
 	}()
-	if workers <= 1 || count < 64 {
+	if workers == 1 || count < 64 {
 		sc := s.NewScratch()
 		start := uint64(c.Count())
 		for i := 0; i < count; i++ {
@@ -324,44 +444,171 @@ func Generate(c *Collection, s *Sampler, count int, base *rng.Source, workers in
 		mWorkerTime.Observe(time.Since(t0))
 		return
 	}
-
-	type chunk struct {
-		pool     []int32
-		offs     []int32 // local, starts at 0
-		examined int64
-	}
 	if workers > count {
 		workers = count
 	}
+
+	// Phase 1 — sampling: each shard draws a contiguous id range into a
+	// private chunk; no shared state, no locks.
 	chunks := make([]chunk, workers)
-	start := uint64(c.Count())
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := count * w / workers
-		hi := count * (w + 1) / workers
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			wt0 := time.Now()
-			defer func() { mWorkerTime.Observe(time.Since(wt0)) }()
-			sc := s.NewScratch()
-			ck := chunk{offs: make([]int32, 0, hi-lo+1)}
-			ck.offs = append(ck.offs, 0)
-			for i := lo; i < hi; i++ {
-				src := base.Split(start + uint64(i))
-				nodes, examined := s.Sample(src, sc)
-				ck.pool = append(ck.pool, nodes...)
-				ck.offs = append(ck.offs, int32(len(ck.pool)))
-				ck.examined += examined
+	startID := uint64(c.Count())
+	runShards(workers, func(w int) {
+		wt0 := time.Now()
+		defer func() { mWorkerTime.Observe(time.Since(wt0)) }()
+		lo, hi := count*w/workers, count*(w+1)/workers
+		sc := s.NewScratch()
+		ck := chunk{offs: make([]int64, 1, hi-lo+1)}
+		for i := lo; i < hi; i++ {
+			src := base.Split(startID + uint64(i))
+			nodes, examined := s.Sample(src, sc)
+			ck.pool = append(ck.pool, nodes...)
+			ck.offs = append(ck.offs, int64(len(ck.pool)))
+			ck.examined += examined
+		}
+		chunks[w] = ck
+	})
+	c.mergeChunks(chunks)
+}
+
+// mergeChunks appends the shards' sets to the collection at deterministic
+// positions: shard w's sets occupy ids [Count+setBase[w], Count+setBase[w+1])
+// and its pool bytes land at the matching pre-computed extent, so the
+// result is identical to sequential Add calls in id order.
+func (c *Collection) mergeChunks(chunks []chunk) {
+	par := len(chunks)
+	poolBase := make([]int64, par+1)
+	setBase := make([]int, par+1)
+	for w := range chunks {
+		poolBase[w+1] = poolBase[w] + int64(len(chunks[w].pool))
+		setBase[w+1] = setBase[w] + len(chunks[w].offs) - 1
+	}
+	oldPoolLen := int64(len(c.pool))
+	oldCount := c.Count()
+
+	// Phase 2 — pool and offsets: grow once, then copy each shard into its
+	// disjoint extent in parallel.
+	c.pool = growInt32(c.pool, poolBase[par])
+	c.offs = growInt64(c.offs, int64(setBase[par]))
+	runShards(par, func(w int) {
+		ck := &chunks[w]
+		copy(c.pool[oldPoolLen+poolBase[w]:], ck.pool)
+		rebaseOffsets(c.offs[1+oldCount+setBase[w]:], oldPoolLen+poolBase[w], ck.offs)
+	})
+	for w := range chunks {
+		c.edgesExamined += chunks[w].examined
+	}
+
+	// Phases 3–4 — inverted index, two-pass counting build:
+	// (3a) per-shard occurrence counts, (3b) per-node prefix sums + slice
+	// growth over a node partition, (4) parallel fill at the pre-computed
+	// positions. Shard order inside each node's list equals id order, so
+	// the index matches the sequential build exactly.
+	it0 := time.Now()
+	counts := make([][]int32, par)
+	runShards(par, func(w int) {
+		cnt := make([]int32, c.n)
+		for _, v := range chunks[w].pool {
+			cnt[v]++
+		}
+		counts[w] = cnt
+	})
+	n := int64(c.n)
+	runShards(par, func(r int) {
+		lo, hi := n*int64(r)/int64(par), n*int64(r+1)/int64(par)
+		for v := lo; v < hi; v++ {
+			var add int32
+			for w := range counts {
+				add += counts[w][v]
 			}
-			chunks[w] = ck
-		}(w, lo, hi)
+			if add == 0 {
+				continue
+			}
+			old := c.index[v]
+			oldLen := len(old)
+			need := oldLen + int(add)
+			if cap(old) < need {
+				grown := make([]int32, oldLen, need)
+				copy(grown, old)
+				old = grown
+			}
+			c.index[v] = old[:need]
+			pos := int32(oldLen)
+			for w := range counts {
+				next := pos + counts[w][v]
+				counts[w][v] = pos
+				pos = next
+			}
+		}
+	})
+	runShards(par, func(w int) {
+		st0 := time.Now()
+		cnt := counts[w]
+		ck := &chunks[w]
+		id := int32(oldCount + setBase[w])
+		for i := 0; i+1 < len(ck.offs); i++ {
+			for _, v := range ck.pool[ck.offs[i]:ck.offs[i+1]] {
+				c.index[v][cnt[v]] = id
+				cnt[v]++
+			}
+			id++
+		}
+		mIndexShardTime.Observe(time.Since(st0))
+	})
+	mIndexBuildTime.Observe(time.Since(it0))
+	mIndexShards.Add(int64(par))
+}
+
+// rebaseOffsets writes the global end-offset of each chunk set into dst:
+// dst[i] = base + local[i+1], where local are chunk-local offsets starting
+// at 0 and base is the chunk's global pool start. All arithmetic is int64;
+// chunks whose pooled nodes exceed 2^31 rebase without truncation.
+func rebaseOffsets(dst []int64, base int64, local []int64) {
+	for i, o := range local[1:] {
+		dst[i] = base + o
+	}
+}
+
+// growInt32 extends s by extra elements (contents undefined), reallocating
+// with amortized doubling so repeated batch appends stay linear.
+func growInt32(s []int32, extra int64) []int32 {
+	need := int64(len(s)) + extra
+	if int64(cap(s)) < need {
+		newCap := 2 * int64(cap(s))
+		if newCap < need {
+			newCap = need
+		}
+		grown := make([]int32, len(s), newCap)
+		copy(grown, s)
+		s = grown
+	}
+	return s[:need]
+}
+
+// growInt64 is growInt32 for []int64.
+func growInt64(s []int64, extra int64) []int64 {
+	need := int64(len(s)) + extra
+	if int64(cap(s)) < need {
+		newCap := 2 * int64(cap(s))
+		if newCap < need {
+			newCap = need
+		}
+		grown := make([]int64, len(s), newCap)
+		copy(grown, s)
+		s = grown
+	}
+	return s[:need]
+}
+
+// runShards invokes f(w) for w in [0, par) on par goroutines and waits for
+// all of them — the phase-barrier primitive of sharded construction.
+func runShards(par int, f func(w int)) {
+	var wg sync.WaitGroup
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func(w int) {
+			defer wg.Done()
+			f(w)
+		}(w)
 	}
 	wg.Wait()
-	for _, ck := range chunks {
-		for i := 0; i+1 < len(ck.offs); i++ {
-			c.Add(ck.pool[ck.offs[i]:ck.offs[i+1]], 0)
-		}
-		c.edgesExamined += ck.examined
-	}
 }

@@ -207,54 +207,6 @@ func TestCollectionCoverage(t *testing.T) {
 	}
 }
 
-func TestGenerateDeterministicAcrossWorkers(t *testing.T) {
-	g, _ := gen.PreferentialAttachment(1000, 6, 0.1, 11)
-	g, _ = graph.Reweight(g, graph.WeightedCascade, 0, 1)
-	for _, model := range []diffusion.Model{diffusion.IC, diffusion.LT} {
-		s := NewSampler(g, model)
-		a := NewCollection(g.N())
-		Generate(a, s, 500, rng.New(12), 1)
-		b := NewCollection(g.N())
-		Generate(b, s, 500, rng.New(12), 8)
-		if a.Count() != b.Count() || a.TotalSize() != b.TotalSize() {
-			t.Fatalf("%v: shape differs across workers", model)
-		}
-		for i := int32(0); i < int32(a.Count()); i++ {
-			sa, sb := a.Set(i), b.Set(i)
-			if len(sa) != len(sb) {
-				t.Fatalf("%v: set %d sizes differ", model, i)
-			}
-			for j := range sa {
-				if sa[j] != sb[j] {
-					t.Fatalf("%v: set %d differs at %d", model, i, j)
-				}
-			}
-		}
-	}
-}
-
-func TestGenerateIncrementalMatchesOneShot(t *testing.T) {
-	g, _ := gen.PreferentialAttachment(500, 5, 0.1, 13)
-	g, _ = graph.Reweight(g, graph.WeightedCascade, 0, 1)
-	s := NewSampler(g, diffusion.IC)
-	one := NewCollection(g.N())
-	Generate(one, s, 300, rng.New(14), 4)
-	inc := NewCollection(g.N())
-	Generate(inc, s, 100, rng.New(14), 2)
-	Generate(inc, s, 200, rng.New(14), 8)
-	if one.TotalSize() != inc.TotalSize() {
-		t.Fatalf("incremental generation diverged: %d vs %d", one.TotalSize(), inc.TotalSize())
-	}
-	for i := int32(0); i < 300; i++ {
-		sa, sb := one.Set(i), inc.Set(i)
-		for j := range sa {
-			if sa[j] != sb[j] {
-				t.Fatalf("set %d differs", i)
-			}
-		}
-	}
-}
-
 func TestGenerateZeroOrNegativeCount(t *testing.T) {
 	g, _ := gen.Line(3, 0.5)
 	s := NewSampler(g, diffusion.IC)

@@ -1,0 +1,211 @@
+package rrset
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/gen"
+	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/rng"
+)
+
+func shardTestGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := gen.PreferentialAttachment(400, 5, 0.1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err = graph.Reweight(g, graph.WeightedCascade, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// requireIdentical asserts two collections are byte-identical: same offsets,
+// same pool, same inverted index, same γ.
+func requireIdentical(t *testing.T, want, got *Collection, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(want.offs, got.offs) {
+		t.Fatalf("%s: offsets differ", label)
+	}
+	if !reflect.DeepEqual(want.pool, got.pool) {
+		t.Fatalf("%s: pools differ", label)
+	}
+	if want.edgesExamined != got.edgesExamined {
+		t.Fatalf("%s: edgesExamined %d != %d", label, got.edgesExamined, want.edgesExamined)
+	}
+	if len(want.index) != len(got.index) {
+		t.Fatalf("%s: index sized %d != %d", label, len(got.index), len(want.index))
+	}
+	for v := range want.index {
+		w, g := want.index[v], got.index[v]
+		if len(w) == 0 && len(g) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(w, g) {
+			t.Fatalf("%s: index[%d] = %v, want %v", label, v, g, w)
+		}
+	}
+}
+
+// TestGenerateDeterministicAcrossWorkers is the determinism property test:
+// for any worker count the sharded construction must produce a collection
+// byte-identical to the sequential one — pool, offsets, inverted index and
+// edgesExamined all match. Runs under -race in CI, which also exercises the
+// phase barriers of the parallel index build.
+func TestGenerateDeterministicAcrossWorkers(t *testing.T) {
+	g := shardTestGraph(t)
+	const count = 700 // above the parallel-path threshold
+	for _, model := range []diffusion.Model{diffusion.IC, diffusion.LT} {
+		s := NewSampler(g, model)
+		ref := NewCollection(g.N())
+		Generate(ref, s, count, rng.New(42), 1)
+		if ref.Count() != count {
+			t.Fatalf("%v: reference has %d sets, want %d", model, ref.Count(), count)
+		}
+		for _, workers := range []int{1, 2, 4, 7} {
+			c := NewCollection(g.N())
+			Generate(c, s, count, rng.New(42), workers)
+			requireIdentical(t, ref, c, model.String()+"/workers="+itoa(workers))
+		}
+	}
+}
+
+// TestGenerateIncrementalMatchesOneShot checks the other half of the
+// determinism invariant: growing a collection in several parallel batches is
+// byte-identical to generating it in one shot, because RR set i is always
+// driven by Split(startID+i) of the same base source.
+func TestGenerateIncrementalMatchesOneShot(t *testing.T) {
+	g := shardTestGraph(t)
+	s := NewSampler(g, diffusion.IC)
+
+	oneShot := NewCollection(g.N())
+	Generate(oneShot, s, 600, rng.New(7), 4)
+
+	grown := NewCollection(g.N())
+	base := rng.New(7)
+	for _, batch := range []int{100, 37, 263, 200} { // mix of sequential and parallel paths
+		Generate(grown, s, batch, base, 4)
+	}
+	requireIdentical(t, oneShot, grown, "incremental")
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestRebaseOffsetsInt64Overflow is the regression test for the chunk-offset
+// truncation bug: a mocked chunk whose local offsets and global pool base
+// both exceed 2³¹ must rebase exactly. With int32 chunk offsets these values
+// wrapped negative and corrupted the merged collection.
+func TestRebaseOffsetsInt64Overflow(t *testing.T) {
+	const base = int64(1)<<31 + 17 // global pool start past int32 range
+	local := []int64{0, 5, 1 << 30, 1<<31 + 9, 1<<32 + 3}
+	dst := make([]int64, len(local)-1)
+	rebaseOffsets(dst, base, local)
+	want := []int64{base + 5, base + 1<<30, base + 1<<31 + 9, base + 1<<32 + 3}
+	if !reflect.DeepEqual(dst, want) {
+		t.Fatalf("rebaseOffsets = %v, want %v", dst, want)
+	}
+	for i, o := range dst {
+		if o != base+local[i+1] {
+			t.Fatalf("offset %d truncated: got %d, want %d", i, o, base+local[i+1])
+		}
+		if int64(int32(o)) == o {
+			t.Fatalf("offset %d = %d fits int32; test no longer exercises the overflow", i, o)
+		}
+	}
+}
+
+// coverageBrute is the reference Λ(S): the map-based computation the old
+// Coverage implementation performed on every call.
+func coverageBrute(c *Collection, seeds []int32) int64 {
+	covered := make(map[int32]struct{})
+	for _, v := range seeds {
+		for _, id := range c.SetsCovering(v) {
+			covered[id] = struct{}{}
+		}
+	}
+	return int64(len(covered))
+}
+
+func TestCoverageWithMatchesBruteForce(t *testing.T) {
+	src := rng.New(9)
+	sc := NewCoverageScratch()
+	for trial := 0; trial < 50; trial++ {
+		raw := make([]uint8, src.Intn(128))
+		for i := range raw {
+			raw[i] = uint8(src.Intn(256))
+		}
+		c := randomCollection(raw, 16)
+		seeds := make([]int32, src.Intn(8))
+		for i := range seeds {
+			seeds[i] = int32(src.Intn(16))
+		}
+		want := coverageBrute(c, seeds)
+		if got := c.CoverageWith(sc, seeds); got != want {
+			t.Fatalf("trial %d: CoverageWith = %d, want %d", trial, got, want)
+		}
+		if got := c.Coverage(seeds); got != want {
+			t.Fatalf("trial %d: Coverage wrapper = %d, want %d", trial, got, want)
+		}
+	}
+}
+
+// TestCoverageScratchSurvivesCollectionGrowth reuses one scratch across a
+// growing collection and across distinct collections — the Oracle's usage
+// pattern — and checks every query against the brute-force reference.
+func TestCoverageScratchSurvivesCollectionGrowth(t *testing.T) {
+	g := shardTestGraph(t)
+	s := NewSampler(g, diffusion.IC)
+	c := NewCollection(g.N())
+	sc := NewCoverageScratch()
+	base := rng.New(3)
+	seeds := []int32{0, 7, 42, 111}
+	for step := 0; step < 4; step++ {
+		Generate(c, s, 150, base, 2)
+		want := coverageBrute(c, seeds)
+		if got := c.CoverageWith(sc, seeds); got != want {
+			t.Fatalf("step %d: CoverageWith = %d, want %d", step, got, want)
+		}
+	}
+	// Same scratch against a different, smaller collection.
+	small := randomCollection([]uint8{1, 2, 3, 4, 5, 6}, 16)
+	if got, want := small.CoverageWith(sc, []int32{1, 3}), coverageBrute(small, []int32{1, 3}); got != want {
+		t.Fatalf("cross-collection reuse: CoverageWith = %d, want %d", got, want)
+	}
+}
+
+// TestCoverageScratchEpochWraparound drives the epoch counter through the
+// uint32 wraparound, where stale marks from epoch 2³²−1 must not be
+// confused with the re-issued epoch values.
+func TestCoverageScratchEpochWraparound(t *testing.T) {
+	c := randomCollection([]uint8{0, 1, 1, 2, 2, 3, 3, 4, 0, 5}, 16)
+	seeds := []int32{1, 3}
+	want := coverageBrute(c, seeds)
+	sc := NewCoverageScratch()
+	if got := c.CoverageWith(sc, seeds); got != want {
+		t.Fatalf("pre-wrap: got %d, want %d", got, want)
+	}
+	sc.epoch = ^uint32(0) - 1 // next two calls hit max epoch, then wrap to 0→1
+	for call := 0; call < 4; call++ {
+		if got := c.CoverageWith(sc, seeds); got != want {
+			t.Fatalf("wrap call %d (epoch now %d): got %d, want %d", call, sc.epoch, got, want)
+		}
+	}
+	if sc.epoch == 0 {
+		t.Fatal("epoch left at 0; wraparound must re-seed to 1")
+	}
+}

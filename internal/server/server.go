@@ -19,6 +19,12 @@
 // (server_<name>_seconds) in obs.Default(), which /metrics itself exposes
 // together with the RR-generation throughput counters and the latest
 // snapshot's (θ, σˡ, σᵘ, α) gauges — without spending any δ budget.
+//
+// Each session owns a persistent selection/coverage scratch (the
+// epoch-marked kernels of internal/maxcover and internal/rrset), so a
+// client polling /snapshot pays no per-request selection allocations; the
+// server's session mutex serializes all access, which is what makes that
+// reuse safe against the background sampling loop.
 package server
 
 import (
@@ -133,6 +139,8 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
+	// Snapshot reuses the session's persistent scratch; s.mu serializes it
+	// against concurrent /snapshot requests and the background loop.
 	s.mu.Lock()
 	snap := s.session.Snapshot()
 	s.mu.Unlock()

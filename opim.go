@@ -14,6 +14,13 @@
 //     SSA-Fix, D-SSA-Fix) and the full experiment harness regenerating the
 //     paper's figures, under ./cmd and ./internal.
 //
+// RR-set collections are built by a sharded parallel pipeline (sampling,
+// pool merge and inverted-index construction all run across workers) that
+// is byte-identical for every worker count, and coverage/selection queries
+// run on reusable epoch-marked scratch, so sessions allocate nothing on the
+// snapshot hot path. Set Options.Workers (≤ 0 means GOMAXPROCS) to control
+// parallelism.
+//
 // # Quick start
 //
 //	g, _ := opim.GenerateProfile("synth-pokec", 0, 1)
