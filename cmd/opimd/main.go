@@ -12,6 +12,24 @@
 //	curl -X POST 'localhost:8080/advance?count=100000'
 //	curl localhost:8080/status
 //	curl localhost:8080/metrics            # throughput, latencies, last α
+//	curl -X POST localhost:8080/checkpoint # force a durable checkpoint
+//
+// Fault tolerance (see docs/ROBUSTNESS.md):
+//
+//   - -checkpoint FILE enables crash-safe checkpointing: the session is
+//     written atomically every -checkpoint-interval (default 30s), on
+//     POST /checkpoint, and on graceful shutdown; at startup the daemon
+//     auto-resumes from the checkpoint (falling back to FILE.prev when
+//     the current generation is corrupt). A resumed session continues
+//     the exact sample stream — seeds, α and δ accounting are
+//     byte-identical to a never-crashed run. When resuming, the session
+//     parameters (-k, -delta, -seed, …) come from the checkpoint, not
+//     the flags.
+//   - -request-timeout bounds /advance processing (503 + Retry-After
+//     past the deadline, progress kept); -max-inflight sheds excess
+//     concurrent requests with 503.
+//   - SIGINT/SIGTERM drains in-flight requests, stops the sampling
+//     loop, writes a final checkpoint, and exits 0.
 //
 // With -pprof, Go's net/http/pprof profiling handlers are mounted under
 // /debug/pprof/. See docs/API.md for the full HTTP surface and
@@ -20,8 +38,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	httppprof "net/http/pprof"
 	"os"
@@ -37,22 +57,26 @@ import (
 
 func main() {
 	var (
-		graphPath = flag.String("graph", "", "edge-list file (text or binary); empty = use -profile")
-		profile   = flag.String("profile", "synth-pokec", "synthetic profile when -graph is empty")
-		scale     = flag.Int("scale", 0, "profile scale divisor (0 = default)")
-		weights   = flag.String("weights", "", "reweight loaded graph: none | wc | uniform:<p> | trivalency")
-		modelName = flag.String("model", "IC", "diffusion model: IC or LT")
-		k         = flag.Int("k", 50, "seed set size")
-		deltaF    = flag.Float64("delta", 0, "failure probability (0 = 1/n)")
-		variantN  = flag.String("variant", "plus", "guarantee variant: vanilla | plus | prime")
-		seed      = flag.Uint64("seed", 1, "random seed")
-		workers   = flag.Int("workers", 0, "sampling workers (0 = GOMAXPROCS)")
-		batch     = flag.Int("batch", 10000, "RR sets per background iteration")
-		maxRR     = flag.Int64("maxrr", 1<<26, "RR-set budget")
-		listen    = flag.String("listen", ":8080", "listen address")
-		union     = flag.Bool("union", false, "union-budget mode across snapshots")
-		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
-		logEvents = flag.String("log-events", "", "append a JSONL event per served snapshot to this file")
+		graphPath  = flag.String("graph", "", "edge-list file (text or binary); empty = use -profile")
+		profile    = flag.String("profile", "synth-pokec", "synthetic profile when -graph is empty")
+		scale      = flag.Int("scale", 0, "profile scale divisor (0 = default)")
+		weights    = flag.String("weights", "", "reweight loaded graph: none | wc | uniform:<p> | trivalency")
+		modelName  = flag.String("model", "IC", "diffusion model: IC or LT")
+		k          = flag.Int("k", 50, "seed set size")
+		deltaF     = flag.Float64("delta", 0, "failure probability (0 = 1/n)")
+		variantN   = flag.String("variant", "plus", "guarantee variant: vanilla | plus | prime")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		workers    = flag.Int("workers", 0, "sampling workers (0 = GOMAXPROCS)")
+		batch      = flag.Int("batch", 10000, "RR sets per background iteration")
+		maxRR      = flag.Int64("maxrr", 1<<26, "RR-set budget")
+		listen     = flag.String("listen", ":8080", "listen address")
+		union      = flag.Bool("union", false, "union-budget mode across snapshots")
+		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		logEvents  = flag.String("log-events", "", "append a JSONL event per served snapshot to this file")
+		checkpoint = flag.String("checkpoint", "", "checkpoint file: enables periodic crash-safe saves and startup auto-resume")
+		ckInterval = flag.Duration("checkpoint-interval", server.DefaultCheckpointInterval, "periodic checkpoint cadence (requires -checkpoint)")
+		reqTimeout = flag.Duration("request-timeout", time.Minute, "deadline for /advance processing (0 = none)")
+		maxInfl    = flag.Int("max-inflight", 64, "max concurrent HTTP requests before shedding with 503 (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -80,14 +104,47 @@ func main() {
 			fatalf("%v", err)
 		}
 	}
-	session, err := opim.NewOnline(opim.NewSampler(g, model), opim.Options{
-		K: *k, Delta: delta, Variant: variant, Seed: *seed, Workers: *workers, UnionBudget: *union,
-		Events: flushingSinkOrNil(events),
-	})
-	if err != nil {
-		fatalf("%v", err)
+	sampler := opim.NewSampler(g, model)
+
+	// Startup auto-resume: prefer the checkpoint over a fresh session. A
+	// checkpoint that exists but cannot be loaded (both generations bad)
+	// stops startup — silently discarding a session would forget every
+	// spent unit of δ budget, the exact failure mode resume exists to
+	// prevent. The operator must remove the file to start fresh.
+	var session *opim.Online
+	if *checkpoint != "" {
+		sess, src, lerr := server.LoadCheckpoint(*checkpoint, sampler)
+		switch {
+		case lerr == nil:
+			session = sess
+			session.SetEvents(flushingSinkOrNil(events))
+			fmt.Printf("opimd: resumed session from %s (num_rr=%d); session parameters come from the checkpoint\n", src, session.NumRR())
+		case errors.Is(lerr, os.ErrNotExist):
+			// First boot: no checkpoint yet.
+		default:
+			fatalf("cannot resume: %v (remove the checkpoint to start fresh)", lerr)
+		}
 	}
-	srv := server.New(session, *batch, *maxRR)
+	if session == nil {
+		session, err = opim.NewOnline(sampler, opim.Options{
+			K: *k, Delta: delta, Variant: variant, Seed: *seed, Workers: *workers, UnionBudget: *union,
+			Events: flushingSinkOrNil(events),
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	srv := server.New(session, server.Config{
+		Batch:              *batch,
+		MaxRR:              *maxRR,
+		RequestTimeout:     *reqTimeout,
+		MaxInflight:        *maxInfl,
+		CheckpointPath:     *checkpoint,
+		CheckpointInterval: *ckInterval,
+		Events:             flushingSinkOrNil(events),
+	})
+	srv.StartCheckpointer()
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
 	if *pprofOn {
@@ -97,39 +154,72 @@ func main() {
 		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
 	}
-	httpSrv := &http.Server{Addr: *listen, Handler: mux}
+	httpSrv := &http.Server{
+		Handler: mux,
+		// Slow-client protection. WriteTimeout must outlast the /advance
+		// deadline or the connection would be cut before the 503.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		WriteTimeout:      writeTimeoutFor(*reqTimeout),
+	}
 
-	// Graceful shutdown: stop the sampler loop and drain connections on
-	// SIGINT/SIGTERM.
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	// Graceful shutdown on SIGINT/SIGTERM: drain in-flight requests first
+	// (so no handler mutates the session underneath the final save), then
+	// stop the sampling loop and checkpointer and write a final
+	// checkpoint.
 	idle := make(chan struct{})
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		fmt.Println("\nopimd: shutting down")
-		srv.Stop()
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "opimd: drain: %v\n", err)
+		}
+		if err := srv.Shutdown(); err != nil {
+			fmt.Fprintf(os.Stderr, "opimd: final checkpoint: %v\n", err)
+		} else if *checkpoint != "" {
+			fmt.Printf("opimd: final checkpoint written to %s\n", *checkpoint)
+		}
 		if events != nil {
 			if err := events.Close(); err != nil {
 				fmt.Fprintf(os.Stderr, "opimd: closing event log: %v\n", err)
 			}
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		if err := httpSrv.Shutdown(ctx); err != nil {
-			fmt.Fprintf(os.Stderr, "opimd: shutdown: %v\n", err)
-		}
 		close(idle)
 	}()
 
 	fmt.Printf("opimd: n=%d m=%d model=%v k=%d δ=%.2e — listening on %s\n",
-		g.N(), g.M(), model, *k, delta, *listen)
+		g.N(), g.M(), model, *k, delta, ln.Addr())
 	if *pprofOn {
-		fmt.Printf("opimd: pprof mounted at %s/debug/pprof/\n", *listen)
+		fmt.Printf("opimd: pprof mounted at %s/debug/pprof/\n", ln.Addr())
 	}
-	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+	if *checkpoint != "" {
+		fmt.Printf("opimd: checkpointing to %s every %v\n", *checkpoint, *ckInterval)
+	}
+	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 		fatalf("%v", err)
 	}
 	<-idle
+}
+
+// writeTimeoutFor pads the /advance deadline so the handler can still
+// write its 503 after the deadline fires; with no deadline the write
+// timeout is disabled (an unbounded advance may legitimately stream for
+// minutes).
+func writeTimeoutFor(reqTimeout time.Duration) time.Duration {
+	if reqTimeout <= 0 {
+		return 0
+	}
+	return reqTimeout + 30*time.Second
 }
 
 // flushingSink writes each event through to disk immediately. Events in

@@ -1,0 +1,245 @@
+package main
+
+// Process-level fault-tolerance smoke tests: build the real opimd
+// binary, SIGKILL it mid-session, restart it, and check that the resumed
+// run is indistinguishable from one that never crashed. These are the
+// only tests in the repo that cross a process boundary — everything the
+// daemon promises in docs/ROBUSTNESS.md is exercised here end to end.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildOpimd compiles the daemon once per test binary invocation.
+func buildOpimd(t *testing.T) string {
+	t.Helper()
+	if runtime.GOOS == "windows" {
+		t.Skip("signal-based tests are POSIX-only")
+	}
+	bin := filepath.Join(t.TempDir(), "opimd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// daemon is one running opimd process plus its parsed base URL.
+type daemon struct {
+	cmd     *exec.Cmd
+	baseURL string
+	stdout  *bufio.Scanner
+	lines   []string
+}
+
+// startDaemon launches opimd on an ephemeral port and waits until it
+// serves /status. extra is appended to a small deterministic profile.
+func startDaemon(t *testing.T, bin string, extra ...string) *daemon {
+	t.Helper()
+	args := append([]string{
+		"-profile", "synth-pokec", "-scale", "20000",
+		"-k", "3", "-seed", "7", "-listen", "127.0.0.1:0",
+	}, extra...)
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd, stdout: bufio.NewScanner(stdout)}
+	t.Cleanup(func() {
+		if d.cmd.ProcessState == nil {
+			d.cmd.Process.Kill()
+			d.cmd.Wait()
+		}
+	})
+	// The daemon prints "... — listening on 127.0.0.1:PORT" once bound.
+	for d.stdout.Scan() {
+		line := d.stdout.Text()
+		d.lines = append(d.lines, line)
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			d.baseURL = "http://" + strings.TrimSpace(line[i+len("listening on "):])
+			break
+		}
+	}
+	if d.baseURL == "" {
+		t.Fatalf("opimd never reported its listen address; stdout: %q", d.lines)
+	}
+	// Drain remaining stdout so the child never blocks on a full pipe.
+	go func() {
+		for d.stdout.Scan() {
+		}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := d.get("/status"); err == nil {
+			return d
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("opimd at %s never became ready", d.baseURL)
+	return nil
+}
+
+func (d *daemon) get(path string) (map[string]any, error)  { return d.req(http.MethodGet, path) }
+func (d *daemon) post(path string) (map[string]any, error) { return d.req(http.MethodPost, path) }
+
+func (d *daemon) req(method, path string) (map[string]any, error) {
+	req, err := http.NewRequest(method, d.baseURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("%s %s: %s: %s", method, path, resp.Status, body)
+	}
+	var out map[string]any
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+func (d *daemon) mustPost(t *testing.T, path string) map[string]any {
+	t.Helper()
+	out, err := d.post(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func (d *daemon) mustGet(t *testing.T, path string) map[string]any {
+	t.Helper()
+	out, err := d.get(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func numRR(t *testing.T, status map[string]any) int64 {
+	t.Helper()
+	v, ok := status["num_rr"].(float64)
+	if !ok {
+		t.Fatalf("status has no num_rr: %v", status)
+	}
+	return int64(v)
+}
+
+// TestOpimdKillResume: SIGKILL the daemon after a checkpoint, restart it,
+// and verify (a) it resumes at the checkpointed RR count, discarding only
+// the never-checkpointed tail, and (b) after catching up, its snapshot is
+// identical to a run that never crashed.
+func TestOpimdKillResume(t *testing.T) {
+	bin := buildOpimd(t)
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "session.ck")
+
+	// Run A: 1200 RR sets checkpointed, 400 more that will be lost to the
+	// crash (checkpoint interval 1h = only explicit checkpoints).
+	a := startDaemon(t, bin, "-checkpoint", ck, "-checkpoint-interval", "1h")
+	a.mustPost(t, "/advance?count=1200")
+	a.mustPost(t, "/checkpoint")
+	a.mustPost(t, "/advance?count=400")
+	if err := a.cmd.Process.Kill(); err != nil { // SIGKILL: no cleanup runs
+		t.Fatal(err)
+	}
+	a.cmd.Wait()
+
+	// Run B: must resume at exactly the checkpoint.
+	b := startDaemon(t, bin, "-checkpoint", ck, "-checkpoint-interval", "1h")
+	if got := numRR(t, b.mustGet(t, "/status")); got != 1200 {
+		t.Fatalf("resumed num_rr = %d, want 1200 (the checkpointed state)", got)
+	}
+	b.mustPost(t, "/advance?count=800")
+	snapB := b.mustGet(t, "/snapshot")
+
+	// Reference run C: same parameters, no crash, straight to 2000.
+	c := startDaemon(t, bin, "-checkpoint", filepath.Join(dir, "ref.ck"))
+	c.mustPost(t, "/advance?count=2000")
+	snapC := c.mustGet(t, "/snapshot")
+
+	jb, _ := json.Marshal(snapB)
+	jc, _ := json.Marshal(snapC)
+	if string(jb) != string(jc) {
+		t.Fatalf("resumed snapshot diverged from the never-crashed run:\nresumed: %s\nreference: %s", jb, jc)
+	}
+}
+
+// TestOpimdGracefulShutdown: SIGTERM must drain, write a final
+// checkpoint, and exit 0; a restart resumes at the full pre-shutdown
+// state with nothing lost.
+func TestOpimdGracefulShutdown(t *testing.T) {
+	bin := buildOpimd(t)
+	ck := filepath.Join(t.TempDir(), "session.ck")
+
+	a := startDaemon(t, bin, "-checkpoint", ck, "-checkpoint-interval", "1h")
+	a.mustPost(t, "/advance?count=1000")
+	// No explicit /checkpoint: only the shutdown path can persist this.
+	if err := a.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- a.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("SIGTERM exit: %v (want exit code 0)", err)
+		}
+	case <-time.After(30 * time.Second):
+		a.cmd.Process.Kill()
+		t.Fatal("daemon did not exit within 30s of SIGTERM")
+	}
+	if _, err := os.Stat(ck); err != nil {
+		t.Fatalf("no final checkpoint after graceful shutdown: %v", err)
+	}
+
+	b := startDaemon(t, bin, "-checkpoint", ck)
+	if got := numRR(t, b.mustGet(t, "/status")); got != 1000 {
+		t.Fatalf("after graceful shutdown + restart num_rr = %d, want 1000", got)
+	}
+}
+
+// TestOpimdRefusesCorruptCheckpoint: when both generations are bad the
+// daemon must fail startup loudly rather than silently discard the
+// session's δ accounting.
+func TestOpimdRefusesCorruptCheckpoint(t *testing.T) {
+	bin := buildOpimd(t)
+	ck := filepath.Join(t.TempDir(), "session.ck")
+	if err := os.WriteFile(ck, []byte("OPIMS1\ngarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin,
+		"-profile", "synth-pokec", "-scale", "20000",
+		"-k", "3", "-seed", "7", "-listen", "127.0.0.1:0",
+		"-checkpoint", ck)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("daemon started from a corrupt checkpoint; output: %s", out)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("exit: %v, want exit code 1", err)
+	}
+	if !strings.Contains(string(out), "cannot resume") {
+		t.Fatalf("startup failure does not explain the resume refusal: %s", out)
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/rng"
+	"github.com/reprolab/opim/internal/rrset"
+	"github.com/reprolab/opim/internal/trigger"
+)
+
+// TestAdvanceContextMatchesAdvance asserts the chunked, cancellable
+// advance is byte-identical to a single Advance call — the invariant the
+// whole checkpoint/resume story depends on (persist.go).
+func TestAdvanceContextMatchesAdvance(t *testing.T) {
+	for _, count := range []int{1, 63, 1000, 4999} {
+		g := testGraph(t, 400, 60)
+		s := rrset.NewSampler(g, diffusion.IC)
+		opts := Options{K: 5, Delta: 0.05, Variant: Plus, Seed: 61}
+
+		plain, err := NewOnline(s, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain.Advance(count)
+
+		chunked, err := NewOnline(s, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := chunked.AdvanceContext(context.Background(), count)
+		if err != nil || n != count {
+			t.Fatalf("AdvanceContext(%d) = %d, %v", count, n, err)
+		}
+
+		var a, b bytes.Buffer
+		if err := SaveSession(&a, plain); err != nil {
+			t.Fatal(err)
+		}
+		if err := SaveSession(&b, chunked); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("count=%d: chunked advance diverged from plain advance", count)
+		}
+	}
+}
+
+func TestAdvanceContextAlreadyCancelled(t *testing.T) {
+	g := testGraph(t, 300, 62)
+	s := rrset.NewSampler(g, diffusion.IC)
+	o, err := NewOnline(s, Options{K: 3, Delta: 0.1, Seed: 63})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	n, err := o.AdvanceContext(ctx, 10000)
+	if n != 0 || !errors.Is(err, context.Canceled) {
+		t.Fatalf("AdvanceContext on cancelled ctx = %d, %v", n, err)
+	}
+	if o.NumRR() != 0 {
+		t.Fatalf("cancelled advance still generated %d RR sets", o.NumRR())
+	}
+}
+
+func TestAdvanceContextDeadlineStopsEarly(t *testing.T) {
+	g := testGraph(t, 300, 64)
+	// A triggering sampler whose draws are real but slow, so the deadline
+	// fires mid-advance. 200µs per triggering set bounds each adaptive
+	// chunk at ~125 sets, keeping cancellation latency near one chunk.
+	slow := &slowTrigger{dist: trigger.NewIC(g), delay: 200 * time.Microsecond}
+	s := rrset.NewSamplerTriggering(g, slow)
+	o, err := NewOnline(s, Options{K: 3, Delta: 0.1, Seed: 65})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	n, err := o.AdvanceContext(ctx, 1<<20)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if n <= 0 || n >= 1<<20 {
+		t.Fatalf("generated %d RR sets before the deadline", n)
+	}
+	if int64(n) != o.NumRR() {
+		t.Fatalf("reported %d but session holds %d — partial progress must be kept", n, o.NumRR())
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("advance returned %v after a 100ms deadline", elapsed)
+	}
+}
+
+// slowTrigger delays each triggering-set draw without changing it
+// (a local stand-in for faultinject.SlowDist, which the server chaos
+// tests use; core avoids the extra test dependency).
+type slowTrigger struct {
+	dist  *trigger.IC
+	delay time.Duration
+}
+
+func (d *slowTrigger) SampleTriggering(v int32, src *rng.Source, buf []int32) []int32 {
+	time.Sleep(d.delay)
+	return d.dist.SampleTriggering(v, src, buf)
+}

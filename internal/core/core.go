@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -197,6 +198,53 @@ func (o *Online) Advance(count int) {
 	half := count / 2
 	rrset.Generate(o.r1, o.sampler, count-half, o.base1, o.opts.Workers)
 	rrset.Generate(o.r2, o.sampler, half, o.base2, o.opts.Workers)
+}
+
+// maxAdvanceChunk caps the per-chunk RR-set count of AdvanceContext. It
+// is even — see AdvanceContext's parity invariant.
+const maxAdvanceChunk = 1 << 16
+
+// AdvanceContext is Advance with cancellation: it generates count RR sets
+// in chunks, checking ctx between chunks, and returns the number actually
+// generated together with ctx.Err() when it stopped early. Generated sets
+// are kept — cancelling an advance loses no work, it only pauses sooner.
+//
+// Chunking never changes the sample stream: every chunk except the last
+// is even, so the R1/R2 split (odd counts give R1 the extra set) matches
+// a single Advance(count) call exactly and the resulting collections are
+// byte-identical. The chunk size adapts to the observed sampling rate,
+// aiming at ~25ms per chunk, so cancellation latency stays near 25ms on
+// any graph.
+func (o *Online) AdvanceContext(ctx context.Context, count int) (int, error) {
+	generated := 0
+	chunk := 64
+	for generated < count {
+		if err := ctx.Err(); err != nil {
+			return generated, err
+		}
+		c := chunk
+		if rem := count - generated; c > rem {
+			c = rem
+		}
+		t0 := time.Now()
+		o.Advance(c)
+		generated += c
+		if el := time.Since(t0); el > 0 {
+			next := int(float64(c) * float64(25*time.Millisecond) / float64(el))
+			next &^= 1 // keep chunks even so the R1/R2 split is unchanged
+			if next < 64 {
+				next = 64
+			}
+			if next > 4*chunk {
+				next = 4 * chunk
+			}
+			if next > maxAdvanceChunk {
+				next = maxAdvanceChunk
+			}
+			chunk = next
+		}
+	}
+	return generated, nil
 }
 
 // AdvanceTo grows the session until NumRR() ≥ totalRR.

@@ -1,0 +1,91 @@
+package fsutil
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/reprolab/opim/internal/faultinject"
+)
+
+func writeBytes(b []byte) func(io.Writer) error {
+	return func(w io.Writer) error {
+		_, err := w.Write(b)
+		return err
+	}
+}
+
+func TestWriteAtomicRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.bin")
+	n, err := WriteAtomic(path, writeBytes([]byte("generation-1")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len("generation-1")) {
+		t.Fatalf("bytes written = %d", n)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "generation-1" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	if _, err := os.Stat(path + tmpSuffix); !os.IsNotExist(err) {
+		t.Fatalf("tmp file left behind: %v", err)
+	}
+	// No previous generation before the second write.
+	if _, err := os.Stat(path + PrevSuffix); !os.IsNotExist(err) {
+		t.Fatalf("prev generation exists before rotation: %v", err)
+	}
+}
+
+func TestWriteAtomicRotatesPreviousGeneration(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.bin")
+	if _, err := WriteAtomic(path, writeBytes([]byte("one"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteAtomic(path, writeBytes([]byte("two"))); err != nil {
+		t.Fatal(err)
+	}
+	cur, _ := os.ReadFile(path)
+	prev, err := os.ReadFile(path + PrevSuffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(cur) != "two" || string(prev) != "one" {
+		t.Fatalf("cur=%q prev=%q", cur, prev)
+	}
+}
+
+func TestWriteAtomicTornWriteKeepsCurrent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.bin")
+	if _, err := WriteAtomic(path, writeBytes([]byte("good"))); err != nil {
+		t.Fatal(err)
+	}
+	// A write that tears after 2 bytes must not touch the current file.
+	_, err := WriteAtomic(path, func(w io.Writer) error {
+		_, err := faultinject.TornWriter(w, 2).Write([]byte("evil-payload"))
+		return err
+	})
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("torn write error = %v", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "good" {
+		t.Fatalf("current generation clobbered by torn write: %q", got)
+	}
+	if _, err := os.Stat(path + tmpSuffix); !os.IsNotExist(err) {
+		t.Fatalf("tmp file left behind after failed write: %v", err)
+	}
+}
+
+func TestWriteAtomicWriteErrorPropagates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.bin")
+	boom := errors.New("boom")
+	if _, err := WriteAtomic(path, func(io.Writer) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("failed first write created the file: %v", err)
+	}
+}

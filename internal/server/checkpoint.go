@@ -1,0 +1,208 @@
+package server
+
+// Crash-safe checkpointing: the session is periodically (and on shutdown)
+// serialized through core.SaveSession onto an atomic write path
+// (fsutil.WriteAtomic: tmp + fsync + rename, previous generation kept),
+// and LoadCheckpoint restores it at startup, falling back to the previous
+// generation when the current one is corrupt. Because save → load →
+// Advance is byte-identical to a never-paused session (core/persist.go),
+// a daemon that crashes and resumes serves exactly the answers — seeds,
+// α, θ₁, θ₂, δ accounting — an uninterrupted one would have.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/reprolab/opim/internal/core"
+	"github.com/reprolab/opim/internal/fsutil"
+	"github.com/reprolab/opim/internal/obs"
+	"github.com/reprolab/opim/internal/rrset"
+)
+
+// DefaultCheckpointInterval is the checkpointer cadence when
+// Config.CheckpointInterval is unset.
+const DefaultCheckpointInterval = 30 * time.Second
+
+// Checkpoint metrics (obs.Default(), see docs/OBSERVABILITY.md).
+var (
+	mCkWrites     = obs.Default().Counter("server_checkpoint_writes_total")
+	mCkFailures   = obs.Default().Counter("server_checkpoint_failures_total")
+	mCkBytes      = obs.Default().Counter("server_checkpoint_bytes_total")
+	mCkTime       = obs.Default().Timer("server_checkpoint_seconds")
+	mCkRecoveries = obs.Default().Counter("server_checkpoint_recoveries_total")
+)
+
+// SaveCheckpoint atomically writes the session to cfg.CheckpointPath and
+// returns the checkpoint size. The session is serialized to memory under
+// the session mutex (sampling pauses only for the in-memory copy, not for
+// disk I/O), then written via fsutil.WriteAtomic, so a torn write can
+// never clobber the last good generation. Failures are logged, counted
+// (server_checkpoint_failures_total) and reported to the event sink.
+func (s *Server) SaveCheckpoint() (int64, error) {
+	path := s.cfg.CheckpointPath
+	if path == "" {
+		return 0, errors.New("server: no checkpoint path configured")
+	}
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
+	t0 := time.Now()
+
+	s.mu.Lock()
+	var buf bytes.Buffer
+	err := core.SaveSession(&buf, s.session)
+	s.mu.Unlock()
+
+	var n int64
+	if err == nil {
+		n, err = fsutil.WriteAtomic(path, func(w io.Writer) error {
+			if s.ckWrap != nil {
+				w = s.ckWrap(w)
+			}
+			_, werr := w.Write(buf.Bytes())
+			return werr
+		})
+	}
+	mCkTime.Observe(time.Since(t0))
+	if err != nil {
+		mCkFailures.Inc()
+		log.Printf("server: checkpoint write to %s failed: %v", path, err)
+		obs.Emit(s.cfg.Events, "checkpoint_failure", map[string]any{
+			"path":  path,
+			"error": err.Error(),
+		})
+		return n, fmt.Errorf("server: checkpoint %s: %w", path, err)
+	}
+	mCkWrites.Inc()
+	mCkBytes.Add(n)
+	return n, nil
+}
+
+// StartCheckpointer launches the periodic checkpoint goroutine at
+// cfg.CheckpointInterval (DefaultCheckpointInterval when unset). It is a
+// no-op when checkpointing is not configured or the checkpointer is
+// already running; Shutdown (or stopCheckpointer) stops it and waits for
+// it to exit.
+func (s *Server) StartCheckpointer() {
+	if s.cfg.CheckpointPath == "" {
+		return
+	}
+	interval := s.cfg.CheckpointInterval
+	if interval <= 0 {
+		interval = DefaultCheckpointInterval
+	}
+	s.ckMu.Lock()
+	if s.ckStop != nil {
+		s.ckMu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	s.ckStop, s.ckDone = stop, done
+	s.ckMu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				// Errors are already logged and counted by SaveCheckpoint;
+				// the checkpointer keeps trying — a transiently full disk
+				// must not end checkpointing forever.
+				s.SaveCheckpoint()
+			}
+		}
+	}()
+}
+
+// stopCheckpointer halts the periodic checkpointer and waits for its
+// goroutine to exit. Safe to call when not running.
+func (s *Server) stopCheckpointer() {
+	s.ckMu.Lock()
+	stop, done := s.ckStop, s.ckDone
+	s.ckStop, s.ckDone = nil, nil
+	s.ckMu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// CheckpointResponse is the POST /checkpoint response body.
+type CheckpointResponse struct {
+	Path  string `json:"path"`
+	Bytes int64  `json:"bytes"`
+	NumRR int64  `json:"num_rr"`
+}
+
+// handleCheckpoint forces a checkpoint write now — the durability point a
+// client can demand before it stops polling for a while.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.cfg.CheckpointPath == "" {
+		http.Error(w, "checkpointing not configured (start opimd with -checkpoint)", http.StatusNotFound)
+		return
+	}
+	n, err := s.SaveCheckpoint()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, CheckpointResponse{
+		Path:  s.cfg.CheckpointPath,
+		Bytes: n,
+		NumRR: s.status().NumRR,
+	})
+}
+
+// LoadCheckpoint restores a session from the checkpoint at path, written
+// by SaveCheckpoint. Recovery order: the current generation first; if it
+// is missing or corrupt (core.ErrBadSession, a truncated file, a torn
+// write that survived fsync), the previous generation path+".prev" — such
+// a fallback is logged and counted (server_checkpoint_recoveries_total).
+// It returns the restored session and the file it actually came from.
+//
+// When neither generation exists the error wraps fs.ErrNotExist, which is
+// how a daemon distinguishes "first boot" from "both generations
+// corrupt" — the latter is returned verbatim and should stop startup
+// rather than silently discarding the session's δ/budget accounting.
+func LoadCheckpoint(path string, sampler *rrset.Sampler) (*core.Online, string, error) {
+	load := func(p string) (*core.Online, error) {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return core.LoadSession(f, sampler)
+	}
+	session, err := load(path)
+	if err == nil {
+		return session, path, nil
+	}
+	prev := path + fsutil.PrevSuffix
+	session, prevErr := load(prev)
+	if prevErr == nil {
+		if !os.IsNotExist(err) {
+			// The current generation existed but was bad — a genuine
+			// recovery, not a routine crash-between-renames window.
+			mCkRecoveries.Inc()
+		}
+		log.Printf("server: checkpoint %s unusable (%v); recovered from previous generation %s", path, err, prev)
+		return session, prev, nil
+	}
+	if os.IsNotExist(err) && os.IsNotExist(prevErr) {
+		return nil, "", fmt.Errorf("server: no checkpoint at %s: %w", path, err)
+	}
+	return nil, "", fmt.Errorf("server: checkpoint %s unusable (%v) and previous generation %s unusable (%v)", path, err, prev, prevErr)
+}

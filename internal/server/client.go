@@ -1,23 +1,67 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
+	"time"
 
 	"github.com/reprolab/opim/internal/obs"
 )
 
+// Client retry defaults; see the retry policy on Client.
+const (
+	defaultClientTimeout = 30 * time.Second
+	defaultMaxRetries    = 3
+	defaultRetryBase     = 100 * time.Millisecond
+	maxRetryDelay        = 5 * time.Second
+)
+
+// defaultHTTPClient bounds every request end to end — http.DefaultClient
+// has no timeout, so one hung server would hang the caller forever.
+var defaultHTTPClient = &http.Client{Timeout: defaultClientTimeout}
+
 // Client is a typed client for the opimd HTTP API, so Go programs can
 // drive a remote OPIM session the way a database client drives an online
 // aggregation query.
+//
+// Every method has a context-taking variant (StatusContext etc.); the
+// plain forms use context.Background(). Requests are built with
+// http.NewRequestWithContext and sent through an http.Client with a 30s
+// default timeout.
+//
+// Retry policy: failures are retried with exponential backoff + jitter,
+// bounded by MaxRetries, but only when a retry cannot change the
+// session's semantics:
+//
+//   - 503 (the server's load-shedding and deadline responses) is retried
+//     for idempotent requests only — Status, Metrics, Start, Stop;
+//   - transport errors (connection refused/reset, timeouts) likewise are
+//     retried for idempotent requests only;
+//   - Advance and Snapshot are never auto-retried: a lost response may
+//     mean the server already did the work (generated RR sets, spent δ
+//     budget), so blind replay would double-spend — exactly the silent
+//     budget corruption the resume guarantees exist to prevent;
+//   - any other non-200 status is a semantic failure and never retried.
+//
+// A 503 Retry-After header, when present, overrides the backoff delay.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://localhost:8080".
 	BaseURL string
-	// HTTPClient defaults to http.DefaultClient.
+	// HTTPClient defaults to a shared client with a 30s timeout. Set an
+	// explicit client to change the timeout or transport.
 	HTTPClient *http.Client
+	// MaxRetries bounds retry attempts after the first try for retryable
+	// failures (0 means the default of 3; negative disables retries).
+	MaxRetries int
+	// RetryBase is the first backoff delay, doubled per attempt with up to
+	// 50% added jitter (0 means the default of 100ms).
+	RetryBase time.Duration
 }
 
 // NewClient returns a Client for the given base URL.
@@ -27,68 +71,163 @@ func (c *Client) http() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
 	}
-	return http.DefaultClient
+	return defaultHTTPClient
 }
 
-func (c *Client) do(method, path string, out any) error {
-	req, err := http.NewRequest(method, c.BaseURL+path, nil)
+func (c *Client) retries() int {
+	switch {
+	case c.MaxRetries < 0:
+		return 0
+	case c.MaxRetries == 0:
+		return defaultMaxRetries
+	}
+	return c.MaxRetries
+}
+
+// do performs one logical request with the retry policy above. idempotent
+// marks requests whose replay cannot change session semantics.
+func (c *Client) do(ctx context.Context, method, path string, out any, idempotent bool) error {
+	base := c.RetryBase
+	if base <= 0 {
+		base = defaultRetryBase
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		err, retryable, retryAfter := c.once(ctx, method, path, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable || !idempotent || attempt >= c.retries() {
+			return lastErr
+		}
+		delay := base << attempt
+		if delay > maxRetryDelay {
+			delay = maxRetryDelay
+		}
+		delay += time.Duration(rand.Int63n(int64(delay)/2 + 1)) // jitter
+		if retryAfter > 0 {
+			delay = retryAfter
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// once performs a single HTTP exchange. retryable reports whether the
+// failure class permits replaying an idempotent request; retryAfter is
+// the server's Retry-After hint (0 when absent).
+func (c *Client) once(ctx context.Context, method, path string, out any) (err error, retryable bool, retryAfter time.Duration) {
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, nil)
 	if err != nil {
-		return err
+		return err, false, 0
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return err
+		// Transport error: the request may or may not have reached the
+		// server, which is precisely why only idempotent requests retry.
+		return err, true, 0
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("opimd: %s %s: %s: %s", method, path, resp.Status, body)
+		err := fmt.Errorf("opimd: %s %s: %s: %s", method, path, resp.Status, body)
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+				retryAfter = time.Duration(secs) * time.Second
+			}
+			return err, true, retryAfter
+		}
+		return err, false, 0
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return json.NewDecoder(resp.Body).Decode(out), false, 0
 }
 
 // Status fetches the session counters.
-func (c *Client) Status() (Status, error) {
+func (c *Client) Status() (Status, error) { return c.StatusContext(context.Background()) }
+
+// StatusContext is Status bounded by ctx.
+func (c *Client) StatusContext(ctx context.Context) (Status, error) {
 	var s Status
-	err := c.do(http.MethodGet, "/status", &s)
+	err := c.do(ctx, http.MethodGet, "/status", &s, true)
 	return s, err
 }
 
 // Snapshot fetches the current seed set and guarantee. Each call spends
-// failure budget on the server exactly like a local Snapshot.
-func (c *Client) Snapshot() (SnapshotResponse, error) {
+// failure budget on the server exactly like a local Snapshot — which is
+// why it is never auto-retried.
+func (c *Client) Snapshot() (SnapshotResponse, error) { return c.SnapshotContext(context.Background()) }
+
+// SnapshotContext is Snapshot bounded by ctx.
+func (c *Client) SnapshotContext(ctx context.Context) (SnapshotResponse, error) {
 	var s SnapshotResponse
-	err := c.do(http.MethodGet, "/snapshot", &s)
+	err := c.do(ctx, http.MethodGet, "/snapshot", &s, false)
 	return s, err
 }
 
 // Metrics fetches the server's metrics registry: RR-generation
 // throughput, per-endpoint request counters/latencies, and the latest
 // snapshot's (θ, σˡ, σᵘ, α) gauges. Costs no δ budget.
-func (c *Client) Metrics() (obs.Snapshot, error) {
+func (c *Client) Metrics() (obs.Snapshot, error) { return c.MetricsContext(context.Background()) }
+
+// MetricsContext is Metrics bounded by ctx.
+func (c *Client) MetricsContext(ctx context.Context) (obs.Snapshot, error) {
 	var s obs.Snapshot
-	err := c.do(http.MethodGet, "/metrics", &s)
+	err := c.do(ctx, http.MethodGet, "/metrics", &s, true)
 	return s, err
 }
 
 // Advance generates count RR sets synchronously. Counts above the
-// server's RR budget (Status.MaxRR) are rejected with 400.
+// server's RR budget (Status.MaxRR) are rejected with 400. Never
+// auto-retried: a replay after an ambiguous failure would generate count
+// additional RR sets on top of whatever the lost request produced.
 func (c *Client) Advance(count int) (Status, error) {
+	return c.AdvanceContext(context.Background(), count)
+}
+
+// AdvanceContext is Advance bounded by ctx: cancelling it aborts the
+// server-side generation at the next chunk boundary (progress is kept on
+// the server; poll Status).
+func (c *Client) AdvanceContext(ctx context.Context, count int) (Status, error) {
 	var s Status
-	err := c.do(http.MethodPost, "/advance?count="+url.QueryEscape(fmt.Sprint(count)), &s)
+	err := c.do(ctx, http.MethodPost, "/advance?count="+url.QueryEscape(fmt.Sprint(count)), &s, false)
 	return s, err
 }
 
 // Start begins background sampling.
-func (c *Client) Start() (Status, error) {
+func (c *Client) Start() (Status, error) { return c.StartContext(context.Background()) }
+
+// StartContext is Start bounded by ctx.
+func (c *Client) StartContext(ctx context.Context) (Status, error) {
 	var s Status
-	err := c.do(http.MethodPost, "/start", &s)
+	err := c.do(ctx, http.MethodPost, "/start", &s, true)
 	return s, err
 }
 
 // Stop pauses background sampling.
-func (c *Client) Stop() (Status, error) {
+func (c *Client) Stop() (Status, error) { return c.StopContext(context.Background()) }
+
+// StopContext is Stop bounded by ctx.
+func (c *Client) StopContext(ctx context.Context) (Status, error) {
 	var s Status
-	err := c.do(http.MethodPost, "/stop", &s)
+	err := c.do(ctx, http.MethodPost, "/stop", &s, true)
 	return s, err
+}
+
+// Checkpoint forces the server to write a checkpoint now and reports the
+// file and size. Idempotent in effect (a replayed checkpoint rewrites the
+// same state) but cheap to leave unretried; callers needing durability
+// should check the error and re-issue deliberately.
+func (c *Client) Checkpoint() (CheckpointResponse, error) {
+	return c.CheckpointContext(context.Background())
+}
+
+// CheckpointContext is Checkpoint bounded by ctx.
+func (c *Client) CheckpointContext(ctx context.Context) (CheckpointResponse, error) {
+	var r CheckpointResponse
+	err := c.do(ctx, http.MethodPost, "/checkpoint", &r, false)
+	return r, err
 }

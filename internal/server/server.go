@@ -12,13 +12,24 @@
 //	POST /advance?count=N   generate N more RR sets synchronously
 //	POST /start             start background sampling (idempotent)
 //	POST /stop              pause background sampling (idempotent)
+//	POST /checkpoint        force a crash-safe checkpoint write now
 //
 // docs/API.md documents every endpoint with its parameters, response
-// schema and curl examples. Every endpoint is instrumented: a request
-// counter (server_<name>_requests_total) and a latency timer
+// schema and curl examples; docs/ROBUSTNESS.md documents the
+// fault-tolerance layer (checkpointing, deadlines, shutdown, retry
+// semantics). Every endpoint is instrumented: a request counter
+// (server_<name>_requests_total) and a latency timer
 // (server_<name>_seconds) in obs.Default(), which /metrics itself exposes
 // together with the RR-generation throughput counters and the latest
 // snapshot's (θ, σˡ, σᵘ, α) gauges — without spending any δ budget.
+//
+// The request path is hardened for long-lived deployments: a
+// panic-recovery middleware turns handler panics into 500s (counted in
+// server_panics_total, stack to the event log), an inflight cap sheds
+// load with 503 + Retry-After instead of queueing unboundedly, and
+// /advance threads its request context into chunked RR generation so
+// client disconnects and the configured request deadline actually stop
+// the work (partial progress is kept — cancelling loses no RR sets).
 //
 // Each session owns a persistent selection/coverage scratch (the
 // epoch-marked kernels of internal/maxcover and internal/rrset), so a
@@ -28,16 +39,57 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/reprolab/opim/internal/core"
 	"github.com/reprolab/opim/internal/obs"
 )
+
+// Robustness metrics (obs.Default(), see docs/OBSERVABILITY.md).
+var (
+	mPanics           = obs.Default().Counter("server_panics_total")
+	mEncodeErrors     = obs.Default().Counter("server_encode_errors_total")
+	mInflightRejected = obs.Default().Counter("server_inflight_rejected_total")
+	mAdvanceDeadline  = obs.Default().Counter("server_advance_deadline_total")
+)
+
+// Config configures a Server.
+type Config struct {
+	// Batch is the RR-set count generated per background-loop iteration
+	// (≤ 0 defaults to 10 000).
+	Batch int
+	// MaxRR caps the session size; the background loop stops there
+	// (≤ 0 defaults to 2²⁶).
+	MaxRR int64
+	// RequestTimeout bounds /advance processing; past it the request
+	// returns 503 with progress kept. 0 means no deadline.
+	RequestTimeout time.Duration
+	// MaxInflight caps concurrently served HTTP requests; excess requests
+	// are shed with 503 + Retry-After. ≤ 0 means unlimited.
+	MaxInflight int
+	// CheckpointPath, when non-empty, enables crash-safe checkpointing:
+	// SaveCheckpoint / POST /checkpoint write the session there atomically
+	// (previous generation kept at CheckpointPath+".prev").
+	CheckpointPath string
+	// CheckpointInterval is the cadence of StartCheckpointer
+	// (≤ 0 defaults to DefaultCheckpointInterval).
+	CheckpointInterval time.Duration
+	// Events, when non-nil, receives structured server events: one
+	// "server_panic" per recovered handler panic and one
+	// "checkpoint_failure" per failed checkpoint write.
+	Events obs.Sink
+}
 
 // Server wraps one Online session behind an HTTP API. All session access
 // is serialized by an internal mutex, so the background sampler and HTTP
@@ -46,30 +98,39 @@ type Server struct {
 	mu      sync.Mutex
 	session *core.Online
 
-	// Batch is the RR-set count generated per background iteration.
-	batch int
-	// MaxRR caps the session size; the background loop stops there.
-	maxRR int64
+	cfg Config
 
-	loopMu  sync.Mutex // guards running/stopCh transitions
+	inflight atomic.Int64
+
+	loopMu  sync.Mutex // guards running/stopCh/done transitions
 	running bool
 	stopCh  chan struct{}
 	done    chan struct{}
+
+	ckMu   sync.Mutex // guards the checkpointer goroutine's lifecycle
+	ckStop chan struct{}
+	ckDone chan struct{}
+
+	saveMu sync.Mutex // serializes checkpoint writes (periodic/forced/final)
+	// ckWrap, when non-nil, wraps the checkpoint writer — the fault
+	// injection seam used by chaos tests (faultinject.TornWriter etc.).
+	ckWrap func(io.Writer) io.Writer
 }
 
-// New wraps session. batch is the background generation granularity
-// (≤ 0 defaults to 10 000); maxRR caps total RR sets (≤ 0 defaults to 2²⁶).
-func New(session *core.Online, batch int, maxRR int64) *Server {
-	if batch <= 0 {
-		batch = 10000
+// New wraps session with the given configuration.
+func New(session *core.Online, cfg Config) *Server {
+	if cfg.Batch <= 0 {
+		cfg.Batch = 10000
 	}
-	if maxRR <= 0 {
-		maxRR = 1 << 26
+	if cfg.MaxRR <= 0 {
+		cfg.MaxRR = 1 << 26
 	}
-	return &Server{session: session, batch: batch, maxRR: maxRR}
+	return &Server{session: session, cfg: cfg}
 }
 
-// Handler returns the HTTP handler for the server's API.
+// Handler returns the HTTP handler for the server's API: the endpoint mux
+// wrapped in the inflight-cap and panic-recovery middleware (recovery
+// outermost, so even a panic inside the limiter is contained).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/status", instrument("status", s.handleStatus))
@@ -78,7 +139,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/start", instrument("start", s.handleStart))
 	mux.HandleFunc("/stop", instrument("stop", s.handleStop))
 	mux.HandleFunc("/metrics", instrument("metrics", s.handleMetrics))
-	return mux
+	mux.HandleFunc("/checkpoint", instrument("checkpoint", s.handleCheckpoint))
+	return s.recoverer(s.limiter(mux))
 }
 
 // instrument wraps a handler with a per-endpoint request counter and
@@ -93,6 +155,53 @@ func instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 		requests.Inc()
 		latency.Observe(time.Since(start))
 	}
+}
+
+// limiter sheds load above cfg.MaxInflight with 503 + Retry-After — a
+// slow client can then back off and retry instead of queueing on the
+// session mutex until its deadline passes.
+func (s *Server) limiter(h http.Handler) http.Handler {
+	max := int64(s.cfg.MaxInflight)
+	if max <= 0 {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.inflight.Add(1) > max {
+			s.inflight.Add(-1)
+			mInflightRejected.Inc()
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, fmt.Sprintf("server at capacity (%d requests in flight)", max), http.StatusServiceUnavailable)
+			return
+		}
+		defer s.inflight.Add(-1)
+		h.ServeHTTP(w, r)
+	})
+}
+
+// recoverer turns a handler panic into a 500, counts it, and records the
+// stack in the log and the event sink — one bad request must never take
+// down a session holding hours of RR sets.
+func (s *Server) recoverer(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p == nil {
+				return
+			} else {
+				mPanics.Inc()
+				stack := debug.Stack()
+				log.Printf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, stack)
+				obs.Emit(s.cfg.Events, "server_panic", map[string]any{
+					"method": r.Method,
+					"path":   r.URL.Path,
+					"panic":  fmt.Sprint(p),
+					"stack":  string(stack),
+				})
+				// Best effort: a no-op if the handler already wrote a body.
+				http.Error(w, "internal server error", http.StatusInternalServerError)
+			}
+		}()
+		h.ServeHTTP(w, r)
+	})
 }
 
 // Status is the /status response body.
@@ -122,7 +231,7 @@ func (s *Server) status() Status {
 		NumRR:         s.session.NumRR(),
 		EdgesExamined: s.session.EdgesExamined(),
 		Running:       s.isRunning(),
-		MaxRR:         s.maxRR,
+		MaxRR:         s.cfg.MaxRR,
 	}
 }
 
@@ -169,18 +278,40 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 	// A count above the session budget is a client error, not a request to
 	// be silently clamped; the remaining-budget clamp below only trims
 	// otherwise-valid requests near exhaustion (see docs/API.md).
-	if int64(count) > s.maxRR {
-		http.Error(w, fmt.Sprintf("count %d exceeds the session RR budget max_rr=%d", count, s.maxRR), http.StatusBadRequest)
+	if int64(count) > s.cfg.MaxRR {
+		http.Error(w, fmt.Sprintf("count %d exceeds the session RR budget max_rr=%d", count, s.cfg.MaxRR), http.StatusBadRequest)
 		return
 	}
+	// The request context covers both the wait for the session mutex and
+	// the generation itself: AdvanceContext checks it before the first
+	// chunk, so a request whose deadline passed while queueing does no
+	// work at all.
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
 	s.mu.Lock()
-	if remaining := s.maxRR - s.session.NumRR(); int64(count) > remaining {
+	if remaining := s.cfg.MaxRR - s.session.NumRR(); int64(count) > remaining {
 		count = int(remaining)
 	}
+	var generated int
+	var advErr error
 	if count > 0 {
-		s.session.Advance(count)
+		generated, advErr = s.session.AdvanceContext(ctx, count)
 	}
 	s.mu.Unlock()
+	if advErr != nil {
+		// Partial progress is kept in the session either way.
+		if errors.Is(advErr, context.DeadlineExceeded) {
+			mAdvanceDeadline.Inc()
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, fmt.Sprintf("advance deadline exceeded after %d of %d RR sets (progress kept; poll /status)", generated, count), http.StatusServiceUnavailable)
+		}
+		// Client cancellation: the connection is gone, nothing to write.
+		return
+	}
 	writeJSON(w, s.status())
 }
 
@@ -196,12 +327,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	case "", "json":
 		w.Header().Set("Content-Type", "application/json")
 		if err := obs.Default().WriteJSON(w); err != nil {
-			http.Error(w, fmt.Sprintf("encoding metrics: %v", err), http.StatusInternalServerError)
+			mEncodeErrors.Inc()
+			log.Printf("server: encoding /metrics response: %v", err)
 		}
 	case "text":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if err := obs.Default().WriteText(w); err != nil {
-			http.Error(w, fmt.Sprintf("encoding metrics: %v", err), http.StatusInternalServerError)
+			mEncodeErrors.Inc()
+			log.Printf("server: encoding /metrics response: %v", err)
 		}
 	default:
 		http.Error(w, fmt.Sprintf("unknown format %q (want json or text)", format), http.StatusBadRequest)
@@ -239,19 +372,36 @@ func (s *Server) handleStop(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.status())
 }
 
-// Stop halts background sampling and waits for the loop to exit. Safe to
-// call at any time, including when not running.
+// Stop halts background sampling and waits for the loop goroutine to have
+// fully exited. Safe to call at any time, including when not running and
+// concurrently with the loop's own budget-exhausted self-termination —
+// in every case Stop returns only after the loop's done channel closed.
 func (s *Server) Stop() {
 	s.loopMu.Lock()
-	if !s.running {
-		s.loopMu.Unlock()
-		return
+	if s.running {
+		s.running = false
+		close(s.stopCh)
 	}
-	close(s.stopCh)
 	done := s.done
-	s.running = false
 	s.loopMu.Unlock()
-	<-done
+	if done != nil {
+		<-done
+	}
+}
+
+// Shutdown is the graceful teardown: it stops the background loop and the
+// periodic checkpointer (waiting for both goroutines to exit), then — when
+// checkpointing is configured — writes a final checkpoint so no sampled RR
+// set is lost. It does not own the HTTP listener; callers drain in-flight
+// requests first (http.Server.Shutdown), then call this.
+func (s *Server) Shutdown() error {
+	s.Stop()
+	s.stopCheckpointer()
+	if s.cfg.CheckpointPath == "" {
+		return nil
+	}
+	_, err := s.SaveCheckpoint()
+	return err
 }
 
 func (s *Server) loop(stop <-chan struct{}, done chan<- struct{}) {
@@ -263,8 +413,8 @@ func (s *Server) loop(stop <-chan struct{}, done chan<- struct{}) {
 		default:
 		}
 		s.mu.Lock()
-		remaining := s.maxRR - s.session.NumRR()
-		batch := int64(s.batch)
+		remaining := s.cfg.MaxRR - s.session.NumRR()
+		batch := int64(s.cfg.Batch)
 		if batch > remaining {
 			batch = remaining
 		}
@@ -273,7 +423,9 @@ func (s *Server) loop(stop <-chan struct{}, done chan<- struct{}) {
 		}
 		s.mu.Unlock()
 		if batch <= 0 {
-			// Budget exhausted: mark ourselves stopped and exit.
+			// Budget exhausted: mark ourselves stopped and exit. A
+			// concurrent Stop still waits on done (closed by the defer), so
+			// "Stop returned" always means "loop exited".
 			s.loopMu.Lock()
 			if s.running {
 				s.running = false
@@ -285,9 +437,15 @@ func (s *Server) loop(stop <-chan struct{}, done chan<- struct{}) {
 	}
 }
 
+// writeJSON encodes v as the response body. An encoding failure here is
+// unrecoverable from the client's point of view — the 200 header and part
+// of the body may already be on the wire, so sending http.Error would be
+// a silent no-op; instead the failure is logged and counted
+// (server_encode_errors_total).
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		http.Error(w, fmt.Sprintf("encoding response: %v", err), http.StatusInternalServerError)
+		mEncodeErrors.Inc()
+		log.Printf("server: encoding response: %v", err)
 	}
 }

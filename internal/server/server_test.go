@@ -32,7 +32,7 @@ func newTestServer(t *testing.T, maxRR int64) (*Server, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := New(session, 500, maxRR)
+	srv := New(session, Config{Batch: 500, MaxRR: maxRR})
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		srv.Stop()
@@ -129,6 +129,7 @@ func TestMethodEnforcement(t *testing.T) {
 		{http.MethodGet, "/start"},
 		{http.MethodGet, "/stop"},
 		{http.MethodPost, "/metrics"},
+		{http.MethodGet, "/checkpoint"},
 	}
 	for _, c := range cases {
 		req, _ := http.NewRequest(c.method, ts.URL+c.path, nil)
