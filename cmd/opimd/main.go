@@ -1,6 +1,7 @@
-// Command opimd serves an OPIM session over HTTP — online processing of
-// influence maximization as a long-running service, mirroring the online
-// query processing systems (§1) the paper takes its paradigm from.
+// Command opimd serves OPIM sessions over HTTP — online processing of
+// influence maximization as a long-running, multi-tenant service,
+// mirroring the online query processing systems (§1) the paper takes its
+// paradigm from.
 //
 //	opimd -profile synth-pokec -model IC -k 50 -listen :8080
 //
@@ -8,28 +9,46 @@
 //
 //	curl -X POST localhost:8080/start      # begin streaming RR sets
 //	curl localhost:8080/snapshot           # current seeds + guarantee
+//	curl 'localhost:8080/snapshot?peek=1'  # last snapshot, spends no δ
 //	curl -X POST localhost:8080/stop       # pause
 //	curl -X POST 'localhost:8080/advance?count=100000'
 //	curl localhost:8080/status
 //	curl localhost:8080/metrics            # throughput, latencies, last α
 //	curl -X POST localhost:8080/checkpoint # force a durable checkpoint
 //
+// Multi-session serving: the flags above configure the "default" session,
+// which the bare paths address. Further sessions — each with its own k,
+// δ, variant, seed, base seeds and δ budget — are managed over HTTP:
+//
+//	curl -X POST localhost:8080/sessions -d '{"id":"alice","k":20,"seed":7}'
+//	curl localhost:8080/sessions           # list
+//	curl localhost:8080/sessions/alice/status
+//	curl -X DELETE localhost:8080/sessions/alice
+//
+// One background sampler round-robins across every running session, and
+// a long request on one session never blocks another. See docs/API.md.
+//
 // Fault tolerance (see docs/ROBUSTNESS.md):
 //
-//   - -checkpoint FILE enables crash-safe checkpointing: the session is
-//     written atomically every -checkpoint-interval (default 30s), on
-//     POST /checkpoint, and on graceful shutdown; at startup the daemon
-//     auto-resumes from the checkpoint (falling back to FILE.prev when
-//     the current generation is corrupt). A resumed session continues
-//     the exact sample stream — seeds, α and δ accounting are
-//     byte-identical to a never-crashed run. When resuming, the session
-//     parameters (-k, -delta, -seed, …) come from the checkpoint, not
-//     the flags.
+//   - -checkpoint FILE enables crash-safe checkpointing of the default
+//     session: it is written atomically every -checkpoint-interval
+//     (default 30s), on POST /checkpoint, and on graceful shutdown; at
+//     startup the daemon auto-resumes from the checkpoint (falling back
+//     to FILE.prev when the current generation is corrupt). A resumed
+//     session continues the exact sample stream — seeds, α and δ
+//     accounting are byte-identical to a never-crashed run. When
+//     resuming, the session parameters (-k, -delta, -seed, …) come from
+//     the checkpoint, not the flags.
+//   - -checkpoint-dir DIR extends that to every session (DIR/<id>.ck):
+//     dynamically created sessions checkpoint there, the daemon adopts
+//     all of them at startup, and -max-loaded-sessions N bounds memory
+//     by checkpointing-then-unloading idle sessions (reloaded
+//     transparently on their next request).
 //   - -request-timeout bounds /advance processing (503 + Retry-After
 //     past the deadline, progress kept); -max-inflight sheds excess
 //     concurrent requests with 503.
 //   - SIGINT/SIGTERM drains in-flight requests, stops the sampling
-//     loop, writes a final checkpoint, and exits 0.
+//     loop, writes a final checkpoint per session, and exits 0.
 //
 // With -pprof, Go's net/http/pprof profiling handlers are mounted under
 // /debug/pprof/. See docs/API.md for the full HTTP surface and
@@ -46,6 +65,7 @@ import (
 	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -73,8 +93,10 @@ func main() {
 		union      = flag.Bool("union", false, "union-budget mode across snapshots")
 		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		logEvents  = flag.String("log-events", "", "append a JSONL event per served snapshot to this file")
-		checkpoint = flag.String("checkpoint", "", "checkpoint file: enables periodic crash-safe saves and startup auto-resume")
-		ckInterval = flag.Duration("checkpoint-interval", server.DefaultCheckpointInterval, "periodic checkpoint cadence (requires -checkpoint)")
+		checkpoint = flag.String("checkpoint", "", "default-session checkpoint file: enables periodic crash-safe saves and startup auto-resume")
+		ckDir      = flag.String("checkpoint-dir", "", "per-session checkpoint directory (DIR/<id>.ck): enables multi-session persistence, startup adoption and eviction")
+		maxLoaded  = flag.Int("max-loaded-sessions", 0, "max sessions resident in memory; past it idle sessions are checkpointed and unloaded (0 = unlimited, requires -checkpoint-dir)")
+		ckInterval = flag.Duration("checkpoint-interval", server.DefaultCheckpointInterval, "periodic checkpoint cadence (requires -checkpoint or -checkpoint-dir)")
 		reqTimeout = flag.Duration("request-timeout", time.Minute, "deadline for /advance processing (0 = none)")
 		maxInfl    = flag.Int("max-inflight", 64, "max concurrent HTTP requests before shedding with 503 (0 = unlimited)")
 	)
@@ -106,14 +128,29 @@ func main() {
 	}
 	sampler := opim.NewSampler(g, model)
 
+	if *maxLoaded > 0 && *ckDir == "" {
+		fatalf("-max-loaded-sessions requires -checkpoint-dir (eviction needs somewhere to checkpoint)")
+	}
+	if *ckDir != "" {
+		if err := os.MkdirAll(*ckDir, 0o755); err != nil {
+			fatalf("creating -checkpoint-dir: %v", err)
+		}
+	}
+	// The default session's checkpoint: -checkpoint wins; otherwise it
+	// lives alongside the other sessions in -checkpoint-dir.
+	defaultCk := *checkpoint
+	if defaultCk == "" && *ckDir != "" {
+		defaultCk = filepath.Join(*ckDir, server.DefaultSessionID+".ck")
+	}
+
 	// Startup auto-resume: prefer the checkpoint over a fresh session. A
 	// checkpoint that exists but cannot be loaded (both generations bad)
 	// stops startup — silently discarding a session would forget every
 	// spent unit of δ budget, the exact failure mode resume exists to
 	// prevent. The operator must remove the file to start fresh.
 	var session *opim.Online
-	if *checkpoint != "" {
-		sess, src, lerr := server.LoadCheckpoint(*checkpoint, sampler)
+	if defaultCk != "" {
+		sess, src, lerr := server.LoadCheckpoint(defaultCk, sampler)
 		switch {
 		case lerr == nil:
 			session = sess
@@ -141,9 +178,18 @@ func main() {
 		RequestTimeout:     *reqTimeout,
 		MaxInflight:        *maxInfl,
 		CheckpointPath:     *checkpoint,
+		CheckpointDir:      *ckDir,
+		MaxLoadedSessions:  *maxLoaded,
 		CheckpointInterval: *ckInterval,
 		Events:             flushingSinkOrNil(events),
 	})
+	adopted, err := srv.AdoptCheckpointDir()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(adopted) > 0 {
+		fmt.Printf("opimd: adopted %d checkpointed session(s) from %s: %v\n", len(adopted), *ckDir, adopted)
+	}
 	srv.StartCheckpointer()
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
@@ -186,8 +232,8 @@ func main() {
 		}
 		if err := srv.Shutdown(); err != nil {
 			fmt.Fprintf(os.Stderr, "opimd: final checkpoint: %v\n", err)
-		} else if *checkpoint != "" {
-			fmt.Printf("opimd: final checkpoint written to %s\n", *checkpoint)
+		} else if defaultCk != "" || *ckDir != "" {
+			fmt.Printf("opimd: final checkpoints written\n")
 		}
 		if events != nil {
 			if err := events.Close(); err != nil {
@@ -202,8 +248,12 @@ func main() {
 	if *pprofOn {
 		fmt.Printf("opimd: pprof mounted at %s/debug/pprof/\n", ln.Addr())
 	}
-	if *checkpoint != "" {
-		fmt.Printf("opimd: checkpointing to %s every %v\n", *checkpoint, *ckInterval)
+	if defaultCk != "" {
+		fmt.Printf("opimd: checkpointing default session to %s every %v\n", defaultCk, *ckInterval)
+	}
+	if *ckDir != "" {
+		fmt.Printf("opimd: per-session checkpoints in %s (max loaded: %s)\n",
+			*ckDir, loadedLimit(*maxLoaded))
 	}
 	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 		fatalf("%v", err)
@@ -240,6 +290,14 @@ func flushingSinkOrNil(s *obs.JSONLSink) obs.Sink {
 		return nil
 	}
 	return flushingSink{s}
+}
+
+// loadedLimit renders -max-loaded-sessions for the startup banner.
+func loadedLimit(n int) string {
+	if n <= 0 {
+		return "unlimited"
+	}
+	return fmt.Sprint(n)
 }
 
 func fatalf(format string, args ...any) {

@@ -101,9 +101,21 @@ func (d *daemon) get(path string) (map[string]any, error)  { return d.req(http.M
 func (d *daemon) post(path string) (map[string]any, error) { return d.req(http.MethodPost, path) }
 
 func (d *daemon) req(method, path string) (map[string]any, error) {
-	req, err := http.NewRequest(method, d.baseURL+path, nil)
+	return d.reqBody(method, path, "")
+}
+
+// reqBody is req with an optional JSON request body (POST /sessions).
+func (d *daemon) reqBody(method, path, body string) (map[string]any, error) {
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, d.baseURL+path, rd)
 	if err != nil {
 		return nil, err
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
@@ -182,6 +194,62 @@ func TestOpimdKillResume(t *testing.T) {
 	jc, _ := json.Marshal(snapC)
 	if string(jb) != string(jc) {
 		t.Fatalf("resumed snapshot diverged from the never-crashed run:\nresumed: %s\nreference: %s", jb, jc)
+	}
+}
+
+// TestOpimdMultiSessionKillResume: with -checkpoint-dir, every session —
+// not just the default — must survive a SIGKILL. The restarted daemon
+// adopts the directory's checkpoints, the adopted session still carries
+// its OPIMS2-only fields (exact bounds, base seeds), and after catching
+// up its snapshot matches a run that never crashed.
+func TestOpimdMultiSessionKillResume(t *testing.T) {
+	bin := buildOpimd(t)
+	dir := t.TempDir()
+	const spec = `{"id":"exp","k":4,"seed":11,"union":true,"exact":true,"base_seeds":[2,4]}`
+
+	a := startDaemon(t, bin, "-checkpoint-dir", dir, "-checkpoint-interval", "1h")
+	if _, err := a.reqBody(http.MethodPost, "/sessions", spec); err != nil {
+		t.Fatal(err)
+	}
+	a.mustPost(t, "/sessions/exp/advance?count=900")
+	a.mustPost(t, "/advance?count=500")
+	a.mustPost(t, "/sessions/exp/checkpoint")
+	a.mustPost(t, "/checkpoint")
+	a.mustPost(t, "/sessions/exp/advance?count=300") // lost to the crash
+	if err := a.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	a.cmd.Wait()
+
+	b := startDaemon(t, bin, "-checkpoint-dir", dir, "-checkpoint-interval", "1h")
+	if got := numRR(t, b.mustGet(t, "/status")); got != 500 {
+		t.Fatalf("default resumed at num_rr = %d, want 500", got)
+	}
+	if got := numRR(t, b.mustGet(t, "/sessions/exp/status")); got != 900 {
+		t.Fatalf("exp resumed at num_rr = %d, want 900 (the checkpointed state)", got)
+	}
+	info := b.mustGet(t, "/sessions/exp")
+	if info["exact"] != true {
+		t.Fatalf("exp lost its exact-bounds flag through kill-resume: %v", info)
+	}
+	if bs, _ := info["base_seeds"].([]any); len(bs) != 2 {
+		t.Fatalf("exp lost its base seeds through kill-resume: %v", info)
+	}
+	b.mustPost(t, "/sessions/exp/advance?count=600")
+	snapB := b.mustGet(t, "/sessions/exp/snapshot")
+
+	// Reference run in a fresh directory: same session, no crash.
+	c := startDaemon(t, bin, "-checkpoint-dir", t.TempDir())
+	if _, err := c.reqBody(http.MethodPost, "/sessions", spec); err != nil {
+		t.Fatal(err)
+	}
+	c.mustPost(t, "/sessions/exp/advance?count=1500")
+	snapC := c.mustGet(t, "/sessions/exp/snapshot")
+
+	jb, _ := json.Marshal(snapB)
+	jc, _ := json.Marshal(snapC)
+	if string(jb) != string(jc) {
+		t.Fatalf("resumed session diverged from the never-crashed run:\nresumed: %s\nreference: %s", jb, jc)
 	}
 }
 

@@ -131,10 +131,20 @@ func (o Options) validate(n int32) error {
 	default:
 		return fmt.Errorf("core: unknown variant %d", int(o.Variant))
 	}
+	seen := make(map[int32]struct{}, len(o.BaseSeeds))
 	for _, v := range o.BaseSeeds {
 		if v < 0 || v >= n {
 			return fmt.Errorf("core: base seed %d outside [0, n=%d)", v, n)
 		}
+		if _, dup := seen[v]; dup {
+			return fmt.Errorf("core: duplicate base seed %d", v)
+		}
+		seen[v] = struct{}{}
+	}
+	// Selection picks K nodes disjoint from the base, so the graph must
+	// hold K + |B| distinct nodes.
+	if total := int64(o.K) + int64(len(o.BaseSeeds)); total > int64(n) {
+		return fmt.Errorf("core: k + len(BaseSeeds) = %d exceeds n = %d", total, n)
 	}
 	if len(o.BaseSeeds) > 0 && o.Variant == Prime {
 		return fmt.Errorf("core: the Prime variant does not support BaseSeeds; use Plus or Vanilla")
@@ -177,6 +187,25 @@ func NewOnline(sampler *rrset.Sampler, opts Options) (*Online, error) {
 // SetEvents attaches (or replaces, or with nil detaches) the session's
 // event sink. Needed after LoadSession, which cannot restore one.
 func (o *Online) SetEvents(s obs.Sink) { o.opts.Events = s }
+
+// Sampler returns the sampler this session draws RR sets from. Multiple
+// sessions may share one sampler (it is immutable); this is how a server
+// hosting many sessions creates new ones next to an existing session.
+func (o *Online) Sampler() *rrset.Sampler { return o.sampler }
+
+// Options returns a copy of the session's configuration (BaseSeeds
+// cloned, so the caller cannot corrupt the session through the slice).
+func (o *Online) Options() Options {
+	opts := o.opts
+	if len(opts.BaseSeeds) > 0 {
+		opts.BaseSeeds = append([]int32(nil), opts.BaseSeeds...)
+	}
+	return opts
+}
+
+// Queries returns how many snapshots this session has served — the i that
+// determines the next δ/2^(i+1) spend under Options.UnionBudget.
+func (o *Online) Queries() int { return o.queries }
 
 // NumRR returns the total number of RR sets generated so far (both halves).
 func (o *Online) NumRR() int64 {

@@ -46,6 +46,55 @@ func TestOptionsValidation(t *testing.T) {
 	}
 }
 
+// TestOptionsValidateBaseSeeds table-tests the base-seed rejections that
+// used to slip through: duplicate members and K + |B| > n (selection picks
+// K nodes disjoint from the base, so the graph cannot satisfy it).
+func TestOptionsValidateBaseSeeds(t *testing.T) {
+	g := testGraph(t, 100, 1) // n = 100
+	s := rrset.NewSampler(g, diffusion.IC)
+	cases := []struct {
+		name string
+		opts Options
+		want string
+	}{
+		{
+			name: "duplicate base seed",
+			opts: Options{K: 5, Delta: 0.1, Variant: Plus, BaseSeeds: []int32{3, 7, 3}},
+			want: "core: duplicate base seed 3",
+		},
+		{
+			name: "k plus base exceeds n",
+			opts: Options{K: 99, Delta: 0.1, Variant: Plus, BaseSeeds: []int32{0, 1, 2}},
+			want: "core: k + len(BaseSeeds) = 102 exceeds n = 100",
+		},
+		{
+			name: "out of range base seed",
+			opts: Options{K: 5, Delta: 0.1, Variant: Plus, BaseSeeds: []int32{100}},
+			want: "core: base seed 100 outside [0, n=100)",
+		},
+		{
+			name: "prime with base seeds",
+			opts: Options{K: 5, Delta: 0.1, Variant: Prime, BaseSeeds: []int32{1}},
+			want: "core: the Prime variant does not support BaseSeeds; use Plus or Vanilla",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := NewOnline(s, c.opts)
+			if err == nil {
+				t.Fatalf("options accepted: %+v", c.opts)
+			}
+			if err.Error() != c.want {
+				t.Fatalf("error = %q, want %q", err, c.want)
+			}
+		})
+	}
+	// The boundary case K + |B| = n stays valid.
+	if _, err := NewOnline(s, Options{K: 97, Delta: 0.1, Variant: Plus, BaseSeeds: []int32{0, 1, 2}}); err != nil {
+		t.Fatalf("K+|B| = n rejected: %v", err)
+	}
+}
+
 func TestOnlineAdvanceSplitsEvenly(t *testing.T) {
 	g := testGraph(t, 200, 2)
 	s := rrset.NewSampler(g, diffusion.IC)

@@ -21,7 +21,14 @@ import (
 	"github.com/reprolab/opim/internal/rrset"
 )
 
-const sessionMagic = "OPIMS1\n"
+// sessionMagic is the current OPIMS2 format: the OPIMS1 header plus the
+// Options.Exact flag and the BaseSeeds set. OPIMS1 files (which predate
+// both fields) are still readable; resuming one yields Exact=false and no
+// base seeds, matching what OPIMS1 could express.
+const (
+	sessionMagic   = "OPIMS2\n"
+	sessionMagicV1 = "OPIMS1\n"
+)
 
 // ErrBadSession reports a malformed serialized session.
 var ErrBadSession = errors.New("core: bad session format")
@@ -48,6 +55,24 @@ func SaveSession(w io.Writer, o *Online) error {
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return err
 	}
+	// OPIMS2 extension: Exact flag + base-seed set. Without these a resumed
+	// augmentation session would silently report non-residual σˡ/σᵘ/α and a
+	// resumed Exact session would fall back to martingale bounds.
+	var ext [5]byte
+	if o.opts.Exact {
+		ext[0] = 1
+	}
+	binary.LittleEndian.PutUint32(ext[1:5], uint32(len(o.opts.BaseSeeds)))
+	if _, err := bw.Write(ext[:]); err != nil {
+		return err
+	}
+	for _, v := range o.opts.BaseSeeds {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(v))
+		if _, err := bw.Write(b[:]); err != nil {
+			return err
+		}
+	}
 	if err := rrset.WriteCollection(bw, o.r1); err != nil {
 		return err
 	}
@@ -59,13 +84,14 @@ func SaveSession(w io.Writer, o *Online) error {
 
 // LoadSession restores a session saved by SaveSession onto sampler, which
 // must be built over the same graph and diffusion model as the original.
+// Both the current OPIMS2 format and the legacy OPIMS1 format load.
 func LoadSession(r io.Reader, sampler *rrset.Sampler) (*Online, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(sessionMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("%w: short magic: %v", ErrBadSession, err)
 	}
-	if string(magic) != sessionMagic {
+	if string(magic) != sessionMagic && string(magic) != sessionMagicV1 {
 		return nil, fmt.Errorf("%w: magic %q", ErrBadSession, magic)
 	}
 	var hdr [45]byte
@@ -84,10 +110,31 @@ func LoadSession(r io.Reader, sampler *rrset.Sampler) (*Online, error) {
 		Workers:     int(int32(binary.LittleEndian.Uint32(hdr[32:36]))),
 		UnionBudget: hdr[36] == 1,
 	}
+	queries := int(binary.LittleEndian.Uint64(hdr[37:45]))
+	if string(magic) == sessionMagic {
+		var ext [5]byte
+		if _, err := io.ReadFull(br, ext[:]); err != nil {
+			return nil, fmt.Errorf("%w: short OPIMS2 extension: %v", ErrBadSession, err)
+		}
+		opts.Exact = ext[0] == 1
+		nBase := binary.LittleEndian.Uint32(ext[1:5])
+		if int64(nBase) > int64(n) {
+			return nil, fmt.Errorf("%w: %d base seeds on a graph of n=%d", ErrBadSession, nBase, n)
+		}
+		if nBase > 0 {
+			raw := make([]byte, 4*nBase)
+			if _, err := io.ReadFull(br, raw); err != nil {
+				return nil, fmt.Errorf("%w: short base-seed block: %v", ErrBadSession, err)
+			}
+			opts.BaseSeeds = make([]int32, nBase)
+			for i := range opts.BaseSeeds {
+				opts.BaseSeeds[i] = int32(binary.LittleEndian.Uint32(raw[4*i:]))
+			}
+		}
+	}
 	if err := opts.validate(n); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadSession, err)
 	}
-	queries := int(binary.LittleEndian.Uint64(hdr[37:45]))
 
 	r1, err := rrset.ReadCollection(br)
 	if err != nil {

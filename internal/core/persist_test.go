@@ -2,7 +2,9 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"math"
 	"strings"
 	"testing"
 
@@ -78,6 +80,129 @@ func TestResumeMatchesUninterrupted(t *testing.T) {
 		if got.Seeds[i] != want.Seeds[i] {
 			t.Fatalf("seed %d differs", i)
 		}
+	}
+}
+
+// TestSaveLoadRoundTripBaseSeedsExact is the OPIMS2 regression: BaseSeeds
+// and Exact must survive persistence. Under OPIMS1 a resumed augmentation
+// session silently became a plain session (non-residual σˡ/σᵘ/α) and an
+// Exact session fell back to martingale bounds.
+func TestSaveLoadRoundTripBaseSeedsExact(t *testing.T) {
+	g := testGraph(t, 400, 51)
+	s := rrset.NewSampler(g, diffusion.IC)
+	opts := Options{
+		K: 4, Delta: 0.05, Variant: Plus, Seed: 52,
+		UnionBudget: true, Exact: true, BaseSeeds: []int32{7, 19, 3},
+	}
+	o, err := NewOnline(s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Advance(1200)
+
+	var buf bytes.Buffer
+	if err := SaveSession(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadSession(bytes.NewReader(buf.Bytes()), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := restored.Options()
+	if !got.Exact {
+		t.Fatal("Exact lost through save/load")
+	}
+	if len(got.BaseSeeds) != 3 || got.BaseSeeds[0] != 7 || got.BaseSeeds[1] != 19 || got.BaseSeeds[2] != 3 {
+		t.Fatalf("BaseSeeds lost through save/load: %v", got.BaseSeeds)
+	}
+
+	// Resume must continue the same stream AND the same residual/exact
+	// derivation: snapshots after equal growth are identical.
+	uninterrupted, err := NewOnline(s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uninterrupted.Advance(2000)
+	want := uninterrupted.Snapshot()
+	restored.Advance(800)
+	snap := restored.Snapshot()
+	if snap.Alpha != want.Alpha || snap.SigmaLower != want.SigmaLower ||
+		snap.SigmaUpper != want.SigmaUpper || snap.DeltaSpent != want.DeltaSpent {
+		t.Fatalf("resumed OPIMS2 session diverged: %v vs %v", snap, want)
+	}
+	for i := range want.Seeds {
+		if snap.Seeds[i] != want.Seeds[i] {
+			t.Fatalf("seed %d differs", i)
+		}
+	}
+	// And the serialized state itself is byte-identical.
+	var a, b bytes.Buffer
+	if err := SaveSession(&a, restored); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveSession(&b, uninterrupted); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("resumed session state is not byte-identical to the uninterrupted run")
+	}
+}
+
+// saveSessionV1 writes the legacy OPIMS1 format (no Exact, no BaseSeeds),
+// byte-for-byte what the previous SaveSession produced — the fixture for
+// backward-compatibility reads.
+func saveSessionV1(t *testing.T, o *Online) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString("OPIMS1\n")
+	var hdr [45]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(o.sampler.Graph().N()))
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(o.opts.K))
+	binary.LittleEndian.PutUint64(hdr[12:20], math.Float64bits(o.opts.Delta))
+	binary.LittleEndian.PutUint32(hdr[20:24], uint32(o.opts.Variant))
+	binary.LittleEndian.PutUint64(hdr[24:32], o.opts.Seed)
+	binary.LittleEndian.PutUint32(hdr[32:36], uint32(o.opts.Workers))
+	if o.opts.UnionBudget {
+		hdr[36] = 1
+	}
+	binary.LittleEndian.PutUint64(hdr[37:45], uint64(o.queries))
+	buf.Write(hdr[:])
+	if err := rrset.WriteCollection(&buf, o.r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rrset.WriteCollection(&buf, o.r2); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestLoadSessionReadsOPIMS1 proves checkpoints written before the format
+// bump still resume, with the fields OPIMS1 could not carry at their
+// legacy values.
+func TestLoadSessionReadsOPIMS1(t *testing.T) {
+	g := testGraph(t, 300, 53)
+	s := rrset.NewSampler(g, diffusion.IC)
+	o, err := NewOnline(s, Options{K: 5, Delta: 0.05, Variant: Plus, Seed: 54, UnionBudget: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Advance(800)
+	o.Snapshot()
+
+	restored, err := LoadSession(bytes.NewReader(saveSessionV1(t, o)), s)
+	if err != nil {
+		t.Fatalf("OPIMS1 no longer loads: %v", err)
+	}
+	got := restored.Options()
+	if got.Exact || got.BaseSeeds != nil {
+		t.Fatalf("OPIMS1 load invented Exact=%v BaseSeeds=%v", got.Exact, got.BaseSeeds)
+	}
+	if restored.Queries() != 1 || restored.NumRR() != 800 {
+		t.Fatalf("OPIMS1 load: queries=%d num_rr=%d", restored.Queries(), restored.NumRR())
+	}
+	a, b := o.Snapshot(), restored.Snapshot()
+	if a.Alpha != b.Alpha || a.DeltaSpent != b.DeltaSpent {
+		t.Fatalf("snapshots differ after OPIMS1 restore: %v vs %v", a, b)
 	}
 }
 

@@ -123,6 +123,29 @@ var defaultRegistry = NewRegistry()
 // packages (rrset, core, server) and exposed by opimd's GET /metrics.
 func Default() *Registry { return defaultRegistry }
 
+// Labeled renders a metric name with Prometheus-style labels, e.g.
+// Labeled("server_requests_total", "session", "alice") →
+// `server_requests_total{session="alice"}`. The registry itself is
+// label-unaware — each labeled name is an ordinary metric — so callers own
+// the cardinality: only use values from a bounded, caller-controlled set
+// (session ids, endpoint names), never request-derived free text.
+func Labeled(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("obs: Labeled(%q) with odd key/value list", name))
+	}
+	out := name + "{"
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			out += ","
+		}
+		out += kv[i] + "=" + fmt.Sprintf("%q", kv[i+1])
+	}
+	return out + "}"
+}
+
 func (r *Registry) checkKind(name, kind string) {
 	if name == "" {
 		panic("obs: empty metric name")

@@ -219,3 +219,31 @@ func TestDefaultRegistryIsSingleton(t *testing.T) {
 		t.Fatal("default registry lost a counter")
 	}
 }
+
+func TestLabeled(t *testing.T) {
+	if got := Labeled("m_total"); got != "m_total" {
+		t.Fatalf("no labels: %q", got)
+	}
+	if got := Labeled("m_total", "session", "alice"); got != `m_total{session="alice"}` {
+		t.Fatalf("one label: %q", got)
+	}
+	if got := Labeled("m_total", "session", "a", "endpoint", "snapshot"); got != `m_total{session="a",endpoint="snapshot"}` {
+		t.Fatalf("two labels: %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd key/value list did not panic")
+		}
+	}()
+	Labeled("m_total", "orphan")
+}
+
+func TestLabeledNamesAreOrdinaryMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Labeled("sess_requests_total", "session", "a")).Add(2)
+	r.Counter(Labeled("sess_requests_total", "session", "b")).Inc()
+	snap := r.Snapshot()
+	if snap.Counters[`sess_requests_total{session="a"}`] != 2 || snap.Counters[`sess_requests_total{session="b"}`] != 1 {
+		t.Fatalf("labeled counters = %v", snap.Counters)
+	}
+}

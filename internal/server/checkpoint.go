@@ -1,13 +1,15 @@
 package server
 
-// Crash-safe checkpointing: the session is periodically (and on shutdown)
-// serialized through core.SaveSession onto an atomic write path
-// (fsutil.WriteAtomic: tmp + fsync + rename, previous generation kept),
-// and LoadCheckpoint restores it at startup, falling back to the previous
-// generation when the current one is corrupt. Because save → load →
-// Advance is byte-identical to a never-paused session (core/persist.go),
-// a daemon that crashes and resumes serves exactly the answers — seeds,
-// α, θ₁, θ₂, δ accounting — an uninterrupted one would have.
+// Crash-safe checkpointing: each session is periodically (and on
+// shutdown, and on eviction) serialized through core.SaveSession onto an
+// atomic write path (fsutil.WriteAtomic: tmp + fsync + rename, previous
+// generation kept), and LoadCheckpoint restores it — at startup, and
+// transparently when an evicted session is touched — falling back to the
+// previous generation when the current one is corrupt. Because save →
+// load → Advance is byte-identical to a never-paused session
+// (core/persist.go), a daemon that crashes and resumes — or a session
+// that is evicted and reloaded — serves exactly the answers (seeds, α,
+// θ₁, θ₂, δ accounting) an uninterrupted one would have.
 
 import (
 	"bytes"
@@ -38,25 +40,43 @@ var (
 	mCkRecoveries = obs.Default().Counter("server_checkpoint_recoveries_total")
 )
 
-// SaveCheckpoint atomically writes the session to cfg.CheckpointPath and
-// returns the checkpoint size. The session is serialized to memory under
-// the session mutex (sampling pauses only for the in-memory copy, not for
-// disk I/O), then written via fsutil.WriteAtomic, so a torn write can
-// never clobber the last good generation. Failures are logged, counted
-// (server_checkpoint_failures_total) and reported to the event sink.
+// SaveCheckpoint atomically writes the default session to its checkpoint
+// path and returns the checkpoint size — the single-session API kept for
+// existing callers; saveSessionCheckpoint is the per-session form behind
+// it.
 func (s *Server) SaveCheckpoint() (int64, error) {
-	path := s.cfg.CheckpointPath
-	if path == "" {
+	sess := s.lookup(DefaultSessionID)
+	if sess == nil || sess.ckPath == "" {
 		return 0, errors.New("server: no checkpoint path configured")
+	}
+	return s.saveSessionCheckpoint(sess)
+}
+
+// saveSessionCheckpoint atomically writes one session to its ckPath. The
+// session is serialized to memory under its own mutex (sampling of that
+// session pauses only for the in-memory copy, not for disk I/O; other
+// sessions are untouched), then written via fsutil.WriteAtomic, so a torn
+// write can never clobber the last good generation. Failures are logged,
+// counted (server_checkpoint_failures_total) and reported to the event
+// sink.
+func (s *Server) saveSessionCheckpoint(sess *Session) (int64, error) {
+	path := sess.ckPath
+	if path == "" {
+		return 0, fmt.Errorf("server: session %q has no checkpoint path", sess.ID)
 	}
 	s.saveMu.Lock()
 	defer s.saveMu.Unlock()
 	t0 := time.Now()
 
-	s.mu.Lock()
+	sess.mu.Lock()
 	var buf bytes.Buffer
-	err := core.SaveSession(&buf, s.session)
-	s.mu.Unlock()
+	var err error
+	if sess.online == nil {
+		err = fmt.Errorf("server: session %q is not loaded", sess.ID)
+	} else {
+		err = core.SaveSession(&buf, sess.online)
+	}
+	sess.mu.Unlock()
 
 	var n int64
 	if err == nil {
@@ -73,8 +93,9 @@ func (s *Server) SaveCheckpoint() (int64, error) {
 		mCkFailures.Inc()
 		log.Printf("server: checkpoint write to %s failed: %v", path, err)
 		obs.Emit(s.cfg.Events, "checkpoint_failure", map[string]any{
-			"path":  path,
-			"error": err.Error(),
+			"session": sess.ID,
+			"path":    path,
+			"error":   err.Error(),
 		})
 		return n, fmt.Errorf("server: checkpoint %s: %w", path, err)
 	}
@@ -84,12 +105,13 @@ func (s *Server) SaveCheckpoint() (int64, error) {
 }
 
 // StartCheckpointer launches the periodic checkpoint goroutine at
-// cfg.CheckpointInterval (DefaultCheckpointInterval when unset). It is a
-// no-op when checkpointing is not configured or the checkpointer is
+// cfg.CheckpointInterval (DefaultCheckpointInterval when unset); each tick
+// checkpoints every loaded session that has a checkpoint path. It is a
+// no-op when no checkpointing is configured or the checkpointer is
 // already running; Shutdown (or stopCheckpointer) stops it and waits for
 // it to exit.
 func (s *Server) StartCheckpointer() {
-	if s.cfg.CheckpointPath == "" {
+	if s.cfg.CheckpointPath == "" && s.cfg.CheckpointDir == "" {
 		return
 	}
 	interval := s.cfg.CheckpointInterval
@@ -114,10 +136,15 @@ func (s *Server) StartCheckpointer() {
 			case <-stop:
 				return
 			case <-t.C:
-				// Errors are already logged and counted by SaveCheckpoint;
+				// Errors are already logged and counted per session;
 				// the checkpointer keeps trying — a transiently full disk
 				// must not end checkpointing forever.
-				s.SaveCheckpoint()
+				for _, sess := range s.snapshotSessions() {
+					if sess.ckPath == "" || sessionState(sess.state.Load()) != stateLoaded {
+						continue
+					}
+					s.saveSessionCheckpoint(sess)
+				}
 			}
 		}
 	}()
@@ -138,40 +165,48 @@ func (s *Server) stopCheckpointer() {
 
 // CheckpointResponse is the POST /checkpoint response body.
 type CheckpointResponse struct {
-	Path  string `json:"path"`
-	Bytes int64  `json:"bytes"`
-	NumRR int64  `json:"num_rr"`
+	Session string `json:"session"`
+	Path    string `json:"path"`
+	Bytes   int64  `json:"bytes"`
+	NumRR   int64  `json:"num_rr"`
 }
 
 // handleCheckpoint forces a checkpoint write now — the durability point a
 // client can demand before it stops polling for a while.
-func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request, sess *Session) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	if s.cfg.CheckpointPath == "" {
-		http.Error(w, "checkpointing not configured (start opimd with -checkpoint)", http.StatusNotFound)
+	if sess.ckPath == "" {
+		http.Error(w, "checkpointing not configured (start opimd with -checkpoint or -checkpoint-dir)", http.StatusNotFound)
 		return
 	}
-	n, err := s.SaveCheckpoint()
+	s.touch(sess)
+	if status, msg := s.ensureLoaded(sess); status != 0 {
+		replyError(w, status, msg)
+		return
+	}
+	n, err := s.saveSessionCheckpoint(sess)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	writeJSON(w, CheckpointResponse{
-		Path:  s.cfg.CheckpointPath,
-		Bytes: n,
-		NumRR: s.status().NumRR,
+		Session: sess.ID,
+		Path:    sess.ckPath,
+		Bytes:   n,
+		NumRR:   sess.statNumRR.Load(),
 	})
 }
 
 // LoadCheckpoint restores a session from the checkpoint at path, written
-// by SaveCheckpoint. Recovery order: the current generation first; if it
-// is missing or corrupt (core.ErrBadSession, a truncated file, a torn
-// write that survived fsync), the previous generation path+".prev" — such
-// a fallback is logged and counted (server_checkpoint_recoveries_total).
-// It returns the restored session and the file it actually came from.
+// by saveSessionCheckpoint. Recovery order: the current generation first;
+// if it is missing or corrupt (core.ErrBadSession, a truncated file, a
+// torn write that survived fsync), the previous generation path+".prev" —
+// such a fallback is logged and counted
+// (server_checkpoint_recoveries_total). It returns the restored session
+// and the file it actually came from.
 //
 // When neither generation exists the error wraps fs.ErrNotExist, which is
 // how a daemon distinguishes "first boot" from "both generations

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -9,6 +10,8 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/reprolab/opim/internal/obs"
@@ -28,7 +31,10 @@ var defaultHTTPClient = &http.Client{Timeout: defaultClientTimeout}
 
 // Client is a typed client for the opimd HTTP API, so Go programs can
 // drive a remote OPIM session the way a database client drives an online
-// aggregation query.
+// aggregation query. SessionID scopes the session endpoints to one named
+// session ("" targets the legacy default-session paths); Session derives
+// a scoped client, and CreateSession/ListSessions/DeleteSession manage
+// the session population.
 //
 // Every method has a context-taking variant (StatusContext etc.); the
 // plain forms use context.Background(). Requests are built with
@@ -39,8 +45,10 @@ var defaultHTTPClient = &http.Client{Timeout: defaultClientTimeout}
 // bounded by MaxRetries, but only when a retry cannot change the
 // session's semantics:
 //
-//   - 503 (the server's load-shedding and deadline responses) is retried
-//     for idempotent requests only — Status, Metrics, Start, Stop;
+//   - 503 (the server's load-shedding and deadline responses) and 409
+//     (a request racing a session eviction) are retried for idempotent
+//     requests only — Status, Metrics, Start, Stop, PeekSnapshot,
+//     ListSessions;
 //   - transport errors (connection refused/reset, timeouts) likewise are
 //     retried for idempotent requests only;
 //   - Advance and Snapshot are never auto-retried: a lost response may
@@ -49,10 +57,17 @@ var defaultHTTPClient = &http.Client{Timeout: defaultClientTimeout}
 //     budget corruption the resume guarantees exist to prevent;
 //   - any other non-200 status is a semantic failure and never retried.
 //
-// A 503 Retry-After header, when present, overrides the backoff delay.
+// A 503/409 Retry-After header, when present, overrides the backoff
+// delay. Jitter comes from a per-client source seeded by RetrySeed, so
+// retry timing is reproducible in tests and never contends on (or is
+// perturbed by) the global math/rand state.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://localhost:8080".
 	BaseURL string
+	// SessionID scopes the session endpoints: "alice" targets
+	// /sessions/alice/status etc.; "" targets the legacy paths (/status),
+	// which the server aliases to its default session.
+	SessionID string
 	// HTTPClient defaults to a shared client with a 30s timeout. Set an
 	// explicit client to change the timeout or transport.
 	HTTPClient *http.Client
@@ -62,10 +77,33 @@ type Client struct {
 	// RetryBase is the first backoff delay, doubled per attempt with up to
 	// 50% added jitter (0 means the default of 100ms).
 	RetryBase time.Duration
+	// RetrySeed seeds the client's private jitter source; a fixed seed
+	// makes retry timing reproducible. 0 picks a distinct seed per client.
+	RetrySeed int64
+
+	jmu    sync.Mutex
+	jitter *rand.Rand
 }
+
+// clientSeq distinguishes the jitter streams of RetrySeed-less clients.
+var clientSeq atomic.Int64
 
 // NewClient returns a Client for the given base URL.
 func NewClient(baseURL string) *Client { return &Client{BaseURL: baseURL} }
+
+// Session returns a client scoped to the named session, sharing this
+// client's connection and retry configuration (but not its jitter state —
+// each derived client gets its own stream).
+func (c *Client) Session(id string) *Client {
+	return &Client{
+		BaseURL:    c.BaseURL,
+		SessionID:  id,
+		HTTPClient: c.HTTPClient,
+		MaxRetries: c.MaxRetries,
+		RetryBase:  c.RetryBase,
+		RetrySeed:  c.RetrySeed,
+	}
+}
 
 func (c *Client) http() *http.Client {
 	if c.HTTPClient != nil {
@@ -84,16 +122,50 @@ func (c *Client) retries() int {
 	return c.MaxRetries
 }
 
+// jitterN draws from the client's private jitter source, created on first
+// use from RetrySeed.
+func (c *Client) jitterN(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	c.jmu.Lock()
+	defer c.jmu.Unlock()
+	if c.jitter == nil {
+		seed := c.RetrySeed
+		if seed == 0 {
+			seed = time.Now().UnixNano() + clientSeq.Add(1)
+		}
+		c.jitter = rand.New(rand.NewSource(seed))
+	}
+	return c.jitter.Int63n(n)
+}
+
+// spath prefixes a session-scoped endpoint path with the session route.
+func (c *Client) spath(p string) string {
+	if c.SessionID == "" {
+		return p
+	}
+	return "/sessions/" + url.PathEscape(c.SessionID) + p
+}
+
 // do performs one logical request with the retry policy above. idempotent
-// marks requests whose replay cannot change session semantics.
-func (c *Client) do(ctx context.Context, method, path string, out any, idempotent bool) error {
+// marks requests whose replay cannot change session semantics. A non-nil
+// body is marshaled to JSON once and re-sent on every attempt.
+func (c *Client) do(ctx context.Context, method, path string, body, out any, idempotent bool) error {
 	base := c.RetryBase
 	if base <= 0 {
 		base = defaultRetryBase
 	}
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
+			return err
+		}
+	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		err, retryable, retryAfter := c.once(ctx, method, path, out)
+		err, retryable, retryAfter := c.once(ctx, method, path, payload, out)
 		if err == nil {
 			return nil
 		}
@@ -105,7 +177,7 @@ func (c *Client) do(ctx context.Context, method, path string, out any, idempoten
 		if delay > maxRetryDelay {
 			delay = maxRetryDelay
 		}
-		delay += time.Duration(rand.Int63n(int64(delay)/2 + 1)) // jitter
+		delay += time.Duration(c.jitterN(int64(delay)/2 + 1)) // jitter
 		if retryAfter > 0 {
 			delay = retryAfter
 		}
@@ -120,10 +192,17 @@ func (c *Client) do(ctx context.Context, method, path string, out any, idempoten
 // once performs a single HTTP exchange. retryable reports whether the
 // failure class permits replaying an idempotent request; retryAfter is
 // the server's Retry-After hint (0 when absent).
-func (c *Client) once(ctx context.Context, method, path string, out any) (err error, retryable bool, retryAfter time.Duration) {
-	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, nil)
+func (c *Client) once(ctx context.Context, method, path string, payload []byte, out any) (err error, retryable bool, retryAfter time.Duration) {
+	var rd io.Reader
+	if payload != nil {
+		rd = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 	if err != nil {
 		return err, false, 0
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
@@ -135,13 +214,19 @@ func (c *Client) once(ctx context.Context, method, path string, out any) (err er
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		err := fmt.Errorf("opimd: %s %s: %s: %s", method, path, resp.Status, body)
-		if resp.StatusCode == http.StatusServiceUnavailable {
+		// 503: load shedding / deadline. 409: the request raced a session
+		// eviction; the session is servable again once the checkpoint
+		// write finishes, so an idempotent retry after Retry-After wins.
+		if resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusConflict {
 			if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
 				retryAfter = time.Duration(secs) * time.Second
 			}
 			return err, true, retryAfter
 		}
 		return err, false, 0
+	}
+	if out == nil {
+		return nil, false, 0
 	}
 	return json.NewDecoder(resp.Body).Decode(out), false, 0
 }
@@ -152,7 +237,7 @@ func (c *Client) Status() (Status, error) { return c.StatusContext(context.Backg
 // StatusContext is Status bounded by ctx.
 func (c *Client) StatusContext(ctx context.Context) (Status, error) {
 	var s Status
-	err := c.do(ctx, http.MethodGet, "/status", &s, true)
+	err := c.do(ctx, http.MethodGet, c.spath("/status"), nil, &s, true)
 	return s, err
 }
 
@@ -164,7 +249,22 @@ func (c *Client) Snapshot() (SnapshotResponse, error) { return c.SnapshotContext
 // SnapshotContext is Snapshot bounded by ctx.
 func (c *Client) SnapshotContext(ctx context.Context) (SnapshotResponse, error) {
 	var s SnapshotResponse
-	err := c.do(ctx, http.MethodGet, "/snapshot", &s, false)
+	err := c.do(ctx, http.MethodGet, c.spath("/snapshot"), nil, &s, false)
+	return s, err
+}
+
+// PeekSnapshot fetches the last derived snapshot without spending any δ
+// budget (and without blocking on the session): the server's
+// snapshot?peek=1 path. 404 until the first real Snapshot. Idempotent —
+// safe to poll and to retry.
+func (c *Client) PeekSnapshot() (SnapshotResponse, error) {
+	return c.PeekSnapshotContext(context.Background())
+}
+
+// PeekSnapshotContext is PeekSnapshot bounded by ctx.
+func (c *Client) PeekSnapshotContext(ctx context.Context) (SnapshotResponse, error) {
+	var s SnapshotResponse
+	err := c.do(ctx, http.MethodGet, c.spath("/snapshot?peek=1"), nil, &s, true)
 	return s, err
 }
 
@@ -176,12 +276,12 @@ func (c *Client) Metrics() (obs.Snapshot, error) { return c.MetricsContext(conte
 // MetricsContext is Metrics bounded by ctx.
 func (c *Client) MetricsContext(ctx context.Context) (obs.Snapshot, error) {
 	var s obs.Snapshot
-	err := c.do(ctx, http.MethodGet, "/metrics", &s, true)
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &s, true)
 	return s, err
 }
 
 // Advance generates count RR sets synchronously. Counts above the
-// server's RR budget (Status.MaxRR) are rejected with 400. Never
+// session's RR budget (Status.MaxRR) are rejected with 400. Never
 // auto-retried: a replay after an ambiguous failure would generate count
 // additional RR sets on top of whatever the lost request produced.
 func (c *Client) Advance(count int) (Status, error) {
@@ -193,34 +293,34 @@ func (c *Client) Advance(count int) (Status, error) {
 // the server; poll Status).
 func (c *Client) AdvanceContext(ctx context.Context, count int) (Status, error) {
 	var s Status
-	err := c.do(ctx, http.MethodPost, "/advance?count="+url.QueryEscape(fmt.Sprint(count)), &s, false)
+	err := c.do(ctx, http.MethodPost, c.spath("/advance?count="+url.QueryEscape(fmt.Sprint(count))), nil, &s, false)
 	return s, err
 }
 
-// Start begins background sampling.
+// Start adds the session to the server's background sampling rotation.
 func (c *Client) Start() (Status, error) { return c.StartContext(context.Background()) }
 
 // StartContext is Start bounded by ctx.
 func (c *Client) StartContext(ctx context.Context) (Status, error) {
 	var s Status
-	err := c.do(ctx, http.MethodPost, "/start", &s, true)
+	err := c.do(ctx, http.MethodPost, c.spath("/start"), nil, &s, true)
 	return s, err
 }
 
-// Stop pauses background sampling.
+// Stop removes the session from the background sampling rotation.
 func (c *Client) Stop() (Status, error) { return c.StopContext(context.Background()) }
 
 // StopContext is Stop bounded by ctx.
 func (c *Client) StopContext(ctx context.Context) (Status, error) {
 	var s Status
-	err := c.do(ctx, http.MethodPost, "/stop", &s, true)
+	err := c.do(ctx, http.MethodPost, c.spath("/stop"), nil, &s, true)
 	return s, err
 }
 
-// Checkpoint forces the server to write a checkpoint now and reports the
-// file and size. Idempotent in effect (a replayed checkpoint rewrites the
-// same state) but cheap to leave unretried; callers needing durability
-// should check the error and re-issue deliberately.
+// Checkpoint forces the server to write the session's checkpoint now and
+// reports the file and size. Idempotent in effect (a replayed checkpoint
+// rewrites the same state) but cheap to leave unretried; callers needing
+// durability should check the error and re-issue deliberately.
 func (c *Client) Checkpoint() (CheckpointResponse, error) {
 	return c.CheckpointContext(context.Background())
 }
@@ -228,6 +328,43 @@ func (c *Client) Checkpoint() (CheckpointResponse, error) {
 // CheckpointContext is Checkpoint bounded by ctx.
 func (c *Client) CheckpointContext(ctx context.Context) (CheckpointResponse, error) {
 	var r CheckpointResponse
-	err := c.do(ctx, http.MethodPost, "/checkpoint", &r, false)
+	err := c.do(ctx, http.MethodPost, c.spath("/checkpoint"), nil, &r, false)
 	return r, err
+}
+
+// CreateSession creates a named session (POST /sessions). Never
+// auto-retried: a replay after an ambiguous failure would 409 on the
+// just-created name, turning success into an error.
+func (c *Client) CreateSession(spec SessionSpec) (SessionInfo, error) {
+	return c.CreateSessionContext(context.Background(), spec)
+}
+
+// CreateSessionContext is CreateSession bounded by ctx.
+func (c *Client) CreateSessionContext(ctx context.Context, spec SessionSpec) (SessionInfo, error) {
+	var info SessionInfo
+	err := c.do(ctx, http.MethodPost, "/sessions", spec, &info, false)
+	return info, err
+}
+
+// ListSessions lists every session on the server, sorted by id.
+func (c *Client) ListSessions() ([]SessionInfo, error) {
+	return c.ListSessionsContext(context.Background())
+}
+
+// ListSessionsContext is ListSessions bounded by ctx.
+func (c *Client) ListSessionsContext(ctx context.Context) ([]SessionInfo, error) {
+	var resp SessionListResponse
+	err := c.do(ctx, http.MethodGet, "/sessions", nil, &resp, true)
+	return resp.Sessions, err
+}
+
+// DeleteSession deletes the named session and its checkpoints. Not
+// auto-retried: a replayed delete 404s on the now-gone name.
+func (c *Client) DeleteSession(id string) error {
+	return c.DeleteSessionContext(context.Background(), id)
+}
+
+// DeleteSessionContext is DeleteSession bounded by ctx.
+func (c *Client) DeleteSessionContext(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/sessions/"+url.PathEscape(id), nil, nil, false)
 }

@@ -1,27 +1,36 @@
-// Package server exposes an OPIM session over HTTP — the paper's
-// online-query-processing paradigm as a long-running service. A background
-// loop streams RR sets; clients poll the current seed set and guarantee
-// and stop the refinement when satisfied, exactly as a database user
-// monitors an online aggregation query.
+// Package server exposes OPIM sessions over HTTP — the paper's
+// online-query-processing paradigm as a long-running, multi-tenant
+// service. A background sampler streams RR sets round-robin across every
+// running session; clients poll each session's current seed set and
+// guarantee and stop its refinement when satisfied, exactly as a database
+// user monitors an online aggregation query.
 //
-// Endpoints (all JSON):
+// Endpoints (all JSON; docs/API.md has schemas and curl examples):
 //
-//	GET  /status            session counters
-//	GET  /snapshot          current (seed set, α, bounds); spends δ budget
-//	GET  /metrics           process metrics (JSON; ?format=text for lines)
-//	POST /advance?count=N   generate N more RR sets synchronously
-//	POST /start             start background sampling (idempotent)
-//	POST /stop              pause background sampling (idempotent)
-//	POST /checkpoint        force a crash-safe checkpoint write now
+//	GET    /sessions                    list sessions
+//	POST   /sessions                    create a session (body: SessionSpec)
+//	GET    /sessions/{id}               describe one session
+//	DELETE /sessions/{id}               delete a session and its checkpoints
+//	GET    /sessions/{id}/status        session counters (never blocks)
+//	GET    /sessions/{id}/snapshot      derive (seed set, α); spends δ budget
+//	GET    /sessions/{id}/snapshot?peek=1  last derived snapshot; spends none
+//	POST   /sessions/{id}/advance?count=N  generate N more RR sets
+//	POST   /sessions/{id}/start         join background sampling
+//	POST   /sessions/{id}/stop          leave background sampling
+//	POST   /sessions/{id}/checkpoint    force a checkpoint write now
+//	GET    /metrics                     process metrics (?format=text)
 //
-// docs/API.md documents every endpoint with its parameters, response
-// schema and curl examples; docs/ROBUSTNESS.md documents the
-// fault-tolerance layer (checkpointing, deadlines, shutdown, retry
-// semantics). Every endpoint is instrumented: a request counter
-// (server_<name>_requests_total) and a latency timer
-// (server_<name>_seconds) in obs.Default(), which /metrics itself exposes
-// together with the RR-generation throughput counters and the latest
-// snapshot's (θ, σˡ, σᵘ, α) gauges — without spending any δ budget.
+// The pre-session paths (/status, /snapshot, /advance, /start, /stop,
+// /checkpoint) alias the session named "default", so single-session
+// clients and scripts keep working unchanged.
+//
+// Concurrency: each session owns its own mutex, δ budget and scratch, so
+// a slow snapshot or advance on one session never blocks another — and
+// /status and GET /sessions read lock-free cached counters, so they stay
+// responsive even against a session mid-advance. Residency is bounded via
+// Config.MaxLoadedSessions: the least-recently-used idle session is
+// checkpointed and unloaded, then transparently reloaded on next touch
+// (see sessions.go; requests racing an eviction get 409 + Retry-After).
 //
 // The request path is hardened for long-lived deployments: a
 // panic-recovery middleware turns handler panics into 500s (counted in
@@ -30,12 +39,6 @@
 // /advance threads its request context into chunked RR generation so
 // client disconnects and the configured request deadline actually stop
 // the work (partial progress is kept — cancelling loses no RR sets).
-//
-// Each session owns a persistent selection/coverage scratch (the
-// epoch-marked kernels of internal/maxcover and internal/rrset), so a
-// client polling /snapshot pays no per-request selection allocations; the
-// server's session mutex serializes all access, which is what makes that
-// reuse safe against the background sampling loop.
 package server
 
 import (
@@ -54,6 +57,7 @@ import (
 
 	"github.com/reprolab/opim/internal/core"
 	"github.com/reprolab/opim/internal/obs"
+	"github.com/reprolab/opim/internal/rrset"
 )
 
 // Robustness metrics (obs.Default(), see docs/OBSERVABILITY.md).
@@ -66,11 +70,13 @@ var (
 
 // Config configures a Server.
 type Config struct {
-	// Batch is the RR-set count generated per background-loop iteration
-	// (≤ 0 defaults to 10 000).
+	// Batch is the RR-set count generated per background-sampler visit to a
+	// running session (≤ 0 defaults to 10 000) — also the fairness quantum
+	// of the round-robin rotation.
 	Batch int
-	// MaxRR caps the session size; the background loop stops there
-	// (≤ 0 defaults to 2²⁶).
+	// MaxRR caps each session's size; the background sampler drops a
+	// session from its rotation there (≤ 0 defaults to 2²⁶). Sessions may
+	// choose a smaller budget at creation (SessionSpec.MaxRR).
 	MaxRR int64
 	// RequestTimeout bounds /advance processing; past it the request
 	// returns 503 with progress kept. 0 means no deadline.
@@ -78,10 +84,20 @@ type Config struct {
 	// MaxInflight caps concurrently served HTTP requests; excess requests
 	// are shed with 503 + Retry-After. ≤ 0 means unlimited.
 	MaxInflight int
-	// CheckpointPath, when non-empty, enables crash-safe checkpointing:
-	// SaveCheckpoint / POST /checkpoint write the session there atomically
-	// (previous generation kept at CheckpointPath+".prev").
+	// CheckpointPath, when non-empty, enables crash-safe checkpointing of
+	// the default session there (previous generation kept at
+	// CheckpointPath+".prev").
 	CheckpointPath string
+	// CheckpointDir, when non-empty, enables per-session checkpoints:
+	// every session (the default included, unless CheckpointPath overrides
+	// it) checkpoints to CheckpointDir/<id>.ck, AdoptCheckpointDir
+	// re-registers them at startup, and LRU eviction becomes possible.
+	CheckpointDir string
+	// MaxLoadedSessions bounds how many sessions are resident in memory;
+	// above it the least-recently-used idle session is checkpointed and
+	// unloaded, then transparently reloaded on its next touch. ≤ 0 means
+	// unbounded. Only sessions with a checkpoint path are evictable.
+	MaxLoadedSessions int
 	// CheckpointInterval is the cadence of StartCheckpointer
 	// (≤ 0 defaults to DefaultCheckpointInterval).
 	CheckpointInterval time.Duration
@@ -91,14 +107,25 @@ type Config struct {
 	Events obs.Sink
 }
 
-// Server wraps one Online session behind an HTTP API. All session access
-// is serialized by an internal mutex, so the background sampler and HTTP
-// clients can interleave safely.
+// Server hosts many named OPIM sessions behind an HTTP API. Sessions
+// share one immutable sampler (graph + diffusion model) but nothing else:
+// each has its own lock, δ budget, scratch and background-sampling
+// membership, so sessions never block each other.
 type Server struct {
-	mu      sync.Mutex
-	session *core.Online
+	cfg     Config
+	sampler *rrset.Sampler
 
-	cfg Config
+	// smu guards the session table (sessions/order/touchSeq and each
+	// session's lastTouch). It is never held across engine work, checkpoint
+	// I/O or any sess.mu acquisition — table reads stay O(1) even while
+	// every session is busy.
+	smu      sync.Mutex
+	sessions map[string]*Session
+	order    []string // insertion order; the round-robin rotation
+	rrIdx    int      // next rotation position
+	touchSeq int64
+
+	loaded atomic.Int64 // sessions in stateLoaded (gauge mirror)
 
 	inflight atomic.Int64
 
@@ -117,7 +144,9 @@ type Server struct {
 	ckWrap func(io.Writer) io.Writer
 }
 
-// New wraps session with the given configuration.
+// New wraps session — which becomes the "default" session — with the
+// given configuration. Further sessions are created over HTTP
+// (POST /sessions) or adopted from checkpoints (AdoptCheckpointDir).
 func New(session *core.Online, cfg Config) *Server {
 	if cfg.Batch <= 0 {
 		cfg.Batch = 10000
@@ -125,7 +154,19 @@ func New(session *core.Online, cfg Config) *Server {
 	if cfg.MaxRR <= 0 {
 		cfg.MaxRR = 1 << 26
 	}
-	return &Server{session: session, cfg: cfg}
+	s := &Server{
+		cfg:      cfg,
+		sampler:  session.Sampler(),
+		sessions: make(map[string]*Session),
+	}
+	ckPath := cfg.CheckpointPath
+	if ckPath == "" {
+		ckPath = s.sessionCheckpointPath(DefaultSessionID)
+	}
+	def := &Session{ID: DefaultSessionID, maxRR: cfg.MaxRR, ckPath: ckPath}
+	def.setOnlineLocked(session) // pre-publication: no concurrent access yet
+	s.addSession(def)
+	return s
 }
 
 // Handler returns the HTTP handler for the server's API: the endpoint mux
@@ -133,19 +174,55 @@ func New(session *core.Online, cfg Config) *Server {
 // outermost, so even a panic inside the limiter is contained).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/status", instrument("status", s.handleStatus))
-	mux.HandleFunc("/snapshot", instrument("snapshot", s.handleSnapshot))
-	mux.HandleFunc("/advance", instrument("advance", s.handleAdvance))
-	mux.HandleFunc("/start", instrument("start", s.handleStart))
-	mux.HandleFunc("/stop", instrument("stop", s.handleStop))
+	// Legacy single-session paths alias the default session (forSession
+	// maps an absent {id} wildcard to DefaultSessionID).
+	mux.HandleFunc("/status", instrument("status", s.forSession(s.handleStatus)))
+	mux.HandleFunc("/snapshot", instrument("snapshot", s.forSession(s.handleSnapshot)))
+	mux.HandleFunc("/advance", instrument("advance", s.forSession(s.handleAdvance)))
+	mux.HandleFunc("/start", instrument("start", s.forSession(s.handleStart)))
+	mux.HandleFunc("/stop", instrument("stop", s.forSession(s.handleStop)))
+	mux.HandleFunc("/checkpoint", instrument("checkpoint", s.forSession(s.handleCheckpoint)))
 	mux.HandleFunc("/metrics", instrument("metrics", s.handleMetrics))
-	mux.HandleFunc("/checkpoint", instrument("checkpoint", s.handleCheckpoint))
+	// Session management and per-session endpoints.
+	mux.HandleFunc("/sessions", instrument("sessions", s.handleSessions))
+	mux.HandleFunc("/sessions/{id}", instrument("session", s.handleSessionByID))
+	mux.HandleFunc("/sessions/{id}/status", instrument("status", s.forSession(s.handleStatus)))
+	mux.HandleFunc("/sessions/{id}/snapshot", instrument("snapshot", s.forSession(s.handleSnapshot)))
+	mux.HandleFunc("/sessions/{id}/advance", instrument("advance", s.forSession(s.handleAdvance)))
+	mux.HandleFunc("/sessions/{id}/start", instrument("start", s.forSession(s.handleStart)))
+	mux.HandleFunc("/sessions/{id}/stop", instrument("stop", s.forSession(s.handleStop)))
+	mux.HandleFunc("/sessions/{id}/checkpoint", instrument("checkpoint", s.forSession(s.handleCheckpoint)))
 	return s.recoverer(s.limiter(mux))
+}
+
+// sessionHandler is an endpoint scoped to one resolved session.
+type sessionHandler func(http.ResponseWriter, *http.Request, *Session)
+
+// forSession resolves the {id} path wildcard (absent on the legacy paths,
+// which alias the default session) and counts the request under a
+// per-session labeled metric. Resolution does not mark the session used —
+// only handlers that need the engine touch it, so pure monitoring
+// (/status, peek) never defeats LRU eviction.
+func (s *Server) forSession(h sessionHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if id == "" {
+			id = DefaultSessionID
+		}
+		sess := s.lookup(id)
+		if sess == nil {
+			http.Error(w, fmt.Sprintf("unknown session %q", id), http.StatusNotFound)
+			return
+		}
+		obs.Default().Counter(obs.Labeled("server_session_requests_total", "session", sess.ID)).Inc()
+		h(w, r, sess)
+	}
 }
 
 // instrument wraps a handler with a per-endpoint request counter and
 // latency timer in obs.Default(). Every request counts, including
-// rejected ones.
+// rejected ones. The legacy path and its /sessions/{id} twin share one
+// counter — they are the same endpoint.
 func instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	requests := obs.Default().Counter("server_" + name + "_requests_total")
 	latency := obs.Default().Timer("server_" + name + "_seconds")
@@ -158,7 +235,7 @@ func instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 }
 
 // limiter sheds load above cfg.MaxInflight with 503 + Retry-After — a
-// slow client can then back off and retry instead of queueing on the
+// slow client can then back off and retry instead of queueing on a
 // session mutex until its deadline passes.
 func (s *Server) limiter(h http.Handler) http.Handler {
 	max := int64(s.cfg.MaxInflight)
@@ -180,7 +257,7 @@ func (s *Server) limiter(h http.Handler) http.Handler {
 
 // recoverer turns a handler panic into a 500, counts it, and records the
 // stack in the log and the event sink — one bad request must never take
-// down a session holding hours of RR sets.
+// down sessions holding hours of RR sets.
 func (s *Server) recoverer(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
@@ -206,14 +283,17 @@ func (s *Server) recoverer(h http.Handler) http.Handler {
 
 // Status is the /status response body.
 type Status struct {
-	NumRR         int64 `json:"num_rr"`
-	EdgesExamined int64 `json:"edges_examined"`
-	Running       bool  `json:"running"`
-	MaxRR         int64 `json:"max_rr"`
+	Session       string `json:"session"`
+	NumRR         int64  `json:"num_rr"`
+	EdgesExamined int64  `json:"edges_examined"`
+	Running       bool   `json:"running"`
+	Loaded        bool   `json:"loaded"`
+	MaxRR         int64  `json:"max_rr"`
 }
 
 // SnapshotResponse is the /snapshot response body.
 type SnapshotResponse struct {
+	Session    string  `json:"session"`
 	Seeds      []int32 `json:"seeds"`
 	Alpha      float64 `json:"alpha"`
 	SigmaLower float64 `json:"sigma_lower"`
@@ -224,36 +304,71 @@ type SnapshotResponse struct {
 	Variant    string  `json:"variant"`
 }
 
-func (s *Server) status() Status {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// sessionStatus reads only the lock-free mirrors — a /status poll returns
+// immediately even while the session mutex is held by a long advance.
+func (s *Server) sessionStatus(sess *Session) Status {
 	return Status{
-		NumRR:         s.session.NumRR(),
-		EdgesExamined: s.session.EdgesExamined(),
-		Running:       s.isRunning(),
-		MaxRR:         s.cfg.MaxRR,
+		Session:       sess.ID,
+		NumRR:         sess.statNumRR.Load(),
+		EdgesExamined: sess.statEdges.Load(),
+		Running:       sess.running.Load(),
+		Loaded:        sessionState(sess.state.Load()) == stateLoaded,
+		MaxRR:         sess.maxRR,
 	}
 }
 
-func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+// replyError writes an error status; 409s (eviction races) carry
+// Retry-After so well-behaved clients back off and retry instead of
+// failing a request the server could serve a moment later.
+func replyError(w http.ResponseWriter, status int, msg string) {
+	if status == http.StatusConflict {
+		w.Header().Set("Retry-After", "1")
+	}
+	http.Error(w, msg, status)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request, sess *Session) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
-	writeJSON(w, s.status())
+	writeJSON(w, s.sessionStatus(sess))
 }
 
-func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request, sess *Session) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
-	// Snapshot reuses the session's persistent scratch; s.mu serializes it
-	// against concurrent /snapshot requests and the background loop.
-	s.mu.Lock()
-	snap := s.session.Snapshot()
-	s.mu.Unlock()
-	writeJSON(w, SnapshotResponse{
+	if peek := r.URL.Query().Get("peek"); peek == "1" || peek == "true" {
+		// Budget-free read of the last derived snapshot: no session lock, no
+		// δ spend, no reload — it works (and stays cheap) even while the
+		// session is mid-advance or evicted to disk.
+		if p := sess.lastSnap.Load(); p != nil {
+			writeJSON(w, *p)
+			return
+		}
+		http.Error(w, fmt.Sprintf("session %q has no derived snapshot yet (GET snapshot without peek derives one)", sess.ID), http.StatusNotFound)
+		return
+	}
+	s.touch(sess)
+	if status, msg := s.ensureLoaded(sess); status != 0 {
+		replyError(w, status, msg)
+		return
+	}
+	// Snapshot reuses the session's persistent scratch; sess.mu serializes
+	// it against concurrent snapshots and the background sampler.
+	sess.mu.Lock()
+	if sess.online == nil {
+		sess.mu.Unlock()
+		replyError(w, http.StatusConflict, fmt.Sprintf("session %q was evicted mid-request; retry shortly", sess.ID))
+		return
+	}
+	snap := sess.online.Snapshot()
+	sess.refreshStatsLocked()
+	sess.mu.Unlock()
+	resp := SnapshotResponse{
+		Session:    sess.ID,
 		Seeds:      snap.Seeds,
 		Alpha:      snap.Alpha,
 		SigmaLower: snap.SigmaLower,
@@ -262,10 +377,12 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		Theta2:     snap.Theta2,
 		DeltaSpent: snap.DeltaSpent,
 		Variant:    snap.Variant.String(),
-	})
+	}
+	sess.lastSnap.Store(&resp)
+	writeJSON(w, resp)
 }
 
-func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request, sess *Session) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
@@ -278,8 +395,13 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 	// A count above the session budget is a client error, not a request to
 	// be silently clamped; the remaining-budget clamp below only trims
 	// otherwise-valid requests near exhaustion (see docs/API.md).
-	if int64(count) > s.cfg.MaxRR {
-		http.Error(w, fmt.Sprintf("count %d exceeds the session RR budget max_rr=%d", count, s.cfg.MaxRR), http.StatusBadRequest)
+	if int64(count) > sess.maxRR {
+		http.Error(w, fmt.Sprintf("count %d exceeds the session RR budget max_rr=%d", count, sess.maxRR), http.StatusBadRequest)
+		return
+	}
+	s.touch(sess)
+	if status, msg := s.ensureLoaded(sess); status != 0 {
+		replyError(w, status, msg)
 		return
 	}
 	// The request context covers both the wait for the session mutex and
@@ -292,16 +414,22 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
 		defer cancel()
 	}
-	s.mu.Lock()
-	if remaining := s.cfg.MaxRR - s.session.NumRR(); int64(count) > remaining {
+	sess.mu.Lock()
+	if sess.online == nil {
+		sess.mu.Unlock()
+		replyError(w, http.StatusConflict, fmt.Sprintf("session %q was evicted mid-request; retry shortly", sess.ID))
+		return
+	}
+	if remaining := sess.maxRR - sess.online.NumRR(); int64(count) > remaining {
 		count = int(remaining)
 	}
 	var generated int
 	var advErr error
 	if count > 0 {
-		generated, advErr = s.session.AdvanceContext(ctx, count)
+		generated, advErr = sess.online.AdvanceContext(ctx, count)
+		sess.refreshStatsLocked()
 	}
-	s.mu.Unlock()
+	sess.mu.Unlock()
 	if advErr != nil {
 		// Partial progress is kept in the session either way.
 		if errors.Is(advErr, context.DeadlineExceeded) {
@@ -312,7 +440,7 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 		// Client cancellation: the connection is gone, nothing to write.
 		return
 	}
-	writeJSON(w, s.status())
+	writeJSON(w, s.sessionStatus(sess))
 }
 
 // handleMetrics dumps obs.Default(). Unlike /snapshot it spends no δ
@@ -341,41 +469,53 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) isRunning() bool {
+func (s *Server) handleStart(w http.ResponseWriter, r *http.Request, sess *Session) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.touch(sess)
+	if status, msg := s.ensureLoaded(sess); status != 0 {
+		replyError(w, status, msg)
+		return
+	}
+	sess.running.Store(true)
+	s.startLoop()
+	writeJSON(w, s.sessionStatus(sess))
+}
+
+func (s *Server) handleStop(w http.ResponseWriter, r *http.Request, sess *Session) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	sess.running.Store(false)
+	// Barrier: wait out a sampler batch already holding the session, so
+	// "stop returned" means "no further background sampling on this
+	// session" (the sampler re-checks running under sess.mu).
+	sess.mu.Lock()
+	sess.mu.Unlock() //nolint:staticcheck // empty critical section IS the barrier
+	writeJSON(w, s.sessionStatus(sess))
+}
+
+// startLoop launches the round-robin sampler goroutine if it is not
+// already running.
+func (s *Server) startLoop() {
 	s.loopMu.Lock()
 	defer s.loopMu.Unlock()
-	return s.running
-}
-
-func (s *Server) handleStart(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+	if s.running {
 		return
 	}
-	s.loopMu.Lock()
-	if !s.running {
-		s.running = true
-		s.stopCh = make(chan struct{})
-		s.done = make(chan struct{})
-		go s.loop(s.stopCh, s.done)
-	}
-	s.loopMu.Unlock()
-	writeJSON(w, s.status())
+	s.running = true
+	s.stopCh = make(chan struct{})
+	s.done = make(chan struct{})
+	go s.loop(s.stopCh, s.done)
 }
 
-func (s *Server) handleStop(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
-	s.Stop()
-	writeJSON(w, s.status())
-}
-
-// Stop halts background sampling and waits for the loop goroutine to have
-// fully exited. Safe to call at any time, including when not running and
-// concurrently with the loop's own budget-exhausted self-termination —
-// in every case Stop returns only after the loop's done channel closed.
+// Stop halts the background sampler and waits for its goroutine to have
+// fully exited, then clears every session's sampling membership (so
+// Status.Running reads false everywhere). Safe to call at any time,
+// including when not running.
 func (s *Server) Stop() {
 	s.loopMu.Lock()
 	if s.running {
@@ -387,23 +527,68 @@ func (s *Server) Stop() {
 	if done != nil {
 		<-done
 	}
+	for _, sess := range s.snapshotSessions() {
+		sess.running.Store(false)
+	}
 }
 
-// Shutdown is the graceful teardown: it stops the background loop and the
-// periodic checkpointer (waiting for both goroutines to exit), then — when
-// checkpointing is configured — writes a final checkpoint so no sampled RR
-// set is lost. It does not own the HTTP listener; callers drain in-flight
-// requests first (http.Server.Shutdown), then call this.
+// snapshotSessions copies the session list out of the table lock.
+func (s *Server) snapshotSessions() []*Session {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	out := make([]*Session, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.sessions[id])
+	}
+	return out
+}
+
+// Shutdown is the graceful teardown: it stops the background sampler and
+// the periodic checkpointer (waiting for both goroutines to exit), then
+// writes a final checkpoint for every loaded session that has one
+// configured, so no sampled RR set is lost. It does not own the HTTP
+// listener; callers drain in-flight requests first (http.Server.Shutdown),
+// then call this.
 func (s *Server) Shutdown() error {
 	s.Stop()
 	s.stopCheckpointer()
-	if s.cfg.CheckpointPath == "" {
-		return nil
+	var first error
+	for _, sess := range s.snapshotSessions() {
+		if sess.ckPath == "" || sessionState(sess.state.Load()) != stateLoaded {
+			continue
+		}
+		if _, err := s.saveSessionCheckpoint(sess); err != nil && first == nil {
+			first = err
+		}
 	}
-	_, err := s.SaveCheckpoint()
-	return err
+	return first
 }
 
+// loopIdleWait is how long the sampler parks when no session is running.
+const loopIdleWait = 2 * time.Millisecond
+
+// nextRunning picks the next running, loaded session in rotation order —
+// each visit hands out one Batch quantum, so N running sessions progress
+// at 1/N of the sampling throughput each regardless of creation order.
+func (s *Server) nextRunning() *Session {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	n := len(s.order)
+	for i := 0; i < n; i++ {
+		idx := (s.rrIdx + i) % n
+		sess := s.sessions[s.order[idx]]
+		if sess != nil && sess.running.Load() && sessionState(sess.state.Load()) == stateLoaded {
+			s.rrIdx = (idx + 1) % n
+			return sess
+		}
+	}
+	return nil
+}
+
+// loop is the round-robin background sampler: one goroutine multiplexing
+// every running session, one batch per visit. Per-session pacing happens
+// under that session's own mutex, so a client request on session B waits
+// at most one batch of B — never a batch of A.
 func (s *Server) loop(stop <-chan struct{}, done chan<- struct{}) {
 	defer close(done)
 	for {
@@ -412,27 +597,34 @@ func (s *Server) loop(stop <-chan struct{}, done chan<- struct{}) {
 			return
 		default:
 		}
-		s.mu.Lock()
-		remaining := s.cfg.MaxRR - s.session.NumRR()
+		sess := s.nextRunning()
+		if sess == nil {
+			select {
+			case <-stop:
+				return
+			case <-time.After(loopIdleWait):
+			}
+			continue
+		}
+		sess.mu.Lock()
+		if !sess.running.Load() || sess.online == nil {
+			// Stopped or evicted between selection and lock acquisition.
+			sess.mu.Unlock()
+			continue
+		}
+		remaining := sess.maxRR - sess.online.NumRR()
 		batch := int64(s.cfg.Batch)
 		if batch > remaining {
 			batch = remaining
 		}
 		if batch > 0 {
-			s.session.Advance(int(batch))
+			sess.online.Advance(int(batch))
+			sess.refreshStatsLocked()
 		}
-		s.mu.Unlock()
+		sess.mu.Unlock()
 		if batch <= 0 {
-			// Budget exhausted: mark ourselves stopped and exit. A
-			// concurrent Stop still waits on done (closed by the defer), so
-			// "Stop returned" always means "loop exited".
-			s.loopMu.Lock()
-			if s.running {
-				s.running = false
-				close(s.stopCh)
-			}
-			s.loopMu.Unlock()
-			return
+			// Budget exhausted: leave the rotation; /start re-admits.
+			sess.running.Store(false)
 		}
 	}
 }

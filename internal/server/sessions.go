@@ -1,0 +1,551 @@
+package server
+
+// Multi-session management: the server hosts many named OPIM sessions —
+// the paper's online-processing paradigm (§2.2) with one pause-and-report
+// query per user — each owning its own lock, scratch, δ budget and
+// background-sampling membership. Sessions are created, listed and
+// deleted over HTTP (/sessions), addressed at /sessions/{id}/..., and the
+// pre-session endpoints (/status, /snapshot, ...) alias the session named
+// "default" so existing clients keep working.
+//
+// Residency is bounded: with Config.CheckpointDir and MaxLoadedSessions
+// set, the least-recently-used idle session is checkpointed and unloaded
+// (state machine loaded → evicting → unloaded) and transparently reloaded
+// from its checkpoint on the next touch. A request that races an eviction
+// gets 409 + Retry-After rather than blocking on the checkpoint write;
+// the Go client treats that exactly like a load-shed 503.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/reprolab/opim/internal/core"
+	"github.com/reprolab/opim/internal/obs"
+)
+
+// DefaultSessionID names the session that the legacy single-session
+// endpoints (/status, /snapshot, ...) alias.
+const DefaultSessionID = "default"
+
+// Session-manager metrics (obs.Default(), see docs/OBSERVABILITY.md).
+var (
+	mSessionsCreated  = obs.Default().Counter("server_sessions_created_total")
+	mSessionsDeleted  = obs.Default().Counter("server_sessions_deleted_total")
+	mSessionsEvicted  = obs.Default().Counter("server_sessions_evicted_total")
+	mSessionsReloaded = obs.Default().Counter("server_sessions_reloaded_total")
+	mSessionConflicts = obs.Default().Counter("server_session_conflicts_total")
+	gSessionsLoaded   = obs.Default().Gauge("server_sessions_loaded")
+)
+
+// sessionState is the residency state of one Session.
+type sessionState int32
+
+const (
+	// stateLoaded: the core.Online lives in memory and serves requests.
+	stateLoaded sessionState = iota
+	// stateEvicting: an eviction is checkpointing the session; requests
+	// answer 409 + Retry-After instead of blocking on the disk write.
+	stateEvicting
+	// stateUnloaded: only the checkpoint exists; the next touch reloads.
+	stateUnloaded
+)
+
+// Session is one managed OPIM session: a core.Online plus the serving
+// state around it. All access to the engine goes through mu, which is
+// per-session — a slow snapshot or advance on one session never blocks
+// another.
+type Session struct {
+	// ID is the immutable session name ([A-Za-z0-9][A-Za-z0-9._-]*).
+	ID string
+
+	// mu serializes every use of online: handlers, the round-robin
+	// sampler, checkpoint serialization, eviction and reload.
+	mu     sync.Mutex
+	online *core.Online // nil while unloaded
+
+	state   atomic.Int32 // sessionState
+	running atomic.Bool  // background round-robin sampling membership
+
+	maxRR int64
+
+	// statNumRR/statEdges cache the engine counters after every mutation,
+	// so /status and GET /sessions never take mu — they stay readable
+	// while a long advance holds the session lock.
+	statNumRR atomic.Int64
+	statEdges atomic.Int64
+
+	// opts caches the engine's Options for lock-free listing; nil until
+	// the session has been loaded at least once (adopted checkpoints).
+	opts atomic.Pointer[core.Options]
+
+	// lastSnap caches the most recent derived snapshot for the
+	// budget-free peek path. It survives eviction deliberately: a
+	// dashboard can poll an unloaded session without forcing a reload.
+	lastSnap atomic.Pointer[SnapshotResponse]
+
+	// ckPath, when non-empty, is where this session checkpoints; a
+	// session without one can never be evicted.
+	ckPath string
+
+	// lastTouch orders LRU eviction; guarded by the server's smu.
+	lastTouch int64
+}
+
+// refreshStatsLocked re-publishes the lock-free counter mirrors; callers
+// hold sess.mu with online non-nil.
+func (sess *Session) refreshStatsLocked() {
+	sess.statNumRR.Store(sess.online.NumRR())
+	sess.statEdges.Store(sess.online.EdgesExamined())
+}
+
+// setOnlineLocked installs an engine (created or reloaded) and refreshes
+// every mirror; callers hold sess.mu.
+func (sess *Session) setOnlineLocked(online *core.Online) {
+	sess.online = online
+	opts := online.Options()
+	sess.opts.Store(&opts)
+	sess.refreshStatsLocked()
+}
+
+// SessionSpec is the POST /sessions request body. Zero values take the
+// server defaults noted per field.
+type SessionSpec struct {
+	// ID names the session (required; [A-Za-z0-9][A-Za-z0-9._-]*, ≤ 64).
+	ID string `json:"id"`
+	// K is the seed-set size (required, ≥ 1).
+	K int `json:"k"`
+	// Delta is the failure probability (0 = 1/n).
+	Delta float64 `json:"delta"`
+	// Variant is "vanilla", "plus" or "prime" ("" = plus).
+	Variant string `json:"variant"`
+	// Seed drives the session's sample stream.
+	Seed uint64 `json:"seed"`
+	// Workers bounds RR-generation parallelism (0 = GOMAXPROCS).
+	Workers int `json:"workers"`
+	// Union enables the δ/2^i union-budget snapshot schedule.
+	Union bool `json:"union"`
+	// Exact switches to Clopper–Pearson bounds.
+	Exact bool `json:"exact"`
+	// BaseSeeds switches the session to the augmentation problem.
+	BaseSeeds []int32 `json:"base_seeds"`
+	// MaxRR overrides the server's RR budget for this session (0 =
+	// Config.MaxRR; larger values are rejected).
+	MaxRR int64 `json:"max_rr"`
+}
+
+// SessionInfo describes one session in /sessions responses. Option fields
+// are zero for a session adopted from a checkpoint that has not been
+// loaded yet (they live inside the checkpoint).
+type SessionInfo struct {
+	ID         string  `json:"id"`
+	K          int     `json:"k,omitempty"`
+	Delta      float64 `json:"delta,omitempty"`
+	Variant    string  `json:"variant,omitempty"`
+	Seed       uint64  `json:"seed"`
+	Union      bool    `json:"union"`
+	Exact      bool    `json:"exact"`
+	BaseSeeds  []int32 `json:"base_seeds,omitempty"`
+	NumRR      int64   `json:"num_rr"`
+	MaxRR      int64   `json:"max_rr"`
+	Running    bool    `json:"running"`
+	Loaded     bool    `json:"loaded"`
+	Checkpoint string  `json:"checkpoint,omitempty"`
+}
+
+// SessionListResponse is the GET /sessions response body.
+type SessionListResponse struct {
+	Sessions []SessionInfo `json:"sessions"`
+}
+
+var sessionIDRe = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+// lookup returns the session without marking it used (nil if unknown).
+func (s *Server) lookup(id string) *Session {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	return s.sessions[id]
+}
+
+// touch marks sess most-recently-used for LRU eviction.
+func (s *Server) touch(sess *Session) {
+	s.smu.Lock()
+	s.touchSeq++
+	sess.lastTouch = s.touchSeq
+	s.smu.Unlock()
+}
+
+// addSession registers sess; it fails when the id is taken.
+func (s *Server) addSession(sess *Session) error {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	if _, ok := s.sessions[sess.ID]; ok {
+		return fmt.Errorf("session %q already exists", sess.ID)
+	}
+	s.sessions[sess.ID] = sess
+	s.order = append(s.order, sess.ID)
+	s.touchSeq++
+	sess.lastTouch = s.touchSeq
+	if sessionState(sess.state.Load()) == stateLoaded {
+		gSessionsLoaded.Set(float64(s.loaded.Add(1)))
+	}
+	return nil
+}
+
+// sessionCheckpointPath returns where a session of this id checkpoints
+// ("" when per-session checkpointing is not configured).
+func (s *Server) sessionCheckpointPath(id string) string {
+	if s.cfg.CheckpointDir == "" {
+		return ""
+	}
+	return filepath.Join(s.cfg.CheckpointDir, id+".ck")
+}
+
+// createSession builds and registers a session from spec. The returned
+// status is the HTTP code for the failure (400 invalid spec, 409 name
+// taken, 500 otherwise).
+func (s *Server) createSession(spec SessionSpec) (*Session, int, error) {
+	if !sessionIDRe.MatchString(spec.ID) {
+		return nil, http.StatusBadRequest,
+			fmt.Errorf("session id %q invalid (want [A-Za-z0-9][A-Za-z0-9._-]*, at most 64 chars)", spec.ID)
+	}
+	variant, err := parseVariant(spec.Variant)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	maxRR := spec.MaxRR
+	if maxRR == 0 {
+		maxRR = s.cfg.MaxRR
+	}
+	if maxRR < 0 || maxRR > s.cfg.MaxRR {
+		return nil, http.StatusBadRequest,
+			fmt.Errorf("max_rr %d outside (0, server budget %d]", maxRR, s.cfg.MaxRR)
+	}
+	delta := spec.Delta
+	if delta == 0 {
+		delta = 1 / float64(s.sampler.Graph().N())
+	}
+	online, err := core.NewOnline(s.sampler, core.Options{
+		K:           spec.K,
+		Delta:       delta,
+		Variant:     variant,
+		Seed:        spec.Seed,
+		Workers:     spec.Workers,
+		UnionBudget: spec.Union,
+		Exact:       spec.Exact,
+		BaseSeeds:   spec.BaseSeeds,
+		Events:      s.cfg.Events,
+	})
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	sess := &Session{ID: spec.ID, maxRR: maxRR, ckPath: s.sessionCheckpointPath(spec.ID)}
+	sess.mu.Lock()
+	sess.setOnlineLocked(online)
+	sess.mu.Unlock()
+	if err := s.addSession(sess); err != nil {
+		return nil, http.StatusConflict, err
+	}
+	mSessionsCreated.Inc()
+	s.maybeEvict(sess)
+	return sess, 0, nil
+}
+
+// AdoptCheckpointDir registers one session per "<id>.ck" file in
+// Config.CheckpointDir, so a restarted daemon serves every checkpointed
+// session again. Each checkpoint is loaded at adoption — validating it
+// before the daemon starts serving and populating the lock-free /status
+// mirrors — and MaxLoadedSessions is then enforced as usual, so under a
+// residency cap the surplus is checkpoint-evicted right back and
+// reloaded transparently on its first touch. An unusable checkpoint
+// (both generations) aborts adoption rather than silently discarding
+// that session's δ accounting, mirroring the startup refusal for the
+// default session. Already-registered ids (the resumed default session)
+// are skipped. It returns the adopted ids sorted.
+func (s *Server) AdoptCheckpointDir() ([]string, error) {
+	if s.cfg.CheckpointDir == "" {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(s.cfg.CheckpointDir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("server: reading checkpoint dir: %w", err)
+	}
+	var adopted []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".ck") {
+			continue
+		}
+		id := strings.TrimSuffix(name, ".ck")
+		if !sessionIDRe.MatchString(id) {
+			continue
+		}
+		if s.lookup(id) != nil {
+			continue // already registered (e.g. the resumed default)
+		}
+		sess := &Session{ID: id, maxRR: s.cfg.MaxRR, ckPath: s.sessionCheckpointPath(id)}
+		online, _, err := LoadCheckpoint(sess.ckPath, s.sampler)
+		if err != nil {
+			sort.Strings(adopted)
+			return adopted, fmt.Errorf("server: adopting session %q: %w", id, err)
+		}
+		online.SetEvents(s.cfg.Events)
+		sess.mu.Lock()
+		sess.setOnlineLocked(online)
+		sess.mu.Unlock()
+		if err := s.addSession(sess); err != nil {
+			continue
+		}
+		adopted = append(adopted, id)
+		s.maybeEvict(sess)
+	}
+	sort.Strings(adopted)
+	return adopted, nil
+}
+
+// ensureLoaded makes sess servable, reloading it from its checkpoint when
+// evicted. A non-zero return is the HTTP status (and message) to answer
+// with: 409 while an eviction is in flight, 500 when the reload failed.
+func (s *Server) ensureLoaded(sess *Session) (int, string) {
+	switch sessionState(sess.state.Load()) {
+	case stateEvicting:
+		mSessionConflicts.Inc()
+		return http.StatusConflict, fmt.Sprintf("session %q is being evicted; retry shortly", sess.ID)
+	case stateUnloaded:
+		sess.mu.Lock()
+		if sessionState(sess.state.Load()) == stateUnloaded {
+			online, _, err := LoadCheckpoint(sess.ckPath, s.sampler)
+			if err != nil {
+				sess.mu.Unlock()
+				return http.StatusInternalServerError,
+					fmt.Sprintf("session %q: reload from checkpoint failed: %v", sess.ID, err)
+			}
+			online.SetEvents(s.cfg.Events)
+			sess.setOnlineLocked(online)
+			sess.state.Store(int32(stateLoaded))
+			gSessionsLoaded.Set(float64(s.loaded.Add(1)))
+			mSessionsReloaded.Inc()
+		}
+		sess.mu.Unlock()
+		s.maybeEvict(sess)
+	}
+	return 0, ""
+}
+
+// maybeEvict enforces MaxLoadedSessions: while too many sessions are
+// resident it checkpoints-then-unloads the least-recently-used idle one
+// (never keep, never a running or checkpoint-less session). Eviction work
+// happens outside every lock except the victim's own.
+func (s *Server) maybeEvict(keep *Session) {
+	if s.cfg.MaxLoadedSessions <= 0 {
+		return
+	}
+	for {
+		victim := s.pickEvictionVictim(keep)
+		if victim == nil {
+			return
+		}
+		s.evictSession(victim)
+	}
+}
+
+func (s *Server) pickEvictionVictim(keep *Session) *Session {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	if int(s.loaded.Load()) <= s.cfg.MaxLoadedSessions {
+		return nil
+	}
+	var victim *Session
+	for _, sess := range s.sessions {
+		if sess == keep || sess.ckPath == "" || sess.running.Load() {
+			continue
+		}
+		if sessionState(sess.state.Load()) != stateLoaded {
+			continue
+		}
+		if victim == nil || sess.lastTouch < victim.lastTouch {
+			victim = sess
+		}
+	}
+	if victim != nil {
+		victim.state.Store(int32(stateEvicting))
+	}
+	return victim
+}
+
+// evictSession checkpoints the victim and drops its engine. A failed
+// checkpoint aborts the eviction (the session stays loaded and servable) —
+// unloading without a durable copy would lose the δ accounting.
+func (s *Server) evictSession(sess *Session) {
+	_, err := s.saveSessionCheckpoint(sess)
+	sess.mu.Lock()
+	if err != nil {
+		sess.state.Store(int32(stateLoaded))
+		sess.mu.Unlock()
+		return
+	}
+	sess.online = nil
+	sess.state.Store(int32(stateUnloaded))
+	sess.mu.Unlock()
+	gSessionsLoaded.Set(float64(s.loaded.Add(-1)))
+	mSessionsEvicted.Inc()
+}
+
+// sessionInfo builds the listing entry without taking the session mutex.
+func (s *Server) sessionInfo(sess *Session) SessionInfo {
+	info := SessionInfo{
+		ID:         sess.ID,
+		NumRR:      sess.statNumRR.Load(),
+		MaxRR:      sess.maxRR,
+		Running:    sess.running.Load(),
+		Loaded:     sessionState(sess.state.Load()) == stateLoaded,
+		Checkpoint: sess.ckPath,
+	}
+	if opts := sess.opts.Load(); opts != nil {
+		info.K = opts.K
+		info.Delta = opts.Delta
+		info.Variant = variantWire(opts.Variant)
+		info.Seed = opts.Seed
+		info.Union = opts.UnionBudget
+		info.Exact = opts.Exact
+		info.BaseSeeds = opts.BaseSeeds
+	}
+	return info
+}
+
+// handleSessions serves the collection: GET lists, POST creates.
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.smu.Lock()
+		sessions := make([]*Session, 0, len(s.sessions))
+		for _, sess := range s.sessions {
+			sessions = append(sessions, sess)
+		}
+		s.smu.Unlock()
+		resp := SessionListResponse{Sessions: make([]SessionInfo, 0, len(sessions))}
+		for _, sess := range sessions {
+			resp.Sessions = append(resp.Sessions, s.sessionInfo(sess))
+		}
+		sort.Slice(resp.Sessions, func(i, j int) bool { return resp.Sessions[i].ID < resp.Sessions[j].ID })
+		writeJSON(w, resp)
+	case http.MethodPost:
+		var spec SessionSpec
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&spec); err != nil {
+			http.Error(w, "invalid JSON body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		sess, status, err := s.createSession(spec)
+		if err != nil {
+			http.Error(w, err.Error(), status)
+			return
+		}
+		writeJSON(w, s.sessionInfo(sess))
+	default:
+		http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
+	}
+}
+
+// handleSessionByID serves one session: GET describes it, DELETE removes
+// it together with its checkpoint files.
+func (s *Server) handleSessionByID(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sess := s.lookup(id)
+	if sess == nil {
+		http.Error(w, fmt.Sprintf("unknown session %q", id), http.StatusNotFound)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, s.sessionInfo(sess))
+	case http.MethodDelete:
+		if id == DefaultSessionID {
+			http.Error(w, "cannot delete the default session (the legacy endpoints alias it)", http.StatusBadRequest)
+			return
+		}
+		if sessionState(sess.state.Load()) == stateEvicting {
+			mSessionConflicts.Inc()
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, fmt.Sprintf("session %q is being evicted; retry shortly", id), http.StatusConflict)
+			return
+		}
+		s.removeSession(sess)
+		writeJSON(w, map[string]string{"deleted": id})
+	default:
+		http.Error(w, "GET or DELETE only", http.StatusMethodNotAllowed)
+	}
+}
+
+// removeSession unregisters sess, waits out any in-flight sampler batch,
+// and deletes its checkpoint generations (they belong to the manager's
+// CheckpointDir; a deleted session must not resurrect on restart).
+func (s *Server) removeSession(sess *Session) {
+	s.smu.Lock()
+	if _, ok := s.sessions[sess.ID]; !ok {
+		s.smu.Unlock()
+		return
+	}
+	delete(s.sessions, sess.ID)
+	for i, id := range s.order {
+		if id == sess.ID {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	wasLoaded := sessionState(sess.state.Load()) == stateLoaded
+	s.smu.Unlock()
+
+	sess.running.Store(false)
+	sess.mu.Lock() // barrier: wait out an in-flight batch or request
+	sess.online = nil
+	if wasLoaded {
+		gSessionsLoaded.Set(float64(s.loaded.Add(-1)))
+	}
+	sess.state.Store(int32(stateUnloaded))
+	sess.mu.Unlock()
+
+	if sess.ckPath != "" && s.cfg.CheckpointDir != "" &&
+		filepath.Dir(sess.ckPath) == filepath.Clean(s.cfg.CheckpointDir) {
+		os.Remove(sess.ckPath)
+		os.Remove(sess.ckPath + ".prev")
+	}
+	mSessionsDeleted.Inc()
+}
+
+// parseVariant maps the wire names onto core variants ("" = plus, the
+// paper's recommended setting and opimd's flag default).
+func parseVariant(name string) (core.Variant, error) {
+	switch strings.ToLower(name) {
+	case "", "plus":
+		return core.Plus, nil
+	case "vanilla":
+		return core.Vanilla, nil
+	case "prime":
+		return core.Prime, nil
+	}
+	return 0, fmt.Errorf("unknown variant %q (want vanilla, plus or prime)", name)
+}
+
+// variantWire is parseVariant's inverse: SessionInfo.Variant round-trips
+// into SessionSpec.Variant (the paper names from Variant.String do not).
+func variantWire(v core.Variant) string {
+	switch v {
+	case core.Vanilla:
+		return "vanilla"
+	case core.Prime:
+		return "prime"
+	}
+	return "plus"
+}

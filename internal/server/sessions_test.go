@@ -1,0 +1,520 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/reprolab/opim/internal/core"
+)
+
+// isConflict matches the client error for a 409 (request racing an
+// eviction) — the stress tests tolerate those, nothing else.
+func isConflict(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "409")
+}
+
+func TestSessionCRUD(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+	c := NewClient(ts.URL)
+
+	list, err := c.ListSessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != DefaultSessionID || !list[0].Loaded || list[0].K != 5 {
+		t.Fatalf("initial list = %+v", list)
+	}
+
+	info, err := c.CreateSession(SessionSpec{ID: "alice", K: 3, Delta: 0.1, Seed: 5, Variant: "vanilla"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != "alice" || info.K != 3 || info.Variant != "vanilla" || info.Seed != 5 || !info.Loaded {
+		t.Fatalf("created session info = %+v", info)
+	}
+
+	// Name collisions, bad specs and bad ids are rejected up front.
+	for _, bad := range []SessionSpec{
+		{ID: "alice", K: 3, Delta: 0.1},            // duplicate
+		{ID: "", K: 3, Delta: 0.1},                 // empty id
+		{ID: "../escape", K: 3, Delta: 0.1},        // unsafe id
+		{ID: "nok", K: 0, Delta: 0.1},              // k < 1
+		{ID: "nov", K: 3, Variant: "bogus"},        // unknown variant
+		{ID: "nob", K: 3, Delta: 0.1, MaxRR: 1e18}, // budget above the server's
+	} {
+		if _, err := c.CreateSession(bad); err == nil {
+			t.Fatalf("spec %+v accepted", bad)
+		}
+	}
+
+	list, err = c.ListSessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 || list[0].ID != "alice" || list[1].ID != DefaultSessionID {
+		t.Fatalf("list after create = %+v", list)
+	}
+
+	// Sessions are isolated: advancing alice leaves default untouched.
+	alice := c.Session("alice")
+	st, err := alice.Advance(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Session != "alice" || st.NumRR != 500 {
+		t.Fatalf("alice advance status = %+v", st)
+	}
+	if st, err = c.Status(); err != nil || st.NumRR != 0 {
+		t.Fatalf("default session moved with alice: %+v (%v)", st, err)
+	}
+	snap, err := alice.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Session != "alice" || len(snap.Seeds) != 3 {
+		t.Fatalf("alice snapshot = %+v", snap)
+	}
+
+	// Per-session labeled request counter (obs.Labeled) moved.
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Counters[`server_session_requests_total{session="alice"}`] < 2 {
+		t.Fatalf("labeled session counter missing: %v", m.Counters)
+	}
+
+	// GET one session.
+	got := getJSON[SessionInfo](t, ts.URL+"/sessions/alice")
+	if got.ID != "alice" || got.NumRR != 500 {
+		t.Fatalf("GET /sessions/alice = %+v", got)
+	}
+
+	// Delete semantics: default is protected, alice goes away fully.
+	if err := c.DeleteSession(DefaultSessionID); err == nil {
+		t.Fatal("deleting the default session was allowed")
+	}
+	if err := c.DeleteSession("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteSession("alice"); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+	if _, err := alice.Status(); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("status on deleted session: %v", err)
+	}
+	if list, _ = c.ListSessions(); len(list) != 1 {
+		t.Fatalf("list after delete = %+v", list)
+	}
+}
+
+// TestSlowSessionDoesNotBlockOthers is the tentpole acceptance test: with
+// a deliberately slow sampler, a huge /advance holding session A's mutex
+// must not delay A's /status (lock-free mirrors) nor any request on
+// session B (its own mutex).
+func TestSlowSessionDoesNotBlockOthers(t *testing.T) {
+	srv, ts := newSlowServer(t, Config{Batch: 200})
+	c := NewClient(ts.URL)
+	if _, err := c.CreateSession(SessionSpec{ID: "b", K: 4, Delta: 0.05, Seed: 12}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Occupy the default session with an advance far too large to finish
+	// during the test (cancelled at the end; progress is kept).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	advDone := make(chan struct{})
+	go func() {
+		defer close(advDone)
+		cl := &Client{BaseURL: ts.URL, HTTPClient: &http.Client{Timeout: 10 * time.Minute}}
+		cl.AdvanceContext(ctx, 1<<20)
+	}()
+	// Wait until the slow advance demonstrably holds the default session's
+	// mutex (the /status mirrors only refresh once an advance completes,
+	// so TryLock is the observable signal that it is in flight).
+	def := srv.lookup(DefaultSessionID)
+	deadline := time.Now().Add(5 * time.Second)
+	for def.mu.TryLock() {
+		def.mu.Unlock()
+		if time.Now().After(deadline) {
+			t.Fatal("slow advance never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Everything below must complete while that advance is in flight.
+	b := c.Session("b")
+	start := time.Now()
+	if st := getJSON[Status](t, ts.URL+"/status"); st.Session != DefaultSessionID {
+		t.Fatalf("status mid-advance = %+v", st)
+	}
+	if st, err := b.Advance(100); err != nil || st.NumRR != 100 {
+		t.Fatalf("advance on b mid-advance on default: %+v (%v)", st, err)
+	}
+	if snap, err := b.Snapshot(); err != nil || snap.Session != "b" {
+		t.Fatalf("snapshot on b mid-advance on default: %+v (%v)", snap, err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("session B served in %v while A was busy; not isolated", el)
+	}
+	select {
+	case <-advDone:
+		t.Fatal("the slow advance finished early; the test proved nothing")
+	default:
+	}
+	cancel()
+	<-advDone
+}
+
+// TestPeekSpendsNoDelta is the budget acceptance test: snapshot?peek=1
+// returns the cached snapshot without touching DeltaSpent or the
+// union-budget query counter, so dashboards can poll freely.
+func TestPeekSpendsNoDelta(t *testing.T) {
+	srv, ts := newTestServer(t, 0)
+	c := NewClient(ts.URL)
+	if _, err := c.CreateSession(SessionSpec{ID: "u", K: 5, Delta: 0.05, Seed: 21, Union: true}); err != nil {
+		t.Fatal(err)
+	}
+	u := c.Session("u")
+	if _, err := u.Advance(1000); err != nil {
+		t.Fatal(err)
+	}
+
+	// No snapshot derived yet: peek is 404, never a silent derivation.
+	if _, err := u.PeekSnapshot(); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("peek before first snapshot: %v", err)
+	}
+
+	first, err := u.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.DeltaSpent != 0.05/2 {
+		t.Fatalf("first union-budget snapshot spent %v, want δ/2", first.DeltaSpent)
+	}
+
+	sess := srv.lookup("u")
+	sess.mu.Lock()
+	queriesBefore := sess.online.Queries()
+	sess.mu.Unlock()
+	before := counters(t)
+	for i := 0; i < 5; i++ {
+		p, err := u.PeekSnapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Alpha != first.Alpha || p.DeltaSpent != first.DeltaSpent || len(p.Seeds) != len(first.Seeds) {
+			t.Fatalf("peek %d diverged from the derived snapshot: %+v vs %+v", i, p, first)
+		}
+	}
+	after := counters(t)
+	sess.mu.Lock()
+	queriesAfter := sess.online.Queries()
+	sess.mu.Unlock()
+	if queriesAfter != queriesBefore {
+		t.Fatalf("peek moved the union-budget query counter: %d → %d", queriesBefore, queriesAfter)
+	}
+	if d := after.Counters["core_snapshots_total"] - before.Counters["core_snapshots_total"]; d != 0 {
+		t.Fatalf("peek derived %d snapshots", d)
+	}
+
+	// The next real snapshot continues the δ/2^i schedule exactly where it
+	// left off — peeks spent nothing.
+	second, err := u.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.DeltaSpent != first.DeltaSpent/2 {
+		t.Fatalf("second snapshot spent %v, want %v (peeks must not advance the schedule)",
+			second.DeltaSpent, first.DeltaSpent/2)
+	}
+}
+
+// TestEvictionReloadContinuesSampleStream is the persistence acceptance
+// test: a session evicted under MaxLoadedSessions and transparently
+// reloaded must continue the exact sample stream — its snapshot and its
+// serialized state are byte-identical to a never-evicted run.
+func TestEvictionReloadContinuesSampleStream(t *testing.T) {
+	sampler := robustSampler(t)
+	srv, ts := newCkServer(t, sampler, Config{Batch: 500, CheckpointDir: t.TempDir(), MaxLoadedSessions: 1})
+	c := NewClient(ts.URL)
+
+	spec := SessionSpec{ID: "evictee", K: 4, Delta: 0.05, Seed: 77, Union: true}
+	if _, err := c.CreateSession(spec); err != nil {
+		t.Fatal(err)
+	}
+	evictee := c.Session("evictee")
+	if _, err := evictee.Advance(600); err != nil {
+		t.Fatal(err)
+	}
+	// Touching the default session makes evictee the LRU resident; the
+	// reload of default pushes the table over MaxLoadedSessions=1 and
+	// evicts evictee (checkpoint-then-unload).
+	if _, err := c.Advance(400); err != nil {
+		t.Fatal(err)
+	}
+	sess := srv.lookup("evictee")
+	if got := sessionState(sess.state.Load()); got != stateUnloaded {
+		t.Fatalf("evictee state = %d, want unloaded — eviction never happened", got)
+	}
+	if st, err := evictee.Status(); err != nil || st.Loaded || st.NumRR != 600 {
+		t.Fatalf("unloaded status = %+v (%v)", st, err)
+	}
+
+	// The next touch transparently reloads and resumes the stream.
+	if _, err := evictee.Advance(400); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := evictee.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: the same session never paused.
+	ref, err := core.NewOnline(sampler, core.Options{
+		K: 4, Delta: 0.05, Variant: core.Plus, Seed: 77, UnionBudget: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Advance(1000)
+	want := ref.Snapshot()
+	if snap.Alpha != want.Alpha || snap.SigmaLower != want.SigmaLower ||
+		snap.SigmaUpper != want.SigmaUpper || snap.DeltaSpent != want.DeltaSpent {
+		t.Fatalf("evicted+reloaded session diverged: %+v vs %v", snap, want)
+	}
+	for i := range want.Seeds {
+		if snap.Seeds[i] != want.Seeds[i] {
+			t.Fatalf("seed %d differs after eviction round trip", i)
+		}
+	}
+	var a, b bytes.Buffer
+	sess.mu.Lock()
+	err = core.SaveSession(&a, sess.online)
+	sess.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.SaveSession(&b, ref); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("evicted+reloaded session state is not byte-identical to the uninterrupted run")
+	}
+}
+
+// TestAdoptCheckpointDirResume is the multi-session kill-resume test: a
+// server torn down without graceful shutdown (the checkpoints on disk are
+// all that survives) comes back with every session adopted — including a
+// BaseSeeds+Exact session, which only round-trips under OPIMS2 — and each
+// continues its exact sample stream.
+func TestAdoptCheckpointDirResume(t *testing.T) {
+	sampler := robustSampler(t)
+	dir := t.TempDir()
+	cfg := Config{Batch: 500, CheckpointDir: dir}
+
+	srv1 := New(robustSession(t, sampler), cfg)
+	ts1 := httptest.NewServer(srv1.Handler())
+	c1 := NewClient(ts1.URL)
+	augSpec := SessionSpec{
+		ID: "aug", K: 3, Delta: 0.05, Seed: 31,
+		Union: true, Exact: true, BaseSeeds: []int32{1, 2, 3},
+	}
+	if _, err := c1.CreateSession(augSpec); err != nil {
+		t.Fatal(err)
+	}
+	aug1 := c1.Session("aug")
+	if _, err := aug1.Advance(700); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Advance(500); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := aug1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulated SIGKILL: no Stop, no Shutdown — just abandon the server.
+	ts1.Close()
+
+	// Restart: resume the default from its checkpoint (as opimd does),
+	// adopt the rest of the directory.
+	def, _, err := LoadCheckpoint(dir+"/default.ck", sampler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := New(def, cfg)
+	adopted, err := srv2.AdoptCheckpointDir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adopted) != 1 || adopted[0] != "aug" {
+		t.Fatalf("adopted = %v, want [aug]", adopted)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	t.Cleanup(func() { srv2.Stop(); ts2.Close() })
+	c2 := NewClient(ts2.URL)
+
+	if st, err := c2.Status(); err != nil || st.NumRR != 500 {
+		t.Fatalf("default after resume: %+v (%v)", st, err)
+	}
+	aug2 := c2.Session("aug")
+	if _, err := aug2.Advance(300); err != nil {
+		t.Fatal(err)
+	}
+	// OPIMS2 carried BaseSeeds and Exact through the kill.
+	info := getJSON[SessionInfo](t, ts2.URL+"/sessions/aug")
+	if !info.Exact || len(info.BaseSeeds) != 3 {
+		t.Fatalf("aug lost OPIMS2 fields through kill-resume: %+v", info)
+	}
+	snap, err := aug2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref, err := core.NewOnline(sampler, core.Options{
+		K: 3, Delta: 0.05, Variant: core.Plus, Seed: 31,
+		UnionBudget: true, Exact: true, BaseSeeds: []int32{1, 2, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Advance(1000)
+	want := ref.Snapshot()
+	if snap.Alpha != want.Alpha || snap.SigmaLower != want.SigmaLower ||
+		snap.SigmaUpper != want.SigmaUpper || snap.DeltaSpent != want.DeltaSpent {
+		t.Fatalf("resumed aug session diverged: %+v vs %v", snap, want)
+	}
+	var a, b bytes.Buffer
+	sess := srv2.lookup("aug")
+	sess.mu.Lock()
+	err = core.SaveSession(&a, sess.online)
+	sess.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.SaveSession(&b, ref); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("resumed aug session state is not byte-identical to the uninterrupted run")
+	}
+}
+
+// TestMultiSessionStressWithEviction hammers N sessions concurrently
+// under -race while MaxLoadedSessions forces constant eviction/reload
+// churn, plus create/delete churn on the side. 409s (requests racing an
+// eviction) are the documented outcome and tolerated; anything else
+// fails. Afterwards every session must still be servable.
+func TestMultiSessionStressWithEviction(t *testing.T) {
+	sampler := robustSampler(t)
+	_, ts := newCkServer(t, sampler, Config{Batch: 300, CheckpointDir: t.TempDir(), MaxLoadedSessions: 2})
+	c := NewClient(ts.URL)
+
+	const sessions = 4
+	ids := make([]string, sessions)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("s%d", i)
+		if _, err := c.CreateSession(SessionSpec{ID: ids[i], K: 3, Delta: 0.1, Seed: uint64(100 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions+1)
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			cl := c.Session(id)
+			cl.RetryBase = 2 * time.Millisecond
+			cl.RetrySeed = 1
+			for j := 0; j < 12; j++ {
+				var err error
+				switch j % 4 {
+				case 0:
+					_, err = cl.Advance(150)
+				case 1:
+					_, err = cl.Status()
+				case 2:
+					_, err = cl.Snapshot()
+				case 3:
+					if _, perr := cl.PeekSnapshot(); perr != nil &&
+						!strings.Contains(perr.Error(), "404") && !isConflict(perr) {
+						err = perr
+					}
+				}
+				if err != nil && !isConflict(err) {
+					errs <- fmt.Errorf("session %s op %d: %w", id, j, err)
+					return
+				}
+			}
+		}(id)
+	}
+	// Create/delete churn against the same table.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 6; j++ {
+			id := fmt.Sprintf("tmp%d", j)
+			if _, err := c.CreateSession(SessionSpec{ID: id, K: 2, Delta: 0.1, Seed: uint64(j)}); err != nil {
+				errs <- fmt.Errorf("create %s: %w", id, err)
+				return
+			}
+			// DELETE is never auto-retried by the client; a 409 here just
+			// means the session is mid-eviction, so retry by hand.
+			var derr error
+			for try := 0; try < 200; try++ {
+				if derr = c.DeleteSession(id); derr == nil || !isConflict(derr) {
+					break
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			if derr != nil {
+				errs <- fmt.Errorf("delete %s: %w", id, derr)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Quiesced: every session still answers, with its own RR count.
+	list, err := c.ListSessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != sessions+1 {
+		t.Fatalf("list after stress = %+v", list)
+	}
+	for _, id := range ids {
+		cl := c.Session(id)
+		cl.RetryBase = 2 * time.Millisecond
+		var st Status
+		var err error
+		for try := 0; try < 200; try++ {
+			if st, err = cl.Advance(100); err == nil || !isConflict(err) {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		if err != nil {
+			t.Fatalf("session %s not servable after stress: %v", id, err)
+		}
+		if st.NumRR < 100 {
+			t.Fatalf("session %s barely advanced: %+v", id, st)
+		}
+	}
+}
