@@ -52,6 +52,16 @@ func (s *Server) SaveCheckpoint() (int64, error) {
 	return s.saveSessionCheckpoint(sess)
 }
 
+// engineFP fingerprints an engine's mutable state: NumRR moves on every
+// Advance and Queries on every Snapshot, so fingerprint equality means
+// "no mutation since the checkpoint bytes were captured". Eviction's
+// serialize-then-verify protocol (evictSession) relies on this to detect
+// a request that slipped in between serialization and unload.
+type engineFP struct {
+	numRR   int64
+	queries int
+}
+
 // saveSessionCheckpoint atomically writes one session to its ckPath. The
 // session is serialized to memory under its own mutex (sampling of that
 // session pauses only for the in-memory copy, not for disk I/O; other
@@ -60,9 +70,19 @@ func (s *Server) SaveCheckpoint() (int64, error) {
 // counted (server_checkpoint_failures_total) and reported to the event
 // sink.
 func (s *Server) saveSessionCheckpoint(sess *Session) (int64, error) {
+	n, _, err := s.saveSessionCheckpointFP(sess)
+	return n, err
+}
+
+// saveSessionCheckpointFP is saveSessionCheckpoint plus the engine
+// fingerprint captured under sess.mu together with the serialized bytes —
+// the fingerprint therefore describes exactly the state that went to
+// disk.
+func (s *Server) saveSessionCheckpointFP(sess *Session) (int64, engineFP, error) {
+	var fp engineFP
 	path := sess.ckPath
 	if path == "" {
-		return 0, fmt.Errorf("server: session %q has no checkpoint path", sess.ID)
+		return 0, fp, fmt.Errorf("server: session %q has no checkpoint path", sess.ID)
 	}
 	s.saveMu.Lock()
 	defer s.saveMu.Unlock()
@@ -75,6 +95,7 @@ func (s *Server) saveSessionCheckpoint(sess *Session) (int64, error) {
 		err = fmt.Errorf("server: session %q is not loaded", sess.ID)
 	} else {
 		err = core.SaveSession(&buf, sess.online)
+		fp = engineFP{numRR: sess.online.NumRR(), queries: sess.online.Queries()}
 	}
 	sess.mu.Unlock()
 
@@ -97,11 +118,11 @@ func (s *Server) saveSessionCheckpoint(sess *Session) (int64, error) {
 			"path":    path,
 			"error":   err.Error(),
 		})
-		return n, fmt.Errorf("server: checkpoint %s: %w", path, err)
+		return n, fp, fmt.Errorf("server: checkpoint %s: %w", path, err)
 	}
 	mCkWrites.Inc()
 	mCkBytes.Add(n)
-	return n, nil
+	return n, fp, nil
 }
 
 // StartCheckpointer launches the periodic checkpoint goroutine at

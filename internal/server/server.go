@@ -475,11 +475,33 @@ func (s *Server) handleStart(w http.ResponseWriter, r *http.Request, sess *Sessi
 		return
 	}
 	s.touch(sess)
-	if status, msg := s.ensureLoaded(sess); status != 0 {
-		replyError(w, status, msg)
-		return
+	// running must flip to true while the session is verifiably loaded,
+	// under sess.mu — set after a bare ensureLoaded, an eviction could pick
+	// the still-idle session in between and unload it, leaving running=true
+	// on stateUnloaded: /status would report Running while nextRunning
+	// skips it, so background sampling silently never happens. Under
+	// sess.mu the flip either precedes the victim pick (running sessions
+	// are never picked) or an in-flight eviction sees running=true at its
+	// verify step and aborts; if the session was instead evicted in the
+	// gap, retry the reload.
+	for attempt := 0; ; attempt++ {
+		if status, msg := s.ensureLoaded(sess); status != 0 {
+			replyError(w, status, msg)
+			return
+		}
+		sess.mu.Lock()
+		if sess.online != nil && sessionState(sess.state.Load()) == stateLoaded {
+			sess.running.Store(true)
+			sess.mu.Unlock()
+			break
+		}
+		sess.mu.Unlock()
+		if attempt >= 2 {
+			mSessionConflicts.Inc()
+			replyError(w, http.StatusConflict, fmt.Sprintf("session %q was evicted mid-request; retry shortly", sess.ID))
+			return
+		}
 	}
-	sess.running.Store(true)
 	s.startLoop()
 	writeJSON(w, s.sessionStatus(sess))
 }

@@ -326,6 +326,15 @@ func (s *Server) ensureLoaded(sess *Session) (int, string) {
 	case stateUnloaded:
 		sess.mu.Lock()
 		if sessionState(sess.state.Load()) == stateUnloaded {
+			// A handler can hold a *Session that a concurrent DELETE already
+			// unregistered; reloading it would increment the loaded counter
+			// for a session no eviction can ever find again. (Taking smu via
+			// lookup inside sess.mu is safe: nothing locks in the opposite
+			// order.)
+			if s.lookup(sess.ID) != sess {
+				sess.mu.Unlock()
+				return http.StatusNotFound, fmt.Sprintf("session %q was deleted", sess.ID)
+			}
 			online, _, err := LoadCheckpoint(sess.ckPath, s.sampler)
 			if err != nil {
 				sess.mu.Unlock()
@@ -347,21 +356,32 @@ func (s *Server) ensureLoaded(sess *Session) (int, string) {
 // maybeEvict enforces MaxLoadedSessions: while too many sessions are
 // resident it checkpoints-then-unloads the least-recently-used idle one
 // (never keep, never a running or checkpoint-less session). Eviction work
-// happens outside every lock except the victim's own.
+// happens outside every lock except the victim's own. A victim whose
+// eviction fails or aborts (checkpoint write error, request race) is
+// skipped for the rest of this pass instead of re-picked — a full or
+// read-only checkpoint dir must not turn the triggering request into a
+// busy loop that re-serializes the same session forever; capacity is
+// simply re-enforced on the next create or reload.
 func (s *Server) maybeEvict(keep *Session) {
 	if s.cfg.MaxLoadedSessions <= 0 {
 		return
 	}
+	var skip map[*Session]bool
 	for {
-		victim := s.pickEvictionVictim(keep)
+		victim := s.pickEvictionVictim(keep, skip)
 		if victim == nil {
 			return
 		}
-		s.evictSession(victim)
+		if !s.evictSession(victim) {
+			if skip == nil {
+				skip = make(map[*Session]bool)
+			}
+			skip[victim] = true
+		}
 	}
 }
 
-func (s *Server) pickEvictionVictim(keep *Session) *Session {
+func (s *Server) pickEvictionVictim(keep *Session, skip map[*Session]bool) *Session {
 	s.smu.Lock()
 	defer s.smu.Unlock()
 	if int(s.loaded.Load()) <= s.cfg.MaxLoadedSessions {
@@ -369,7 +389,7 @@ func (s *Server) pickEvictionVictim(keep *Session) *Session {
 	}
 	var victim *Session
 	for _, sess := range s.sessions {
-		if sess == keep || sess.ckPath == "" || sess.running.Load() {
+		if sess == keep || skip[sess] || sess.ckPath == "" || sess.running.Load() {
 			continue
 		}
 		if sessionState(sess.state.Load()) != stateLoaded {
@@ -385,22 +405,60 @@ func (s *Server) pickEvictionVictim(keep *Session) *Session {
 	return victim
 }
 
-// evictSession checkpoints the victim and drops its engine. A failed
-// checkpoint aborts the eviction (the session stays loaded and servable) —
-// unloading without a durable copy would lose the δ accounting.
-func (s *Server) evictSession(sess *Session) {
-	_, err := s.saveSessionCheckpoint(sess)
-	sess.mu.Lock()
-	if err != nil {
-		sess.state.Store(int32(stateLoaded))
+// evictAttempts bounds evictSession's serialize-then-verify retries; a
+// session still mutating after this many checkpoints stays loaded.
+const evictAttempts = 3
+
+// evictSession checkpoints the victim and drops its engine, reporting
+// whether the session was actually unloaded. A failed checkpoint aborts
+// the eviction (the session stays loaded and servable) — unloading
+// without a durable copy would lose the δ accounting.
+//
+// Serialize-then-verify: a handler that passed ensureLoaded before the
+// victim was marked stateEvicting can still acquire sess.mu after the
+// checkpoint bytes were captured and legitimately mutate the engine
+// (200 to the client). Unloading then would discard that mutation — the
+// reload would roll NumRR and the δ/2^i query accounting backward. So
+// after the disk write the engine is re-checked under sess.mu against
+// the fingerprint serialized to disk: if it moved, the checkpoint is
+// retaken; if the session joined background sampling (handleStart racing
+// the victim pick), the eviction aborts — a running session is never
+// evictable.
+func (s *Server) evictSession(sess *Session) bool {
+	for attempt := 0; attempt < evictAttempts; attempt++ {
+		_, fp, err := s.saveSessionCheckpointFP(sess)
+		if err != nil {
+			break
+		}
+		sess.mu.Lock()
+		if sess.online == nil {
+			// Unloaded underneath us: nothing left to evict, and whoever
+			// dropped the engine owned the loaded-counter transition.
+			sess.state.Store(int32(stateUnloaded))
+			sess.mu.Unlock()
+			return true
+		}
+		if sess.running.Load() {
+			sess.mu.Unlock()
+			break
+		}
+		moved := sess.online.NumRR() != fp.numRR || sess.online.Queries() != fp.queries
+		if !moved {
+			sess.online = nil
+			sess.state.Store(int32(stateUnloaded))
+			sess.mu.Unlock()
+			gSessionsLoaded.Set(float64(s.loaded.Add(-1)))
+			mSessionsEvicted.Inc()
+			return true
+		}
 		sess.mu.Unlock()
-		return
+		// The engine moved since serialization; checkpoint again so the
+		// unloaded state matches what is on disk.
 	}
-	sess.online = nil
-	sess.state.Store(int32(stateUnloaded))
+	sess.mu.Lock()
+	sess.state.Store(int32(stateLoaded))
 	sess.mu.Unlock()
-	gSessionsLoaded.Set(float64(s.loaded.Add(-1)))
-	mSessionsEvicted.Inc()
+	return false
 }
 
 // sessionInfo builds the listing entry without taking the session mutex.
@@ -475,13 +533,12 @@ func (s *Server) handleSessionByID(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "cannot delete the default session (the legacy endpoints alias it)", http.StatusBadRequest)
 			return
 		}
-		if sessionState(sess.state.Load()) == stateEvicting {
+		if !s.removeSession(sess) {
 			mSessionConflicts.Inc()
 			w.Header().Set("Retry-After", "1")
 			http.Error(w, fmt.Sprintf("session %q is being evicted; retry shortly", id), http.StatusConflict)
 			return
 		}
-		s.removeSession(sess)
 		writeJSON(w, map[string]string{"deleted": id})
 	default:
 		http.Error(w, "GET or DELETE only", http.StatusMethodNotAllowed)
@@ -490,12 +547,22 @@ func (s *Server) handleSessionByID(w http.ResponseWriter, r *http.Request) {
 
 // removeSession unregisters sess, waits out any in-flight sampler batch,
 // and deletes its checkpoint generations (they belong to the manager's
-// CheckpointDir; a deleted session must not resurrect on restart).
-func (s *Server) removeSession(sess *Session) {
+// CheckpointDir; a deleted session must not resurrect on restart). It
+// returns false — and does nothing — while an eviction is in flight:
+// sessions are marked stateEvicting under smu (pickEvictionVictim), so
+// checking under smu here cannot race the victim pick, and an eviction's
+// own loaded/unloaded transition then never interleaves with the delete's
+// (no double-decrement, no leaked increment when a failed eviction
+// restores stateLoaded on an unregistered session).
+func (s *Server) removeSession(sess *Session) bool {
 	s.smu.Lock()
 	if _, ok := s.sessions[sess.ID]; !ok {
 		s.smu.Unlock()
-		return
+		return true
+	}
+	if sessionState(sess.state.Load()) == stateEvicting {
+		s.smu.Unlock()
+		return false
 	}
 	delete(s.sessions, sess.ID)
 	for i, id := range s.order {
@@ -504,13 +571,15 @@ func (s *Server) removeSession(sess *Session) {
 			break
 		}
 	}
-	wasLoaded := sessionState(sess.state.Load()) == stateLoaded
 	s.smu.Unlock()
 
 	sess.running.Store(false)
 	sess.mu.Lock() // barrier: wait out an in-flight batch or request
 	sess.online = nil
-	if wasLoaded {
+	// The loaded/unloaded state is read under sess.mu (every transition
+	// happens there), so a reload racing this delete is counted exactly
+	// once whichever side wins the lock.
+	if sessionState(sess.state.Load()) == stateLoaded {
 		gSessionsLoaded.Set(float64(s.loaded.Add(-1)))
 	}
 	sess.state.Store(int32(stateUnloaded))
@@ -522,6 +591,7 @@ func (s *Server) removeSession(sess *Session) {
 		os.Remove(sess.ckPath + ".prev")
 	}
 	mSessionsDeleted.Inc()
+	return true
 }
 
 // parseVariant maps the wire names onto core variants ("" = plus, the

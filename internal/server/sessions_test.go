@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"github.com/reprolab/opim/internal/core"
+	"github.com/reprolab/opim/internal/faultinject"
 )
 
 // isConflict matches the client error for a 409 (request racing an
@@ -517,4 +519,198 @@ func TestMultiSessionStressWithEviction(t *testing.T) {
 			t.Fatalf("session %s barely advanced: %+v", id, st)
 		}
 	}
+}
+
+// writerFunc adapts a function to io.Writer for checkpoint-write hooks.
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// assertLoadedConsistent checks the loaded counter against table truth:
+// it must equal the number of registered sessions in stateLoaded, or
+// pickEvictionVictim misjudges capacity forever.
+func assertLoadedConsistent(t *testing.T, srv *Server) {
+	t.Helper()
+	srv.smu.Lock()
+	var want int64
+	for _, sess := range srv.sessions {
+		if sessionState(sess.state.Load()) == stateLoaded {
+			want++
+		}
+	}
+	got := srv.loaded.Load()
+	srv.smu.Unlock()
+	if got != want {
+		t.Fatalf("loaded counter = %d, want %d (sessions actually loaded)", got, want)
+	}
+}
+
+// TestEvictionFailureDoesNotSpin: with an unwritable checkpoint sink,
+// maybeEvict must skip the failed victim and return — not busy-loop
+// re-serializing the same LRU session from the request goroutine forever.
+// Failed victims stay loaded and servable, and capacity is re-enforced
+// once checkpoints write again.
+func TestEvictionFailureDoesNotSpin(t *testing.T) {
+	sampler := robustSampler(t)
+	srv, ts := newCkServer(t, sampler, Config{Batch: 500, CheckpointDir: t.TempDir(), MaxLoadedSessions: 1})
+	c := NewClient(ts.URL)
+
+	// Every checkpoint write fails from here on.
+	srv.ckWrap = func(w io.Writer) io.Writer { return faultinject.TornWriter(w, 64) }
+
+	done := make(chan error, 1)
+	go func() {
+		for _, id := range []string{"a", "b"} {
+			if _, err := c.CreateSession(SessionSpec{ID: id, K: 3, Delta: 0.1, Seed: 7}); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("createSession stuck: maybeEvict is spinning on a failing eviction")
+	}
+
+	// Nothing could be evicted, so everything is still loaded and servable.
+	for _, id := range []string{DefaultSessionID, "a", "b"} {
+		if st, err := c.Session(id).Advance(100); err != nil || !st.Loaded {
+			t.Fatalf("session %s after failed evictions: %+v (%v)", id, st, err)
+		}
+	}
+	assertLoadedConsistent(t, srv)
+
+	// Checkpoints write again: the next create brings residency back down.
+	srv.ckWrap = nil
+	if _, err := c.CreateSession(SessionSpec{ID: "c", K: 3, Delta: 0.1, Seed: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if n := srv.loaded.Load(); n != 1 {
+		t.Fatalf("loaded = %d after recovery, want 1 (MaxLoadedSessions)", n)
+	}
+	assertLoadedConsistent(t, srv)
+}
+
+// TestEvictionVerifyKeepsRacingMutation is the lost-update regression
+// test: a handler that passed ensureLoaded before the victim was marked
+// stateEvicting can mutate the engine after the checkpoint bytes were
+// serialized (its client saw 200). Eviction must detect the movement and
+// re-checkpoint, so the reload resumes from the post-mutation state —
+// never rolling NumRR or the δ accounting backward.
+func TestEvictionVerifyKeepsRacingMutation(t *testing.T) {
+	sampler := robustSampler(t)
+	srv, ts := newCkServer(t, sampler, Config{Batch: 500, CheckpointDir: t.TempDir()})
+	c := NewClient(ts.URL)
+	if _, err := c.CreateSession(SessionSpec{ID: "v", K: 3, Delta: 0.1, Seed: 13}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Session("v").Advance(500); err != nil {
+		t.Fatal(err)
+	}
+	sess := srv.lookup("v")
+	sess.state.Store(int32(stateEvicting)) // as pickEvictionVictim would
+
+	// During the first checkpoint's disk write — after serialization
+	// released sess.mu — a racing request advances the engine, exactly the
+	// window the serialize-then-verify protocol exists for.
+	var once sync.Once
+	srv.ckWrap = func(w io.Writer) io.Writer {
+		return writerFunc(func(p []byte) (int, error) {
+			once.Do(func() {
+				sess.mu.Lock()
+				sess.online.Advance(50)
+				sess.refreshStatsLocked()
+				sess.mu.Unlock()
+			})
+			return w.Write(p)
+		})
+	}
+	if !srv.evictSession(sess) {
+		t.Fatal("eviction aborted; want retry-and-unload after the racing mutation")
+	}
+	srv.ckWrap = nil
+	if got := sessionState(sess.state.Load()); got != stateUnloaded {
+		t.Fatalf("victim state = %d, want unloaded", got)
+	}
+
+	if status, msg := srv.ensureLoaded(sess); status != 0 {
+		t.Fatalf("reload failed: %d %s", status, msg)
+	}
+	sess.mu.Lock()
+	got := sess.online.NumRR()
+	sess.mu.Unlock()
+	if got != 550 {
+		t.Fatalf("reloaded NumRR = %d, want 550 — the racing Advance was lost by eviction", got)
+	}
+	assertLoadedConsistent(t, srv)
+}
+
+// TestEvictionAbortsWhenSessionStartsRunning: /start setting running=true
+// under sess.mu can still interleave with a victim pick that read
+// running=false; the eviction's verify step must then abort and restore
+// the session — a running session unloaded behind /start's back would
+// report Running while the sampler skips it forever.
+func TestEvictionAbortsWhenSessionStartsRunning(t *testing.T) {
+	sampler := robustSampler(t)
+	srv, ts := newCkServer(t, sampler, Config{Batch: 500, CheckpointDir: t.TempDir()})
+	c := NewClient(ts.URL)
+	if _, err := c.CreateSession(SessionSpec{ID: "r", K: 3, Delta: 0.1, Seed: 17}); err != nil {
+		t.Fatal(err)
+	}
+	sess := srv.lookup("r")
+	sess.state.Store(int32(stateEvicting)) // victim picked with running=false...
+	sess.running.Store(true)               // ...then /start slipped in under sess.mu
+
+	if srv.evictSession(sess) {
+		t.Fatal("evicted a running session")
+	}
+	if got := sessionState(sess.state.Load()); got != stateLoaded {
+		t.Fatalf("aborted victim state = %d, want loaded", got)
+	}
+	sess.running.Store(false)
+	if st, err := c.Session("r").Advance(100); err != nil || !st.Loaded {
+		t.Fatalf("session after aborted eviction: %+v (%v)", st, err)
+	}
+	assertLoadedConsistent(t, srv)
+}
+
+// TestDeleteDuringEvictionKeepsCounter: DELETE must refuse (409) while an
+// eviction is in flight rather than race its state transitions — the
+// losing interleaving left the loaded counter permanently overcounting
+// when the eviction's checkpoint write then failed.
+func TestDeleteDuringEvictionKeepsCounter(t *testing.T) {
+	sampler := robustSampler(t)
+	srv, ts := newCkServer(t, sampler, Config{Batch: 500, CheckpointDir: t.TempDir()})
+	c := NewClient(ts.URL)
+	if _, err := c.CreateSession(SessionSpec{ID: "d", K: 3, Delta: 0.1, Seed: 19}); err != nil {
+		t.Fatal(err)
+	}
+	sess := srv.lookup("d")
+	sess.state.Store(int32(stateEvicting))
+
+	if err := c.DeleteSession("d"); !isConflict(err) {
+		t.Fatalf("delete during eviction: %v, want 409", err)
+	}
+
+	// The eviction's checkpoint write fails; the session must come back
+	// loaded with the counter intact, and then delete cleanly.
+	srv.ckWrap = func(w io.Writer) io.Writer { return faultinject.TornWriter(w, 64) }
+	if srv.evictSession(sess) {
+		t.Fatal("eviction succeeded despite failing checkpoint writes")
+	}
+	srv.ckWrap = nil
+	assertLoadedConsistent(t, srv)
+
+	if err := c.DeleteSession("d"); err != nil {
+		t.Fatal(err)
+	}
+	if srv.lookup("d") != nil {
+		t.Fatal("session still registered after delete")
+	}
+	assertLoadedConsistent(t, srv)
 }
