@@ -50,7 +50,10 @@ func main() {
 	var g *opim.Graph
 	var err error
 	if *profile != "" {
-		g, err = opim.GenerateProfile(*profile, int32(*scale), *seed)
+		// Profiles route through GraphSpec so gengraph resolves a profile
+		// name exactly like opimd/opimcli would for the same spec string.
+		spec := cliutil.GraphSpec{Profile: *profile, Scale: *scale, Seed: *seed}
+		g, _, err = spec.Load()
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -107,7 +110,9 @@ func main() {
 	if err != nil {
 		fatalf("writing %s: %v", *out, err)
 	}
-	fmt.Printf("wrote %s (%s)\n", *out, *format)
+	// The fingerprint lets operators check that a graph registered in an
+	// opimd catalog (or named in an OPIMS3 checkpoint) is this exact file.
+	fmt.Printf("wrote %s (%s) fingerprint=%s\n", *out, *format, g.Fingerprint())
 }
 
 // readDegreeFile parses one "outdeg indeg" pair per line ('#' comments and

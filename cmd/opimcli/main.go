@@ -24,12 +24,9 @@ import (
 )
 
 func main() {
+	var spec cliutil.GraphSpec
+	spec.RegisterFlags(flag.CommandLine)
 	var (
-		graphPath = flag.String("graph", "", "edge-list file (text or binary); empty = use -profile")
-		profile   = flag.String("profile", "synth-pokec", "synthetic profile when -graph is empty")
-		scale     = flag.Int("scale", 0, "profile scale divisor (0 = default)")
-		weights   = flag.String("weights", "", "reweight loaded graph: none | wc | uniform:<p> | trivalency")
-		modelName = flag.String("model", "IC", "diffusion model: IC or LT")
 		k         = flag.Int("k", 50, "seed set size")
 		deltaF    = flag.Float64("delta", 0, "failure probability (0 = 1/n)")
 		variantN  = flag.String("variant", "plus", "guarantee variant: vanilla | plus | prime")
@@ -49,11 +46,8 @@ func main() {
 	)
 	flag.Parse()
 
-	g, err := cliutil.LoadGraph(*graphPath, *profile, int32(*scale), *weights, *seed)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	model, err := cliutil.ParseModel(*modelName)
+	spec.Seed = *seed
+	g, model, err := spec.Load()
 	if err != nil {
 		fatalf("%v", err)
 	}

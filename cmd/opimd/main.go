@@ -28,6 +28,21 @@
 // One background sampler round-robins across every running session, and
 // a long request on one session never blocks another. See docs/API.md.
 //
+// Multi-graph serving: the -graph/-profile flags register the "default"
+// graph; further datasets are registered by name in the graph catalog and
+// referenced when creating sessions:
+//
+//	curl -X POST localhost:8080/graphs -d '{"name":"pokec","profile":"synth-pokec","model":"IC"}'
+//	curl localhost:8080/graphs             # list, with fingerprints
+//	curl -X POST localhost:8080/sessions -d '{"id":"bob","graph":"pokec","k":10}'
+//	curl -X DELETE localhost:8080/graphs/pokec   # 409 while sessions use it
+//
+// Sessions on the same (graph, model) share one sampler, and
+// -max-loaded-graphs bounds memory by unloading idle graphs (reloaded
+// from their spec on demand). Checkpoints record the graph's fingerprint
+// (OPIMS3), so a resume against the wrong dataset fails loudly instead of
+// silently corrupting guarantees.
+//
 // Fault tolerance (see docs/ROBUSTNESS.md):
 //
 //   - -checkpoint FILE enables crash-safe checkpointing of the default
@@ -76,12 +91,9 @@ import (
 )
 
 func main() {
+	var spec cliutil.GraphSpec
+	spec.RegisterFlags(flag.CommandLine)
 	var (
-		graphPath  = flag.String("graph", "", "edge-list file (text or binary); empty = use -profile")
-		profile    = flag.String("profile", "synth-pokec", "synthetic profile when -graph is empty")
-		scale      = flag.Int("scale", 0, "profile scale divisor (0 = default)")
-		weights    = flag.String("weights", "", "reweight loaded graph: none | wc | uniform:<p> | trivalency")
-		modelName  = flag.String("model", "IC", "diffusion model: IC or LT")
 		k          = flag.Int("k", 50, "seed set size")
 		deltaF     = flag.Float64("delta", 0, "failure probability (0 = 1/n)")
 		variantN   = flag.String("variant", "plus", "guarantee variant: vanilla | plus | prime")
@@ -96,17 +108,15 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "default-session checkpoint file: enables periodic crash-safe saves and startup auto-resume")
 		ckDir      = flag.String("checkpoint-dir", "", "per-session checkpoint directory (DIR/<id>.ck): enables multi-session persistence, startup adoption and eviction")
 		maxLoaded  = flag.Int("max-loaded-sessions", 0, "max sessions resident in memory; past it idle sessions are checkpointed and unloaded (0 = unlimited, requires -checkpoint-dir)")
+		maxGraphs  = flag.Int("max-loaded-graphs", 0, "max graphs resident in memory; past it idle registered graphs are unloaded and reloaded from their spec on demand (0 = unlimited)")
 		ckInterval = flag.Duration("checkpoint-interval", server.DefaultCheckpointInterval, "periodic checkpoint cadence (requires -checkpoint or -checkpoint-dir)")
 		reqTimeout = flag.Duration("request-timeout", time.Minute, "deadline for /advance processing (0 = none)")
 		maxInfl    = flag.Int("max-inflight", 64, "max concurrent HTTP requests before shedding with 503 (0 = unlimited)")
 	)
 	flag.Parse()
 
-	g, err := cliutil.LoadGraph(*graphPath, *profile, int32(*scale), *weights, *seed)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	model, err := cliutil.ParseModel(*modelName)
+	spec.Seed = *seed
+	g, model, err := spec.Load()
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -150,12 +160,15 @@ func main() {
 	// prevent. The operator must remove the file to start fresh.
 	var session *opim.Online
 	if defaultCk != "" {
-		sess, src, lerr := server.LoadCheckpoint(defaultCk, sampler)
+		sess, src, meta, lerr := server.LoadCheckpointMeta(defaultCk, sampler)
 		switch {
 		case lerr == nil:
 			session = sess
 			session.SetEvents(flushingSinkOrNil(events))
 			fmt.Printf("opimd: resumed session from %s (num_rr=%d); session parameters come from the checkpoint\n", src, session.NumRR())
+			if !meta.Verified() {
+				fmt.Printf("opimd: WARNING: %s is a legacy OPIMS%d checkpoint with no graph fingerprint; cannot verify it matches the configured graph (see docs/ROBUSTNESS.md)\n", src, meta.Format)
+			}
 		case errors.Is(lerr, os.ErrNotExist):
 			// First boot: no checkpoint yet.
 		default:
@@ -180,7 +193,9 @@ func main() {
 		CheckpointPath:     *checkpoint,
 		CheckpointDir:      *ckDir,
 		MaxLoadedSessions:  *maxLoaded,
+		MaxLoadedGraphs:    *maxGraphs,
 		CheckpointInterval: *ckInterval,
+		DefaultGraphSpec:   spec.String(),
 		Events:             flushingSinkOrNil(events),
 	})
 	adopted, err := srv.AdoptCheckpointDir()

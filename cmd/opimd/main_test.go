@@ -253,6 +253,59 @@ func TestOpimdMultiSessionKillResume(t *testing.T) {
 	}
 }
 
+// TestOpimdMultiGraphKillResume: sessions on two different graphs — the
+// flag-registered default and a catalog graph registered over HTTP — must
+// both survive a SIGKILL. The restarted daemon knows nothing about the
+// second graph; adoption re-registers it from the spec recorded in the
+// OPIMS3 checkpoint, with the same fingerprint.
+func TestOpimdMultiGraphKillResume(t *testing.T) {
+	bin := buildOpimd(t)
+	dir := t.TempDir()
+	const graphSpec = `{"name":"aux","profile":"synth-pokec","scale":25000,"seed":9}`
+
+	a := startDaemon(t, bin, "-checkpoint-dir", dir, "-checkpoint-interval", "1h", "-max-loaded-graphs", "2")
+	ginfo, err := a.reqBody(http.MethodPost, "/graphs", graphSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, _ := ginfo["graph_fingerprint"].(string)
+	if len(fp) != 64 {
+		t.Fatalf("registered graph has no fingerprint: %v", ginfo)
+	}
+	if _, err := a.reqBody(http.MethodPost, "/sessions", `{"id":"amber","k":3,"seed":21,"graph":"aux"}`); err != nil {
+		t.Fatal(err)
+	}
+	a.mustPost(t, "/sessions/amber/advance?count=800")
+	a.mustPost(t, "/advance?count=400")
+	a.mustPost(t, "/sessions/amber/checkpoint")
+	a.mustPost(t, "/checkpoint")
+	a.mustPost(t, "/sessions/amber/advance?count=300") // lost to the crash
+	if err := a.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	a.cmd.Wait()
+
+	b := startDaemon(t, bin, "-checkpoint-dir", dir, "-checkpoint-interval", "1h", "-max-loaded-graphs", "2")
+	if got := numRR(t, b.mustGet(t, "/status")); got != 400 {
+		t.Fatalf("default resumed at num_rr = %d, want 400", got)
+	}
+	st := b.mustGet(t, "/sessions/amber/status")
+	if got := numRR(t, st); got != 800 {
+		t.Fatalf("amber resumed at num_rr = %d, want 800 (the checkpointed state)", got)
+	}
+	if st["graph"] != "aux" || st["graph_fingerprint"] != fp {
+		t.Fatalf("amber resumed on the wrong graph: %v", st)
+	}
+	aux := b.mustGet(t, "/graphs/aux")
+	if aux["graph_fingerprint"] != fp {
+		t.Fatalf("adopted graph fingerprint changed across restart: %v vs %s", aux, fp)
+	}
+	// The resumed session keeps sampling on its own graph.
+	if got := numRR(t, b.mustPost(t, "/sessions/amber/advance?count=200")); got != 1000 {
+		t.Fatalf("amber advance after resume reached %d, want 1000", got)
+	}
+}
+
 // TestOpimdGracefulShutdown: SIGTERM must drain, write a final
 // checkpoint, and exit 0; a restart resumes at the full pre-shutdown
 // state with nothing lost.

@@ -26,28 +26,22 @@ import (
 )
 
 func main() {
+	var spec cliutil.GraphSpec
+	spec.RegisterFlags(flag.CommandLine)
 	var (
-		graphPath = flag.String("graph", "", "edge-list file (text or binary); empty = use -profile")
-		profile   = flag.String("profile", "synth-pokec", "synthetic profile when -graph is empty")
-		scale     = flag.Int("scale", 0, "profile scale divisor")
-		weights   = flag.String("weights", "", "reweight loaded graph: none | wc | uniform:<p> | trivalency")
-		modelName = flag.String("model", "IC", "IC or LT")
-		seedsCSV  = flag.String("seeds", "", "comma-separated node ids to analyze")
-		seedFile  = flag.String("seedfile", "", "file with one node id per line")
-		compare   = flag.Bool("compare", false, "run all algorithms and compare their outputs")
-		k         = flag.Int("k", 20, "seed set size for -compare")
-		eps       = flag.Float64("eps", 0.2, "ε for -compare")
-		mc        = flag.Int("mc", 10000, "Monte-Carlo runs per estimate")
-		seed      = flag.Uint64("seed", 1, "random seed")
-		workers   = flag.Int("workers", 0, "workers (0 = GOMAXPROCS)")
+		seedsCSV = flag.String("seeds", "", "comma-separated node ids to analyze")
+		seedFile = flag.String("seedfile", "", "file with one node id per line")
+		compare  = flag.Bool("compare", false, "run all algorithms and compare their outputs")
+		k        = flag.Int("k", 20, "seed set size for -compare")
+		eps      = flag.Float64("eps", 0.2, "ε for -compare")
+		mc       = flag.Int("mc", 10000, "Monte-Carlo runs per estimate")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		workers  = flag.Int("workers", 0, "workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	g, err := cliutil.LoadGraph(*graphPath, *profile, int32(*scale), *weights, *seed)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	model, err := cliutil.ParseModel(*modelName)
+	spec.Seed = *seed
+	g, model, err := spec.Load()
 	if err != nil {
 		fatalf("%v", err)
 	}

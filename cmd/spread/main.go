@@ -19,25 +19,19 @@ import (
 )
 
 func main() {
+	var spec cliutil.GraphSpec
+	spec.RegisterFlags(flag.CommandLine)
 	var (
-		graphPath = flag.String("graph", "", "edge-list file (text or binary); empty = use -profile")
-		profile   = flag.String("profile", "synth-pokec", "synthetic profile when -graph is empty")
-		scale     = flag.Int("scale", 0, "profile scale divisor")
-		weights   = flag.String("weights", "", "reweight loaded graph: none | wc | uniform:<p> | trivalency")
-		modelName = flag.String("model", "IC", "IC or LT")
-		seedsCSV  = flag.String("seeds", "", "comma-separated node ids")
-		seedFile  = flag.String("seedfile", "", "file with one node id per line")
-		mc        = flag.Int("mc", 10000, "Monte-Carlo runs")
-		seed      = flag.Uint64("seed", 1, "random seed")
-		workers   = flag.Int("workers", 0, "workers (0 = GOMAXPROCS)")
+		seedsCSV = flag.String("seeds", "", "comma-separated node ids")
+		seedFile = flag.String("seedfile", "", "file with one node id per line")
+		mc       = flag.Int("mc", 10000, "Monte-Carlo runs")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		workers  = flag.Int("workers", 0, "workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	g, err := cliutil.LoadGraph(*graphPath, *profile, int32(*scale), *weights, *seed)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	model, err := cliutil.ParseModel(*modelName)
+	spec.Seed = *seed
+	g, model, err := spec.Load()
 	if err != nil {
 		fatalf("%v", err)
 	}

@@ -1,0 +1,93 @@
+package cliutil
+
+import (
+	"flag"
+	"testing"
+
+	"github.com/reprolab/opim/internal/diffusion"
+)
+
+func TestGraphSpecStringParseRoundTrip(t *testing.T) {
+	specs := []GraphSpec{
+		{Profile: "synth-pokec"},
+		{Profile: "synth-twitter", Scale: 100, Seed: 7, Model: "LT"},
+		{Path: "/data/my graph.txt", Weights: "wc", Model: "IC"},
+		{Path: "edges.bin", Weights: "uniform:0.01", Seed: 42},
+		{Path: "a&b=c.txt", Weights: "trivalency"},
+	}
+	for _, want := range specs {
+		str := want.String()
+		got, err := ParseGraphSpec(str)
+		if err != nil {
+			t.Fatalf("ParseGraphSpec(%q): %v", str, err)
+		}
+		// Model is canonicalized to upper case by String.
+		if want.Model != "" && got.Model != want.Model {
+			t.Fatalf("round trip of %q: model %q != %q", str, got.Model, want.Model)
+		}
+		got.Model, want.Model = "", ""
+		if got != want {
+			t.Fatalf("round trip of %q: %+v != %+v", str, got, want)
+		}
+	}
+}
+
+func TestGraphSpecParseRejects(t *testing.T) {
+	for _, bad := range []string{
+		"",                              // neither path nor profile
+		"profile=synth-pokec&nope=1",    // unknown key
+		"profile=x&profile=y",           // repeated key
+		"profile=x&scale=abc",           // bad scale
+		"profile=x&seed=-1",             // bad seed
+		"profile=x&model=bogus",         // bad model
+		"profile=x&weights=bogus",       // bad weights
+		"profile=x&weights=uniform:zzz", // bad uniform p
+	} {
+		if _, err := ParseGraphSpec(bad); err == nil {
+			t.Errorf("ParseGraphSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestGraphSpecLoadMatchesLoadGraph(t *testing.T) {
+	spec := GraphSpec{Profile: "synth-twitter", Scale: 200, Seed: 3, Model: "LT"}
+	g1, model, err := spec.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model != diffusion.LT {
+		t.Fatalf("model = %v, want LT", model)
+	}
+	g2, err := LoadGraph("", "synth-twitter", 200, "", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Fingerprint() != g2.Fingerprint() {
+		t.Fatalf("spec.Load and LoadGraph produced different graphs: %s vs %s",
+			g1.Fingerprint(), g2.Fingerprint())
+	}
+}
+
+func TestGraphSpecRegisterFlags(t *testing.T) {
+	var spec GraphSpec
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	spec.RegisterFlags(fs)
+	if err := fs.Parse([]string{"-graph", "e.txt", "-weights", "wc", "-model", "lt", "-scale", "10"}); err != nil {
+		t.Fatal(err)
+	}
+	want := GraphSpec{Path: "e.txt", Profile: DefaultProfile, Scale: 10, Weights: "wc", Model: "lt"}
+	if spec != want {
+		t.Fatalf("parsed spec %+v, want %+v", spec, want)
+	}
+
+	// Defaults without any flags match the historical command behavior.
+	var def GraphSpec
+	fs2 := flag.NewFlagSet("test", flag.ContinueOnError)
+	def.RegisterFlags(fs2)
+	if err := fs2.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if def.Profile != DefaultProfile || def.Model != "IC" || def.Path != "" {
+		t.Fatalf("default spec %+v", def)
+	}
+}

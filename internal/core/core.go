@@ -164,6 +164,13 @@ type Online struct {
 	queries int
 	start   time.Time    // session epoch, for event elapsed_seconds
 	scratch *snapScratch // persistent selection/coverage buffers, reused per snapshot
+
+	// graphName/graphSpec label which catalog graph this session runs on;
+	// SaveSession records them (with the graph's fingerprint) in OPIMS3 so a
+	// restarted daemon can re-resolve — and verify — the exact instance.
+	// Empty on sessions created outside a catalog (plain library use).
+	graphName string
+	graphSpec string
 }
 
 // NewOnline starts an OPIM session on the sampler's graph.
@@ -187,6 +194,21 @@ func NewOnline(sampler *rrset.Sampler, opts Options) (*Online, error) {
 // SetEvents attaches (or replaces, or with nil detaches) the session's
 // event sink. Needed after LoadSession, which cannot restore one.
 func (o *Online) SetEvents(s obs.Sink) { o.opts.Events = s }
+
+// SetGraphIdentity labels the session with the catalog name and GraphSpec
+// string of the graph it runs on; SaveSession persists both (plus the
+// graph's content fingerprint) so resume/adopt can verify it is handed the
+// same instance. LoadSession restores the labels automatically.
+func (o *Online) SetGraphIdentity(name, spec string) {
+	o.graphName = name
+	o.graphSpec = spec
+}
+
+// GraphIdentity returns the labels set by SetGraphIdentity (or restored by
+// LoadSession); both are empty for sessions never attached to a catalog.
+func (o *Online) GraphIdentity() (name, spec string) {
+	return o.graphName, o.graphSpec
+}
 
 // Sampler returns the sampler this session draws RR sets from. Multiple
 // sessions may share one sampler (it is immutable); this is how a server
@@ -276,10 +298,23 @@ func (o *Online) AdvanceContext(ctx context.Context, count int) (int, error) {
 	return generated, nil
 }
 
-// AdvanceTo grows the session until NumRR() ≥ totalRR.
+// AdvanceTo grows the session until NumRR() ≥ totalRR. The delta is walked
+// in maxAdvanceChunk pieces, so an int64 target neither truncates through
+// int on 32-bit platforms nor turns into one uninterruptible multi-minute
+// Advance. Every chunk except the last is even, so — like AdvanceContext —
+// the R1/R2 split and the resulting sample stream are byte-identical to a
+// single Advance call.
 func (o *Online) AdvanceTo(totalRR int64) {
-	if d := totalRR - o.NumRR(); d > 0 {
-		o.Advance(int(d))
+	for {
+		d := totalRR - o.NumRR()
+		if d <= 0 {
+			return
+		}
+		c := int64(maxAdvanceChunk)
+		if d < c {
+			c = d
+		}
+		o.Advance(int(c))
 	}
 }
 
@@ -344,8 +379,9 @@ func (o *Online) Snapshot() *Snapshot {
 	mSnapshots.Inc()
 	recordSnapshotGauges(snap)
 	obs.Emit(o.opts.Events, "snapshot", snapshotFields(snap, map[string]any{
-		"query":           o.queries,
-		"elapsed_seconds": time.Since(o.start).Seconds(),
+		"query":             o.queries,
+		"elapsed_seconds":   time.Since(o.start).Seconds(),
+		"graph_fingerprint": o.sampler.Graph().Fingerprint(),
 	}))
 	return snap
 }

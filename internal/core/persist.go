@@ -21,21 +21,58 @@ import (
 	"github.com/reprolab/opim/internal/rrset"
 )
 
-// sessionMagic is the current OPIMS2 format: the OPIMS1 header plus the
-// Options.Exact flag and the BaseSeeds set. OPIMS1 files (which predate
-// both fields) are still readable; resuming one yields Exact=false and no
-// base seeds, matching what OPIMS1 could express.
+// sessionMagic is the current OPIMS3 format: the OPIMS2 layout plus a
+// graph-identity block (content fingerprint, GraphSpec string, catalog
+// name) between the base seeds and the RR collections. OPIMS1 files
+// (which predate Exact and BaseSeeds) and OPIMS2 files (which predate the
+// identity block) are still readable, but carry no fingerprint, so loading
+// one cannot verify the graph — callers should surface that as an
+// "unverified graph" warning (the daemon does; see docs/ROBUSTNESS.md).
 const (
-	sessionMagic   = "OPIMS2\n"
+	sessionMagic   = "OPIMS3\n"
+	sessionMagicV2 = "OPIMS2\n"
 	sessionMagicV1 = "OPIMS1\n"
 )
 
 // ErrBadSession reports a malformed serialized session.
 var ErrBadSession = errors.New("core: bad session format")
 
-// SaveSession serializes o. The graph and diffusion model are NOT saved;
+// ErrGraphMismatch reports an OPIMS3 session whose recorded graph
+// fingerprint does not match the sampler's graph — the same dataset
+// reweighted, a different scale, or simply the wrong file. Resuming would
+// silently produce guarantees that hold for nothing, so loading refuses.
+var ErrGraphMismatch = errors.New("core: session graph fingerprint mismatch")
+
+// SessionMeta is the graph-identity header of a serialized session,
+// readable without deserializing the RR collections. LoadSessionResolve
+// hands it to the caller so a multi-graph server can pick (or register)
+// the right sampler before committing to the expensive part of the load.
+type SessionMeta struct {
+	// Format is the container version: 1, 2 (no graph identity) or 3.
+	Format int
+	// N is the node count recorded in the header.
+	N int32
+	// GraphFingerprint is graph.Fingerprint() at save time; empty for
+	// OPIMS1/2 files.
+	GraphFingerprint string
+	// GraphSpec is the cliutil.GraphSpec string the graph was loaded from;
+	// empty for OPIMS1/2 files or sessions without SetGraphIdentity.
+	GraphSpec string
+	// GraphName is the catalog name the session referenced; empty outside
+	// a catalog.
+	GraphName string
+}
+
+// Verified reports whether the file carries a graph fingerprint, i.e.
+// whether LoadSessionResolve can prove the sampler's graph is the one the
+// session was generated on.
+func (m *SessionMeta) Verified() bool { return m.GraphFingerprint != "" }
+
+// SaveSession serializes o in OPIMS3 form, recording the sampler graph's
+// content fingerprint plus the session's SetGraphIdentity labels.
 // LoadSession must be given a sampler equivalent to the original (same
-// graph, same model) — it checks the node count as a cheap guard.
+// graph, same model); the fingerprint makes "same graph" checkable instead
+// of trusted.
 func SaveSession(w io.Writer, o *Online) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(sessionMagic); err != nil {
@@ -73,6 +110,15 @@ func SaveSession(w io.Writer, o *Online) error {
 			return err
 		}
 	}
+	// OPIMS3 extension: the graph-identity block. The fingerprint is always
+	// present (recomputed from the live sampler, so even a session resumed
+	// from a legacy file upgrades on its next save); name and spec are
+	// whatever SetGraphIdentity recorded, possibly empty.
+	for _, s := range []string{o.sampler.Graph().Fingerprint(), o.graphSpec, o.graphName} {
+		if err := writeString16(bw, s); err != nil {
+			return err
+		}
+	}
 	if err := rrset.WriteCollection(bw, o.r1); err != nil {
 		return err
 	}
@@ -84,24 +130,52 @@ func SaveSession(w io.Writer, o *Online) error {
 
 // LoadSession restores a session saved by SaveSession onto sampler, which
 // must be built over the same graph and diffusion model as the original.
-// Both the current OPIMS2 format and the legacy OPIMS1 format load.
+// OPIMS3 files carry the source graph's fingerprint, and a sampler over a
+// different graph is refused with ErrGraphMismatch; legacy OPIMS1/2 files
+// load with only the node-count guard (use LoadSessionResolve to learn
+// whether the graph was actually verified).
 func LoadSession(r io.Reader, sampler *rrset.Sampler) (*Online, error) {
+	o, _, err := LoadSessionResolve(r, func(*SessionMeta) (*rrset.Sampler, error) {
+		return sampler, nil
+	})
+	return o, err
+}
+
+// LoadSessionResolve restores a serialized session, letting the caller
+// choose the sampler after seeing the file's graph identity: resolve
+// receives the SessionMeta (format version, node count, graph fingerprint/
+// spec/name) and returns the sampler to load onto — this is how a
+// multi-graph server routes each checkpoint to its own graph, or registers
+// a missing one from the recorded spec. An error from resolve aborts the
+// load unchanged.
+//
+// After resolution the sampler's graph is checked against the recorded
+// node count (ErrBadSession) and, when the file is OPIMS3, its content
+// fingerprint (ErrGraphMismatch) — a reweighted or re-scaled graph loads
+// as a hard error, never as silently wrong guarantees.
+func LoadSessionResolve(r io.Reader, resolve func(*SessionMeta) (*rrset.Sampler, error)) (*Online, *SessionMeta, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(sessionMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("%w: short magic: %v", ErrBadSession, err)
+		return nil, nil, fmt.Errorf("%w: short magic: %v", ErrBadSession, err)
 	}
-	if string(magic) != sessionMagic && string(magic) != sessionMagicV1 {
-		return nil, fmt.Errorf("%w: magic %q", ErrBadSession, magic)
+	meta := &SessionMeta{}
+	switch string(magic) {
+	case sessionMagic:
+		meta.Format = 3
+	case sessionMagicV2:
+		meta.Format = 2
+	case sessionMagicV1:
+		meta.Format = 1
+	default:
+		return nil, nil, fmt.Errorf("%w: magic %q", ErrBadSession, magic)
 	}
 	var hdr [45]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("%w: short header: %v", ErrBadSession, err)
+		return nil, nil, fmt.Errorf("%w: short header: %v", ErrBadSession, err)
 	}
 	n := int32(binary.LittleEndian.Uint32(hdr[0:4]))
-	if n != sampler.Graph().N() {
-		return nil, fmt.Errorf("%w: session is for n=%d, sampler has n=%d", ErrBadSession, n, sampler.Graph().N())
-	}
+	meta.N = n
 	opts := Options{
 		K:           int(binary.LittleEndian.Uint64(hdr[4:12])),
 		Delta:       math.Float64frombits(binary.LittleEndian.Uint64(hdr[12:20])),
@@ -111,20 +185,20 @@ func LoadSession(r io.Reader, sampler *rrset.Sampler) (*Online, error) {
 		UnionBudget: hdr[36] == 1,
 	}
 	queries := int(binary.LittleEndian.Uint64(hdr[37:45]))
-	if string(magic) == sessionMagic {
+	if meta.Format >= 2 {
 		var ext [5]byte
 		if _, err := io.ReadFull(br, ext[:]); err != nil {
-			return nil, fmt.Errorf("%w: short OPIMS2 extension: %v", ErrBadSession, err)
+			return nil, nil, fmt.Errorf("%w: short OPIMS2 extension: %v", ErrBadSession, err)
 		}
 		opts.Exact = ext[0] == 1
 		nBase := binary.LittleEndian.Uint32(ext[1:5])
 		if int64(nBase) > int64(n) {
-			return nil, fmt.Errorf("%w: %d base seeds on a graph of n=%d", ErrBadSession, nBase, n)
+			return nil, nil, fmt.Errorf("%w: %d base seeds on a graph of n=%d", ErrBadSession, nBase, n)
 		}
 		if nBase > 0 {
 			raw := make([]byte, 4*nBase)
 			if _, err := io.ReadFull(br, raw); err != nil {
-				return nil, fmt.Errorf("%w: short base-seed block: %v", ErrBadSession, err)
+				return nil, nil, fmt.Errorf("%w: short base-seed block: %v", ErrBadSession, err)
 			}
 			opts.BaseSeeds = make([]int32, nBase)
 			for i := range opts.BaseSeeds {
@@ -132,32 +206,93 @@ func LoadSession(r io.Reader, sampler *rrset.Sampler) (*Online, error) {
 			}
 		}
 	}
+	if meta.Format >= 3 {
+		var err error
+		if meta.GraphFingerprint, err = readString16(br, "graph fingerprint"); err != nil {
+			return nil, nil, err
+		}
+		if meta.GraphSpec, err = readString16(br, "graph spec"); err != nil {
+			return nil, nil, err
+		}
+		if meta.GraphName, err = readString16(br, "graph name"); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	sampler, err := resolve(meta)
+	if err != nil {
+		return nil, meta, err
+	}
+	if got := sampler.Graph().N(); got != n {
+		return nil, meta, fmt.Errorf("%w: session is for n=%d, sampler has n=%d", ErrBadSession, n, got)
+	}
+	if meta.Verified() {
+		if got := sampler.Graph().Fingerprint(); got != meta.GraphFingerprint {
+			return nil, meta, fmt.Errorf("%w: session was saved on graph %s, sampler has %s",
+				ErrGraphMismatch, meta.GraphFingerprint, got)
+		}
+	}
 	if err := opts.validate(n); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadSession, err)
+		return nil, meta, fmt.Errorf("%w: %v", ErrBadSession, err)
 	}
 
 	r1, err := rrset.ReadCollection(br)
 	if err != nil {
-		return nil, err
+		return nil, meta, err
 	}
 	r2, err := rrset.ReadCollection(br)
 	if err != nil {
-		return nil, err
+		return nil, meta, err
 	}
 	if r1.N() != n || r2.N() != n {
-		return nil, fmt.Errorf("%w: collections sized for a different graph", ErrBadSession)
+		return nil, meta, fmt.Errorf("%w: collections sized for a different graph", ErrBadSession)
 	}
 
 	root := rng.New(opts.Seed)
 	return &Online{
-		sampler: sampler,
-		opts:    opts,
-		r1:      r1,
-		r2:      r2,
-		base1:   root.Split(1),
-		base2:   root.Split(2),
-		queries: queries,
-		start:   time.Now(),
-		scratch: newSnapScratch(),
-	}, nil
+		sampler:   sampler,
+		opts:      opts,
+		r1:        r1,
+		r2:        r2,
+		base1:     root.Split(1),
+		base2:     root.Split(2),
+		queries:   queries,
+		start:     time.Now(),
+		scratch:   newSnapScratch(),
+		graphName: meta.GraphName,
+		graphSpec: meta.GraphSpec,
+	}, meta, nil
+}
+
+// writeString16 writes a uint16-length-prefixed string (the graph-identity
+// block's encoding; 64KB is far beyond any fingerprint, spec or name).
+func writeString16(w io.Writer, s string) error {
+	if len(s) > math.MaxUint16 {
+		return fmt.Errorf("core: identity string of %d bytes exceeds format limit", len(s))
+	}
+	var lb [2]byte
+	binary.LittleEndian.PutUint16(lb[:], uint16(len(s)))
+	if _, err := w.Write(lb[:]); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+// readString16 reads a uint16-length-prefixed string, labeling errors with
+// what the string was supposed to be.
+func readString16(r io.Reader, what string) (string, error) {
+	var lb [2]byte
+	if _, err := io.ReadFull(r, lb[:]); err != nil {
+		return "", fmt.Errorf("%w: short %s length: %v", ErrBadSession, what, err)
+	}
+	n := binary.LittleEndian.Uint16(lb[:])
+	if n == 0 {
+		return "", nil
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("%w: short %s: %v", ErrBadSession, what, err)
+	}
+	return string(buf), nil
 }

@@ -1,0 +1,218 @@
+package core
+
+// OPIMS3 coverage: the graph-identity block must round-trip, legacy
+// formats must load as "unverified", and a checkpoint forged against a
+// reweighted graph — same node count, different probabilities — must be
+// refused with ErrGraphMismatch instead of resuming into garbage
+// guarantees.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/rrset"
+)
+
+func TestSaveSessionRoundTripsGraphIdentity(t *testing.T) {
+	g := testGraph(t, 300, 61)
+	s := rrset.NewSampler(g, diffusion.IC)
+	o, err := NewOnline(s, Options{K: 4, Delta: 0.1, Seed: 62})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.SetGraphIdentity("campaigns", "model=IC&profile=synth-pokec&seed=62")
+	o.Advance(400)
+
+	var buf bytes.Buffer
+	if err := SaveSession(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	restored, meta, err := LoadSessionResolve(&buf, func(m *SessionMeta) (*rrset.Sampler, error) {
+		if m.GraphName != "campaigns" {
+			t.Fatalf("resolver saw graph name %q", m.GraphName)
+		}
+		return s, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Format != 3 || !meta.Verified() {
+		t.Fatalf("meta = %+v, want verified format 3", meta)
+	}
+	if meta.GraphFingerprint != g.Fingerprint() {
+		t.Fatalf("fingerprint %s round-tripped as %s", g.Fingerprint(), meta.GraphFingerprint)
+	}
+	name, spec := restored.GraphIdentity()
+	if name != "campaigns" || spec != "model=IC&profile=synth-pokec&seed=62" {
+		t.Fatalf("identity lost: name=%q spec=%q", name, spec)
+	}
+}
+
+func TestLoadSessionRejectsReweightedGraph(t *testing.T) {
+	g := testGraph(t, 300, 63)
+	s := rrset.NewSampler(g, diffusion.IC)
+	o, err := NewOnline(s, Options{K: 4, Delta: 0.1, Seed: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Advance(300)
+	var buf bytes.Buffer
+	if err := SaveSession(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same dataset, same n — but uniform-reweighted. Before OPIMS3 this
+	// loaded silently; now it must be a loud, typed refusal.
+	forged, err := graph.Reweight(g, graph.Uniform, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := rrset.NewSampler(forged, diffusion.IC)
+	_, err = LoadSession(bytes.NewReader(buf.Bytes()), wrong)
+	if !errors.Is(err, ErrGraphMismatch) {
+		t.Fatalf("reweighted-graph load error = %v, want ErrGraphMismatch", err)
+	}
+	// The right graph still loads.
+	if _, err := LoadSession(bytes.NewReader(buf.Bytes()), s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// saveSessionV2 writes the legacy OPIMS2 format byte-for-byte — the
+// fixture proving pre-OPIMS3 checkpoints still load, flagged unverified.
+func saveSessionV2(t *testing.T, o *Online) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString("OPIMS2\n")
+	var hdr [45]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(o.sampler.Graph().N()))
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(o.opts.K))
+	binary.LittleEndian.PutUint64(hdr[12:20], math.Float64bits(o.opts.Delta))
+	binary.LittleEndian.PutUint32(hdr[20:24], uint32(o.opts.Variant))
+	binary.LittleEndian.PutUint64(hdr[24:32], o.opts.Seed)
+	binary.LittleEndian.PutUint32(hdr[32:36], uint32(o.opts.Workers))
+	if o.opts.UnionBudget {
+		hdr[36] = 1
+	}
+	binary.LittleEndian.PutUint64(hdr[37:45], uint64(o.queries))
+	buf.Write(hdr[:])
+	var ext [5]byte
+	if o.opts.Exact {
+		ext[0] = 1
+	}
+	binary.LittleEndian.PutUint32(ext[1:5], uint32(len(o.opts.BaseSeeds)))
+	buf.Write(ext[:])
+	for _, v := range o.opts.BaseSeeds {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(v))
+		buf.Write(b[:])
+	}
+	if err := rrset.WriteCollection(&buf, o.r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rrset.WriteCollection(&buf, o.r2); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestLoadSessionReadsOPIMS2Unverified(t *testing.T) {
+	g := testGraph(t, 300, 65)
+	s := rrset.NewSampler(g, diffusion.IC)
+	o, err := NewOnline(s, Options{K: 5, Delta: 0.05, Seed: 66, Exact: true, BaseSeeds: []int32{2, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Advance(600)
+
+	restored, meta, err := LoadSessionResolve(bytes.NewReader(saveSessionV2(t, o)),
+		func(m *SessionMeta) (*rrset.Sampler, error) { return s, nil })
+	if err != nil {
+		t.Fatalf("OPIMS2 no longer loads: %v", err)
+	}
+	if meta.Format != 2 || meta.Verified() {
+		t.Fatalf("meta = %+v, want unverified format 2", meta)
+	}
+	got := restored.Options()
+	if !got.Exact || len(got.BaseSeeds) != 2 {
+		t.Fatalf("OPIMS2 fields lost: %+v", got)
+	}
+
+	// After one save the legacy session upgrades to OPIMS3 with a real
+	// fingerprint.
+	var buf bytes.Buffer
+	if err := SaveSession(&buf, restored); err != nil {
+		t.Fatal(err)
+	}
+	_, meta2, err := LoadSessionResolve(&buf, func(m *SessionMeta) (*rrset.Sampler, error) { return s, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta2.Format != 3 || meta2.GraphFingerprint != g.Fingerprint() {
+		t.Fatalf("resave did not upgrade: %+v", meta2)
+	}
+}
+
+func TestLoadSessionResolveError(t *testing.T) {
+	g := testGraph(t, 200, 67)
+	s := rrset.NewSampler(g, diffusion.IC)
+	o, err := NewOnline(s, Options{K: 3, Delta: 0.1, Seed: 68})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Advance(100)
+	var buf bytes.Buffer
+	if err := SaveSession(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("no such graph")
+	_, meta, err := LoadSessionResolve(&buf, func(m *SessionMeta) (*rrset.Sampler, error) {
+		return nil, sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("resolver error = %v", err)
+	}
+	if meta == nil || meta.Format != 3 {
+		t.Fatalf("resolver failure should still return the meta, got %+v", meta)
+	}
+}
+
+// TestAdvanceToChunked: AdvanceTo must produce the exact sample stream of
+// one Advance call even when the delta spans multiple maxAdvanceChunk
+// chunks (the int64-truncation fix).
+func TestAdvanceToChunked(t *testing.T) {
+	g := testGraph(t, 200, 69)
+	s := rrset.NewSampler(g, diffusion.IC)
+	const target = maxAdvanceChunk + 12345 // forces one full chunk + odd remainder
+
+	a, err := NewOnline(s, Options{K: 3, Delta: 0.1, Seed: 70})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Advance(target)
+
+	b, err := NewOnline(s, Options{K: 3, Delta: 0.1, Seed: 70})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.AdvanceTo(target)
+
+	if b.NumRR() != int64(target) || b.NumRR() != a.NumRR() {
+		t.Fatalf("AdvanceTo reached %d, want %d", b.NumRR(), target)
+	}
+	var wantBuf, gotBuf bytes.Buffer
+	if err := SaveSession(&wantBuf, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveSession(&gotBuf, b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantBuf.Bytes(), gotBuf.Bytes()) {
+		t.Fatal("chunked AdvanceTo diverged from a single Advance call")
+	}
+}

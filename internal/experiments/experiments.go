@@ -16,6 +16,7 @@ import (
 	"github.com/reprolab/opim/internal/asciichart"
 	"github.com/reprolab/opim/internal/borgs"
 	"github.com/reprolab/opim/internal/bound"
+	"github.com/reprolab/opim/internal/cliutil"
 	"github.com/reprolab/opim/internal/core"
 	"github.com/reprolab/opim/internal/diffusion"
 	"github.com/reprolab/opim/internal/gen"
@@ -85,13 +86,13 @@ func Default() Config {
 // delta is the paper's default failure probability δ = 1/n.
 func delta(n int32) float64 { return 1 / float64(n) }
 
-// loadProfile generates one synthetic dataset.
+// loadProfile generates one synthetic dataset, resolved through
+// cliutil.GraphSpec so every experiment names its dataset exactly the way
+// opimd/opimcli would (same spec string → same fingerprint).
 func (c Config) loadProfile(name string) (*graph.Graph, error) {
-	p, err := gen.ProfileByName(name)
-	if err != nil {
-		return nil, err
-	}
-	return p.Generate(c.Scale, c.Seed)
+	spec := cliutil.GraphSpec{Profile: name, Scale: int(c.Scale), Seed: c.Seed}
+	g, _, err := spec.Load()
+	return g, err
 }
 
 // OnlineSeries is the measured α of one algorithm at each checkpoint.

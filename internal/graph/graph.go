@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // NodeID identifies a node; ids are dense in [0, N).
@@ -47,6 +48,9 @@ type Graph struct {
 	// inPSum[v] = Σ_{u∈in(v)} p(u,v), precomputed for the LT reverse walk's
 	// stopping probability 1 − Σp.
 	inPSum []float32
+
+	// fp caches Fingerprint's content hash (nil until first computed).
+	fp atomic.Pointer[string]
 }
 
 // N returns the number of nodes.

@@ -1,0 +1,426 @@
+package server
+
+// Graph catalog: graphs are first-class, named, content-addressed
+// resources. Each catalog entry pins one (graph, diffusion model) pair
+// behind one shared rrset.Sampler, so N sessions on the same dataset share
+// a single alias-table build and RR generation structure. Entries are
+// reference-counted two ways: `sessions` counts every registered session
+// naming the graph (DELETE /graphs/{name} answers 409 while it is
+// non-zero), and `loadedRefs` counts sessions currently resident in
+// memory — only a graph with zero loadedRefs may be unloaded. With
+// Config.MaxLoadedGraphs set, idle graphs are LRU-unloaded (mirroring PR
+// 4's session eviction, but without a disk write: a graph reloads from its
+// GraphSpec) and transparently reloaded on the next session touch, with
+// the reloaded content verified against the entry's recorded fingerprint
+// so a dataset edited on disk surfaces as a loud error, never as silently
+// different guarantees.
+//
+// Lock order: sess.mu → entry.mu → gmu (the catalog table lock). gmu is
+// never held across a graph load or any entry.mu acquisition.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/reprolab/opim/internal/cliutil"
+	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/obs"
+	"github.com/reprolab/opim/internal/rrset"
+)
+
+// DefaultGraphName names the graph registered from opimd's startup flags;
+// sessions that do not name a graph run on it.
+const DefaultGraphName = "default"
+
+// Graph-catalog metrics (obs.Default(), see docs/OBSERVABILITY.md).
+var (
+	gGraphsLoaded    = obs.Default().Gauge("server_graphs_loaded")
+	mGraphLoadTime   = obs.Default().Timer("server_graph_load_seconds")
+	mGraphUnloadTime = obs.Default().Timer("server_graph_unload_seconds")
+)
+
+// graphEntry is one catalog slot. The identity fields (name, spec,
+// specString, fingerprint, n, m) are immutable after the entry is
+// published, so they are readable without any lock; only the residency
+// fields (g, sampler) transition, under mu.
+type graphEntry struct {
+	name       string
+	spec       cliutil.GraphSpec
+	specString string // "" = not reloadable (graph handed to New without a spec)
+
+	// fingerprint is the graph's content hash, recorded at first load and
+	// sticky across unload: a reload whose recomputed fingerprint differs
+	// (the file changed on disk) is refused.
+	fingerprint string
+	n           int32
+	m           int64
+
+	// mu guards the residency transition (g/sampler nil ↔ non-nil) and
+	// makes loadedRefs increments atomic with the load, so an unload
+	// checking loadedRefs==0 under mu can never race a session acquiring
+	// the sampler.
+	mu      sync.Mutex
+	g       *graph.Graph   // nil while unloaded
+	sampler *rrset.Sampler // nil while unloaded
+
+	isLoaded atomic.Bool // mirror of sampler != nil, for lock-free listing
+
+	// sessions counts registered sessions naming this graph (loaded or
+	// not); DELETE is refused while non-zero.
+	sessions atomic.Int64
+	// loadedRefs counts resident sessions using sampler; unload requires 0.
+	loadedRefs atomic.Int64
+
+	// lastTouch orders LRU unload; guarded by the server's gmu.
+	lastTouch int64
+}
+
+// lookupGraph returns the entry (nil if unknown).
+func (s *Server) lookupGraph(name string) *graphEntry {
+	s.gmu.Lock()
+	defer s.gmu.Unlock()
+	return s.graphs[name]
+}
+
+// touchGraph marks e most-recently-used for LRU unload.
+func (s *Server) touchGraph(e *graphEntry) {
+	s.gmu.Lock()
+	s.gtouchSeq++
+	e.lastTouch = s.gtouchSeq
+	s.gmu.Unlock()
+}
+
+// graphForSession resolves the graph a new session names and counts the
+// session against it — under gmu, so a concurrent DELETE either misses the
+// increment and 409s, or wins and the lookup 404s; a session can never be
+// created on a graph that is mid-delete.
+func (s *Server) graphForSession(name string) (*graphEntry, int, error) {
+	s.gmu.Lock()
+	defer s.gmu.Unlock()
+	e := s.graphs[name]
+	if e == nil {
+		return nil, http.StatusNotFound, fmt.Errorf("unknown graph %q (register it via POST /graphs)", name)
+	}
+	e.sessions.Add(1)
+	return e, 0, nil
+}
+
+// acquireGraph returns e's shared sampler for a session about to become
+// resident, loading the graph from its spec first when it was unloaded.
+// The loadedRefs increment happens under e.mu, atomically with the load.
+// Every successful acquire must be paired with a releaseGraph.
+func (s *Server) acquireGraph(e *graphEntry) (*rrset.Sampler, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.sampler == nil {
+		if e.specString == "" {
+			return nil, fmt.Errorf("graph %q was unloaded and has no spec to reload from", e.name)
+		}
+		t0 := time.Now()
+		g, model, err := e.spec.Load()
+		if err != nil {
+			return nil, fmt.Errorf("reloading graph %q (%s): %w", e.name, e.specString, err)
+		}
+		if fp := g.Fingerprint(); fp != e.fingerprint {
+			return nil, fmt.Errorf("graph %q changed on disk: spec %q now fingerprints %s, catalog recorded %s",
+				e.name, e.specString, fp, e.fingerprint)
+		}
+		e.g, e.sampler = g, rrset.NewSampler(g, model)
+		e.isLoaded.Store(true)
+		gGraphsLoaded.Set(float64(s.loadedGraphs.Add(1)))
+		mGraphLoadTime.Observe(time.Since(t0))
+		obs.Emit(s.cfg.Events, "graph_load", map[string]any{
+			"graph":             e.name,
+			"graph_fingerprint": e.fingerprint,
+			"reload":            true,
+		})
+	}
+	e.loadedRefs.Add(1)
+	s.touchGraph(e)
+	return e.sampler, nil
+}
+
+// releaseGraph undoes one acquireGraph (the session left memory).
+func (s *Server) releaseGraph(e *graphEntry) {
+	e.loadedRefs.Add(-1)
+	s.touchGraph(e)
+}
+
+// registerGraph loads spec and publishes it under name. The returned
+// status is the HTTP code for the failure (400 invalid, 409 name taken).
+func (s *Server) registerGraph(name string, spec cliutil.GraphSpec) (*graphEntry, int, error) {
+	if !sessionIDRe.MatchString(name) {
+		return nil, http.StatusBadRequest,
+			fmt.Errorf("graph name %q invalid (want [A-Za-z0-9][A-Za-z0-9._-]*, at most 64 chars)", name)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	// Cheap duplicate check before the expensive load; the insert below
+	// re-checks, so a racing duplicate registration still loses cleanly.
+	if s.lookupGraph(name) != nil {
+		return nil, http.StatusConflict, fmt.Errorf("graph %q already exists", name)
+	}
+	t0 := time.Now()
+	g, model, err := spec.Load()
+	if err != nil {
+		return nil, http.StatusBadRequest, fmt.Errorf("loading graph %q: %w", name, err)
+	}
+	e := &graphEntry{
+		name:        name,
+		spec:        spec,
+		specString:  spec.String(),
+		fingerprint: g.Fingerprint(),
+		n:           g.N(),
+		m:           g.M(),
+		g:           g,
+		sampler:     rrset.NewSampler(g, model),
+	}
+	e.isLoaded.Store(true)
+	s.gmu.Lock()
+	if _, taken := s.graphs[name]; taken {
+		s.gmu.Unlock()
+		return nil, http.StatusConflict, fmt.Errorf("graph %q already exists", name)
+	}
+	s.graphs[name] = e
+	s.gtouchSeq++
+	e.lastTouch = s.gtouchSeq
+	s.gmu.Unlock()
+	gGraphsLoaded.Set(float64(s.loadedGraphs.Add(1)))
+	mGraphLoadTime.Observe(time.Since(t0))
+	obs.Emit(s.cfg.Events, "graph_load", map[string]any{
+		"graph":             e.name,
+		"graph_fingerprint": e.fingerprint,
+		"reload":            false,
+	})
+	s.maybeUnloadGraphs(e)
+	return e, 0, nil
+}
+
+// ensureGraph returns the registered entry for name, registering it from
+// specString when absent — the adoption path for checkpoints whose graph
+// the restarted daemon has not seen yet.
+func (s *Server) ensureGraph(name, specString string) (*graphEntry, error) {
+	if e := s.lookupGraph(name); e != nil {
+		return e, nil
+	}
+	if specString == "" {
+		return nil, fmt.Errorf("graph %q is not registered and the checkpoint records no spec to load it from", name)
+	}
+	spec, err := cliutil.ParseGraphSpec(specString)
+	if err != nil {
+		return nil, fmt.Errorf("graph %q: checkpoint records unusable spec: %w", name, err)
+	}
+	e, status, rerr := s.registerGraph(name, spec)
+	if rerr != nil {
+		if status == http.StatusConflict { // raced another adoption of the same graph
+			if e := s.lookupGraph(name); e != nil {
+				return e, nil
+			}
+		}
+		return nil, rerr
+	}
+	return e, nil
+}
+
+// removeGraph unregisters name and drops its residency. The returned
+// status is the HTTP failure code: 400 for the default graph, 404 unknown,
+// 409 while sessions reference it.
+func (s *Server) removeGraph(name string) (int, error) {
+	if name == DefaultGraphName {
+		return http.StatusBadRequest, fmt.Errorf("cannot delete the default graph (the legacy flags and sessions without a graph field use it)")
+	}
+	s.gmu.Lock()
+	e := s.graphs[name]
+	if e == nil {
+		s.gmu.Unlock()
+		return http.StatusNotFound, fmt.Errorf("unknown graph %q", name)
+	}
+	if n := e.sessions.Load(); n > 0 {
+		s.gmu.Unlock()
+		return http.StatusConflict, fmt.Errorf("graph %q is referenced by %d session(s); delete them first", name, n)
+	}
+	delete(s.graphs, name)
+	s.gmu.Unlock()
+	e.mu.Lock()
+	if e.sampler != nil {
+		e.g, e.sampler = nil, nil
+		e.isLoaded.Store(false)
+		gGraphsLoaded.Set(float64(s.loadedGraphs.Add(-1)))
+	}
+	e.mu.Unlock()
+	return 0, nil
+}
+
+// maybeUnloadGraphs enforces MaxLoadedGraphs: while too many graphs are
+// resident it drops the least-recently-used idle one (zero loadedRefs,
+// reloadable spec, never keep). Unlike session eviction there is no disk
+// write — the graph reloads from its spec — so no evicting state is
+// needed; a victim that gains a reference between pick and unload is
+// simply skipped.
+func (s *Server) maybeUnloadGraphs(keep *graphEntry) {
+	if s.cfg.MaxLoadedGraphs <= 0 {
+		return
+	}
+	var skip map[*graphEntry]bool
+	for {
+		victim := s.pickUnloadVictim(keep, skip)
+		if victim == nil {
+			return
+		}
+		if !s.unloadGraph(victim) {
+			if skip == nil {
+				skip = make(map[*graphEntry]bool)
+			}
+			skip[victim] = true
+		}
+	}
+}
+
+func (s *Server) pickUnloadVictim(keep *graphEntry, skip map[*graphEntry]bool) *graphEntry {
+	s.gmu.Lock()
+	defer s.gmu.Unlock()
+	if int(s.loadedGraphs.Load()) <= s.cfg.MaxLoadedGraphs {
+		return nil
+	}
+	var victim *graphEntry
+	for _, e := range s.graphs {
+		if e == keep || skip[e] || e.specString == "" || !e.isLoaded.Load() || e.loadedRefs.Load() != 0 {
+			continue
+		}
+		if victim == nil || e.lastTouch < victim.lastTouch {
+			victim = e
+		}
+	}
+	return victim
+}
+
+// unloadGraph drops e's graph and sampler if it is still idle, reporting
+// whether it is unloaded afterwards.
+func (s *Server) unloadGraph(e *graphEntry) bool {
+	e.mu.Lock()
+	if e.sampler == nil {
+		e.mu.Unlock()
+		return true
+	}
+	if e.loadedRefs.Load() != 0 {
+		e.mu.Unlock()
+		return false
+	}
+	t0 := time.Now()
+	e.g, e.sampler = nil, nil
+	e.isLoaded.Store(false)
+	e.mu.Unlock()
+	gGraphsLoaded.Set(float64(s.loadedGraphs.Add(-1)))
+	mGraphUnloadTime.Observe(time.Since(t0))
+	obs.Emit(s.cfg.Events, "graph_unload", map[string]any{
+		"graph":             e.name,
+		"graph_fingerprint": e.fingerprint,
+	})
+	return true
+}
+
+// CreateGraphRequest is the POST /graphs request body: a name plus a
+// cliutil.GraphSpec, whose fields (path, profile, scale, weights, seed,
+// model) inline verbatim into the JSON object.
+type CreateGraphRequest struct {
+	// Name registers the graph ([A-Za-z0-9][A-Za-z0-9._-]*, ≤ 64 chars).
+	Name string `json:"name"`
+	cliutil.GraphSpec
+}
+
+// GraphInfo describes one catalog entry in /graphs responses.
+type GraphInfo struct {
+	Name string `json:"name"`
+	// Spec is the canonical GraphSpec string the graph (re)loads from;
+	// empty when the graph was handed to the server without one.
+	Spec string `json:"spec,omitempty"`
+	// Fingerprint is the graph's content hash (graph.Fingerprint).
+	Fingerprint string `json:"graph_fingerprint"`
+	N           int32  `json:"n"`
+	M           int64  `json:"m"`
+	// Loaded reports residency; an unloaded graph reloads transparently on
+	// the next session touch.
+	Loaded bool `json:"loaded"`
+	// Sessions counts registered sessions on this graph; DELETE requires 0.
+	Sessions int64 `json:"sessions"`
+}
+
+// GraphListResponse is the GET /graphs response body.
+type GraphListResponse struct {
+	Graphs []GraphInfo `json:"graphs"`
+}
+
+func graphInfo(e *graphEntry) GraphInfo {
+	return GraphInfo{
+		Name:        e.name,
+		Spec:        e.specString,
+		Fingerprint: e.fingerprint,
+		N:           e.n,
+		M:           e.m,
+		Loaded:      e.isLoaded.Load(),
+		Sessions:    e.sessions.Load(),
+	}
+}
+
+// handleGraphs serves the catalog collection: GET lists, POST registers.
+func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.gmu.Lock()
+		entries := make([]*graphEntry, 0, len(s.graphs))
+		for _, e := range s.graphs {
+			entries = append(entries, e)
+		}
+		s.gmu.Unlock()
+		resp := GraphListResponse{Graphs: make([]GraphInfo, 0, len(entries))}
+		for _, e := range entries {
+			resp.Graphs = append(resp.Graphs, graphInfo(e))
+		}
+		sort.Slice(resp.Graphs, func(i, j int) bool { return resp.Graphs[i].Name < resp.Graphs[j].Name })
+		writeJSON(w, resp)
+	case http.MethodPost:
+		var req CreateGraphRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+			http.Error(w, "invalid JSON body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		e, status, err := s.registerGraph(req.Name, req.GraphSpec)
+		if err != nil {
+			http.Error(w, err.Error(), status)
+			return
+		}
+		writeJSON(w, graphInfo(e))
+	default:
+		http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
+	}
+}
+
+// handleGraphByName serves one catalog entry: GET describes, DELETE
+// unregisters (409 while sessions reference it).
+func (s *Server) handleGraphByName(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	switch r.Method {
+	case http.MethodGet:
+		e := s.lookupGraph(name)
+		if e == nil {
+			http.Error(w, fmt.Sprintf("unknown graph %q", name), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, graphInfo(e))
+	case http.MethodDelete:
+		if status, err := s.removeGraph(name); err != nil {
+			replyError(w, status, err.Error())
+			return
+		}
+		writeJSON(w, map[string]string{"deleted": name})
+	default:
+		http.Error(w, "GET or DELETE only", http.StatusMethodNotAllowed)
+	}
+}

@@ -227,38 +227,109 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request, sess *
 // torn write that survived fsync), the previous generation path+".prev" —
 // such a fallback is logged and counted
 // (server_checkpoint_recoveries_total). It returns the restored session
-// and the file it actually came from.
+// and the file it actually came from. OPIMS3 checkpoints carry the source
+// graph's fingerprint; a sampler over a different graph is refused with
+// core.ErrGraphMismatch.
 //
 // When neither generation exists the error wraps fs.ErrNotExist, which is
 // how a daemon distinguishes "first boot" from "both generations
 // corrupt" — the latter is returned verbatim and should stop startup
 // rather than silently discarding the session's δ/budget accounting.
 func LoadCheckpoint(path string, sampler *rrset.Sampler) (*core.Online, string, error) {
-	load := func(p string) (*core.Online, error) {
+	online, used, _, err := LoadCheckpointMeta(path, sampler)
+	return online, used, err
+}
+
+// LoadCheckpointMeta is LoadCheckpoint returning also the checkpoint's
+// graph-identity header — how a daemon learns whether the resumed session
+// was fingerprint-verified (meta.Verified()) or came from a legacy
+// OPIMS1/2 file whose graph cannot be checked.
+func LoadCheckpointMeta(path string, sampler *rrset.Sampler) (*core.Online, string, *core.SessionMeta, error) {
+	return loadCheckpointResolve(path, func(*core.SessionMeta) (*rrset.Sampler, error) {
+		return sampler, nil
+	})
+}
+
+// loadCheckpointResolve is the generation-fallback loader under both
+// public forms: each generation attempt streams through
+// core.LoadSessionResolve, so resolve sees the graph identity of the
+// specific file being read (current and .prev may disagree after a graph
+// switch). Load errors name the file and generation that failed — with
+// many graphs sharing one checkpoint dir, "which file, which generation"
+// is the difference between a findable mismatch and guesswork.
+func loadCheckpointResolve(path string, resolve func(*core.SessionMeta) (*rrset.Sampler, error)) (*core.Online, string, *core.SessionMeta, error) {
+	load := func(p string) (*core.Online, *core.SessionMeta, error) {
 		f, err := os.Open(p)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		defer f.Close()
-		return core.LoadSession(f, sampler)
+		return core.LoadSessionResolve(f, resolve)
 	}
-	session, err := load(path)
+	session, meta, err := load(path)
 	if err == nil {
-		return session, path, nil
+		return session, path, meta, nil
 	}
 	prev := path + fsutil.PrevSuffix
-	session, prevErr := load(prev)
+	session, prevMeta, prevErr := load(prev)
 	if prevErr == nil {
 		if !os.IsNotExist(err) {
 			// The current generation existed but was bad — a genuine
 			// recovery, not a routine crash-between-renames window.
 			mCkRecoveries.Inc()
 		}
-		log.Printf("server: checkpoint %s unusable (%v); recovered from previous generation %s", path, err, prev)
-		return session, prev, nil
+		log.Printf("server: checkpoint current generation %s unusable (%v); recovered from previous generation %s", path, err, prev)
+		return session, prev, prevMeta, nil
 	}
 	if os.IsNotExist(err) && os.IsNotExist(prevErr) {
-		return nil, "", fmt.Errorf("server: no checkpoint at %s: %w", path, err)
+		return nil, "", nil, fmt.Errorf("server: no checkpoint at %s: %w", path, err)
 	}
-	return nil, "", fmt.Errorf("server: checkpoint %s unusable (%v) and previous generation %s unusable (%v)", path, err, prev, prevErr)
+	return nil, "", nil, fmt.Errorf("server: checkpoint unusable: current generation %s: %w; previous generation %s: %v", path, err, prev, prevErr)
+}
+
+// loadSessionCheckpoint restores a session checkpoint resolving its graph
+// through the catalog: the recorded graph name picks the registered entry,
+// an unregistered name is auto-registered from the recorded spec, and a
+// checkpoint with no identity (OPIMS1/2, or saved outside a catalog) falls
+// back to the default graph with a logged "unverified graph" warning. On
+// success the returned entry holds one loadedRefs reference owned by the
+// restored session.
+func (s *Server) loadSessionCheckpoint(path string) (*core.Online, *graphEntry, error) {
+	var acquired []*graphEntry
+	resolve := func(meta *core.SessionMeta) (*rrset.Sampler, error) {
+		var e *graphEntry
+		if meta.GraphName == "" || meta.GraphName == DefaultGraphName {
+			if e = s.lookupGraph(DefaultGraphName); e == nil {
+				return nil, errors.New("no default graph registered")
+			}
+		} else {
+			var err error
+			if e, err = s.ensureGraph(meta.GraphName, meta.GraphSpec); err != nil {
+				return nil, err
+			}
+		}
+		if !meta.Verified() {
+			log.Printf("server: checkpoint %s is legacy OPIMS%d with no graph fingerprint; resuming on graph %q UNVERIFIED (see docs/ROBUSTNESS.md)",
+				path, meta.Format, e.name)
+		}
+		sampler, err := s.acquireGraph(e)
+		if err != nil {
+			return nil, err
+		}
+		acquired = append(acquired, e)
+		return sampler, nil
+	}
+	online, _, _, err := loadCheckpointResolve(path, resolve)
+	if err != nil {
+		for _, e := range acquired {
+			s.releaseGraph(e)
+		}
+		return nil, nil, err
+	}
+	// The last acquire belongs to the restored session; earlier ones came
+	// from a generation that resolved but then failed to load.
+	for _, e := range acquired[:len(acquired)-1] {
+		s.releaseGraph(e)
+	}
+	return online, acquired[len(acquired)-1], nil
 }

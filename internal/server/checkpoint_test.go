@@ -148,6 +148,7 @@ func TestKillResumeByteIdentical(t *testing.T) {
 
 	// Reference: the same session that never crashed.
 	ref := robustSession(t, sampler)
+	ref.SetGraphIdentity(DefaultGraphName, "")
 	ref.Advance(2000)
 	wantSnap := ref.Snapshot()
 

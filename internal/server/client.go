@@ -368,3 +368,58 @@ func (c *Client) DeleteSession(id string) error {
 func (c *Client) DeleteSessionContext(ctx context.Context, id string) error {
 	return c.do(ctx, http.MethodDelete, "/sessions/"+url.PathEscape(id), nil, nil, false)
 }
+
+// CreateGraph registers a named graph in the server's catalog (POST
+// /graphs) so sessions can be created against it by name. Never
+// auto-retried: a replay after an ambiguous failure would 409 on the
+// just-registered name.
+func (c *Client) CreateGraph(req CreateGraphRequest) (GraphInfo, error) {
+	return c.CreateGraphContext(context.Background(), req)
+}
+
+// CreateGraphContext is CreateGraph bounded by ctx. Registering a graph
+// loads it synchronously; size the ctx (and the HTTPClient timeout) to
+// the graph, not to the default 30s.
+func (c *Client) CreateGraphContext(ctx context.Context, req CreateGraphRequest) (GraphInfo, error) {
+	var info GraphInfo
+	err := c.do(ctx, http.MethodPost, "/graphs", req, &info, false)
+	return info, err
+}
+
+// ListGraphs lists every registered graph, sorted by name.
+func (c *Client) ListGraphs() ([]GraphInfo, error) {
+	return c.ListGraphsContext(context.Background())
+}
+
+// ListGraphsContext is ListGraphs bounded by ctx.
+func (c *Client) ListGraphsContext(ctx context.Context) ([]GraphInfo, error) {
+	var resp GraphListResponse
+	err := c.do(ctx, http.MethodGet, "/graphs", nil, &resp, true)
+	return resp.Graphs, err
+}
+
+// GetGraph fetches one graph's catalog entry, including its fingerprint
+// and live session count. Idempotent — safe to poll and to retry.
+func (c *Client) GetGraph(name string) (GraphInfo, error) {
+	return c.GetGraphContext(context.Background(), name)
+}
+
+// GetGraphContext is GetGraph bounded by ctx.
+func (c *Client) GetGraphContext(ctx context.Context, name string) (GraphInfo, error) {
+	var info GraphInfo
+	err := c.do(ctx, http.MethodGet, "/graphs/"+url.PathEscape(name), nil, &info, true)
+	return info, err
+}
+
+// DeleteGraph removes a graph from the catalog. The server answers 409
+// while any session still references the graph — that conflict means
+// "delete the sessions first", not "retry", so no auto-retry despite the
+// general 409 policy.
+func (c *Client) DeleteGraph(name string) error {
+	return c.DeleteGraphContext(context.Background(), name)
+}
+
+// DeleteGraphContext is DeleteGraph bounded by ctx.
+func (c *Client) DeleteGraphContext(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/graphs/"+url.PathEscape(name), nil, nil, false)
+}

@@ -7,8 +7,12 @@
 //
 // Endpoints (all JSON; docs/API.md has schemas and curl examples):
 //
+//	GET    /graphs                      list the graph catalog
+//	POST   /graphs                      register a named graph (body: CreateGraphRequest)
+//	GET    /graphs/{name}               describe one graph
+//	DELETE /graphs/{name}               unregister a graph (409 while referenced)
 //	GET    /sessions                    list sessions
-//	POST   /sessions                    create a session (body: SessionSpec)
+//	POST   /sessions                    create a session (body: SessionSpec; "graph" picks its catalog graph)
 //	GET    /sessions/{id}               describe one session
 //	DELETE /sessions/{id}               delete a session and its checkpoints
 //	GET    /sessions/{id}/status        session counters (never blocks)
@@ -55,6 +59,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/reprolab/opim/internal/cliutil"
 	"github.com/reprolab/opim/internal/core"
 	"github.com/reprolab/opim/internal/obs"
 	"github.com/reprolab/opim/internal/rrset"
@@ -98,6 +103,17 @@ type Config struct {
 	// unloaded, then transparently reloaded on its next touch. ≤ 0 means
 	// unbounded. Only sessions with a checkpoint path are evictable.
 	MaxLoadedSessions int
+	// MaxLoadedGraphs bounds how many catalog graphs are resident; above it
+	// the least-recently-used graph with no loaded session is unloaded and
+	// transparently reloaded from its GraphSpec on the next session touch.
+	// ≤ 0 means unbounded. Only graphs registered with a spec are
+	// unloadable (see catalog.go).
+	MaxLoadedGraphs int
+	// DefaultGraphSpec, when non-empty, is the cliutil.GraphSpec string the
+	// graph passed to New was loaded from. It makes the default graph
+	// reloadable (so it participates in MaxLoadedGraphs) and is recorded in
+	// every default-graph session checkpoint for restart-time verification.
+	DefaultGraphSpec string
 	// CheckpointInterval is the cadence of StartCheckpointer
 	// (≤ 0 defaults to DefaultCheckpointInterval).
 	CheckpointInterval time.Duration
@@ -107,13 +123,14 @@ type Config struct {
 	Events obs.Sink
 }
 
-// Server hosts many named OPIM sessions behind an HTTP API. Sessions
-// share one immutable sampler (graph + diffusion model) but nothing else:
-// each has its own lock, δ budget, scratch and background-sampling
-// membership, so sessions never block each other.
+// Server hosts many named OPIM sessions behind an HTTP API. Sessions on
+// the same catalog graph share one immutable sampler (graph + diffusion
+// model) but nothing else: each has its own lock, δ budget, scratch and
+// background-sampling membership, so sessions never block each other —
+// across graphs or within one.
 type Server struct {
 	cfg     Config
-	sampler *rrset.Sampler
+	sampler *rrset.Sampler // the default graph's sampler (startup resume path)
 
 	// smu guards the session table (sessions/order/touchSeq and each
 	// session's lastTouch). It is never held across engine work, checkpoint
@@ -126,6 +143,15 @@ type Server struct {
 	touchSeq int64
 
 	loaded atomic.Int64 // sessions in stateLoaded (gauge mirror)
+
+	// gmu guards the graph catalog table (graphs/gtouchSeq and each
+	// entry's lastTouch); like smu it is never held across a load or any
+	// entry.mu acquisition (see catalog.go for the full lock order).
+	gmu       sync.Mutex
+	graphs    map[string]*graphEntry
+	gtouchSeq int64
+
+	loadedGraphs atomic.Int64 // resident graphs (gauge mirror)
 
 	inflight atomic.Int64
 
@@ -144,8 +170,9 @@ type Server struct {
 	ckWrap func(io.Writer) io.Writer
 }
 
-// New wraps session — which becomes the "default" session — with the
-// given configuration. Further sessions are created over HTTP
+// New wraps session — which becomes the "default" session, on the graph
+// registered as "default" — with the given configuration. Further graphs
+// are registered over HTTP (POST /graphs), further sessions created
 // (POST /sessions) or adopted from checkpoints (AdoptCheckpointDir).
 func New(session *core.Online, cfg Config) *Server {
 	if cfg.Batch <= 0 {
@@ -158,14 +185,48 @@ func New(session *core.Online, cfg Config) *Server {
 		cfg:      cfg,
 		sampler:  session.Sampler(),
 		sessions: make(map[string]*Session),
+		graphs:   make(map[string]*graphEntry),
 	}
+	// Register the startup graph as the "default" catalog entry. With
+	// DefaultGraphSpec set it is reloadable like any POSTed graph;
+	// without, it can never be unloaded (symmetric with ckPath-less
+	// sessions never being evictable). Pre-publication: no concurrency yet.
+	g := session.Sampler().Graph()
+	def := &graphEntry{
+		name:        DefaultGraphName,
+		specString:  cfg.DefaultGraphSpec,
+		fingerprint: g.Fingerprint(),
+		n:           g.N(),
+		m:           g.M(),
+		g:           g,
+		sampler:     session.Sampler(),
+	}
+	if cfg.DefaultGraphSpec != "" {
+		spec, err := cliutil.ParseGraphSpec(cfg.DefaultGraphSpec)
+		if err != nil {
+			// An unparseable spec cannot reload the graph; keep the entry
+			// resident forever rather than fail later.
+			def.specString = ""
+		} else {
+			def.spec = spec
+		}
+	}
+	def.isLoaded.Store(true)
+	def.sessions.Store(1)   // the default session
+	def.loadedRefs.Store(1) // ... which starts resident
+	s.graphs[DefaultGraphName] = def
+	s.gtouchSeq++
+	def.lastTouch = s.gtouchSeq
+	gGraphsLoaded.Set(float64(s.loadedGraphs.Add(1)))
+	session.SetGraphIdentity(DefaultGraphName, def.specString)
+
 	ckPath := cfg.CheckpointPath
 	if ckPath == "" {
 		ckPath = s.sessionCheckpointPath(DefaultSessionID)
 	}
-	def := &Session{ID: DefaultSessionID, maxRR: cfg.MaxRR, ckPath: ckPath}
-	def.setOnlineLocked(session) // pre-publication: no concurrent access yet
-	s.addSession(def)
+	defSess := &Session{ID: DefaultSessionID, maxRR: cfg.MaxRR, ckPath: ckPath, graph: def}
+	defSess.setOnlineLocked(session) // pre-publication: no concurrent access yet
+	s.addSession(defSess)
 	return s
 }
 
@@ -183,6 +244,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/stop", instrument("stop", s.forSession(s.handleStop)))
 	mux.HandleFunc("/checkpoint", instrument("checkpoint", s.forSession(s.handleCheckpoint)))
 	mux.HandleFunc("/metrics", instrument("metrics", s.handleMetrics))
+	// Graph catalog.
+	mux.HandleFunc("/graphs", instrument("graphs", s.handleGraphs))
+	mux.HandleFunc("/graphs/{name}", instrument("graph", s.handleGraphByName))
 	// Session management and per-session endpoints.
 	mux.HandleFunc("/sessions", instrument("sessions", s.handleSessions))
 	mux.HandleFunc("/sessions/{id}", instrument("session", s.handleSessionByID))
@@ -289,6 +353,10 @@ type Status struct {
 	Running       bool   `json:"running"`
 	Loaded        bool   `json:"loaded"`
 	MaxRR         int64  `json:"max_rr"`
+	// Graph names the catalog graph the session runs on;
+	// GraphFingerprint is that graph's content hash.
+	Graph            string `json:"graph,omitempty"`
+	GraphFingerprint string `json:"graph_fingerprint,omitempty"`
 }
 
 // SnapshotResponse is the /snapshot response body.
@@ -305,9 +373,11 @@ type SnapshotResponse struct {
 }
 
 // sessionStatus reads only the lock-free mirrors — a /status poll returns
-// immediately even while the session mutex is held by a long advance.
+// immediately even while the session mutex is held by a long advance. The
+// graph fields read the entry's immutable identity, so they are lock-free
+// too.
 func (s *Server) sessionStatus(sess *Session) Status {
-	return Status{
+	st := Status{
 		Session:       sess.ID,
 		NumRR:         sess.statNumRR.Load(),
 		EdgesExamined: sess.statEdges.Load(),
@@ -315,6 +385,11 @@ func (s *Server) sessionStatus(sess *Session) Status {
 		Loaded:        sessionState(sess.state.Load()) == stateLoaded,
 		MaxRR:         sess.maxRR,
 	}
+	if sess.graph != nil {
+		st.Graph = sess.graph.name
+		st.GraphFingerprint = sess.graph.fingerprint
+	}
+	return st
 }
 
 // replyError writes an error status; 409s (eviction races) carry

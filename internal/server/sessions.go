@@ -97,6 +97,12 @@ type Session struct {
 	// session without one can never be evicted.
 	ckPath string
 
+	// graph is the catalog entry the session runs on, set at creation (or
+	// adoption) and immutable afterwards. The session holds one `sessions`
+	// reference on it for its whole registered life, plus one `loadedRefs`
+	// reference while resident (see catalog.go).
+	graph *graphEntry
+
 	// lastTouch orders LRU eviction; guarded by the server's smu.
 	lastTouch int64
 }
@@ -122,6 +128,8 @@ func (sess *Session) setOnlineLocked(online *core.Online) {
 type SessionSpec struct {
 	// ID names the session (required; [A-Za-z0-9][A-Za-z0-9._-]*, ≤ 64).
 	ID string `json:"id"`
+	// Graph names the catalog graph the session runs on ("" = "default").
+	Graph string `json:"graph,omitempty"`
 	// K is the seed-set size (required, ≥ 1).
 	K int `json:"k"`
 	// Delta is the failure probability (0 = 1/n).
@@ -147,19 +155,21 @@ type SessionSpec struct {
 // are zero for a session adopted from a checkpoint that has not been
 // loaded yet (they live inside the checkpoint).
 type SessionInfo struct {
-	ID         string  `json:"id"`
-	K          int     `json:"k,omitempty"`
-	Delta      float64 `json:"delta,omitempty"`
-	Variant    string  `json:"variant,omitempty"`
-	Seed       uint64  `json:"seed"`
-	Union      bool    `json:"union"`
-	Exact      bool    `json:"exact"`
-	BaseSeeds  []int32 `json:"base_seeds,omitempty"`
-	NumRR      int64   `json:"num_rr"`
-	MaxRR      int64   `json:"max_rr"`
-	Running    bool    `json:"running"`
-	Loaded     bool    `json:"loaded"`
-	Checkpoint string  `json:"checkpoint,omitempty"`
+	ID               string  `json:"id"`
+	Graph            string  `json:"graph,omitempty"`
+	GraphFingerprint string  `json:"graph_fingerprint,omitempty"`
+	K                int     `json:"k,omitempty"`
+	Delta            float64 `json:"delta,omitempty"`
+	Variant          string  `json:"variant,omitempty"`
+	Seed             uint64  `json:"seed"`
+	Union            bool    `json:"union"`
+	Exact            bool    `json:"exact"`
+	BaseSeeds        []int32 `json:"base_seeds,omitempty"`
+	NumRR            int64   `json:"num_rr"`
+	MaxRR            int64   `json:"max_rr"`
+	Running          bool    `json:"running"`
+	Loaded           bool    `json:"loaded"`
+	Checkpoint       string  `json:"checkpoint,omitempty"`
 }
 
 // SessionListResponse is the GET /sessions response body.
@@ -230,11 +240,29 @@ func (s *Server) createSession(spec SessionSpec) (*Session, int, error) {
 		return nil, http.StatusBadRequest,
 			fmt.Errorf("max_rr %d outside (0, server budget %d]", maxRR, s.cfg.MaxRR)
 	}
+	graphName := spec.Graph
+	if graphName == "" {
+		graphName = DefaultGraphName
+	}
+	entry, status, err := s.graphForSession(graphName)
+	if err != nil {
+		return nil, status, err
+	}
+	sampler, err := s.acquireGraph(entry)
+	if err != nil {
+		entry.sessions.Add(-1)
+		return nil, http.StatusInternalServerError, err
+	}
+	fail := func(status int, err error) (*Session, int, error) {
+		s.releaseGraph(entry)
+		entry.sessions.Add(-1)
+		return nil, status, err
+	}
 	delta := spec.Delta
 	if delta == 0 {
-		delta = 1 / float64(s.sampler.Graph().N())
+		delta = 1 / float64(sampler.Graph().N())
 	}
-	online, err := core.NewOnline(s.sampler, core.Options{
+	online, err := core.NewOnline(sampler, core.Options{
 		K:           spec.K,
 		Delta:       delta,
 		Variant:     variant,
@@ -246,17 +274,19 @@ func (s *Server) createSession(spec SessionSpec) (*Session, int, error) {
 		Events:      s.cfg.Events,
 	})
 	if err != nil {
-		return nil, http.StatusBadRequest, err
+		return fail(http.StatusBadRequest, err)
 	}
-	sess := &Session{ID: spec.ID, maxRR: maxRR, ckPath: s.sessionCheckpointPath(spec.ID)}
+	online.SetGraphIdentity(entry.name, entry.specString)
+	sess := &Session{ID: spec.ID, maxRR: maxRR, ckPath: s.sessionCheckpointPath(spec.ID), graph: entry}
 	sess.mu.Lock()
 	sess.setOnlineLocked(online)
 	sess.mu.Unlock()
 	if err := s.addSession(sess); err != nil {
-		return nil, http.StatusConflict, err
+		return fail(http.StatusConflict, err)
 	}
 	mSessionsCreated.Inc()
 	s.maybeEvict(sess)
+	s.maybeUnloadGraphs(entry)
 	return sess, 0, nil
 }
 
@@ -296,20 +326,28 @@ func (s *Server) AdoptCheckpointDir() ([]string, error) {
 			continue // already registered (e.g. the resumed default)
 		}
 		sess := &Session{ID: id, maxRR: s.cfg.MaxRR, ckPath: s.sessionCheckpointPath(id)}
-		online, _, err := LoadCheckpoint(sess.ckPath, s.sampler)
+		// The checkpoint's own graph-identity header picks (or registers)
+		// the catalog graph the session resumes on; OPIMS3 fingerprints are
+		// verified, legacy formats log an "unverified graph" warning.
+		online, entry, err := s.loadSessionCheckpoint(sess.ckPath)
 		if err != nil {
 			sort.Strings(adopted)
 			return adopted, fmt.Errorf("server: adopting session %q: %w", id, err)
 		}
+		sess.graph = entry
+		entry.sessions.Add(1)
 		online.SetEvents(s.cfg.Events)
 		sess.mu.Lock()
 		sess.setOnlineLocked(online)
 		sess.mu.Unlock()
 		if err := s.addSession(sess); err != nil {
+			s.releaseGraph(entry)
+			entry.sessions.Add(-1)
 			continue
 		}
 		adopted = append(adopted, id)
 		s.maybeEvict(sess)
+		s.maybeUnloadGraphs(entry)
 	}
 	sort.Strings(adopted)
 	return adopted, nil
@@ -335,11 +373,28 @@ func (s *Server) ensureLoaded(sess *Session) (int, string) {
 				sess.mu.Unlock()
 				return http.StatusNotFound, fmt.Sprintf("session %q was deleted", sess.ID)
 			}
-			online, _, err := LoadCheckpoint(sess.ckPath, s.sampler)
+			// Re-acquire the session's graph first (reloading it from its
+			// spec if the catalog unloaded it); the checkpoint's recorded
+			// fingerprint is then verified against it inside LoadCheckpoint.
+			sampler := s.sampler
+			acquired := false
+			if sess.graph != nil {
+				var err error
+				if sampler, err = s.acquireGraph(sess.graph); err != nil {
+					sess.mu.Unlock()
+					return http.StatusInternalServerError,
+						fmt.Sprintf("session %q: %v", sess.ID, err)
+				}
+				acquired = true
+			}
+			online, _, err := LoadCheckpoint(sess.ckPath, sampler)
 			if err != nil {
+				if acquired {
+					s.releaseGraph(sess.graph)
+				}
 				sess.mu.Unlock()
 				return http.StatusInternalServerError,
-					fmt.Sprintf("session %q: reload from checkpoint failed: %v", sess.ID, err)
+					fmt.Sprintf("session %q: reload from checkpoint %s failed: %v", sess.ID, sess.ckPath, err)
 			}
 			online.SetEvents(s.cfg.Events)
 			sess.setOnlineLocked(online)
@@ -449,6 +504,12 @@ func (s *Server) evictSession(sess *Session) bool {
 			sess.mu.Unlock()
 			gSessionsLoaded.Set(float64(s.loaded.Add(-1)))
 			mSessionsEvicted.Inc()
+			if sess.graph != nil {
+				// The session left memory: drop its residency reference and
+				// let the graph itself become unloadable.
+				s.releaseGraph(sess.graph)
+				s.maybeUnloadGraphs(nil)
+			}
 			return true
 		}
 		sess.mu.Unlock()
@@ -470,6 +531,10 @@ func (s *Server) sessionInfo(sess *Session) SessionInfo {
 		Running:    sess.running.Load(),
 		Loaded:     sessionState(sess.state.Load()) == stateLoaded,
 		Checkpoint: sess.ckPath,
+	}
+	if sess.graph != nil {
+		info.Graph = sess.graph.name
+		info.GraphFingerprint = sess.graph.fingerprint
 	}
 	if opts := sess.opts.Load(); opts != nil {
 		info.K = opts.K
@@ -579,11 +644,19 @@ func (s *Server) removeSession(sess *Session) bool {
 	// The loaded/unloaded state is read under sess.mu (every transition
 	// happens there), so a reload racing this delete is counted exactly
 	// once whichever side wins the lock.
-	if sessionState(sess.state.Load()) == stateLoaded {
+	wasLoaded := sessionState(sess.state.Load()) == stateLoaded
+	if wasLoaded {
 		gSessionsLoaded.Set(float64(s.loaded.Add(-1)))
 	}
 	sess.state.Store(int32(stateUnloaded))
 	sess.mu.Unlock()
+	if sess.graph != nil {
+		if wasLoaded {
+			s.releaseGraph(sess.graph)
+		}
+		sess.graph.sessions.Add(-1)
+		s.maybeUnloadGraphs(nil)
+	}
 
 	if sess.ckPath != "" && s.cfg.CheckpointDir != "" &&
 		filepath.Dir(sess.ckPath) == filepath.Clean(s.cfg.CheckpointDir) {

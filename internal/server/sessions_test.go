@@ -286,6 +286,7 @@ func TestEvictionReloadContinuesSampleStream(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	ref.SetGraphIdentity(DefaultGraphName, "")
 	ref.Advance(1000)
 	want := ref.Snapshot()
 	if snap.Alpha != want.Alpha || snap.SigmaLower != want.SigmaLower ||
@@ -390,6 +391,7 @@ func TestAdoptCheckpointDirResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	ref.SetGraphIdentity(DefaultGraphName, "")
 	ref.Advance(1000)
 	want := ref.Snapshot()
 	if snap.Alpha != want.Alpha || snap.SigmaLower != want.SigmaLower ||
