@@ -1,0 +1,273 @@
+// Command benchjson turns `go test -bench` output into a committed JSON
+// snapshot and gates benchmark regressions in CI. It is the harness behind
+// BENCH_opim.json and docs/PERFORMANCE.md's trajectory table.
+//
+// Capture a snapshot:
+//
+//	go test -run xxx -bench 'Kernels|LoadFile' -benchtime 2s ./... | benchjson -out BENCH_opim.json
+//
+// Compare a fresh run against the committed snapshot (exit 1 when any
+// matched benchmark is more than -fail times slower, unless -warn-only):
+//
+//	go test -run xxx -bench ... ./... | benchjson -compare BENCH_opim.json -fail 1.25 -warn-only
+//
+// Enforce a machine-independent ratio between two benchmarks from the same
+// run — immune to runner speed, the hard gate used on shared CI:
+//
+//	go test ... | benchjson -ratio 'BenchmarkGreedyKernels/counting:BenchmarkGreedyKernels/bitset' -min 1.5
+//
+// Input is `go test -bench` text (GOMAXPROCS name suffixes stripped,
+// repeated runs collapsed to their minimum ns/op) or a previously written
+// snapshot JSON; -in defaults to stdin.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is the committed benchmark file (schema opim-bench/v1).
+type Snapshot struct {
+	Schema     string           `json:"schema"`
+	GoVersion  string           `json:"go"`
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	CPU        string           `json:"cpu,omitempty"`
+	Note       string           `json:"note,omitempty"`
+	Benchmarks map[string]Bench `json:"benchmarks"`
+}
+
+// Bench is one benchmark's best observed run.
+type Bench struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Runs        int     `json:"runs"`
+}
+
+const schemaV1 = "opim-bench/v1"
+
+func main() {
+	var (
+		in       = flag.String("in", "-", "bench output or snapshot JSON ('-' = stdin)")
+		out      = flag.String("out", "", "write parsed snapshot JSON to this path")
+		note     = flag.String("note", "", "free-form note stored in the snapshot")
+		compare  = flag.String("compare", "", "baseline snapshot JSON to compare against")
+		warn     = flag.Float64("warn", 1.10, "compare: print a warning above this cur/base ratio")
+		failAt   = flag.Float64("fail", 1.25, "compare: fail above this cur/base ratio")
+		warnOnly = flag.Bool("warn-only", false, "compare: report regressions but always exit 0")
+		match    = flag.String("match", "", "compare: only gate benchmarks matching this regexp")
+		ratio    = flag.String("ratio", "", "ratio gate 'A:B': require ns(A)/ns(B) ≥ -min")
+		minRatio = flag.Float64("min", 1.0, "ratio: minimum required A/B speedup")
+	)
+	flag.Parse()
+
+	snap, err := load(*in)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fatalf("no benchmark results in %s", *in)
+	}
+	snap.Note = *note
+
+	if *out != "" {
+		if err := write(*out, snap); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(snap.Benchmarks))
+	}
+
+	ok := true
+	if *compare != "" {
+		base, err := load(*compare)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if !compareSnapshots(os.Stdout, base, snap, *match, *warn, *failAt) && !*warnOnly {
+			ok = false
+		}
+	}
+	if *ratio != "" {
+		a, b, found := strings.Cut(*ratio, ":")
+		if !found {
+			fatalf("-ratio wants 'A:B', got %q", *ratio)
+		}
+		if !checkRatio(os.Stdout, snap, a, b, *minRatio) {
+			ok = false
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// load reads either `go test -bench` text or snapshot JSON from path.
+func load(path string) (*Snapshot, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	br := bufio.NewReader(r)
+	if first, err := br.Peek(1); err == nil && first[0] == '{' {
+		var s Snapshot
+		if err := json.NewDecoder(br).Decode(&s); err != nil {
+			return nil, fmt.Errorf("parsing snapshot %s: %w", path, err)
+		}
+		if s.Schema != schemaV1 {
+			return nil, fmt.Errorf("%s: unknown schema %q", path, s.Schema)
+		}
+		return &s, nil
+	}
+	return parseBenchText(br)
+}
+
+// benchLine matches one result line:
+//
+//	BenchmarkGreedyKernels/counting-8   43   25498506 ns/op   12 B/op   3 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+// trailing GOMAXPROCS suffix on a benchmark name, e.g. "-8".
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBenchText parses `go test -bench` output. Repeated occurrences of a
+// benchmark (e.g. -count=N) keep the minimum ns/op — the standard way to
+// suppress scheduler noise when comparing.
+func parseBenchText(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{
+		Schema:     schemaV1,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: map[string]Bench{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, found := strings.CutPrefix(line, "cpu: "); found {
+			snap.CPU = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(m[1], "")
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		b := Bench{NsPerOp: ns, Runs: 1}
+		fields := strings.Fields(m[4])
+		for i := 1; i < len(fields); i++ {
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i] {
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			}
+		}
+		if prev, seen := snap.Benchmarks[name]; seen {
+			b.Runs = prev.Runs + 1
+			if prev.NsPerOp < b.NsPerOp {
+				b.NsPerOp, b.BytesPerOp, b.AllocsPerOp = prev.NsPerOp, prev.BytesPerOp, prev.AllocsPerOp
+			}
+		}
+		snap.Benchmarks[name] = b
+	}
+	return snap, sc.Err()
+}
+
+func write(path string, snap *Snapshot) error {
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// compareSnapshots reports every benchmark present in both snapshots, in
+// name order, and returns false if any matched one regressed past failAt.
+// Benchmarks only on one side are listed but never gate — adding or
+// retiring a benchmark must not break CI.
+func compareSnapshots(w io.Writer, base, cur *Snapshot, match string, warnAt, failAt float64) bool {
+	var re *regexp.Regexp
+	if match != "" {
+		re = regexp.MustCompile(match)
+	}
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ok := true
+	for _, name := range names {
+		b, inBase := base.Benchmarks[name]
+		c := cur.Benchmarks[name]
+		if !inBase {
+			fmt.Fprintf(w, "  new      %-55s %12.0f ns/op\n", name, c.NsPerOp)
+			continue
+		}
+		ratio := c.NsPerOp / b.NsPerOp
+		status := "ok"
+		switch {
+		case re != nil && !re.MatchString(name):
+			status = "ungated"
+		case ratio > failAt:
+			status = "FAIL"
+			ok = false
+		case ratio > warnAt:
+			status = "warn"
+		}
+		fmt.Fprintf(w, "  %-8s %-55s %12.0f ns/op  base %12.0f  ratio %.2f\n",
+			status, name, c.NsPerOp, b.NsPerOp, ratio)
+	}
+	for name := range base.Benchmarks {
+		if _, still := cur.Benchmarks[name]; !still {
+			fmt.Fprintf(w, "  gone     %s\n", name)
+		}
+	}
+	return ok
+}
+
+// checkRatio requires ns(a)/ns(b) ≥ min — a same-machine comparison, so it
+// holds on any runner regardless of absolute speed.
+func checkRatio(w io.Writer, snap *Snapshot, a, b string, min float64) bool {
+	ba, oka := snap.Benchmarks[a]
+	bb, okb := snap.Benchmarks[b]
+	if !oka || !okb {
+		fmt.Fprintf(w, "ratio %s:%s: missing benchmark (have %v, %v)\n", a, b, oka, okb)
+		return false
+	}
+	got := ba.NsPerOp / bb.NsPerOp
+	if got < min {
+		fmt.Fprintf(w, "ratio FAIL: %s / %s = %.2fx, want ≥ %.2fx\n", a, b, got, min)
+		return false
+	}
+	fmt.Fprintf(w, "ratio ok: %s / %s = %.2fx (≥ %.2fx)\n", a, b, got, min)
+	return true
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}

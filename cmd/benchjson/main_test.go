@@ -1,0 +1,94 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/reprolab/opim/internal/maxcover
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkGreedyKernels/counting-8         	      45	  25498506 ns/op
+BenchmarkGreedyKernels/bitset-8           	     180	   6576234 ns/op	 2097152 B/op	       3 allocs/op
+BenchmarkGreedyKernels/bitset-8           	     181	   6400000 ns/op	 2097152 B/op	       3 allocs/op
+BenchmarkLoadFile/csr_mmap-8              	   18000	     64184 ns/op
+PASS
+ok  	github.com/reprolab/opim/internal/maxcover	4.2s
+`
+
+func parseSample(t *testing.T) *Snapshot {
+	t.Helper()
+	snap, err := parseBenchText(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+func TestParseBenchText(t *testing.T) {
+	snap := parseSample(t)
+	if snap.CPU != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Errorf("cpu = %q", snap.CPU)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(snap.Benchmarks), snap.Benchmarks)
+	}
+	counting := snap.Benchmarks["BenchmarkGreedyKernels/counting"]
+	if counting.NsPerOp != 25498506 || counting.Runs != 1 {
+		t.Errorf("counting = %+v", counting)
+	}
+	// Repeated runs keep the minimum and count both.
+	bitset := snap.Benchmarks["BenchmarkGreedyKernels/bitset"]
+	if bitset.NsPerOp != 6400000 || bitset.Runs != 2 {
+		t.Errorf("bitset = %+v", bitset)
+	}
+	if bitset.BytesPerOp != 2097152 || bitset.AllocsPerOp != 3 {
+		t.Errorf("bitset mem stats = %+v", bitset)
+	}
+}
+
+func TestCompareSnapshots(t *testing.T) {
+	base := parseSample(t)
+	cur := parseSample(t)
+
+	var out strings.Builder
+	if !compareSnapshots(&out, base, cur, "", 1.10, 1.25) {
+		t.Errorf("identical snapshots failed compare:\n%s", out.String())
+	}
+
+	// 2x regression on a gated benchmark fails...
+	slow := cur.Benchmarks["BenchmarkGreedyKernels/bitset"]
+	slow.NsPerOp *= 2
+	cur.Benchmarks["BenchmarkGreedyKernels/bitset"] = slow
+	out.Reset()
+	if compareSnapshots(&out, base, cur, "", 1.10, 1.25) {
+		t.Errorf("2x regression passed compare:\n%s", out.String())
+	}
+	// ...but is ignored when -match excludes it.
+	out.Reset()
+	if !compareSnapshots(&out, base, cur, "LoadFile", 1.10, 1.25) {
+		t.Errorf("unmatched regression gated anyway:\n%s", out.String())
+	}
+	// New/removed benchmarks never gate.
+	delete(cur.Benchmarks, "BenchmarkGreedyKernels/bitset")
+	cur.Benchmarks["BenchmarkBrandNew"] = Bench{NsPerOp: 1, Runs: 1}
+	out.Reset()
+	if !compareSnapshots(&out, base, cur, "", 1.10, 1.25) {
+		t.Errorf("added/removed benchmarks gated:\n%s", out.String())
+	}
+}
+
+func TestCheckRatio(t *testing.T) {
+	snap := parseSample(t)
+	var out strings.Builder
+	if !checkRatio(&out, snap, "BenchmarkGreedyKernels/counting", "BenchmarkGreedyKernels/bitset", 1.5) {
+		t.Errorf("3.98x speedup failed a 1.5x gate:\n%s", out.String())
+	}
+	if checkRatio(&out, snap, "BenchmarkGreedyKernels/counting", "BenchmarkGreedyKernels/bitset", 10) {
+		t.Error("3.98x speedup passed a 10x gate")
+	}
+	if checkRatio(&out, snap, "BenchmarkNope", "BenchmarkGreedyKernels/bitset", 1) {
+		t.Error("missing benchmark passed ratio gate")
+	}
+}

@@ -1,0 +1,109 @@
+// Command docscheck verifies that relative markdown links resolve, so the
+// cross-references between README.md and the docs/ pages cannot rot. CI
+// runs it over the repository root; it walks every .md file (skipping
+// hidden directories and testdata), extracts [text](target) links outside
+// fenced code blocks, and fails listing each link whose target file does
+// not exist. External (http/https/mailto) and same-page fragment links are
+// out of scope.
+//
+// Usage:
+//
+//	docscheck [dir ...]   (default ".")
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// mdLink matches [text](target); nested parentheses in targets are not
+// used in this repo.
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	broken := 0
+	files := 0
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			name := d.Name()
+			if d.IsDir() {
+				if path != root && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(name, ".md") {
+				return nil
+			}
+			files++
+			broken += checkFile(path)
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if broken > 0 {
+		fmt.Printf("docscheck: %d broken link(s) across %d markdown file(s)\n", broken, files)
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d markdown file(s), all relative links resolve\n", files)
+}
+
+// checkFile reports each broken relative link in one markdown file and
+// returns how many it found.
+func checkFile(path string) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+
+	broken := 0
+	inFence := false
+	lineNo := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#") // drop fragment
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				fmt.Printf("%s:%d: broken link %q (%s)\n", path, lineNo, m[1], resolved)
+				broken++
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: reading %s: %v\n", path, err)
+		broken++
+	}
+	return broken
+}

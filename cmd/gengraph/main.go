@@ -40,7 +40,7 @@ func main() {
 		weights = flag.String("weights", "wc", "wc | uniform:<p> | trivalency | none")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		out     = flag.String("out", "", "output path (required)")
-		format  = flag.String("format", "binary", "binary | text")
+		format  = flag.String("format", "binary", "binary | csr | text")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -102,6 +102,9 @@ func main() {
 	switch *format {
 	case "binary":
 		err = graph.WriteBinary(f, g)
+	case "csr":
+		// OPIMG2: the serving cache format opimd loads via mmap.
+		err = graph.WriteCSR(f, g)
 	case "text":
 		err = graph.WriteText(f, g)
 	default:

@@ -1,0 +1,248 @@
+package graph_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/reprolab/opim/internal/core"
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/gen"
+	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/rrset"
+)
+
+// testGraph builds a nontrivial weighted graph for the CSR round-trip and
+// load-path tests.
+func testGraph(t testing.TB, n int32) *graph.Graph {
+	t.Helper()
+	g, err := gen.PreferentialAttachment(n, 5, 0.2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err = graph.Reweight(g, graph.WeightedCascade, 0, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// requireSameGraph fails unless a and b agree edge for edge (bitwise on
+// probabilities) and on every derived quantity the samplers consume.
+func requireSameGraph(t *testing.T, a, b *graph.Graph) {
+	t.Helper()
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatalf("shape mismatch: %v vs %v", a, b)
+	}
+	var edgesA []graph.Edge
+	a.Edges(func(e graph.Edge) bool { edgesA = append(edgesA, e); return true })
+	i := 0
+	b.Edges(func(e graph.Edge) bool {
+		if edgesA[i] != e {
+			t.Fatalf("edge %d: %v vs %v", i, edgesA[i], e)
+		}
+		i++
+		return true
+	})
+	if i != len(edgesA) {
+		t.Fatalf("edge count mismatch: %d vs %d", len(edgesA), i)
+	}
+	for v := int32(0); v < a.N(); v++ {
+		if a.InWeightSum(v) != b.InWeightSum(v) {
+			t.Fatalf("InWeightSum(%d): %v vs %v", v, a.InWeightSum(v), b.InWeightSum(v))
+		}
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("fingerprint mismatch: %s vs %s", a.Fingerprint(), b.Fingerprint())
+	}
+}
+
+func TestCSRRoundTrip(t *testing.T) {
+	g := testGraph(t, 500)
+	var buf bytes.Buffer
+	if err := graph.WriteCSR(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := graph.ReadCSR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mapped() {
+		t.Error("ReadCSR graph reports Mapped")
+	}
+	requireSameGraph(t, g, got)
+}
+
+func TestCSRRoundTripEmpty(t *testing.T) {
+	b := graph.NewBuilder(3, 0) // nodes but no edges
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := graph.WriteCSR(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := graph.ReadCSR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameGraph(t, g, got)
+}
+
+// TestLoadFileFingerprintInvariance is the tentpole invariant on the
+// loading side: the same graph saved as OPIMG1, as OPIMG2 read through the
+// copy decoder, and as OPIMG2 read through mmap yields the same
+// fingerprint as the in-memory original.
+func TestLoadFileFingerprintInvariance(t *testing.T) {
+	g := testGraph(t, 400)
+	dir := t.TempDir()
+
+	p1 := filepath.Join(dir, "g.opimg1")
+	if err := graph.SaveFile(p1, g); err != nil {
+		t.Fatal(err)
+	}
+	p2 := filepath.Join(dir, "g.opimg2")
+	if err := graph.SaveFileCSR(p2, g); err != nil {
+		t.Fatal(err)
+	}
+
+	fromV1, err := graph.LoadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameGraph(t, g, fromV1)
+
+	fromV2, err := graph.LoadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fromV2.Close()
+	requireSameGraph(t, g, fromV2)
+	wantMapped := graph.MmapAvailable() && os.Getenv("OPIM_NO_MMAP") == ""
+	if fromV2.Mapped() != wantMapped {
+		t.Errorf("LoadFile(OPIMG2).Mapped() = %v, want %v", fromV2.Mapped(), wantMapped)
+	}
+
+	// Copy path, forced: must agree with the mmap path bit for bit.
+	t.Setenv("OPIM_NO_MMAP", "1")
+	forced, err := graph.LoadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forced.Mapped() {
+		t.Error("OPIM_NO_MMAP load reports Mapped")
+	}
+	requireSameGraph(t, fromV2, forced)
+}
+
+// TestMmapAdvanceSnapshotIdentity drives a full online session on a heap
+// graph and on the mmap-loaded copy of the same graph and requires the two
+// checkpoint byte streams — seeds, RR pools, bounds, fingerprints — to be
+// identical. This is the end-to-end form of "the load path does not leak
+// into results".
+func TestMmapAdvanceSnapshotIdentity(t *testing.T) {
+	g := testGraph(t, 300)
+	path := filepath.Join(t.TempDir(), "g.opimg2")
+	if err := graph.SaveFileCSR(path, g); err != nil {
+		t.Fatal(err)
+	}
+	mg, err := graph.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mg.Close()
+
+	run := func(g *graph.Graph) []byte {
+		t.Helper()
+		o, err := core.NewOnline(rrset.NewSampler(g, diffusion.IC),
+			core.Options{K: 8, Delta: 0.05, Variant: core.Plus, Seed: 21, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.AdvanceTo(4000)
+		if snap := o.Snapshot(); len(snap.Seeds) != 8 {
+			t.Fatalf("got %d seeds", len(snap.Seeds))
+		}
+		var buf bytes.Buffer
+		if err := core.SaveSession(&buf, o); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	heap, mapped := run(g), run(mg)
+	if !bytes.Equal(heap, mapped) {
+		t.Fatalf("session bytes diverge between heap and mmap graphs: %d vs %d bytes", len(heap), len(mapped))
+	}
+}
+
+// TestReadCSRRejectsCorruption tampers with individual sections and
+// expects the copy decoder's deep validation to reject each mutant.
+func TestReadCSRRejectsCorruption(t *testing.T) {
+	g := testGraph(t, 120)
+	var buf bytes.Buffer
+	if err := graph.WriteCSR(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	orig := buf.Bytes()
+
+	if _, err := graph.ReadCSR(bytes.NewReader(orig)); err != nil {
+		t.Fatalf("pristine file rejected: %v", err)
+	}
+	for _, cut := range []int{0, 5, 8, 23, len(orig) / 2, len(orig) - 1} {
+		if _, err := graph.ReadCSR(bytes.NewReader(orig[:cut])); !errors.Is(err, graph.ErrBadFormat) {
+			t.Errorf("truncation at %d: error = %v, want ErrBadFormat", cut, err)
+		}
+	}
+	// Flip one byte at a spread of offsets past the header: whatever
+	// section it lands in (offsets, targets, probabilities, inPSum), deep
+	// validation must notice the out/in sides no longer agree.
+	for off := 24; off < len(orig); off += 997 {
+		mut := bytes.Clone(orig)
+		mut[off] ^= 0x40
+		if _, err := graph.ReadCSR(bytes.NewReader(mut)); err == nil {
+			t.Errorf("flip at offset %d accepted", off)
+		}
+	}
+}
+
+// BenchmarkLoadFile tracks graph load latency across the three binary
+// paths; csr_mmap is the headline number behind the "large graph loads in
+// milliseconds" claim (docs/PERFORMANCE.md).
+func BenchmarkLoadFile(b *testing.B) {
+	g := testGraph(b, 20000)
+	dir := b.TempDir()
+	p1 := filepath.Join(dir, "g.opimg1")
+	if err := graph.SaveFile(p1, g); err != nil {
+		b.Fatal(err)
+	}
+	p2 := filepath.Join(dir, "g.opimg2")
+	if err := graph.SaveFileCSR(p2, g); err != nil {
+		b.Fatal(err)
+	}
+	bench := func(name, path, noMmap string) {
+		b.Run(name, func(b *testing.B) {
+			if noMmap != "" {
+				b.Setenv("OPIM_NO_MMAP", noMmap)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g, err := graph.LoadFile(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if g.N() != 20000 {
+					b.Fatal("wrong graph")
+				}
+				g.Close()
+			}
+		})
+	}
+	bench("opimg1", p1, "")
+	bench("csr_copy", p2, "1")
+	bench("csr_mmap", p2, "")
+}

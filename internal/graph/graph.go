@@ -51,6 +51,31 @@ type Graph struct {
 
 	// fp caches Fingerprint's content hash (nil until first computed).
 	fp atomic.Pointer[string]
+
+	// unmap releases the mmap backing the CSR slices, if any (set only by
+	// the mmap load path; see csr.go / mmap_unix.go). It is registered as a
+	// GC finalizer, so dropping the last reference to a mapped Graph is
+	// always safe; Close only accelerates the release.
+	unmap func()
+}
+
+// Mapped reports whether this Graph's CSR arrays alias a read-only file
+// mapping instead of heap memory. Behaviour is identical either way; the
+// distinction matters only for memory accounting and Close.
+func (g *Graph) Mapped() bool { return g.unmap != nil }
+
+// Close releases the file mapping backing a Mapped graph immediately
+// instead of waiting for the garbage collector. After Close every accessor
+// on g is invalid. Calling Close on an unmapped graph, or twice, is a
+// no-op. Long-lived processes that cycle many graphs (the opimd catalog)
+// can rely on the finalizer instead — that path can never unmap memory a
+// concurrent reader still holds.
+func (g *Graph) Close() error {
+	if u := g.unmap; u != nil {
+		g.unmap = nil
+		u()
+	}
+	return nil
 }
 
 // N returns the number of nodes.

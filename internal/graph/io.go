@@ -158,8 +158,13 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	return b.Build()
 }
 
-// LoadFile reads a graph from path, choosing the binary decoder for files
-// that start with the binary magic and the text decoder otherwise.
+// LoadFile reads a graph from path, dispatching on the leading magic:
+// OPIMG2 files (the CSR cache format, csr.go) load via mmap on supported
+// platforms — falling back to the ReadCSR copy decoder when mapping is
+// unavailable, the build carries the opim_nommap tag, or OPIM_NO_MMAP is
+// set in the environment — OPIMG1 files use ReadBinary, and anything else
+// is parsed as a text edge list. The graph fingerprint is computed from
+// the CSR arrays and therefore identical across every path.
 func LoadFile(path string) (*Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -168,11 +173,23 @@ func LoadFile(path string) (*Graph, error) {
 	defer f.Close()
 	br := bufio.NewReader(f)
 	peek, err := br.Peek(len(binaryMagic))
+	if err == nil && string(peek) == csrMagic {
+		if mmapSupported && os.Getenv("OPIM_NO_MMAP") == "" {
+			return mmapCSRFile(f)
+		}
+		return ReadCSR(br)
+	}
 	if err == nil && string(peek) == binaryMagic {
 		return ReadBinary(br)
 	}
 	return ReadText(br)
 }
+
+// MmapAvailable reports whether this build and platform support the
+// aliasing mmap path for OPIMG2 files (little-endian unix, not compiled
+// with the opim_nommap tag). OPIM_NO_MMAP=1 still forces the copy decoder
+// at load time even when this returns true.
+func MmapAvailable() bool { return mmapSupported }
 
 // SaveFile writes g to path in binary format.
 func SaveFile(path string, g *Graph) error {

@@ -1,0 +1,17 @@
+//go:build opim_nommap || !(linux || darwin)
+
+package graph
+
+import "os"
+
+// Platforms without the mmap loader (or builds carrying the opim_nommap
+// tag) load OPIMG2 files through the ReadCSR copy decoder. LoadFile guards
+// on mmapSupported, so mmapCSRFile is only a defensive fallback here.
+const mmapSupported = false
+
+func mmapCSRFile(f *os.File) (*Graph, error) {
+	if _, err := f.Seek(0, 0); err != nil {
+		return nil, err
+	}
+	return ReadCSR(f)
+}

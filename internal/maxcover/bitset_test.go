@@ -1,0 +1,180 @@
+package maxcover
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/gen"
+	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/rng"
+	"github.com/reprolab/opim/internal/rrset"
+)
+
+// randomCollection builds a synthetic collection of count RR sets over n
+// nodes where each node joins each set independently with probability
+// density — direct control over the regime that drives kernel selection.
+func randomCollection(t testing.TB, n int32, count int, density float64, seed int64) *rrset.Collection {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	c := rrset.NewCollection(n)
+	var nodes []int32
+	for i := 0; i < count; i++ {
+		nodes = nodes[:0]
+		for v := int32(0); v < n; v++ {
+			if r.Float64() < density {
+				nodes = append(nodes, v)
+			}
+		}
+		// Keep at least the root node so no set is empty.
+		if len(nodes) == 0 {
+			nodes = append(nodes, r.Int31n(n))
+		}
+		c.Add(nodes, int64(len(nodes)))
+	}
+	return c
+}
+
+// requireEqualResults fails unless a and b agree on every Result field.
+func requireEqualResults(t *testing.T, ctx string, a, b *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("%s: kernels disagree:\n counting: %+v\n bitset:   %+v", ctx, a, b)
+	}
+}
+
+// TestKernelsIdenticalProperty is the property test pinning the tentpole
+// invariant: the packed-bitset kernel and the counting greedy return
+// byte-identical Results — seeds, Coverage, PrefixCoverage, Λ1ᵘ, Λ1⋄ —
+// across random densities, node counts crossing word boundaries, and k
+// values, in all three bounds modes.
+func TestKernelsIdenticalProperty(t *testing.T) {
+	counting, bitset := NewScratch(), NewScratch()
+	counting.SetKernel(KernelCounting)
+	bitset.SetKernel(KernelBitset)
+
+	cases := 0
+	for _, n := range []int32{1, 7, 63, 64, 65, 200} {
+		for _, count := range []int{1, 63, 64, 65, 129, 1000} {
+			for _, density := range []float64{0.01, 0.05, 0.25, 0.7} {
+				c := randomCollection(t, n, count, density, int64(n)*10007+int64(count)*31+int64(density*100))
+				for _, k := range []int{0, 1, 3, int(n), int(n) + 5} {
+					ctx := fmt.Sprintf("n=%d count=%d density=%.2f k=%d", n, count, density, k)
+					requireEqualResults(t, ctx+" plain", counting.Greedy(c, k), bitset.Greedy(c, k))
+					requireEqualResults(t, ctx+" bounds", counting.GreedyWithBounds(c, k), bitset.GreedyWithBounds(c, k))
+					requireEqualResults(t, ctx+" diamond", counting.GreedyWithDiamond(c, k), bitset.GreedyWithDiamond(c, k))
+					cases++
+				}
+			}
+		}
+	}
+	t.Logf("verified %d cases", cases)
+}
+
+// TestKernelsIdenticalOnSampledCollections repeats the identity check on
+// genuinely sampled RR collections (IC and LT on a preferential-attachment
+// graph), the distributional regime the daemon actually serves, including
+// incremental growth between runs — the session snapshot pattern.
+func TestKernelsIdenticalOnSampledCollections(t *testing.T) {
+	g, err := gen.PreferentialAttachment(300, 6, 0.15, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err = graph.Reweight(g, graph.WeightedCascade, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting, bitset := NewScratch(), NewScratch()
+	counting.SetKernel(KernelCounting)
+	bitset.SetKernel(KernelBitset)
+	for _, model := range []diffusion.Model{diffusion.IC, diffusion.LT} {
+		s := rrset.NewSampler(g, model)
+		c := rrset.NewCollection(g.N())
+		for _, grow := range []int{500, 1500, 6000} {
+			rrset.Generate(c, s, grow, rng.New(42), 4)
+			for _, k := range []int{1, 10, 50} {
+				ctx := fmt.Sprintf("model=%v count=%d k=%d", model, c.Count(), k)
+				requireEqualResults(t, ctx, counting.GreedyWithBounds(c, k), bitset.GreedyWithBounds(c, k))
+				requireEqualResults(t, ctx+" diamond", counting.GreedyWithDiamond(c, k), bitset.GreedyWithDiamond(c, k))
+			}
+		}
+	}
+}
+
+// TestChooseKernel pins the decision rule's edges: degenerate inputs fall
+// back to counting, dense-and-small picks bitset, and the memory cap wins
+// over density.
+func TestChooseKernel(t *testing.T) {
+	dense := randomCollection(t, 512, 2048, 0.5, 1)
+	if got := ChooseKernel(dense, 20); got != KernelBitset {
+		t.Errorf("dense collection: ChooseKernel = %v, want bitset", got)
+	}
+	sparse := randomCollection(t, 512, 2048, 0.002, 2)
+	if got := ChooseKernel(sparse, 200); got != KernelCounting {
+		t.Errorf("sparse collection: ChooseKernel = %v, want counting", got)
+	}
+	if got := ChooseKernel(rrset.NewCollection(512), 20); got != KernelCounting {
+		t.Errorf("empty collection: ChooseKernel = %v, want counting", got)
+	}
+	if got := ChooseKernel(dense, 0); got != KernelCounting {
+		t.Errorf("k=0: ChooseKernel = %v, want counting", got)
+	}
+}
+
+// TestScratchKernelReuse runs both kernels interleaved on one Scratch pair
+// across collections of different shapes, catching stale-state bugs in the
+// reused row/uncovered buffers.
+func TestScratchKernelReuse(t *testing.T) {
+	counting, bitset := NewScratch(), NewScratch()
+	counting.SetKernel(KernelCounting)
+	bitset.SetKernel(KernelBitset)
+	shapes := []struct {
+		n       int32
+		count   int
+		density float64
+	}{{100, 500, 0.3}, {40, 2000, 0.1}, {150, 64, 0.8}, {100, 500, 0.3}}
+	for i, sh := range shapes {
+		c := randomCollection(t, sh.n, sh.count, sh.density, int64(i))
+		requireEqualResults(t, fmt.Sprintf("reuse step %d", i),
+			counting.GreedyWithBounds(c, 10), bitset.GreedyWithBounds(c, 10))
+	}
+}
+
+// BenchmarkGreedyKernels is the tracked hot-path benchmark behind the
+// BENCH_opim.json trajectory (docs/PERFORMANCE.md): counting vs bitset
+// GreedyWithBounds on a dense RR collection. CI hard-fails when the
+// bitset/counting ratio drops below 1.5× (cmd/benchjson -ratio).
+func BenchmarkGreedyKernels(b *testing.B) {
+	c := randomCollection(b, 2048, 16384, 0.5, 1)
+	for _, kern := range []Kernel{KernelCounting, KernelBitset} {
+		b.Run(kern.String(), func(b *testing.B) {
+			sc := NewScratch()
+			sc.SetKernel(kern)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if res := sc.GreedyWithBounds(c, 50); len(res.Seeds) != 50 {
+					b.Fatalf("got %d seeds", len(res.Seeds))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGreedyKernelsSparse is the counterpoint workload: a sparse
+// collection where ChooseKernel must keep routing to the counting walk.
+// Tracked so the auto rule's break-even stays honest over time.
+func BenchmarkGreedyKernelsSparse(b *testing.B) {
+	c := randomCollection(b, 8192, 8192, 0.004, 1)
+	for _, kern := range []Kernel{KernelCounting, KernelBitset} {
+		b.Run(kern.String(), func(b *testing.B) {
+			sc := NewScratch()
+			sc.SetKernel(kern)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sc.GreedyWithBounds(c, 50)
+			}
+		})
+	}
+}

@@ -7,11 +7,14 @@
 //   - Λ1ᵘ(S°) of eq. (10): min_i ( Λ1(S_i*) + Σ_{v∈maxMC(S_i*,k)} Λ1(v|S_i*) ),
 //   - Λ1⋄(S°), the Leskovec-style bound used by the OPIM′ variant.
 //
-// The greedy is the counting variant: it maintains the marginal coverage of
-// every node and, when a node is selected, walks the newly covered RR sets
-// decrementing their members' marginals. Total selection cost is
-// O(Σ_{R∈R1} |R|); each maxMC top-k sum is an O(n) quickselect, adding the
-// O(kn) term of Table 1.
+// Two selection kernels produce provably identical Results (bitset.go):
+// the counting variant maintains the marginal coverage of every node and,
+// when a node is selected, walks the newly covered RR sets decrementing
+// their members' marginals — O(Σ_{R∈R1} |R|) total; on dense collections a
+// packed-bitset kernel instead updates marginals word-parallel via
+// popcounts over per-node membership rows. ChooseKernel picks per run
+// (density-gated, memory-capped); each maxMC top-k sum is an O(n)
+// quickselect either way, adding the O(kn) term of Table 1.
 //
 // All selection state (marginal arrays, epoch-marked covered/chosen flags,
 // the quickselect buffer, the CELF heap) lives in a reusable Scratch so a
@@ -63,6 +66,21 @@ type Scratch struct {
 	top     []int64  // quickselect buffer for topKSum
 	heap    lazyHeap // CELF heap storage (GreedyLazy only)
 	epoch   uint32
+
+	// Packed-bitset kernel state (bitset.go); sized lazily, only when
+	// ChooseKernel routes a run to the word-parallel path. rows is cached
+	// across runs keyed on (rowsC, rowsN): a same-pointer collection that
+	// grew since the last run only encodes its new sets (Collections are
+	// append-only), which also pins rowsC against address reuse.
+	kernel    Kernel            // sticky preference; KernelAuto decides per run
+	rows      []uint64          // n × stride packed RR-membership rows
+	rowsC     *rrset.Collection // collection rows currently mirror (nil = cold)
+	rowsN     int               // node count rows were laid out for
+	rowsCount int               // sets encoded in rows
+	stride    int               // words per row (power of two ≥ needed words)
+	uncov     []uint64          // uncovered-set bitset, words long
+	dbuf      []uint64          // newly-covered word deltas of the latest selection
+	dnz       []int32           // indices of nonzero dbuf words
 }
 
 // NewScratch returns an empty Scratch; buffers are sized lazily on first
@@ -129,6 +147,13 @@ func (sc *Scratch) GreedyWithDiamond(c *rrset.Collection, k int) *Result {
 }
 
 func (sc *Scratch) run(c *rrset.Collection, k int, mode boundsMode) *Result {
+	kern := sc.kernel
+	if kern == KernelAuto {
+		kern = ChooseKernel(c, k)
+	}
+	if kern == KernelBitset {
+		return sc.runBitset(c, k, mode)
+	}
 	n := int(c.N())
 	if k > n {
 		k = n
