@@ -111,7 +111,11 @@ func main() {
 		maxGraphs  = flag.Int("max-loaded-graphs", 0, "max graphs resident in memory; past it idle registered graphs are unloaded and reloaded from their spec on demand (0 = unlimited)")
 		ckInterval = flag.Duration("checkpoint-interval", server.DefaultCheckpointInterval, "periodic checkpoint cadence (requires -checkpoint or -checkpoint-dir)")
 		reqTimeout = flag.Duration("request-timeout", time.Minute, "deadline for /advance processing (0 = none)")
-		maxInfl    = flag.Int("max-inflight", 64, "max concurrent HTTP requests before shedding with 503 (0 = unlimited)")
+		maxInfl    = flag.Int("max-inflight", 64, "max concurrent HTTP requests; excess requests queue briefly, then 429 (0 = unlimited)")
+		maxQueue   = flag.Int("max-queue", 0, "max requests waiting for an inflight slot (0 = 2×max-inflight, negative = no queue)")
+		maxQWait   = flag.Duration("max-queue-wait", 500*time.Millisecond, "max time a request queues for an inflight slot before 429")
+		defRate    = flag.Float64("default-rate", 0, "default per-session admission rate for engine-touching requests, req/s token bucket (0 = unlimited; sessions override via SessionSpec.rate)")
+		defBurst   = flag.Float64("default-burst", 0, "default per-session token-bucket depth (0 = max(1, default-rate))")
 	)
 	flag.Parse()
 
@@ -190,6 +194,10 @@ func main() {
 		MaxRR:              *maxRR,
 		RequestTimeout:     *reqTimeout,
 		MaxInflight:        *maxInfl,
+		MaxQueue:           *maxQueue,
+		MaxQueueWait:       *maxQWait,
+		DefaultRate:        *defRate,
+		DefaultBurst:       *defBurst,
 		CheckpointPath:     *checkpoint,
 		CheckpointDir:      *ckDir,
 		MaxLoadedSessions:  *maxLoaded,

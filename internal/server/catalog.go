@@ -416,7 +416,7 @@ func (s *Server) handleGraphByName(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, graphInfo(e))
 	case http.MethodDelete:
 		if status, err := s.removeGraph(name); err != nil {
-			replyError(w, status, err.Error())
+			s.replyError(w, status, err.Error())
 			return
 		}
 		writeJSON(w, map[string]string{"deleted": name})

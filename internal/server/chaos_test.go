@@ -107,11 +107,11 @@ func TestChaosAdvanceDeadline503(t *testing.T) {
 	}
 }
 
-// TestChaosInflightCap: with MaxInflight=1, a long advance in flight
-// sheds every other request with 503 + Retry-After; capacity returns once
-// the advance finishes.
+// TestChaosInflightCap: with MaxInflight=1 and the admission queue
+// disabled, a long advance in flight sheds every other request with 429 +
+// Retry-After; capacity returns once the advance finishes.
 func TestChaosInflightCap(t *testing.T) {
-	_, ts := newSlowServer(t, Config{Batch: 500, MaxInflight: 1})
+	_, ts := newSlowServer(t, Config{Batch: 500, MaxInflight: 1, MaxQueue: -1})
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -124,7 +124,7 @@ func TestChaosInflightCap(t *testing.T) {
 
 	// While the advance occupies the only slot, /status must be shed.
 	deadline := time.Now().Add(5 * time.Second)
-	var got503 bool
+	var got429 bool
 	for time.Now().Before(deadline) {
 		resp, err := http.Get(ts.URL + "/status")
 		if err != nil {
@@ -132,16 +132,16 @@ func TestChaosInflightCap(t *testing.T) {
 		}
 		retryAfter := resp.Header.Get("Retry-After")
 		resp.Body.Close()
-		if resp.StatusCode == http.StatusServiceUnavailable {
+		if resp.StatusCode == http.StatusTooManyRequests {
 			if retryAfter == "" {
 				t.Fatal("shed response missing Retry-After")
 			}
-			got503 = true
+			got429 = true
 			break
 		}
 		time.Sleep(time.Millisecond)
 	}
-	if !got503 {
+	if !got429 {
 		t.Fatal("inflight cap never shed a request while an advance was in flight")
 	}
 
@@ -170,15 +170,16 @@ func TestClientRetriesAfterInflight503(t *testing.T) {
 	rejections := 0
 	inner, ts := newSlowServer(t, Config{Batch: 500})
 	_ = inner
-	// A front handler that sheds the first two requests like the limiter
-	// would, then proxies — deterministic 503-then-success.
+	// A front handler that sheds the first two requests like the old hard
+	// limiter would, then proxies — deterministic 503-then-success. No
+	// Retry-After hint: this pins the pure-backoff retry path (the
+	// hint-floor path is pinned by TestRetryAfterIsFloorNotOverride).
 	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		mu.Lock()
 		rejections++
 		shed := rejections <= 2
 		mu.Unlock()
 		if shed {
-			w.Header().Set("Retry-After", "1")
 			http.Error(w, "server at capacity", http.StatusServiceUnavailable)
 			return
 		}
@@ -361,7 +362,8 @@ func TestStressConcurrentRequests(t *testing.T) {
 					errs <- errors.New("request exceeded its deadline: " + p)
 					return
 				}
-				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable &&
+					resp.StatusCode != http.StatusTooManyRequests {
 					errs <- errors.New(p + ": unexpected status " + resp.Status)
 					return
 				}

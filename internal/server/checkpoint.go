@@ -203,9 +203,14 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request, sess *
 		http.Error(w, "checkpointing not configured (start opimd with -checkpoint or -checkpoint-dir)", http.StatusNotFound)
 		return
 	}
+	// A forced checkpoint serializes the engine under the session lock —
+	// engine-touching work, so it pays a token like /advance does.
+	if !s.admitSession(w, sess) {
+		return
+	}
 	s.touch(sess)
 	if status, msg := s.ensureLoaded(sess); status != 0 {
-		replyError(w, status, msg)
+		s.replyError(w, status, msg)
 		return
 	}
 	n, err := s.saveSessionCheckpoint(sess)

@@ -45,10 +45,10 @@ var defaultHTTPClient = &http.Client{Timeout: defaultClientTimeout}
 // bounded by MaxRetries, but only when a retry cannot change the
 // session's semantics:
 //
-//   - 503 (the server's load-shedding and deadline responses) and 409
-//     (a request racing a session eviction) are retried for idempotent
-//     requests only — Status, Metrics, Start, Stop, PeekSnapshot,
-//     ListSessions;
+//   - 503 (the server's deadline responses), 429 (admission-queue and
+//     token-bucket rejections) and 409 (a request racing a session
+//     eviction) are retried for idempotent requests only — Status,
+//     Metrics, Start, Stop, PeekSnapshot, ListSessions;
 //   - transport errors (connection refused/reset, timeouts) likewise are
 //     retried for idempotent requests only;
 //   - Advance and Snapshot are never auto-retried: a lost response may
@@ -57,10 +57,13 @@ var defaultHTTPClient = &http.Client{Timeout: defaultClientTimeout}
 //     budget corruption the resume guarantees exist to prevent;
 //   - any other non-200 status is a semantic failure and never retried.
 //
-// A 503/409 Retry-After header, when present, overrides the backoff
-// delay. Jitter comes from a per-client source seeded by RetrySeed, so
-// retry timing is reproducible in tests and never contends on (or is
-// perturbed by) the global math/rand state.
+// A 503/429/409 Retry-After header, when present, is a floor on the
+// backoff delay, never the delay itself: the client waits the hint plus
+// its own jitter (see backoffDelay). Every shed client received the same
+// whole-second hint — retrying exactly then would re-synchronize the
+// herd the server just spread out. Jitter comes from a per-client source
+// seeded by RetrySeed, so retry timing is reproducible in tests and
+// never contends on (or is perturbed by) the global math/rand state.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://localhost:8080".
 	BaseURL string
@@ -173,20 +176,38 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any, ide
 		if !retryable || !idempotent || attempt >= c.retries() {
 			return lastErr
 		}
-		delay := base << attempt
-		if delay > maxRetryDelay {
-			delay = maxRetryDelay
-		}
-		delay += time.Duration(c.jitterN(int64(delay)/2 + 1)) // jitter
-		if retryAfter > 0 {
-			delay = retryAfter
-		}
 		select {
-		case <-time.After(delay):
+		case <-time.After(c.backoffDelay(base, attempt, retryAfter)):
 		case <-ctx.Done():
 			return ctx.Err()
 		}
 	}
+}
+
+// backoffDelay computes the wait before retry number attempt (0-based):
+// exponential backoff from base with up to 50% added jitter, capped at
+// maxRetryDelay. A server Retry-After hint raises the delay to at least
+// the hint — with the jitter still added on top, never replacing it.
+// The hint is when capacity is *expected* back, and the server hands the
+// same whole-second value to every client it sheds in that window;
+// treating it as the exact retry instant would reassemble the thundering
+// herd at hint expiry, which is precisely what per-client jitter exists
+// to prevent.
+func (c *Client) backoffDelay(base time.Duration, attempt int, retryAfter time.Duration) time.Duration {
+	delay := base
+	// Doubling per attempt, without shift overflow for large MaxRetries:
+	// stop doubling once past the cap.
+	for i := 0; i < attempt && delay < maxRetryDelay; i++ {
+		delay *= 2
+	}
+	if delay > maxRetryDelay {
+		delay = maxRetryDelay
+	}
+	jitter := time.Duration(c.jitterN(int64(delay)/2 + 1))
+	if retryAfter > 0 && delay < retryAfter {
+		delay = retryAfter
+	}
+	return delay + jitter
 }
 
 // once performs a single HTTP exchange. retryable reports whether the
@@ -210,14 +231,25 @@ func (c *Client) once(ctx context.Context, method, path string, payload []byte, 
 		// server, which is precisely why only idempotent requests retry.
 		return err, true, 0
 	}
-	defer resp.Body.Close()
+	// Drain whatever the handler below leaves unread before closing: a
+	// Body closed with bytes still buffered poisons the underlying TCP
+	// connection for keep-alive reuse, so every retry would pay a fresh
+	// dial + handshake — and a retrying client is exactly the one that
+	// needs its warm connection. The drain is bounded; a response large
+	// enough to blow the bound is cheaper to abandon than to slurp.
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 256<<10)) //nolint:errcheck // best-effort drain
+		resp.Body.Close()
+	}()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		err := fmt.Errorf("opimd: %s %s: %s: %s", method, path, resp.Status, body)
-		// 503: load shedding / deadline. 409: the request raced a session
-		// eviction; the session is servable again once the checkpoint
-		// write finishes, so an idempotent retry after Retry-After wins.
-		if resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusConflict {
+		// 503: advance deadline. 429: admission queue or per-session token
+		// bucket. 409: the request raced a session eviction; servable again
+		// once the checkpoint write finishes. In each case an idempotent
+		// retry after the server's honest Retry-After (plus jitter) wins.
+		switch resp.StatusCode {
+		case http.StatusServiceUnavailable, http.StatusTooManyRequests, http.StatusConflict:
 			if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
 				retryAfter = time.Duration(secs) * time.Second
 			}
@@ -367,6 +399,24 @@ func (c *Client) DeleteSession(id string) error {
 // DeleteSessionContext is DeleteSession bounded by ctx.
 func (c *Client) DeleteSessionContext(ctx context.Context, id string) error {
 	return c.do(ctx, http.MethodDelete, "/sessions/"+url.PathEscape(id), nil, nil, false)
+}
+
+// BulkSessions executes many session operations in one round-trip (POST
+// /sessions/bulk): create, start, advance and stop batches, answered with
+// one per-operation result each. Never auto-retried — the advance (and
+// create) phases are not idempotent, exactly like their per-session
+// counterparts; callers inspect the per-op statuses and re-issue only the
+// operations that failed retryably.
+func (c *Client) BulkSessions(req BulkSessionsRequest) (BulkSessionsResponse, error) {
+	return c.BulkSessionsContext(context.Background(), req)
+}
+
+// BulkSessionsContext is BulkSessions bounded by ctx. Size the ctx (and
+// the HTTPClient timeout) to the advance batch, not to the default 30s.
+func (c *Client) BulkSessionsContext(ctx context.Context, req BulkSessionsRequest) (BulkSessionsResponse, error) {
+	var resp BulkSessionsResponse
+	err := c.do(ctx, http.MethodPost, "/sessions/bulk", req, &resp, false)
+	return resp, err
 }
 
 // CreateGraph registers a named graph in the server's catalog (POST

@@ -1,9 +1,10 @@
 // Package server exposes OPIM sessions over HTTP — the paper's
 // online-query-processing paradigm as a long-running, multi-tenant
-// service. A background sampler streams RR sets round-robin across every
-// running session; clients poll each session's current seed set and
-// guarantee and stop its refinement when satisfied, exactly as a database
-// user monitors an online aggregation query.
+// service. A background sampler streams RR sets across every running
+// session in deficit-weighted round-robin order (a session's share of
+// sampling follows its configured weight); clients poll each session's
+// current seed set and guarantee and stop its refinement when satisfied,
+// exactly as a database user monitors an online aggregation query.
 //
 // Endpoints (all JSON; docs/API.md has schemas and curl examples):
 //
@@ -13,6 +14,7 @@
 //	DELETE /graphs/{name}               unregister a graph (409 while referenced)
 //	GET    /sessions                    list sessions
 //	POST   /sessions                    create a session (body: SessionSpec; "graph" picks its catalog graph)
+//	POST   /sessions/bulk               create/start/advance/stop many sessions in one call (body: BulkSessionsRequest)
 //	GET    /sessions/{id}               describe one session
 //	DELETE /sessions/{id}               delete a session and its checkpoints
 //	GET    /sessions/{id}/status        session counters (never blocks)
@@ -38,11 +40,14 @@
 //
 // The request path is hardened for long-lived deployments: a
 // panic-recovery middleware turns handler panics into 500s (counted in
-// server_panics_total, stack to the event log), an inflight cap sheds
-// load with 503 + Retry-After instead of queueing unboundedly, and
-// /advance threads its request context into chunked RR generation so
-// client disconnects and the configured request deadline actually stop
-// the work (partial progress is kept — cancelling loses no RR sets).
+// server_panics_total, stack to the event log), a bounded admission queue
+// above the inflight cap rejects unserviceable requests with 429 + an
+// honest Retry-After derived from queue depth and measured service time
+// (qos.go), per-session token buckets rate-limit engine-touching requests
+// per tenant, and /advance threads its request context into chunked RR
+// generation so client disconnects and the configured request deadline
+// actually stop the work (partial progress is kept — cancelling loses no
+// RR sets).
 package server
 
 import (
@@ -75,9 +80,10 @@ var (
 
 // Config configures a Server.
 type Config struct {
-	// Batch is the RR-set count generated per background-sampler visit to a
-	// running session (≤ 0 defaults to 10 000) — also the fairness quantum
-	// of the round-robin rotation.
+	// Batch is the RR-set count a weight-1 session is credited per
+	// background-sampler visit (≤ 0 defaults to 10 000) — the fairness
+	// quantum of the deficit-weighted rotation, and the largest chunk the
+	// sampler holds any session's mutex for.
 	Batch int
 	// MaxRR caps each session's size; the background sampler drops a
 	// session from its rotation there (≤ 0 defaults to 2²⁶). Sessions may
@@ -87,8 +93,26 @@ type Config struct {
 	// returns 503 with progress kept. 0 means no deadline.
 	RequestTimeout time.Duration
 	// MaxInflight caps concurrently served HTTP requests; excess requests
-	// are shed with 503 + Retry-After. ≤ 0 means unlimited.
+	// enter the bounded admission queue (MaxQueue/MaxQueueWait) and are
+	// rejected with 429 + an honest Retry-After when the queue cannot
+	// plausibly serve them. ≤ 0 means unlimited.
 	MaxInflight int
+	// MaxQueue bounds how many over-capacity requests may wait for an
+	// inflight slot (0 defaults to 2 × MaxInflight; < 0 disables queueing —
+	// over-capacity requests are rejected immediately).
+	MaxQueue int
+	// MaxQueueWait bounds how long a queued request waits before a 429
+	// (≤ 0 defaults to 500ms). Requests whose estimated wait — queue depth
+	// times measured service time — already exceeds it are rejected without
+	// queueing at all.
+	MaxQueueWait time.Duration
+	// DefaultRate is the per-session admission rate (engine-touching
+	// requests per second, token bucket) for sessions that do not set
+	// SessionSpec.Rate. ≤ 0 means unlimited.
+	DefaultRate float64
+	// DefaultBurst is the matching default bucket depth (≤ 0 means
+	// max(1, DefaultRate)).
+	DefaultBurst float64
 	// CheckpointPath, when non-empty, enables crash-safe checkpointing of
 	// the default session there (previous generation kept at
 	// CheckpointPath+".prev").
@@ -153,7 +177,14 @@ type Server struct {
 
 	loadedGraphs atomic.Int64 // resident graphs (gauge mirror)
 
-	inflight atomic.Int64
+	// Admission control (see qos.go): admSlots holds one token per
+	// concurrently served request, admQueued counts waiters, and svc is
+	// the service-time EWMA behind every honest Retry-After hint.
+	admSlots    chan struct{}
+	admQueued   atomic.Int64
+	admMaxQueue int64
+	admMaxWait  time.Duration
+	svc         ewma
 
 	loopMu  sync.Mutex // guards running/stopCh/done transitions
 	running bool
@@ -186,6 +217,19 @@ func New(session *core.Online, cfg Config) *Server {
 		sampler:  session.Sampler(),
 		sessions: make(map[string]*Session),
 		graphs:   make(map[string]*graphEntry),
+	}
+	if cfg.MaxInflight > 0 {
+		s.admSlots = make(chan struct{}, cfg.MaxInflight)
+		switch {
+		case cfg.MaxQueue > 0:
+			s.admMaxQueue = int64(cfg.MaxQueue)
+		case cfg.MaxQueue == 0:
+			s.admMaxQueue = int64(2 * cfg.MaxInflight)
+		}
+		s.admMaxWait = cfg.MaxQueueWait
+		if s.admMaxWait <= 0 {
+			s.admMaxWait = defaultMaxQueueWait
+		}
 	}
 	// Register the startup graph as the "default" catalog entry. With
 	// DefaultGraphSpec set it is reloadable like any POSTed graph;
@@ -225,7 +269,8 @@ func New(session *core.Online, cfg Config) *Server {
 		ckPath = s.sessionCheckpointPath(DefaultSessionID)
 	}
 	defSess := &Session{ID: DefaultSessionID, maxRR: cfg.MaxRR, ckPath: ckPath, graph: def}
-	defSess.setOnlineLocked(session) // pre-publication: no concurrent access yet
+	s.applySessionQoS(defSess, 0, 0, 0) // server-default weight and rate
+	defSess.setOnlineLocked(session)    // pre-publication: no concurrent access yet
 	s.addSession(defSess)
 	return s
 }
@@ -247,8 +292,10 @@ func (s *Server) Handler() http.Handler {
 	// Graph catalog.
 	mux.HandleFunc("/graphs", instrument("graphs", s.handleGraphs))
 	mux.HandleFunc("/graphs/{name}", instrument("graph", s.handleGraphByName))
-	// Session management and per-session endpoints.
+	// Session management and per-session endpoints. The literal
+	// /sessions/bulk pattern wins over the /sessions/{id} wildcard.
 	mux.HandleFunc("/sessions", instrument("sessions", s.handleSessions))
+	mux.HandleFunc("/sessions/bulk", instrument("sessions_bulk", s.handleSessionsBulk))
 	mux.HandleFunc("/sessions/{id}", instrument("session", s.handleSessionByID))
 	mux.HandleFunc("/sessions/{id}/status", instrument("status", s.forSession(s.handleStatus)))
 	mux.HandleFunc("/sessions/{id}/snapshot", instrument("snapshot", s.forSession(s.handleSnapshot)))
@@ -298,24 +345,24 @@ func instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// limiter sheds load above cfg.MaxInflight with 503 + Retry-After — a
-// slow client can then back off and retry instead of queueing on a
-// session mutex until its deadline passes.
+// limiter is the global admission layer (qos.go): above cfg.MaxInflight a
+// request briefly queues for a slot in the bounded admission queue and is
+// rejected with 429 + an honest Retry-After when it cannot plausibly be
+// served within the wait budget. Every completed request feeds the
+// service-time EWMA the Retry-After hints are computed from, so the
+// middleware measures even when no cap is configured.
 func (s *Server) limiter(h http.Handler) http.Handler {
-	max := int64(s.cfg.MaxInflight)
-	if max <= 0 {
-		return h
-	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if s.inflight.Add(1) > max {
-			s.inflight.Add(-1)
-			mInflightRejected.Inc()
-			w.Header().Set("Retry-After", "1")
-			http.Error(w, fmt.Sprintf("server at capacity (%d requests in flight)", max), http.StatusServiceUnavailable)
-			return
+		if s.admSlots != nil {
+			if !s.admitQueue(w, r) {
+				return
+			}
+			defer func() { <-s.admSlots }()
 		}
-		defer s.inflight.Add(-1)
+		start := time.Now()
 		h.ServeHTTP(w, r)
+		s.svc.observe(time.Since(start))
+		gAdmissionServiceEWMA.Set(s.svc.seconds())
 	})
 }
 
@@ -392,16 +439,6 @@ func (s *Server) sessionStatus(sess *Session) Status {
 	return st
 }
 
-// replyError writes an error status; 409s (eviction races) carry
-// Retry-After so well-behaved clients back off and retry instead of
-// failing a request the server could serve a moment later.
-func replyError(w http.ResponseWriter, status int, msg string) {
-	if status == http.StatusConflict {
-		w.Header().Set("Retry-After", "1")
-	}
-	http.Error(w, msg, status)
-}
-
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request, sess *Session) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
@@ -426,9 +463,14 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request, sess *Se
 		http.Error(w, fmt.Sprintf("session %q has no derived snapshot yet (GET snapshot without peek derives one)", sess.ID), http.StatusNotFound)
 		return
 	}
+	// A real snapshot touches the engine and spends δ budget — it pays a
+	// token; the peek path above stays free.
+	if !s.admitSession(w, sess) {
+		return
+	}
 	s.touch(sess)
 	if status, msg := s.ensureLoaded(sess); status != 0 {
-		replyError(w, status, msg)
+		s.replyError(w, status, msg)
 		return
 	}
 	// Snapshot reuses the session's persistent scratch; sess.mu serializes
@@ -436,7 +478,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request, sess *Se
 	sess.mu.Lock()
 	if sess.online == nil {
 		sess.mu.Unlock()
-		replyError(w, http.StatusConflict, fmt.Sprintf("session %q was evicted mid-request; retry shortly", sess.ID))
+		s.replyError(w, http.StatusConflict, fmt.Sprintf("session %q was evicted mid-request; retry shortly", sess.ID))
 		return
 	}
 	snap := sess.online.Snapshot()
@@ -457,43 +499,33 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request, sess *Se
 	writeJSON(w, resp)
 }
 
-func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request, sess *Session) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
-	count, err := strconv.Atoi(r.URL.Query().Get("count"))
-	if err != nil || count <= 0 {
-		http.Error(w, "count must be a positive integer", http.StatusBadRequest)
-		return
+// statusClientGone is advanceSession's sentinel for a client cancellation:
+// the connection is gone, so the handler must write nothing at all.
+const statusClientGone = -1
+
+// advanceSession validates count and generates RR sets on sess — the
+// /advance semantics, shared by the single-session handler and the bulk
+// API. It returns 0 on success, statusClientGone when the caller's
+// context was cancelled (write nothing), or the HTTP status and message
+// to answer with. Partial progress is kept in the session on every path.
+func (s *Server) advanceSession(ctx context.Context, sess *Session, count int) (int, string) {
+	if count <= 0 {
+		return http.StatusBadRequest, "count must be a positive integer"
 	}
 	// A count above the session budget is a client error, not a request to
 	// be silently clamped; the remaining-budget clamp below only trims
 	// otherwise-valid requests near exhaustion (see docs/API.md).
 	if int64(count) > sess.maxRR {
-		http.Error(w, fmt.Sprintf("count %d exceeds the session RR budget max_rr=%d", count, sess.maxRR), http.StatusBadRequest)
-		return
+		return http.StatusBadRequest, fmt.Sprintf("count %d exceeds the session RR budget max_rr=%d", count, sess.maxRR)
 	}
 	s.touch(sess)
 	if status, msg := s.ensureLoaded(sess); status != 0 {
-		replyError(w, status, msg)
-		return
-	}
-	// The request context covers both the wait for the session mutex and
-	// the generation itself: AdvanceContext checks it before the first
-	// chunk, so a request whose deadline passed while queueing does no
-	// work at all.
-	ctx := r.Context()
-	if s.cfg.RequestTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
-		defer cancel()
+		return status, msg
 	}
 	sess.mu.Lock()
 	if sess.online == nil {
 		sess.mu.Unlock()
-		replyError(w, http.StatusConflict, fmt.Sprintf("session %q was evicted mid-request; retry shortly", sess.ID))
-		return
+		return http.StatusConflict, fmt.Sprintf("session %q was evicted mid-request; retry shortly", sess.ID)
 	}
 	if remaining := sess.maxRR - sess.online.NumRR(); int64(count) > remaining {
 		count = int(remaining)
@@ -509,13 +541,44 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request, sess *Ses
 		// Partial progress is kept in the session either way.
 		if errors.Is(advErr, context.DeadlineExceeded) {
 			mAdvanceDeadline.Inc()
-			w.Header().Set("Retry-After", "1")
-			http.Error(w, fmt.Sprintf("advance deadline exceeded after %d of %d RR sets (progress kept; poll /status)", generated, count), http.StatusServiceUnavailable)
+			return http.StatusServiceUnavailable, fmt.Sprintf("advance deadline exceeded after %d of %d RR sets (progress kept; poll /status)", generated, count)
 		}
-		// Client cancellation: the connection is gone, nothing to write.
+		return statusClientGone, ""
+	}
+	return 0, ""
+}
+
+func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request, sess *Session) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	writeJSON(w, s.sessionStatus(sess))
+	count, err := strconv.Atoi(r.URL.Query().Get("count"))
+	if err != nil {
+		http.Error(w, "count must be a positive integer", http.StatusBadRequest)
+		return
+	}
+	if !s.admitSession(w, sess) {
+		return
+	}
+	// The request context covers both the wait for the session mutex and
+	// the generation itself: AdvanceContext checks it before the first
+	// chunk, so a request whose deadline passed while queueing does no
+	// work at all.
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	switch status, msg := s.advanceSession(ctx, sess, count); status {
+	case 0:
+		writeJSON(w, s.sessionStatus(sess))
+	case statusClientGone:
+		// Client cancellation: the connection is gone, nothing to write.
+	default:
+		s.replyError(w, status, msg)
+	}
 }
 
 // handleMetrics dumps obs.Default(). Unlike /snapshot it spends no δ
@@ -544,25 +607,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) handleStart(w http.ResponseWriter, r *http.Request, sess *Session) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
+// startSession adds sess to the background sampling rotation — the
+// /start semantics, shared by the single-session handler and the bulk
+// API. A non-zero return is the HTTP status (and message) of the failure.
+//
+// running must flip to true while the session is verifiably loaded,
+// under sess.mu — set after a bare ensureLoaded, an eviction could pick
+// the still-idle session in between and unload it, leaving running=true
+// on stateUnloaded: /status would report Running while nextQuantum
+// skips it, so background sampling silently never happens. Under
+// sess.mu the flip either precedes the victim pick (running sessions
+// are never picked) or an in-flight eviction sees running=true at its
+// verify step and aborts; if the session was instead evicted in the
+// gap, retry the reload.
+func (s *Server) startSession(sess *Session) (int, string) {
 	s.touch(sess)
-	// running must flip to true while the session is verifiably loaded,
-	// under sess.mu — set after a bare ensureLoaded, an eviction could pick
-	// the still-idle session in between and unload it, leaving running=true
-	// on stateUnloaded: /status would report Running while nextRunning
-	// skips it, so background sampling silently never happens. Under
-	// sess.mu the flip either precedes the victim pick (running sessions
-	// are never picked) or an in-flight eviction sees running=true at its
-	// verify step and aborts; if the session was instead evicted in the
-	// gap, retry the reload.
 	for attempt := 0; ; attempt++ {
 		if status, msg := s.ensureLoaded(sess); status != 0 {
-			replyError(w, status, msg)
-			return
+			return status, msg
 		}
 		sess.mu.Lock()
 		if sess.online != nil && sessionState(sess.state.Load()) == stateLoaded {
@@ -573,11 +635,35 @@ func (s *Server) handleStart(w http.ResponseWriter, r *http.Request, sess *Sessi
 		sess.mu.Unlock()
 		if attempt >= 2 {
 			mSessionConflicts.Inc()
-			replyError(w, http.StatusConflict, fmt.Sprintf("session %q was evicted mid-request; retry shortly", sess.ID))
-			return
+			return http.StatusConflict, fmt.Sprintf("session %q was evicted mid-request; retry shortly", sess.ID)
 		}
 	}
 	s.startLoop()
+	return 0, ""
+}
+
+// stopSession removes sess from the rotation. The empty critical section
+// is a barrier: it waits out a sampler chunk already holding the session,
+// so "stop returned" means "no further background sampling on this
+// session" (the sampler re-checks running under sess.mu).
+func (s *Server) stopSession(sess *Session) {
+	sess.running.Store(false)
+	sess.mu.Lock()
+	sess.mu.Unlock() //nolint:staticcheck // empty critical section IS the barrier
+}
+
+func (s *Server) handleStart(w http.ResponseWriter, r *http.Request, sess *Session) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if !s.admitSession(w, sess) {
+		return
+	}
+	if status, msg := s.startSession(sess); status != 0 {
+		s.replyError(w, status, msg)
+		return
+	}
 	writeJSON(w, s.sessionStatus(sess))
 }
 
@@ -586,12 +672,9 @@ func (s *Server) handleStop(w http.ResponseWriter, r *http.Request, sess *Sessio
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	sess.running.Store(false)
-	// Barrier: wait out a sampler batch already holding the session, so
-	// "stop returned" means "no further background sampling on this
-	// session" (the sampler re-checks running under sess.mu).
-	sess.mu.Lock()
-	sess.mu.Unlock() //nolint:staticcheck // empty critical section IS the barrier
+	// Deliberately not token-gated: a tenant over its rate must always be
+	// able to stop its own background sampling.
+	s.stopSession(sess)
 	writeJSON(w, s.sessionStatus(sess))
 }
 
@@ -664,28 +747,45 @@ func (s *Server) Shutdown() error {
 // loopIdleWait is how long the sampler parks when no session is running.
 const loopIdleWait = 2 * time.Millisecond
 
-// nextRunning picks the next running, loaded session in rotation order —
-// each visit hands out one Batch quantum, so N running sessions progress
-// at 1/N of the sampling throughput each regardless of creation order.
-func (s *Server) nextRunning() *Session {
+// nextQuantum picks the next running, loaded session in rotation order
+// and hands out its deficit-weighted quantum: each visit credits the
+// session weight × Batch RR sets of deficit (capped at deficitBurstCap
+// visits' worth) and grants the whole accumulated deficit, so a session's
+// share of sampling throughput is proportional to its weight — a weight-4
+// session receives 4× the RR sets per rotation of a weight-1 session —
+// not merely to its existence, as the old one-quantum round-robin gave.
+func (s *Server) nextQuantum() (*Session, int64) {
 	s.smu.Lock()
 	defer s.smu.Unlock()
 	n := len(s.order)
 	for i := 0; i < n; i++ {
 		idx := (s.rrIdx + i) % n
 		sess := s.sessions[s.order[idx]]
-		if sess != nil && sess.running.Load() && sessionState(sess.state.Load()) == stateLoaded {
-			s.rrIdx = (idx + 1) % n
-			return sess
+		if sess == nil || !sess.running.Load() || sessionState(sess.state.Load()) != stateLoaded {
+			continue
 		}
+		s.rrIdx = (idx + 1) % n
+		credit := sess.weight * float64(s.cfg.Batch)
+		sess.deficit += credit
+		if cap := credit * deficitBurstCap; sess.deficit > cap {
+			sess.deficit = cap
+		}
+		if quantum := int64(sess.deficit); quantum > 0 {
+			return sess, quantum
+		}
+		// A very small weight may not have accrued one whole RR set yet;
+		// the deficit banks and the rotation moves on.
 	}
-	return nil
+	return nil, 0
 }
 
-// loop is the round-robin background sampler: one goroutine multiplexing
-// every running session, one batch per visit. Per-session pacing happens
-// under that session's own mutex, so a client request on session B waits
-// at most one batch of B — never a batch of A.
+// loop is the deficit-weighted round-robin background sampler: one
+// goroutine multiplexing every running session. Each visit serves the
+// session's accumulated deficit in chunks of at most one Batch, releasing
+// the session mutex between chunks, so however large a heavy tenant's
+// quantum grows, a client request on any session still waits at most one
+// Batch of that session's own work — weighted shares without weighted
+// latency.
 func (s *Server) loop(stop <-chan struct{}, done chan<- struct{}) {
 	defer close(done)
 	for {
@@ -694,7 +794,7 @@ func (s *Server) loop(stop <-chan struct{}, done chan<- struct{}) {
 			return
 		default:
 		}
-		sess := s.nextRunning()
+		sess, quantum := s.nextQuantum()
 		if sess == nil {
 			select {
 			case <-stop:
@@ -703,27 +803,51 @@ func (s *Server) loop(stop <-chan struct{}, done chan<- struct{}) {
 			}
 			continue
 		}
-		sess.mu.Lock()
-		if !sess.running.Load() || sess.online == nil {
-			// Stopped or evicted between selection and lock acquisition.
-			sess.mu.Unlock()
-			continue
-		}
-		remaining := sess.maxRR - sess.online.NumRR()
-		batch := int64(s.cfg.Batch)
-		if batch > remaining {
-			batch = remaining
-		}
-		if batch > 0 {
-			sess.online.Advance(int(batch))
+		var served int64
+		for quantum > 0 {
+			sess.mu.Lock()
+			if !sess.running.Load() || sess.online == nil {
+				// Stopped or evicted between selection and lock acquisition.
+				sess.mu.Unlock()
+				break
+			}
+			chunk := min64(quantum, int64(s.cfg.Batch))
+			if remaining := sess.maxRR - sess.online.NumRR(); chunk >= remaining {
+				chunk = remaining
+				if chunk <= 0 {
+					// Budget exhausted: leave the rotation; /start re-admits.
+					// The flip happens under sess.mu with the exhaustion
+					// re-checked in this same critical section — stored after
+					// unlocking, it could clobber a concurrent POST /start
+					// that legitimately flipped the session running in the
+					// gap (the lost-start race).
+					sess.running.Store(false)
+					sess.mu.Unlock()
+					break
+				}
+			}
+			sess.online.Advance(int(chunk))
 			sess.refreshStatsLocked()
+			sess.mu.Unlock()
+			served += chunk
+			quantum -= chunk
+			// A stop request must not wait out a whole multi-batch quantum.
+			select {
+			case <-stop:
+				s.creditServed(sess, served)
+				return
+			default:
+			}
 		}
-		sess.mu.Unlock()
-		if batch <= 0 {
-			// Budget exhausted: leave the rotation; /start re-admits.
-			sess.running.Store(false)
-		}
+		s.creditServed(sess, served)
 	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // writeJSON encodes v as the response body. An encoding failure here is

@@ -97,6 +97,18 @@ type Session struct {
 	// session without one can never be evicted.
 	ckPath string
 
+	// weight is the session's share of background sampling throughput
+	// (deficit-weighted round-robin, see qos.go); immutable after creation.
+	weight float64
+	// deficit is the DWRR deficit counter in RR sets, guarded by the
+	// server's smu (it is rotation state, like lastTouch).
+	deficit float64
+	// bucket rate-limits admission of engine-touching requests for this
+	// tenant; nil means unlimited. rate/burst mirror its configuration for
+	// lock-free listing.
+	bucket      *tokenBucket
+	rate, burst float64
+
 	// graph is the catalog entry the session runs on, set at creation (or
 	// adoption) and immutable afterwards. The session holds one `sessions`
 	// reference on it for its whole registered life, plus one `loadedRefs`
@@ -149,6 +161,17 @@ type SessionSpec struct {
 	// MaxRR overrides the server's RR budget for this session (0 =
 	// Config.MaxRR; larger values are rejected).
 	MaxRR int64 `json:"max_rr"`
+	// Weight is the session's share of background sampling throughput: a
+	// weight-4 session receives ~4× the RR quanta per rotation of a
+	// weight-1 session (0 = 1; must be in (0, 1024]).
+	Weight float64 `json:"weight,omitempty"`
+	// Rate caps this tenant's engine-touching requests (snapshot, advance,
+	// start, checkpoint) in requests/second via a token bucket. 0 takes the
+	// server default (-default-rate); negative means explicitly unlimited.
+	Rate float64 `json:"rate,omitempty"`
+	// Burst is the token-bucket depth (0 = server default, then
+	// max(1, rate)).
+	Burst float64 `json:"burst,omitempty"`
 }
 
 // SessionInfo describes one session in /sessions responses. Option fields
@@ -167,6 +190,9 @@ type SessionInfo struct {
 	BaseSeeds        []int32 `json:"base_seeds,omitempty"`
 	NumRR            int64   `json:"num_rr"`
 	MaxRR            int64   `json:"max_rr"`
+	Weight           float64 `json:"weight"`
+	Rate             float64 `json:"rate,omitempty"`
+	Burst            float64 `json:"burst,omitempty"`
 	Running          bool    `json:"running"`
 	Loaded           bool    `json:"loaded"`
 	Checkpoint       string  `json:"checkpoint,omitempty"`
@@ -240,6 +266,9 @@ func (s *Server) createSession(spec SessionSpec) (*Session, int, error) {
 		return nil, http.StatusBadRequest,
 			fmt.Errorf("max_rr %d outside (0, server budget %d]", maxRR, s.cfg.MaxRR)
 	}
+	if err := validateQoSSpec(spec); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
 	graphName := spec.Graph
 	if graphName == "" {
 		graphName = DefaultGraphName
@@ -278,6 +307,7 @@ func (s *Server) createSession(spec SessionSpec) (*Session, int, error) {
 	}
 	online.SetGraphIdentity(entry.name, entry.specString)
 	sess := &Session{ID: spec.ID, maxRR: maxRR, ckPath: s.sessionCheckpointPath(spec.ID), graph: entry}
+	s.applySessionQoS(sess, spec.Weight, spec.Rate, spec.Burst)
 	sess.mu.Lock()
 	sess.setOnlineLocked(online)
 	sess.mu.Unlock()
@@ -326,6 +356,7 @@ func (s *Server) AdoptCheckpointDir() ([]string, error) {
 			continue // already registered (e.g. the resumed default)
 		}
 		sess := &Session{ID: id, maxRR: s.cfg.MaxRR, ckPath: s.sessionCheckpointPath(id)}
+		s.applySessionQoS(sess, 0, 0, 0)
 		// The checkpoint's own graph-identity header picks (or registers)
 		// the catalog graph the session resumes on; OPIMS3 fingerprints are
 		// verified, legacy formats log an "unverified graph" warning.
@@ -528,6 +559,9 @@ func (s *Server) sessionInfo(sess *Session) SessionInfo {
 		ID:         sess.ID,
 		NumRR:      sess.statNumRR.Load(),
 		MaxRR:      sess.maxRR,
+		Weight:     sess.weight,
+		Rate:       sess.rate,
+		Burst:      sess.burst,
 		Running:    sess.running.Load(),
 		Loaded:     sessionState(sess.state.Load()) == stateLoaded,
 		Checkpoint: sess.ckPath,
@@ -600,8 +634,7 @@ func (s *Server) handleSessionByID(w http.ResponseWriter, r *http.Request) {
 		}
 		if !s.removeSession(sess) {
 			mSessionConflicts.Inc()
-			w.Header().Set("Retry-After", "1")
-			http.Error(w, fmt.Sprintf("session %q is being evicted; retry shortly", id), http.StatusConflict)
+			s.replyError(w, http.StatusConflict, fmt.Sprintf("session %q is being evicted; retry shortly", id))
 			return
 		}
 		writeJSON(w, map[string]string{"deleted": id})
