@@ -64,6 +64,13 @@
 //     concurrent requests with 503.
 //   - SIGINT/SIGTERM drains in-flight requests, stops the sampling
 //     loop, writes a final checkpoint per session, and exits 0.
+//   - -fleet url1,url2 leases RR-set generation to stateless
+//     `opimd -worker` processes (fingerprint-verified replicas of the
+//     same graph), with lease reassignment on worker death or slowness,
+//     duplicate suppression, CRC-checked transfers, and graceful
+//     degradation to local sampling when no worker is healthy. Results
+//     are byte-identical to a single-process run for any fleet layout
+//     or failure pattern.
 //
 // With -pprof, Go's net/http/pprof profiling handlers are mounted under
 // /debug/pprof/. See docs/API.md for the full HTTP surface and
@@ -81,11 +88,13 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"github.com/reprolab/opim"
 	"github.com/reprolab/opim/internal/cliutil"
+	"github.com/reprolab/opim/internal/fleet"
 	"github.com/reprolab/opim/internal/obs"
 	"github.com/reprolab/opim/internal/server"
 )
@@ -116,6 +125,12 @@ func main() {
 		maxQWait   = flag.Duration("max-queue-wait", 500*time.Millisecond, "max time a request queues for an inflight slot before 429")
 		defRate    = flag.Float64("default-rate", 0, "default per-session admission rate for engine-touching requests, req/s token bucket (0 = unlimited; sessions override via SessionSpec.rate)")
 		defBurst   = flag.Float64("default-burst", 0, "default per-session token-bucket depth (0 = max(1, default-rate))")
+		workerMode = flag.Bool("worker", false, "run as a stateless RR-generation worker: serve the fleet worker protocol on -listen from a local replica of the graph flags, and nothing else")
+		fleetList  = flag.String("fleet", "", "comma-separated base URLs of -worker processes; RR generation is leased to them, degrading to local sampling when none is healthy")
+		fleetChunk = flag.Int("fleet-chunk", 0, "RR sets per fleet lease (0 = 256)")
+		fleetRPC   = flag.Duration("fleet-rpc-timeout", 0, "deadline per fleet worker RPC (0 = 30s)")
+		fleetTTL   = flag.Duration("fleet-lease-ttl", 0, "in-flight lease age before speculative reassignment (0 = 2x the RPC timeout)")
+		fleetHB    = flag.Duration("fleet-heartbeat", 0, "fleet worker health-probe period (0 = 1s)")
 	)
 	flag.Parse()
 
@@ -141,6 +156,11 @@ func main() {
 		}
 	}
 	sampler := opim.NewSampler(g, model)
+
+	if *workerMode {
+		runWorker(sampler, g, model, *listen)
+		return
+	}
 
 	if *maxLoaded > 0 && *ckDir == "" {
 		fatalf("-max-loaded-sessions requires -checkpoint-dir (eviction needs somewhere to checkpoint)")
@@ -189,6 +209,20 @@ func main() {
 		}
 	}
 
+	var coordinator *fleet.Coordinator
+	if *fleetList != "" {
+		coordinator = fleet.NewCoordinator(fleet.Config{
+			Workers:        strings.Split(*fleetList, ","),
+			ChunkSize:      *fleetChunk,
+			RPCTimeout:     *fleetRPC,
+			LeaseTTL:       *fleetTTL,
+			HeartbeatEvery: *fleetHB,
+			Seed:           *seed,
+			Events:         flushingSinkOrNil(events),
+		})
+		coordinator.Start()
+	}
+
 	srv := server.New(session, server.Config{
 		Batch:              *batch,
 		MaxRR:              *maxRR,
@@ -205,6 +239,7 @@ func main() {
 		CheckpointInterval: *ckInterval,
 		DefaultGraphSpec:   spec.String(),
 		Events:             flushingSinkOrNil(events),
+		Generator:          generatorOrNil(coordinator),
 	})
 	adopted, err := srv.AdoptCheckpointDir()
 	if err != nil {
@@ -253,6 +288,9 @@ func main() {
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "opimd: drain: %v\n", err)
 		}
+		if coordinator != nil {
+			coordinator.Close()
+		}
 		if err := srv.Shutdown(); err != nil {
 			fmt.Fprintf(os.Stderr, "opimd: final checkpoint: %v\n", err)
 		} else if defaultCk != "" || *ckDir != "" {
@@ -270,6 +308,9 @@ func main() {
 		g.N(), g.M(), model, *k, delta, ln.Addr())
 	if *pprofOn {
 		fmt.Printf("opimd: pprof mounted at %s/debug/pprof/\n", ln.Addr())
+	}
+	if coordinator != nil {
+		fmt.Printf("opimd: distributing RR generation across %d fleet worker(s)\n", len(strings.Split(*fleetList, ",")))
 	}
 	if defaultCk != "" {
 		fmt.Printf("opimd: checkpointing default session to %s every %v\n", defaultCk, *ckInterval)
@@ -321,6 +362,51 @@ func loadedLimit(n int) string {
 		return "unlimited"
 	}
 	return fmt.Sprint(n)
+}
+
+// runWorker serves the fleet worker protocol and nothing else: no
+// sessions, no checkpoints, no sampling loop — a stateless replica that
+// turns leases into RR-set batches until it is killed. The coordinator
+// owns all durable state, so SIGKILLing a worker loses at most the
+// in-flight lease, which the coordinator reassigns.
+func runWorker(sampler *opim.Sampler, g *opim.Graph, model opim.Model, listen string) {
+	w := fleet.NewWorker(sampler)
+	httpSrv := &http.Server{
+		Handler:           w,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	idle := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Println("\nopimd: worker shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx) //nolint:errcheck // in-flight leases are reassigned anyway
+		close(idle)
+	}()
+	fmt.Printf("opimd: worker n=%d m=%d model=%v fingerprint=%.12s — listening on %s\n",
+		g.N(), g.M(), model, w.Fingerprint(), ln.Addr())
+	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fatalf("%v", err)
+	}
+	<-idle
+}
+
+// generatorOrNil converts a possibly-nil *fleet.Coordinator without
+// producing a non-nil interface around a nil pointer.
+func generatorOrNil(c *fleet.Coordinator) opim.Generator {
+	if c == nil {
+		return nil
+	}
+	return c
 }
 
 func fatalf(format string, args ...any) {

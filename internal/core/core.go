@@ -71,6 +71,29 @@ func (v Variant) String() string {
 	return fmt.Sprintf("Variant(%d)", int(v))
 }
 
+// Generator abstracts where a session's RR sets are produced. The default
+// (LocalGenerator) samples in-process via rrset.Generate; a distributed
+// implementation (internal/fleet's Coordinator) farms seed ranges out to
+// worker processes. Implementations MUST be complete and deterministic:
+// Generate appends exactly count sets to c, with set i of the batch driven
+// by base.Split(startID+i) where startID is c's size at call time, so the
+// resulting collection is byte-identical to rrset.Generate no matter where
+// (or how many times, after retries) each range was actually sampled.
+// There is no error return by design — an implementation that cannot reach
+// its backends must degrade to local sampling rather than fail, because
+// Advance sits under serving paths that promise progress.
+type Generator interface {
+	Generate(c *rrset.Collection, s *rrset.Sampler, count int, base *rng.Source, workers int)
+}
+
+// LocalGenerator is the default Generator: in-process sharded sampling.
+type LocalGenerator struct{}
+
+// Generate implements Generator via rrset.Generate.
+func (LocalGenerator) Generate(c *rrset.Collection, s *rrset.Sampler, count int, base *rng.Source, workers int) {
+	rrset.Generate(c, s, count, base, workers)
+}
+
 // Options configures an Online session or a Maximize call.
 type Options struct {
 	// K is the seed-set size (required, 1 ≤ K ≤ n).
@@ -110,6 +133,13 @@ type Options struct {
 	// not persisted by SaveSession; reattach with SetEvents after
 	// LoadSession.
 	Events obs.Sink
+	// Generator, when non-nil, produces the session's RR sets (a fleet
+	// coordinator, say) in place of in-process sampling. It must honor the
+	// Generator determinism contract; results are then independent of where
+	// sampling ran. Not persisted by SaveSession — the process that resumes
+	// a session re-injects its own (SetGenerator), since a checkpoint must
+	// not capture another deployment's fleet topology.
+	Generator Generator
 	// BaseSeeds, when non-empty, switches the session to the AUGMENTATION
 	// problem: the base set is already committed, selection picks K
 	// additional nodes maximizing the residual spread σ(B∪S) − σ(B), and
@@ -240,6 +270,22 @@ func (o *Online) EdgesExamined() int64 {
 	return o.r1.EdgesExamined() + o.r2.EdgesExamined()
 }
 
+// SetGenerator installs (or with nil resets to local) the session's RR-set
+// Generator. Needed after LoadSession, which never restores one — the
+// resuming process decides its own sampling topology. Because conforming
+// generators are byte-identical to local sampling, switching generators
+// mid-session (a fleet scaling up, or degrading away) never perturbs the
+// sample stream.
+func (o *Online) SetGenerator(g Generator) { o.opts.Generator = g }
+
+// generator returns the configured Generator, defaulting to local.
+func (o *Online) generator() Generator {
+	if o.opts.Generator != nil {
+		return o.opts.Generator
+	}
+	return LocalGenerator{}
+}
+
 // Advance generates count additional RR sets, split evenly between R1 and
 // R2 (odd counts give the extra set to R1).
 func (o *Online) Advance(count int) {
@@ -247,8 +293,9 @@ func (o *Online) Advance(count int) {
 		return
 	}
 	half := count / 2
-	rrset.Generate(o.r1, o.sampler, count-half, o.base1, o.opts.Workers)
-	rrset.Generate(o.r2, o.sampler, half, o.base2, o.opts.Workers)
+	gen := o.generator()
+	gen.Generate(o.r1, o.sampler, count-half, o.base1, o.opts.Workers)
+	gen.Generate(o.r2, o.sampler, half, o.base2, o.opts.Workers)
 }
 
 // maxAdvanceChunk caps the per-chunk RR-set count of AdvanceContext. It

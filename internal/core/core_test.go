@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"github.com/reprolab/opim/internal/diffusion"
 	"github.com/reprolab/opim/internal/gen"
 	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/rng"
 	"github.com/reprolab/opim/internal/rrset"
 )
 
@@ -640,5 +642,51 @@ func TestMaximizeWithBaseSeeds(t *testing.T) {
 		if v == 0 || v == 1 {
 			t.Fatalf("base reselected: %v", res.Seeds)
 		}
+	}
+}
+
+// countingGenerator wraps local generation, recording batch sizes — proof
+// that Advance routes every RR set through the configured Generator.
+type countingGenerator struct {
+	calls  int
+	rrSets int
+}
+
+func (g *countingGenerator) Generate(c *rrset.Collection, s *rrset.Sampler, count int, base *rng.Source, workers int) {
+	g.calls++
+	g.rrSets += count
+	rrset.Generate(c, s, count, base, workers)
+}
+
+func TestGeneratorThreadedThroughAdvance(t *testing.T) {
+	g := testGraph(t, 200, 11)
+	s := rrset.NewSampler(g, diffusion.IC)
+	cg := &countingGenerator{}
+	o, err := NewOnline(s, Options{K: 2, Delta: 0.1, Seed: 5, Generator: cg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Advance(101)
+	if cg.calls != 2 || cg.rrSets != 101 {
+		t.Fatalf("generator saw calls=%d rrSets=%d, want 2/101", cg.calls, cg.rrSets)
+	}
+	// A conforming generator is invisible in the results: same seeds and
+	// bound as a purely local session.
+	local, err := NewOnline(s, Options{K: 2, Delta: 0.1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local.Advance(101)
+	a, b := o.Snapshot(), local.Snapshot()
+	if fmt.Sprint(a.Seeds) != fmt.Sprint(b.Seeds) || a.Alpha != b.Alpha {
+		t.Fatalf("generator changed results: %v/%v vs %v/%v", a.Seeds, a.Alpha, b.Seeds, b.Alpha)
+	}
+	// SetGenerator(nil) resets to local sampling mid-session without
+	// perturbing the stream.
+	o.SetGenerator(nil)
+	o.Advance(50)
+	local.Advance(50)
+	if o.NumRR() != local.NumRR() || o.EdgesExamined() != local.EdgesExamined() {
+		t.Fatal("switching generators mid-session changed the stream")
 	}
 }

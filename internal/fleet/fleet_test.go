@@ -1,0 +1,383 @@
+package fleet
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/faultinject"
+	"github.com/reprolab/opim/internal/gen"
+	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/rng"
+	"github.com/reprolab/opim/internal/rrset"
+)
+
+func testSampler(t testing.TB, n int32, seed uint64) *rrset.Sampler {
+	t.Helper()
+	g, err := gen.PreferentialAttachment(n, 8, 0.15, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err = graph.Reweight(g, graph.WeightedCascade, 0, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rrset.NewSampler(g, diffusion.IC)
+}
+
+// localBytes is the ground truth: the serialized bytes of a pure
+// single-process generation.
+func localBytes(t *testing.T, s *rrset.Sampler, count int, seed uint64) []byte {
+	t.Helper()
+	c := rrset.NewCollection(s.Graph().N())
+	rrset.Generate(c, s, count, rng.New(seed), 0)
+	return collBytes(t, c)
+}
+
+func collBytes(t *testing.T, c *rrset.Collection) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rrset.WriteCollection(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// startWorkers spins up n httptest servers each serving a fresh Worker
+// over its own replica of the same graph (same generator seed → same
+// fingerprint), returning their base URLs.
+func startWorkers(t *testing.T, n int, graphN int32, graphSeed uint64) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		w := NewWorker(testSampler(t, graphN, graphSeed))
+		srv := httptest.NewServer(w)
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	return urls
+}
+
+func quietConfig(urls []string) Config {
+	return Config{
+		Workers:    urls,
+		ChunkSize:  50,
+		RPCTimeout: 10 * time.Second,
+		Logf:       func(string, ...any) {},
+	}
+}
+
+// TestFleetLayoutsByteIdentical is the central determinism property: the
+// same generation run under {pure local, 1 worker, 2 workers, 3 workers,
+// 3 workers with one killed mid-run over a flaky transport} produces the
+// identical serialized collection — and therefore identical selected
+// seeds downstream — regardless of layout or failures.
+func TestFleetLayoutsByteIdentical(t *testing.T) {
+	const (
+		graphN    = 300
+		graphSeed = 42
+		count     = 600
+		rngSeed   = 9
+	)
+	s := testSampler(t, graphN, graphSeed)
+	want := localBytes(t, s, count, rngSeed)
+
+	run := func(t *testing.T, coord *Coordinator) []byte {
+		c := rrset.NewCollection(s.Graph().N())
+		coord.Generate(c, s, count, rng.New(rngSeed), 0)
+		return collBytes(t, c)
+	}
+
+	t.Run("one-worker", func(t *testing.T) {
+		coord := NewCoordinator(quietConfig(startWorkers(t, 1, graphN, graphSeed)))
+		if !bytes.Equal(run(t, coord), want) {
+			t.Fatal("1-worker fleet diverged from local generation")
+		}
+	})
+	t.Run("two-workers", func(t *testing.T) {
+		coord := NewCoordinator(quietConfig(startWorkers(t, 2, graphN, graphSeed)))
+		if !bytes.Equal(run(t, coord), want) {
+			t.Fatal("2-worker fleet diverged from local generation")
+		}
+	})
+	t.Run("three-workers", func(t *testing.T) {
+		coord := NewCoordinator(quietConfig(startWorkers(t, 3, graphN, graphSeed)))
+		if !bytes.Equal(run(t, coord), want) {
+			t.Fatal("3-worker fleet diverged from local generation")
+		}
+	})
+	t.Run("three-workers-one-killed-flaky-transport", func(t *testing.T) {
+		urls := startWorkers(t, 2, graphN, graphSeed)
+
+		// The third worker dies after serving its first batch: every
+		// later request is refused at the transport level, like a
+		// SIGKILLed process whose port stopped answering.
+		var served atomic.Int64
+		dying := NewWorker(testSampler(t, graphN, graphSeed))
+		srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == pathGenerate && served.Add(1) > 1 {
+				conn, _, err := rw.(http.Hijacker).Hijack()
+				if err == nil {
+					conn.Close() // drop the connection mid-request
+				}
+				return
+			}
+			dying.ServeHTTP(rw, r)
+		}))
+		t.Cleanup(srv.Close)
+
+		cfg := quietConfig(append(urls, srv.URL))
+		cfg.Client = &http.Client{Transport: faultinject.NewFlakyRoundTripper(nil, 77, 0.2)}
+		cfg.FailThreshold = 2
+		coord := NewCoordinator(cfg)
+		if !bytes.Equal(run(t, coord), want) {
+			t.Fatal("fleet with a killed worker and flaky transport diverged from local generation")
+		}
+	})
+}
+
+// TestDegradedZeroWorkers: an empty (or fully dead) fleet must still
+// answer generation requests via local sampling — degraded, never failed.
+func TestDegradedZeroWorkers(t *testing.T) {
+	s := testSampler(t, 200, 5)
+	want := localBytes(t, s, 300, 3)
+
+	before := mDegraded.Value()
+	coord := NewCoordinator(quietConfig(nil))
+	c := rrset.NewCollection(s.Graph().N())
+	coord.Generate(c, s, 300, rng.New(3), 0)
+	if !bytes.Equal(collBytes(t, c), want) {
+		t.Fatal("degraded generation diverged from local")
+	}
+	if mDegraded.Value() != before+1 {
+		t.Fatalf("fleet_degraded_generations_total = %d, want %d", mDegraded.Value(), before+1)
+	}
+
+	// A fleet whose only worker is unreachable degrades the same way.
+	coord = NewCoordinator(quietConfig([]string{"http://127.0.0.1:1"}))
+	c = rrset.NewCollection(s.Graph().N())
+	coord.Generate(c, s, 300, rng.New(3), 0)
+	if !bytes.Equal(collBytes(t, c), want) {
+		t.Fatal("unreachable-fleet generation diverged from local")
+	}
+	if mDegraded.Value() != before+2 {
+		t.Fatal("unreachable fleet did not count as degraded")
+	}
+}
+
+// TestDuplicateDeliverySuppressed: a worker slower than the lease TTL
+// gets its lease speculatively reassigned; when the slow original finally
+// delivers too, the duplicate is discarded, not merged twice.
+func TestDuplicateDeliverySuppressed(t *testing.T) {
+	const (
+		graphN    = 300
+		graphSeed = 42
+		count     = 200
+		rngSeed   = 13
+	)
+	s := testSampler(t, graphN, graphSeed)
+	want := localBytes(t, s, count, rngSeed)
+
+	// Worker A stalls its first generate long enough to blow the TTL,
+	// then answers normally — the classic "not dead, just slow" replica.
+	var stalled atomic.Bool
+	slow := NewWorker(testSampler(t, graphN, graphSeed))
+	slowSrv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == pathGenerate && stalled.CompareAndSwap(false, true) {
+			time.Sleep(400 * time.Millisecond)
+		}
+		slow.ServeHTTP(rw, r)
+	}))
+	t.Cleanup(slowSrv.Close)
+	fast := startWorkers(t, 1, graphN, graphSeed)
+
+	cfg := quietConfig(append(fast, slowSrv.URL))
+	cfg.LeaseTTL = 100 * time.Millisecond
+	coord := NewCoordinator(cfg)
+
+	dupBefore := mDuplicates.Value()
+	reassignedBefore := mLeasesReassigned.Value()
+	c := rrset.NewCollection(s.Graph().N())
+	coord.Generate(c, s, count, rng.New(rngSeed), 0)
+	if !bytes.Equal(collBytes(t, c), want) {
+		t.Fatal("speculative reassignment changed the merged bytes")
+	}
+	if c.Count() != count {
+		t.Fatalf("merged %d RR sets, want %d — duplicate delivery was merged", c.Count(), count)
+	}
+	if mLeasesReassigned.Value() == reassignedBefore {
+		t.Fatal("slow lease was never reassigned; TTL watchdog inert")
+	}
+	if mDuplicates.Value() == dupBefore {
+		t.Fatal("no duplicate delivery recorded; the slow worker's batch vanished instead of being suppressed")
+	}
+}
+
+// TestTornResponsesRetriedViaCRC: a transport that tears response bodies
+// produces CRC failures, which the coordinator treats as retryable —
+// the run completes with correct bytes.
+func TestTornResponsesRetriedViaCRC(t *testing.T) {
+	const (
+		graphN    = 300
+		graphSeed = 42
+		count     = 400
+		rngSeed   = 17
+	)
+	s := testSampler(t, graphN, graphSeed)
+	want := localBytes(t, s, count, rngSeed)
+
+	cfg := quietConfig(startWorkers(t, 2, graphN, graphSeed))
+	cfg.Client = &http.Client{Transport: faultinject.NewTornBodyRoundTripper(nil, 5, 0.3)}
+	cfg.FailThreshold = 100 // tears are transport faults, not the workers' fault
+	cfg.MaxLeaseAttempts = 50
+	coord := NewCoordinator(cfg)
+
+	failBefore := mRPCFailures.Value()
+	c := rrset.NewCollection(s.Graph().N())
+	coord.Generate(c, s, count, rng.New(rngSeed), 0)
+	if !bytes.Equal(collBytes(t, c), want) {
+		t.Fatal("torn transfers corrupted the merged collection")
+	}
+	if mRPCFailures.Value() == failBefore {
+		t.Fatal("no RPC failures recorded; the torn-body injector never fired")
+	}
+}
+
+// TestFingerprintMismatchExcluded: a worker holding the wrong graph is
+// never leased work; with only wrong workers the coordinator degrades.
+func TestFingerprintMismatchExcluded(t *testing.T) {
+	const count = 200
+	s := testSampler(t, 300, 42)
+	want := localBytes(t, s, count, 21)
+
+	// wrongURLs workers replicate a different graph.
+	wrongURLs := startWorkers(t, 2, 300, 1234)
+	rightURLs := startWorkers(t, 1, 300, 42)
+
+	t.Run("mixed-fleet-uses-only-matching", func(t *testing.T) {
+		coord := NewCoordinator(quietConfig(append(append([]string{}, wrongURLs...), rightURLs...)))
+		c := rrset.NewCollection(s.Graph().N())
+		coord.Generate(c, s, count, rng.New(21), 0)
+		if !bytes.Equal(collBytes(t, c), want) {
+			t.Fatal("mixed fleet diverged")
+		}
+	})
+	t.Run("all-mismatched-degrades", func(t *testing.T) {
+		before := mDegraded.Value()
+		coord := NewCoordinator(quietConfig(wrongURLs))
+		c := rrset.NewCollection(s.Graph().N())
+		coord.Generate(c, s, count, rng.New(21), 0)
+		if !bytes.Equal(collBytes(t, c), want) {
+			t.Fatal("all-mismatched fleet diverged")
+		}
+		if mDegraded.Value() != before+1 {
+			t.Fatal("all-mismatched fleet did not degrade")
+		}
+	})
+}
+
+// TestWorkerRefuses412: the worker-side guard — a lease naming a foreign
+// fingerprint is refused with 412 and no RR sets are computed.
+func TestWorkerRefuses412(t *testing.T) {
+	w := NewWorker(testSampler(t, 100, 7))
+	srv := httptest.NewServer(w)
+	defer srv.Close()
+
+	body := `{"fingerprint":"deadbeef","key0":"1","key1":"2","start_id":0,"count":10}`
+	resp, err := http.Post(srv.URL+pathGenerate, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusPreconditionFailed {
+		t.Fatalf("status = %d, want 412", resp.StatusCode)
+	}
+}
+
+// TestHeartbeatReadmitsRecoveredWorker: a worker evicted for failures is
+// re-admitted by the heartbeat prober once it answers again.
+func TestHeartbeatReadmitsRecoveredWorker(t *testing.T) {
+	const (
+		graphN    = 200
+		graphSeed = 8
+	)
+	s := testSampler(t, graphN, graphSeed)
+
+	var down atomic.Bool
+	w := NewWorker(testSampler(t, graphN, graphSeed))
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			http.Error(rw, "crashed", http.StatusServiceUnavailable)
+			return
+		}
+		w.ServeHTTP(rw, r)
+	}))
+	defer srv.Close()
+
+	cfg := quietConfig([]string{srv.URL})
+	cfg.FailThreshold = 1
+	cfg.HeartbeatEvery = 20 * time.Millisecond
+	coord := NewCoordinator(cfg)
+	coord.Start()
+	defer coord.Close()
+
+	// Healthy first: a normal fleet generation.
+	c := rrset.NewCollection(s.Graph().N())
+	coord.Generate(c, s, 100, rng.New(2), 0)
+	if c.Count() != 100 {
+		t.Fatalf("healthy generation produced %d sets", c.Count())
+	}
+
+	// Take the worker down; the next generation evicts it and degrades.
+	down.Store(true)
+	evictBefore := mEvictions.Value()
+	c2 := rrset.NewCollection(s.Graph().N())
+	coord.Generate(c2, s, 100, rng.New(2), 0)
+	if c2.Count() != 100 {
+		t.Fatalf("generation against a dead worker produced %d sets", c2.Count())
+	}
+	if mEvictions.Value() == evictBefore {
+		t.Fatal("dead worker was not evicted")
+	}
+
+	// Bring it back and wait for the prober to re-admit it.
+	down.Store(false)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never re-admitted by heartbeat")
+		}
+		if len(coord.eligible(s.Graph().Fingerprint())) == 1 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestGenerateAppendsToExistingCollection: leases must offset their seed
+// ids by the collection's current count, exactly like rrset.Generate.
+func TestGenerateAppendsToExistingCollection(t *testing.T) {
+	const (
+		graphN    = 300
+		graphSeed = 42
+	)
+	s := testSampler(t, graphN, graphSeed)
+	base := rng.New(11)
+	local := rrset.NewCollection(s.Graph().N())
+	rrset.Generate(local, s, 150, base, 0)
+	rrset.Generate(local, s, 130, base, 0)
+	want := collBytes(t, local)
+
+	coord := NewCoordinator(quietConfig(startWorkers(t, 2, graphN, graphSeed)))
+	c := rrset.NewCollection(s.Graph().N())
+	fleetBase := rng.New(11)
+	coord.Generate(c, s, 150, fleetBase, 0)
+	coord.Generate(c, s, 130, fleetBase, 0)
+	if !bytes.Equal(collBytes(t, c), want) {
+		t.Fatal("second fleet batch did not continue the seed-id sequence")
+	}
+}

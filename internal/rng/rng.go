@@ -59,6 +59,29 @@ func (s *Source) seed(seed, stream uint64) {
 	s.step()
 }
 
+// Key returns the source's seeding material — the snapshot Split derives
+// children from. Together with NewFromKey it lets another process (a
+// remote RR-generation worker) reconstruct the exact Split(id) streams of
+// this source without ever serializing its draw position: keys are
+// position-independent by construction.
+func (s *Source) Key() (k0, k1 uint64) { return s.key0, s.key1 }
+
+// NewFromKey returns a Source carrying the given seeding material
+// verbatim. Its Split(id) children are identical to those of any Source
+// whose Key() equals (k0, k1) — the contract distributed generation needs.
+// Its own direct draw sequence is deterministic in (k0, k1) but is NOT the
+// original source's sequence; use it as a Split parent, not as a resumed
+// stream.
+func NewFromKey(k0, k1 uint64) *Source {
+	s := &Source{key0: k0, key1: k1}
+	s.incHi = mix(k0 ^ k1)
+	s.incLo = mix(k0+k1) | 1
+	s.step()
+	s.lo, s.hi = add128(s.lo, s.hi, mix(k0), mix(k0+0x94d049bb133111eb))
+	s.step()
+	return s
+}
+
 // Split derives a new independent Source from s, keyed by id. Calling Split
 // with distinct ids yields decorrelated streams. Split depends only on the
 // parent's SEEDING material (seed and stream, snapshotted at construction),

@@ -339,3 +339,38 @@ func TestSplitFirstDrawUniform(t *testing.T) {
 		}
 	}
 }
+
+func TestKeyRoundTripReconstructsSplits(t *testing.T) {
+	// NewFromKey(parent.Key()).Split(id) must reproduce parent.Split(id)
+	// exactly, regardless of how far the parent has been advanced — the
+	// invariant that lets a remote worker regenerate the precise RR-set
+	// streams a local run would draw.
+	for _, seed := range []uint64{0, 1, 7, 1 << 40, ^uint64(0)} {
+		for _, stream := range []uint64{0, 3, 99} {
+			parent := NewStream(seed, stream)
+			parent.Uint64() // advance: keys must not depend on position
+			parent.Uint64()
+			re := NewFromKey(parent.Key())
+			for _, id := range []uint64{0, 1, 2, 1000, ^uint64(0) - 5} {
+				a, b := parent.Split(id), re.Split(id)
+				for i := 0; i < 64; i++ {
+					if av, bv := a.Uint64(), b.Uint64(); av != bv {
+						t.Fatalf("seed=%d stream=%d id=%d draw %d: %x != %x", seed, stream, id, i, av, bv)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNewFromKeyDeterministicDraws(t *testing.T) {
+	// NewFromKey's own draw sequence is deterministic in the key (it is
+	// documented as usable only as a Split parent, but it must still never
+	// be position- or wall-clock-dependent).
+	a, b := NewFromKey(3, 9), NewFromKey(3, 9)
+	for i := 0; i < 16; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("NewFromKey draws not deterministic")
+		}
+	}
+}

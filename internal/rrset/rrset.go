@@ -321,6 +321,23 @@ func (c *Collection) Add(nodes []int32, edgesExamined int64) int32 {
 	return id
 }
 
+// AppendCollection appends every set of src, in src id order, to c and
+// credits src's cumulative γ — the deterministic merge step of distributed
+// generation. Appending chunk collections for id ranges [0,a), [a,b), … in
+// range order produces pool, offsets and index bytes identical to having
+// generated the whole batch locally, no matter which process produced each
+// chunk or how many times a chunk was re-produced before one copy won.
+func (c *Collection) AppendCollection(src *Collection) error {
+	if src.n != c.n {
+		return fmt.Errorf("rrset: appending a collection for n=%d onto n=%d", src.n, c.n)
+	}
+	for id := int32(0); int(id) < src.Count(); id++ {
+		c.Add(src.Set(id), 0)
+	}
+	c.edgesExamined += src.edgesExamined
+	return nil
+}
+
 // Set returns the member nodes of set id. The slice aliases internal
 // storage and must not be modified.
 func (c *Collection) Set(id int32) []int32 {
@@ -419,6 +436,18 @@ type chunk struct {
 // shard, prefix per node partition, parallel fill) with no single-threaded
 // merge loop.
 func Generate(c *Collection, s *Sampler, count int, base *rng.Source, workers int) {
+	GenerateAt(c, s, count, base, uint64(c.Count()), workers)
+}
+
+// GenerateAt is Generate with an explicit stream origin: RR set i of the
+// batch is driven by base.Split(startID+i) regardless of how many sets c
+// already holds. It is the primitive distributed generation builds on — a
+// remote worker reproduces the exact sets ids [lo, hi) of a coordinator's
+// batch by calling GenerateAt on an empty collection with startID+lo,
+// and the coordinator merges the chunks back in id order
+// (AppendCollection), yielding bytes identical to a local Generate.
+// Generate(c, …) is GenerateAt(c, …, startID=c.Count()).
+func GenerateAt(c *Collection, s *Sampler, count int, base *rng.Source, startID uint64, workers int) {
 	if count <= 0 {
 		return
 	}
@@ -435,9 +464,8 @@ func Generate(c *Collection, s *Sampler, count int, base *rng.Source, workers in
 	}()
 	if workers == 1 || count < 64 {
 		sc := s.NewScratch()
-		start := uint64(c.Count())
 		for i := 0; i < count; i++ {
-			src := base.Split(start + uint64(i))
+			src := base.Split(startID + uint64(i))
 			nodes, examined := s.Sample(src, sc)
 			c.Add(nodes, examined)
 		}
@@ -451,7 +479,6 @@ func Generate(c *Collection, s *Sampler, count int, base *rng.Source, workers in
 	// Phase 1 — sampling: each shard draws a contiguous id range into a
 	// private chunk; no shared state, no locks.
 	chunks := make([]chunk, workers)
-	startID := uint64(c.Count())
 	runShards(workers, func(w int) {
 		wt0 := time.Now()
 		defer func() { mWorkerTime.Observe(time.Since(wt0)) }()

@@ -5,61 +5,98 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 )
 
-// Binary collection format (little-endian): magic "OPIMR1\n", int32 n,
+// Binary collection format (little-endian): magic "OPIMR2\n", int32 n,
 // int64 count, int64 poolLen, int64 edgesExamined, count+1 int64 offsets,
-// poolLen int32 node ids. The inverted index is rebuilt on load.
+// poolLen int32 node ids, then a uint32 CRC-32C of every byte between the
+// magic and the trailer. The inverted index is rebuilt on load.
+//
+// The CRC trailer is what distinguishes OPIMR2 from OPIMR1: the V1 frame
+// detects truncation (every field is length-checked) but an in-range bit
+// flip in the pool passes silently — intolerable once collections travel
+// over a network between fleet workers and their coordinator, or sit in
+// checkpoints for days. V1 streams remain readable (with no corruption
+// check); the writer always emits V2.
 
-const collectionMagic = "OPIMR1\n"
+const (
+	collectionMagic   = "OPIMR2\n"
+	collectionMagicV1 = "OPIMR1\n"
+)
+
+// crcTable is Castagnoli, hardware-accelerated on both amd64 and arm64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // ErrBadCollection reports a malformed serialized collection.
 var ErrBadCollection = errors.New("rrset: bad collection format")
 
-// WriteCollection serializes c.
+// WriteCollection serializes c in OPIMR2 form.
 func WriteCollection(w io.Writer, c *Collection) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(collectionMagic); err != nil {
 		return err
 	}
+	// Everything between magic and trailer runs through the CRC.
+	sum := crc32.New(crcTable)
+	body := io.MultiWriter(bw, sum)
 	var hdr [28]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(c.n))
 	binary.LittleEndian.PutUint64(hdr[4:12], uint64(c.Count()))
 	binary.LittleEndian.PutUint64(hdr[12:20], uint64(len(c.pool)))
 	binary.LittleEndian.PutUint64(hdr[20:28], uint64(c.edgesExamined))
-	if _, err := bw.Write(hdr[:]); err != nil {
+	if _, err := body.Write(hdr[:]); err != nil {
 		return err
 	}
 	var b8 [8]byte
 	for _, off := range c.offs {
 		binary.LittleEndian.PutUint64(b8[:], uint64(off))
-		if _, err := bw.Write(b8[:]); err != nil {
+		if _, err := body.Write(b8[:]); err != nil {
 			return err
 		}
 	}
 	var b4 [4]byte
 	for _, v := range c.pool {
 		binary.LittleEndian.PutUint32(b4[:], uint32(v))
-		if _, err := bw.Write(b4[:]); err != nil {
+		if _, err := body.Write(b4[:]); err != nil {
 			return err
 		}
+	}
+	binary.LittleEndian.PutUint32(b4[:], sum.Sum32())
+	if _, err := bw.Write(b4[:]); err != nil {
+		return err
 	}
 	return bw.Flush()
 }
 
 // ReadCollection deserializes a collection, rebuilding the inverted index.
+// It accepts OPIMR2 (verifying the CRC-32C trailer — a flipped bit
+// anywhere in header, offsets or pool is ErrBadCollection) and legacy
+// OPIMR1 (no trailer, truncation-checked only). It reads exactly the
+// collection's bytes from r beyond any internal buffering shared with the
+// caller, so collections embedded in a larger stream (session checkpoints)
+// decode back to back.
 func ReadCollection(r io.Reader) (*Collection, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(collectionMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("%w: short magic: %v", ErrBadCollection, err)
 	}
-	if string(magic) != collectionMagic {
+	var sum hash.Hash32
+	var body io.Reader = br
+	switch string(magic) {
+	case collectionMagic:
+		sum = crc32.New(crcTable)
+		body = io.TeeReader(br, sum)
+	case collectionMagicV1:
+		// Legacy: no trailer, nothing to verify.
+	default:
 		return nil, fmt.Errorf("%w: magic %q", ErrBadCollection, magic)
 	}
 	var hdr [28]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+	if _, err := io.ReadFull(body, hdr[:]); err != nil {
 		return nil, fmt.Errorf("%w: short header: %v", ErrBadCollection, err)
 	}
 	n := int32(binary.LittleEndian.Uint32(hdr[0:4]))
@@ -87,7 +124,7 @@ func ReadCollection(r io.Reader) (*Collection, error) {
 	}
 	var b8 [8]byte
 	for i := int64(0); i <= count; i++ {
-		if _, err := io.ReadFull(br, b8[:]); err != nil {
+		if _, err := io.ReadFull(body, b8[:]); err != nil {
 			return nil, fmt.Errorf("%w: short offsets: %v", ErrBadCollection, err)
 		}
 		off := int64(binary.LittleEndian.Uint64(b8[:]))
@@ -104,7 +141,7 @@ func ReadCollection(r io.Reader) (*Collection, error) {
 	}
 	var b4 [4]byte
 	for i := int64(0); i < poolLen; i++ {
-		if _, err := io.ReadFull(br, b4[:]); err != nil {
+		if _, err := io.ReadFull(body, b4[:]); err != nil {
 			return nil, fmt.Errorf("%w: short pool: %v", ErrBadCollection, err)
 		}
 		v := int32(binary.LittleEndian.Uint32(b4[:]))
@@ -112,6 +149,15 @@ func ReadCollection(r io.Reader) (*Collection, error) {
 			return nil, fmt.Errorf("%w: node %d outside [0,%d)", ErrBadCollection, v, n)
 		}
 		c.pool = append(c.pool, v)
+	}
+	if sum != nil {
+		want := sum.Sum32() // finalize before the trailer read (it is not CRC'd)
+		if _, err := io.ReadFull(br, b4[:]); err != nil {
+			return nil, fmt.Errorf("%w: short CRC trailer: %v", ErrBadCollection, err)
+		}
+		if got := binary.LittleEndian.Uint32(b4[:]); got != want {
+			return nil, fmt.Errorf("%w: CRC mismatch: stored %08x, computed %08x (corrupt payload)", ErrBadCollection, got, want)
+		}
 	}
 	// Rebuild the inverted index.
 	for id := int64(0); id < count; id++ {

@@ -2,6 +2,7 @@ package rrset
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"strings"
 	"testing"
@@ -102,12 +103,13 @@ func TestReadCollectionCorruptNode(t *testing.T) {
 		t.Fatal(err)
 	}
 	raw := buf.Bytes()
-	// The last 4 bytes are the final pool entry; overwrite with an
-	// out-of-range node id.
-	raw[len(raw)-4] = 0xFF
-	raw[len(raw)-3] = 0xFF
-	raw[len(raw)-2] = 0xFF
-	raw[len(raw)-1] = 0x7F
+	// The final pool entry sits just before the 4-byte CRC trailer;
+	// overwrite it with an out-of-range node id (the range guard fires
+	// before the CRC is even checked).
+	raw[len(raw)-8] = 0xFF
+	raw[len(raw)-7] = 0xFF
+	raw[len(raw)-6] = 0xFF
+	raw[len(raw)-5] = 0x7F
 	if _, err := ReadCollection(bytes.NewReader(raw)); !errors.Is(err, ErrBadCollection) {
 		t.Fatalf("corrupt node id accepted: %v", err)
 	}
@@ -141,5 +143,200 @@ func TestScratchEpochWraparound(t *testing.T) {
 			}
 			seen[v] = true
 		}
+	}
+}
+
+// writeCollectionV1 emits the legacy OPIMR1 frame (no CRC trailer), so the
+// compat and corruption tests can exercise exactly what old checkpoints
+// contain.
+func writeCollectionV1(t *testing.T, c *Collection) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString("OPIMR1\n")
+	var hdr [28]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(c.n))
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(c.Count()))
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(len(c.pool)))
+	binary.LittleEndian.PutUint64(hdr[20:28], uint64(c.edgesExamined))
+	buf.Write(hdr[:])
+	var b8 [8]byte
+	for _, off := range c.offs {
+		binary.LittleEndian.PutUint64(b8[:], uint64(off))
+		buf.Write(b8[:])
+	}
+	var b4 [4]byte
+	for _, v := range c.pool {
+		binary.LittleEndian.PutUint32(b4[:], uint32(v))
+		buf.Write(b4[:])
+	}
+	return buf.Bytes()
+}
+
+// TestReadCollectionV1Compat: OPIMR1 streams (old checkpoints) must stay
+// readable even though the writer now emits OPIMR2.
+func TestReadCollectionV1Compat(t *testing.T) {
+	c, _ := sampleCollection(t)
+	got, err := ReadCollection(bytes.NewReader(writeCollectionV1(t, c)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != c.Count() || got.TotalSize() != c.TotalSize() || got.EdgesExamined() != c.EdgesExamined() {
+		t.Fatal("V1 stream decoded to a different shape")
+	}
+	for i := int32(0); int(i) < c.Count(); i++ {
+		a, b := c.Set(i), got.Set(i)
+		if len(a) != len(b) {
+			t.Fatalf("set %d length differs", i)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("set %d element %d differs", i, j)
+			}
+		}
+	}
+}
+
+// TestCRCDetectsInRangeBitFlip is the reason OPIMR2 exists: a single bit
+// flip in the pool that keeps every node id in range passes every V1
+// structural check, and must be caught by the CRC trailer.
+func TestCRCDetectsInRangeBitFlip(t *testing.T) {
+	c, _ := sampleCollection(t)
+	if c.TotalSize() == 0 {
+		t.Fatal("fixture pooled no nodes")
+	}
+	var buf bytes.Buffer
+	if err := WriteCollection(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	raw := append([]byte(nil), buf.Bytes()...)
+	// First pool entry: after magic (7), header (28) and count+1 offsets.
+	poolOff := 7 + 28 + 8*(c.Count()+1)
+	raw[poolOff] ^= 1 // v^1 stays within [0, n) for every v < n with n even
+	flipped := int32(binary.LittleEndian.Uint32(raw[poolOff : poolOff+4]))
+	if flipped < 0 || flipped >= c.N() {
+		t.Fatalf("test premise broken: flipped node %d out of range", flipped)
+	}
+	if _, err := ReadCollection(bytes.NewReader(raw)); !errors.Is(err, ErrBadCollection) {
+		t.Fatalf("in-range bit flip accepted: %v", err)
+	}
+	// Sanity: the same flip on a V1 stream IS silently accepted — the gap
+	// OPIMR2 closes. (Documents the motivation; V1 only detects truncation.)
+	v1 := writeCollectionV1(t, c)
+	v1[poolOff] ^= 1
+	if _, err := ReadCollection(bytes.NewReader(v1)); err != nil {
+		t.Fatalf("V1 unexpectedly rejected the flip (update this test): %v", err)
+	}
+}
+
+// TestReadCollectionTruncationAtEveryBoundary truncates a valid OPIMR2
+// stream at (and just inside) every frame boundary — magic, header,
+// offsets, pool, CRC trailer — and requires a wrapped ErrBadCollection
+// every time: never a panic, never a silently short collection.
+func TestReadCollectionTruncationAtEveryBoundary(t *testing.T) {
+	c, _ := sampleCollection(t)
+	var buf bytes.Buffer
+	if err := WriteCollection(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	magicEnd := 7
+	headerEnd := magicEnd + 28
+	offsEnd := headerEnd + 8*(c.Count()+1)
+	poolEnd := offsEnd + 4*int(c.TotalSize())
+	trailerEnd := poolEnd + 4
+	if trailerEnd != len(full) {
+		t.Fatalf("frame arithmetic wrong: computed %d, stream has %d", trailerEnd, len(full))
+	}
+	boundaries := []struct {
+		name string
+		end  int
+	}{
+		{"magic", magicEnd},
+		{"header", headerEnd},
+		{"offsets", offsEnd},
+		{"pool", poolEnd},
+		{"trailer", trailerEnd},
+	}
+	for _, b := range boundaries {
+		// Cut exactly at the start of the frame, mid-frame, and one byte
+		// short of its end; a cut at trailerEnd is the whole valid stream.
+		cuts := []int{b.end - 1}
+		if prev := b.end - 4; prev > 0 {
+			cuts = append(cuts, prev)
+		}
+		for _, cut := range cuts {
+			if cut >= trailerEnd || cut < 0 {
+				continue
+			}
+			got, err := ReadCollection(bytes.NewReader(full[:cut]))
+			if !errors.Is(err, ErrBadCollection) {
+				t.Errorf("truncation inside %s frame (cut=%d): collection=%v err=%v", b.name, cut, got != nil, err)
+			}
+		}
+	}
+	// And the untruncated stream still decodes.
+	if _, err := ReadCollection(bytes.NewReader(full)); err != nil {
+		t.Fatalf("full stream rejected: %v", err)
+	}
+}
+
+// TestGenerateAtMatchesGenerate: GenerateAt with an explicit origin must
+// reproduce the id range of a local Generate exactly — the worker-side
+// primitive of distributed generation.
+func TestGenerateAtMatchesGenerate(t *testing.T) {
+	c, s := sampleCollection(t) // 300 sets, base rng.New(3), startID 0
+	base := rng.New(3)
+	lo, hi := 120, 240
+	cc := NewCollection(c.N())
+	GenerateAt(cc, s, hi-lo, base, uint64(lo), 3)
+	for i := lo; i < hi; i++ {
+		a, b := c.Set(int32(i)), cc.Set(int32(i-lo))
+		if len(a) != len(b) {
+			t.Fatalf("set %d length differs: %d vs %d", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("set %d element %d differs", i, j)
+			}
+		}
+	}
+}
+
+// TestAppendCollectionByteIdentical: chunked generate + AppendCollection
+// merge must serialize byte-identically to one local Generate — the
+// coordinator-side merge invariant.
+func TestAppendCollectionByteIdentical(t *testing.T) {
+	c, s := sampleCollection(t)
+	var want bytes.Buffer
+	if err := WriteCollection(&want, c); err != nil {
+		t.Fatal(err)
+	}
+	base := rng.New(3)
+	merged := NewCollection(c.N())
+	for _, r := range [][2]int{{0, 77}, {77, 150}, {150, 300}} {
+		cc := NewCollection(c.N())
+		GenerateAt(cc, s, r[1]-r[0], base, uint64(r[0]), 2)
+		// Round-trip the chunk through the wire format, as the fleet does.
+		var wire bytes.Buffer
+		if err := WriteCollection(&wire, cc); err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := ReadCollection(&wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := merged.AppendCollection(decoded); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got bytes.Buffer
+	if err := WriteCollection(&got, merged); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatal("chunked merge not byte-identical to local generation")
+	}
+	if merged.AppendCollection(NewCollection(c.N()+1)) == nil {
+		t.Fatal("mismatched n accepted")
 	}
 }

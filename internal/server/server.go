@@ -145,6 +145,12 @@ type Config struct {
 	// "server_panic" per recovered handler panic and one
 	// "checkpoint_failure" per failed checkpoint write.
 	Events obs.Sink
+	// Generator, when non-nil, produces RR sets for every session —
+	// created, adopted or reloaded — in place of in-process sampling
+	// (a fleet.Coordinator distributing generation over workers). It
+	// must honor the core.Generator determinism contract, so swapping
+	// it changes where samples are computed, never what they are.
+	Generator core.Generator
 }
 
 // Server hosts many named OPIM sessions behind an HTTP API. Sessions on
@@ -263,6 +269,7 @@ func New(session *core.Online, cfg Config) *Server {
 	def.lastTouch = s.gtouchSeq
 	gGraphsLoaded.Set(float64(s.loadedGraphs.Add(1)))
 	session.SetGraphIdentity(DefaultGraphName, def.specString)
+	session.SetGenerator(cfg.Generator)
 
 	ckPath := cfg.CheckpointPath
 	if ckPath == "" {

@@ -301,6 +301,7 @@ func (s *Server) createSession(spec SessionSpec) (*Session, int, error) {
 		Exact:       spec.Exact,
 		BaseSeeds:   spec.BaseSeeds,
 		Events:      s.cfg.Events,
+		Generator:   s.cfg.Generator,
 	})
 	if err != nil {
 		return fail(http.StatusBadRequest, err)
@@ -368,6 +369,7 @@ func (s *Server) AdoptCheckpointDir() ([]string, error) {
 		sess.graph = entry
 		entry.sessions.Add(1)
 		online.SetEvents(s.cfg.Events)
+		online.SetGenerator(s.cfg.Generator)
 		sess.mu.Lock()
 		sess.setOnlineLocked(online)
 		sess.mu.Unlock()
@@ -428,6 +430,7 @@ func (s *Server) ensureLoaded(sess *Session) (int, string) {
 					fmt.Sprintf("session %q: reload from checkpoint %s failed: %v", sess.ID, sess.ckPath, err)
 			}
 			online.SetEvents(s.cfg.Events)
+			online.SetGenerator(s.cfg.Generator)
 			sess.setOnlineLocked(online)
 			sess.state.Store(int32(stateLoaded))
 			gSessionsLoaded.Set(float64(s.loaded.Add(1)))

@@ -193,6 +193,16 @@ const (
 // Options configures NewOnline and Maximize.
 type Options = core.Options
 
+// Generator produces a session's RR sets. The default is in-process
+// sampling (LocalGenerator); a fleet coordinator distributing generation
+// over worker processes plugs in here (Options.Generator) without the
+// session observing any difference — the determinism contract makes the
+// two byte-identical.
+type Generator = core.Generator
+
+// LocalGenerator is the default Generator: in-process sampling.
+type LocalGenerator = core.LocalGenerator
+
 // Online is a pausable OPIM session.
 type Online = core.Online
 
