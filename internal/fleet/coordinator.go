@@ -21,6 +21,7 @@ import (
 var (
 	mGenerations      = obs.Default().Counter("fleet_generations_total")
 	mDegraded         = obs.Default().Counter("fleet_degraded_generations_total")
+	mNoReplica        = obs.Default().Counter("fleet_no_replica_generations_total")
 	mLeases           = obs.Default().Counter("fleet_leases_total")
 	mLeasesReassigned = obs.Default().Counter("fleet_leases_reassigned_total")
 	mLeasesLocal      = obs.Default().Counter("fleet_leases_local_total")
@@ -49,6 +50,12 @@ type Config struct {
 	ChunkSize int
 	// RPCTimeout bounds each worker RPC (default 30s).
 	RPCTimeout time.Duration
+	// ProbeTimeout bounds each /worker/info health probe (default 2s,
+	// capped at RPCTimeout). Probes are cheap and answered from memory,
+	// so they get a much tighter deadline than lease RPCs — one
+	// blackholed worker must not stall a heartbeat sweep for the full
+	// lease timeout.
+	ProbeTimeout time.Duration
 	// LeaseTTL is how long a lease may stay in flight before the
 	// watchdog speculatively reassigns it to another worker (default
 	// 2×RPCTimeout; the original RPC keeps running — first delivery
@@ -85,6 +92,12 @@ func (c Config) withDefaults() Config {
 	if c.RPCTimeout <= 0 {
 		c.RPCTimeout = 30 * time.Second
 	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.ProbeTimeout > c.RPCTimeout {
+		c.ProbeTimeout = c.RPCTimeout
+	}
 	if c.LeaseTTL <= 0 {
 		c.LeaseTTL = 2 * c.RPCTimeout
 	}
@@ -116,6 +129,14 @@ type workerState struct {
 	// fingerprint is the worker's replica fingerprint from its last
 	// successful probe.
 	fingerprint string
+	// model is the worker's diffusion model from its last successful
+	// probe. A worker sampling under the wrong model is excluded exactly
+	// like one holding the wrong graph.
+	model string
+	// mismatchLogged remembers the last (fingerprint, model) identity
+	// this worker was logged as mismatching, so a permanent wrong-replica
+	// configuration logs once, not once per Generate.
+	mismatchLogged string
 	// healthy means the last probe or RPC succeeded.
 	healthy bool
 	// evicted removes the worker from dispatch until a heartbeat
@@ -141,6 +162,10 @@ type Coordinator struct {
 	stop    chan struct{}
 	stopped sync.WaitGroup
 	started bool
+	// degradedLogged remembers degrade reasons already logged once, for
+	// reasons that describe a permanent configuration (no matching
+	// replica) rather than a transient outage.
+	degradedLogged map[string]bool
 }
 
 // NewCoordinator returns a Coordinator over cfg.Workers. Workers are
@@ -198,41 +223,50 @@ func (c *Coordinator) Close() {
 
 // probeAll heartbeats every worker: GET /worker/info, verify the
 // fingerprint is self-consistent, update health, re-admit recovered
-// workers. Probing also performs initial registration.
+// workers. Probing also performs initial registration. Probes run
+// concurrently so one blackholed worker delays a sweep by ProbeTimeout,
+// not by ProbeTimeout × fleet size.
 func (c *Coordinator) probeAll() {
 	c.mu.Lock()
 	targets := make([]*workerState, len(c.workers))
 	copy(targets, c.workers)
 	c.mu.Unlock()
+	var wg sync.WaitGroup
 	for _, w := range targets {
-		info, err := c.probe(w.url)
-		c.mu.Lock()
-		if err != nil {
-			w.healthy = false
-		} else {
+		wg.Add(1)
+		go func(w *workerState) {
+			defer wg.Done()
+			info, err := c.probe(w.url)
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			if err != nil {
+				w.healthy = false
+				return
+			}
 			prev := w.fingerprint
 			w.probed = true
 			w.fingerprint = info.Fingerprint
+			w.model = info.Model
 			w.healthy = true
 			w.consecFails = 0
 			if w.evicted {
 				// Re-admission: the worker answers again. If it was
-				// evicted for a fingerprint mismatch, the mismatch check
+				// evicted for an identity mismatch, the mismatch check
 				// at dispatch time still excludes it unless its replica
-				// changed to the right graph.
+				// changed to the right graph and model.
 				w.evicted = false
 				if prev != info.Fingerprint {
 					c.cfg.Logf("fleet: worker %s re-admitted with fingerprint %.12s", w.url, info.Fingerprint)
 				}
 			}
-		}
-		c.mu.Unlock()
+		}(w)
 	}
+	wg.Wait()
 	c.updateHealthyGauge()
 }
 
 func (c *Coordinator) probe(url string) (*infoResponse, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.RPCTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+pathInfo, nil)
 	if err != nil {
@@ -268,9 +302,11 @@ func (c *Coordinator) updateHealthyGauge() {
 	mHealthyWorkers.Set(float64(n))
 }
 
-// eligible returns the workers fit to receive leases for fingerprint fp,
-// probing any not-yet-registered worker first.
-func (c *Coordinator) eligible(fp string) []*workerState {
+// eligible returns the workers fit to receive leases for the influence
+// instance (fp, model), probing any not-yet-registered worker first
+// (concurrently, so an unreachable worker costs one ProbeTimeout, not one
+// per worker, before the first lease goes out).
+func (c *Coordinator) eligible(fp, model string) []*workerState {
 	c.mu.Lock()
 	var unprobed []*workerState
 	for _, w := range c.workers {
@@ -280,27 +316,42 @@ func (c *Coordinator) eligible(fp string) []*workerState {
 	}
 	c.mu.Unlock()
 	if len(unprobed) > 0 {
+		var wg sync.WaitGroup
 		for _, w := range unprobed {
-			info, err := c.probe(w.url)
-			c.mu.Lock()
-			if err == nil {
-				w.probed, w.healthy, w.fingerprint = true, true, info.Fingerprint
-			}
-			c.mu.Unlock()
+			wg.Add(1)
+			go func(w *workerState) {
+				defer wg.Done()
+				info, err := c.probe(w.url)
+				c.mu.Lock()
+				if err == nil {
+					w.probed, w.healthy = true, true
+					w.fingerprint, w.model = info.Fingerprint, info.Model
+				}
+				c.mu.Unlock()
+			}(w)
 		}
+		wg.Wait()
 		c.updateHealthyGauge()
 	}
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	want := fp + "/" + model
 	var out []*workerState
 	for _, w := range c.workers {
 		if !w.probed || !w.healthy || w.evicted {
 			continue
 		}
-		if w.fingerprint != fp {
+		if w.fingerprint != fp || w.model != model {
 			mFPMismatches.Inc()
-			c.cfg.Logf("fleet: worker %s holds graph %.12s, session needs %.12s; excluded", w.url, w.fingerprint, fp)
+			// A wrong replica is usually a permanent configuration, not
+			// an incident: log each worker's exclusion once per wanted
+			// identity, not once per Generate.
+			if w.mismatchLogged != want {
+				w.mismatchLogged = want
+				c.cfg.Logf("fleet: worker %s holds graph %.12s model %s, session needs %.12s model %s; excluded",
+					w.url, w.fingerprint, w.model, fp, model)
+			}
 			continue
 		}
 		out = append(out, w)
@@ -332,6 +383,7 @@ type run struct {
 	c *Coordinator
 
 	fp      string
+	model   string
 	key0    string
 	key1    string
 	startID uint64
@@ -345,6 +397,11 @@ type run struct {
 
 	queue   chan int      // lease indices awaiting pickup
 	allDone chan struct{} // closed when remaining hits 0
+	// ctx parents every lease RPC and is cancelled the moment the run
+	// completes, so a losing speculative RPC on a wedged worker cannot
+	// hold Generate hostage for the rest of its RPCTimeout.
+	ctx    context.Context
+	cancel context.CancelFunc
 }
 
 // Generate implements the core.Generator contract: it appends count RR
@@ -359,9 +416,11 @@ func (c *Coordinator) Generate(coll *rrset.Collection, s *rrset.Sampler, count i
 	}
 	mGenerations.Inc()
 	fp := s.Graph().Fingerprint()
-	eligible := c.eligible(fp)
+	model := s.Model().String()
+	eligible := c.eligible(fp, model)
 	if len(eligible) == 0 {
-		c.degrade(coll, s, count, base, workers, "no healthy workers")
+		why, permanent := c.degradeReason(fp, model)
+		c.degrade(coll, s, count, base, workers, why, permanent)
 		return
 	}
 
@@ -370,6 +429,7 @@ func (c *Coordinator) Generate(coll *rrset.Collection, s *rrset.Sampler, count i
 	r := &run{
 		c:       c,
 		fp:      fp,
+		model:   model,
 		key0:    strconv.FormatUint(k0, 16),
 		key1:    strconv.FormatUint(k1, 16),
 		startID: startID,
@@ -377,6 +437,8 @@ func (c *Coordinator) Generate(coll *rrset.Collection, s *rrset.Sampler, count i
 		sampler: s,
 		allDone: make(chan struct{}),
 	}
+	r.ctx, r.cancel = context.WithCancel(context.Background())
+	defer r.cancel()
 	for lo := 0; lo < count; lo += c.cfg.ChunkSize {
 		hi := lo + c.cfg.ChunkSize
 		if hi > count {
@@ -431,14 +493,54 @@ func (c *Coordinator) Generate(coll *rrset.Collection, s *rrset.Sampler, count i
 	}
 }
 
-// degrade falls back to fully local, in-process generation.
-func (c *Coordinator) degrade(coll *rrset.Collection, s *rrset.Sampler, count int, base *rng.Source, workers int, why string) {
+// degradeReason distinguishes the two ways a fleet ends up with no
+// eligible worker: a genuine outage (nobody healthy) versus a permanent
+// configuration where healthy workers exist but none replicates this
+// session's (graph, model). The latter is expected on a multi-graph
+// daemon and reported quietly (once per identity) so it cannot drown out
+// real outages.
+func (c *Coordinator) degradeReason(fp, model string) (why string, permanent bool) {
+	c.mu.Lock()
+	aliveMismatched := 0
+	for _, w := range c.workers {
+		if w.probed && w.healthy && !w.evicted {
+			aliveMismatched++
+		}
+	}
+	c.mu.Unlock()
+	if aliveMismatched > 0 {
+		mNoReplica.Inc()
+		return fmt.Sprintf("no worker replicates graph %.12s model %s", fp, model), true
+	}
+	return "no healthy workers", false
+}
+
+// degrade falls back to fully local, in-process generation. A permanent
+// reason (no matching replica — a configuration, not an incident) is
+// logged and emitted once; transient outages are reported every time.
+func (c *Coordinator) degrade(coll *rrset.Collection, s *rrset.Sampler, count int, base *rng.Source, workers int, why string, permanent bool) {
 	mDegraded.Inc()
-	c.cfg.Logf("fleet: DEGRADED: %s; sampling %d RR sets locally", why, count)
-	obs.Emit(c.cfg.Events, "fleet_degraded", map[string]any{
-		"reason": why,
-		"count":  count,
-	})
+	loud := true
+	if permanent {
+		c.mu.Lock()
+		if c.degradedLogged == nil {
+			c.degradedLogged = make(map[string]bool)
+		}
+		loud = !c.degradedLogged[why]
+		c.degradedLogged[why] = true
+		c.mu.Unlock()
+	}
+	if loud {
+		suffix := ""
+		if permanent {
+			suffix = " (further occurrences logged at most once)"
+		}
+		c.cfg.Logf("fleet: DEGRADED: %s; sampling %d RR sets locally%s", why, count, suffix)
+		obs.Emit(c.cfg.Events, "fleet_degraded", map[string]any{
+			"reason": why,
+			"count":  count,
+		})
+	}
 	rrset.Generate(coll, s, count, base, workers)
 }
 
@@ -456,8 +558,14 @@ func (r *run) pull(w *workerState) {
 				r.mu.Unlock()
 				continue
 			}
+			// A speculative pickup (the lease is already in flight on
+			// another worker) races the original delivery; it does not
+			// consume an attempt, so a slow-but-healthy holder cannot
+			// burn the lease through MaxLeaseAttempts by itself.
+			if l.status != leaseInFlight {
+				l.attempts++
+			}
 			l.status = leaseInFlight
-			l.attempts++
 			attempt := l.attempts
 			l.dispatchedAt = time.Now()
 			r.mu.Unlock()
@@ -466,6 +574,13 @@ func (r *run) pull(w *workerState) {
 			if err == nil {
 				r.markDone(idx, cc, w)
 				continue
+			}
+			select {
+			case <-r.allDone:
+				// The run completed while this RPC was in flight and
+				// cancelled it; that is not the worker's failure.
+				return
+			default:
 			}
 
 			mRPCFailures.Inc()
@@ -542,6 +657,9 @@ func (r *run) markDone(idx int, cc *rrset.Collection, w *workerState) {
 	}
 	if last {
 		close(r.allDone)
+		// Cancel in-flight losing RPCs immediately: Generate must not
+		// wait out a wedged worker's RPCTimeout after the batch is done.
+		r.cancel()
 	}
 }
 
@@ -603,6 +721,12 @@ func (r *run) watchdog(stop chan struct{}) {
 			for idx, l := range r.leases {
 				r.mu.Lock()
 				expired := l.status == leaseInFlight && now.Sub(l.dispatchedAt) > r.c.cfg.LeaseTTL
+				if expired {
+					// Re-arm the TTL so one expiry triggers one
+					// reassignment, not one per tick until a puller
+					// happens to pick the duplicate up.
+					l.dispatchedAt = now
+				}
 				requeue := l.status == leaseQueued
 				r.mu.Unlock()
 				if expired {
@@ -624,6 +748,7 @@ func (r *run) watchdog(stop chan struct{}) {
 func (r *run) generateRPC(w *workerState, l *lease) (*rrset.Collection, error) {
 	body, err := json.Marshal(generateRequest{
 		Fingerprint: r.fp,
+		Model:       r.model,
 		Key0:        r.key0,
 		Key1:        r.key1,
 		StartID:     r.startID + uint64(l.lo),
@@ -633,7 +758,7 @@ func (r *run) generateRPC(w *workerState, l *lease) (*rrset.Collection, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), r.c.cfg.RPCTimeout)
+	ctx, cancel := context.WithTimeout(r.ctx, r.c.cfg.RPCTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+pathGenerate, bytes.NewReader(body))
 	if err != nil {
@@ -653,8 +778,13 @@ func (r *run) generateRPC(w *workerState, l *lease) (*rrset.Collection, error) {
 	switch {
 	case resp.StatusCode == http.StatusPreconditionFailed:
 		mFPMismatches.Inc()
-		r.c.evict(w, "fingerprint mismatch")
-		return nil, fmt.Errorf("fleet: %s refused lease: fingerprint mismatch", w.url)
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		why := string(bytes.TrimSpace(msg))
+		if why == "" {
+			why = "identity mismatch"
+		}
+		r.c.evict(w, why)
+		return nil, fmt.Errorf("fleet: %s refused lease: %s", w.url, why)
 	case resp.StatusCode != http.StatusOK:
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return nil, fmt.Errorf("fleet: %s%s: status %d: %s", w.url, pathGenerate, resp.StatusCode, bytes.TrimSpace(msg))

@@ -2,8 +2,12 @@ package fleet
 
 import (
 	"bytes"
+	"context"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -169,38 +173,104 @@ func TestDegradedZeroWorkers(t *testing.T) {
 	}
 }
 
-// TestDuplicateDeliverySuppressed: a worker slower than the lease TTL
-// gets its lease speculatively reassigned; when the slow original finally
-// delivers too, the duplicate is discarded, not merged twice.
+// TestDuplicateDeliverySuppressed: speculative reassignment makes the
+// transport at-least-once, so the same lease can be delivered twice; the
+// first delivery wins, the second is discarded and counted. (End-to-end,
+// the losing RPC is usually cancelled the moment the run completes, so
+// the merge-level dedup is exercised directly.)
 func TestDuplicateDeliverySuppressed(t *testing.T) {
+	s := testSampler(t, 100, 3)
+	r := &run{
+		c:       NewCoordinator(quietConfig(nil)),
+		sampler: s,
+		leases:  []*lease{{lo: 0, hi: 10}, {lo: 10, hi: 20}},
+		allDone: make(chan struct{}),
+	}
+	r.ctx, r.cancel = context.WithCancel(context.Background())
+	r.remaining = len(r.leases)
+
+	first := rrset.NewCollection(s.Graph().N())
+	second := rrset.NewCollection(s.Graph().N())
+	dupBefore := mDuplicates.Value()
+	r.markDone(0, first, nil)
+	if r.remaining != 1 {
+		t.Fatalf("remaining = %d after first delivery, want 1", r.remaining)
+	}
+	r.markDone(0, second, nil) // the losing speculative delivery
+	if r.remaining != 1 {
+		t.Fatalf("remaining = %d after duplicate delivery, want 1 — duplicate was merged", r.remaining)
+	}
+	if r.leases[0].result != first {
+		t.Fatal("duplicate delivery replaced the winning chunk")
+	}
+	if mDuplicates.Value() != dupBefore+1 {
+		t.Fatal("duplicate delivery was not counted")
+	}
+	select {
+	case <-r.allDone:
+		t.Fatal("run completed with a lease still open")
+	default:
+	}
+}
+
+// TestSlowWorkerLeaseReassigned: a worker slower than the lease TTL gets
+// its lease speculatively reassigned to a healthy worker; the run
+// completes byte-identically, and the slow-but-healthy original neither
+// burns the lease's attempt cap nor forces a local fallback.
+func TestSlowWorkerLeaseReassigned(t *testing.T) {
 	const (
 		graphN    = 300
 		graphSeed = 42
-		count     = 200
+		count     = 600
 		rngSeed   = 13
 	)
 	s := testSampler(t, graphN, graphSeed)
 	want := localBytes(t, s, count, rngSeed)
 
-	// Worker A stalls its first generate long enough to blow the TTL,
-	// then answers normally — the classic "not dead, just slow" replica.
+	// Every lease takes ~30ms (so the run as a whole outlives the slow
+	// worker's stall — a duplicate can only be observed while the run is
+	// still open; once the final lease lands, losing RPCs are cancelled).
+	// Worker A additionally stalls its first generate long enough to
+	// blow the TTL, then delivers anyway — the classic "not dead, just
+	// slow" replica.
+	pace := func(r *http.Request, d time.Duration) bool {
+		select {
+		case <-time.After(d):
+			return true
+		case <-r.Context().Done():
+			return false
+		}
+	}
 	var stalled atomic.Bool
 	slow := NewWorker(testSampler(t, graphN, graphSeed))
 	slowSrv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == pathGenerate && stalled.CompareAndSwap(false, true) {
-			time.Sleep(400 * time.Millisecond)
+		if r.URL.Path == pathGenerate {
+			d := 30 * time.Millisecond
+			if stalled.CompareAndSwap(false, true) {
+				d = 200 * time.Millisecond
+			}
+			if !pace(r, d) {
+				return
+			}
 		}
 		slow.ServeHTTP(rw, r)
 	}))
 	t.Cleanup(slowSrv.Close)
-	fast := startWorkers(t, 1, graphN, graphSeed)
+	fast := NewWorker(testSampler(t, graphN, graphSeed))
+	fastSrv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == pathGenerate && !pace(r, 30*time.Millisecond) {
+			return
+		}
+		fast.ServeHTTP(rw, r)
+	}))
+	t.Cleanup(fastSrv.Close)
 
-	cfg := quietConfig(append(fast, slowSrv.URL))
-	cfg.LeaseTTL = 100 * time.Millisecond
+	cfg := quietConfig([]string{fastSrv.URL, slowSrv.URL})
+	cfg.LeaseTTL = 60 * time.Millisecond
 	coord := NewCoordinator(cfg)
 
-	dupBefore := mDuplicates.Value()
 	reassignedBefore := mLeasesReassigned.Value()
+	localBefore := mLeasesLocal.Value()
 	c := rrset.NewCollection(s.Graph().N())
 	coord.Generate(c, s, count, rng.New(rngSeed), 0)
 	if !bytes.Equal(collBytes(t, c), want) {
@@ -212,8 +282,8 @@ func TestDuplicateDeliverySuppressed(t *testing.T) {
 	if mLeasesReassigned.Value() == reassignedBefore {
 		t.Fatal("slow lease was never reassigned; TTL watchdog inert")
 	}
-	if mDuplicates.Value() == dupBefore {
-		t.Fatal("no duplicate delivery recorded; the slow worker's batch vanished instead of being suppressed")
+	if mLeasesLocal.Value() != localBefore {
+		t.Fatal("speculative reassignments burned the lease's attempt cap and forced a local fallback")
 	}
 }
 
@@ -281,20 +351,186 @@ func TestFingerprintMismatchExcluded(t *testing.T) {
 }
 
 // TestWorkerRefuses412: the worker-side guard — a lease naming a foreign
-// fingerprint is refused with 412 and no RR sets are computed.
+// fingerprint, or the right fingerprint under the wrong diffusion model,
+// is refused with 412 and no RR sets are computed.
 func TestWorkerRefuses412(t *testing.T) {
 	w := NewWorker(testSampler(t, 100, 7))
 	srv := httptest.NewServer(w)
 	defer srv.Close()
 
-	body := `{"fingerprint":"deadbeef","key0":"1","key1":"2","start_id":0,"count":10}`
-	resp, err := http.Post(srv.URL+pathGenerate, "application/json", bytes.NewReader([]byte(body)))
-	if err != nil {
-		t.Fatal(err)
+	post := func(t *testing.T, body string) int {
+		t.Helper()
+		resp, err := http.Post(srv.URL+pathGenerate, "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusPreconditionFailed {
-		t.Fatalf("status = %d, want 412", resp.StatusCode)
+
+	t.Run("wrong-fingerprint", func(t *testing.T) {
+		body := `{"fingerprint":"deadbeef","model":"IC","key0":"1","key1":"2","start_id":0,"count":10}`
+		if code := post(t, body); code != http.StatusPreconditionFailed {
+			t.Fatalf("status = %d, want 412", code)
+		}
+	})
+	t.Run("wrong-model", func(t *testing.T) {
+		body := `{"fingerprint":"` + w.Fingerprint() + `","model":"LT","key0":"1","key1":"2","start_id":0,"count":10}`
+		if code := post(t, body); code != http.StatusPreconditionFailed {
+			t.Fatalf("status = %d, want 412", code)
+		}
+	})
+	t.Run("matching-identity-accepted", func(t *testing.T) {
+		body := `{"fingerprint":"` + w.Fingerprint() + `","model":"IC","key0":"1","key1":"2","start_id":0,"count":10}`
+		if code := post(t, body); code != http.StatusOK {
+			t.Fatalf("status = %d, want 200", code)
+		}
+	})
+}
+
+// TestModelMismatchExcluded: a worker replicating the right graph under
+// the wrong diffusion model must never be leased work — its RR sets would
+// merge cleanly and silently corrupt the alpha guarantee. With only
+// wrong-model workers the coordinator degrades to local sampling.
+func TestModelMismatchExcluded(t *testing.T) {
+	const (
+		graphN    = 300
+		graphSeed = 42
+		count     = 200
+		rngSeed   = 23
+	)
+	s := testSampler(t, graphN, graphSeed) // IC
+	want := localBytes(t, s, count, rngSeed)
+
+	// Same graph, LT model: identical fingerprint, different instance.
+	ltWorker := func() string {
+		g, err := gen.PreferentialAttachment(graphN, 8, 0.15, graphSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err = graph.Reweight(g, graph.WeightedCascade, 0, graphSeed+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := NewWorker(rrset.NewSampler(g, diffusion.LT))
+		srv := httptest.NewServer(w)
+		t.Cleanup(srv.Close)
+		return srv.URL
+	}
+
+	t.Run("mixed-fleet-uses-only-matching-model", func(t *testing.T) {
+		urls := append(startWorkers(t, 1, graphN, graphSeed), ltWorker())
+		coord := NewCoordinator(quietConfig(urls))
+		c := rrset.NewCollection(s.Graph().N())
+		coord.Generate(c, s, count, rng.New(rngSeed), 0)
+		if !bytes.Equal(collBytes(t, c), want) {
+			t.Fatal("fleet with a wrong-model worker diverged from local generation")
+		}
+	})
+	t.Run("all-wrong-model-degrades", func(t *testing.T) {
+		before := mDegraded.Value()
+		noReplicaBefore := mNoReplica.Value()
+		coord := NewCoordinator(quietConfig([]string{ltWorker()}))
+		c := rrset.NewCollection(s.Graph().N())
+		coord.Generate(c, s, count, rng.New(rngSeed), 0)
+		if !bytes.Equal(collBytes(t, c), want) {
+			t.Fatal("all-wrong-model fleet diverged from local generation")
+		}
+		if mDegraded.Value() != before+1 {
+			t.Fatal("all-wrong-model fleet did not degrade")
+		}
+		if mNoReplica.Value() != noReplicaBefore+1 {
+			t.Fatal("degrade was not attributed to a missing replica")
+		}
+	})
+}
+
+// TestPermanentDegradeLogsOnce: a session whose (graph, model) no worker
+// replicates is a configuration, not an incident — it degrades on every
+// Generate but logs and emits the degradation only once, so a multi-graph
+// daemon does not drown real outages in noise.
+func TestPermanentDegradeLogsOnce(t *testing.T) {
+	s := testSampler(t, 300, 42)
+	wrongURLs := startWorkers(t, 1, 300, 1234) // healthy, wrong graph
+
+	var mu sync.Mutex
+	var degradedLines int
+	cfg := quietConfig(wrongURLs)
+	cfg.Logf = func(format string, args ...any) {
+		if strings.Contains(format, "DEGRADED") {
+			mu.Lock()
+			degradedLines++
+			mu.Unlock()
+		}
+	}
+	coord := NewCoordinator(cfg)
+
+	before := mDegraded.Value()
+	for i := 0; i < 3; i++ {
+		c := rrset.NewCollection(s.Graph().N())
+		coord.Generate(c, s, 100, rng.New(uint64(i+1)), 0)
+		if c.Count() != 100 {
+			t.Fatalf("degraded generation %d produced %d sets", i, c.Count())
+		}
+	}
+	if mDegraded.Value() != before+3 {
+		t.Fatalf("fleet_degraded_generations_total advanced by %d, want 3", mDegraded.Value()-before)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if degradedLines != 1 {
+		t.Fatalf("DEGRADED logged %d times across 3 generations, want once", degradedLines)
+	}
+}
+
+// TestGenerateReturnsPromptlyAfterLastLease: once the final lease is
+// delivered, Generate must return immediately — a losing speculative RPC
+// still in flight on a wedged worker is cancelled, not waited out.
+func TestGenerateReturnsPromptlyAfterLastLease(t *testing.T) {
+	const (
+		graphN    = 300
+		graphSeed = 42
+		count     = 100
+		rngSeed   = 31
+	)
+	s := testSampler(t, graphN, graphSeed)
+	want := localBytes(t, s, count, rngSeed)
+
+	// The wedged worker registers fine but stalls every generate far
+	// longer than the test is willing to wait.
+	wedged := NewWorker(testSampler(t, graphN, graphSeed))
+	wedgedSrv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == pathGenerate {
+			// Drain the body first: the server only watches for client
+			// disconnects (cancelling r.Context()) once the request body
+			// is consumed, and the coordinator's cancel must cut this
+			// stall short rather than stretch the test by 10s.
+			body, _ := io.ReadAll(r.Body)
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			select {
+			case <-time.After(10 * time.Second):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		wedged.ServeHTTP(rw, r)
+	}))
+	t.Cleanup(wedgedSrv.Close)
+
+	cfg := quietConfig(append(startWorkers(t, 1, graphN, graphSeed), wedgedSrv.URL))
+	cfg.ChunkSize = 50
+	cfg.LeaseTTL = 100 * time.Millisecond // reassign the wedged lease quickly
+	coord := NewCoordinator(cfg)
+
+	start := time.Now()
+	c := rrset.NewCollection(s.Graph().N())
+	coord.Generate(c, s, count, rng.New(rngSeed), 0)
+	elapsed := time.Since(start)
+	if !bytes.Equal(collBytes(t, c), want) {
+		t.Fatal("generation with a wedged worker diverged from local")
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("Generate took %v; it waited out the wedged worker's RPC instead of cancelling it", elapsed)
 	}
 }
 
@@ -351,7 +587,7 @@ func TestHeartbeatReadmitsRecoveredWorker(t *testing.T) {
 		if time.Now().After(deadline) {
 			t.Fatal("worker never re-admitted by heartbeat")
 		}
-		if len(coord.eligible(s.Graph().Fingerprint())) == 1 {
+		if len(coord.eligible(s.Graph().Fingerprint(), s.Model().String())) == 1 {
 			break
 		}
 		time.Sleep(10 * time.Millisecond)

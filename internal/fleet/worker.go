@@ -73,8 +73,12 @@ type generateRequest struct {
 	// on. A mismatch is refused with 412 rather than computing RR sets
 	// on the wrong influence instance.
 	Fingerprint string `json:"fingerprint"`
-	Key0        string `json:"key0"`
-	Key1        string `json:"key1"`
+	// Model is the diffusion model the coordinator samples under. Same
+	// graph + different model is a different influence instance, so a
+	// mismatch is refused with 412 exactly like a fingerprint mismatch.
+	Model string `json:"model"`
+	Key0  string `json:"key0"`
+	Key1  string `json:"key1"`
 	// StartID is the global id of the lease's first RR set: set j of the
 	// response was driven by Split(StartID+j).
 	StartID uint64 `json:"start_id"`
@@ -92,12 +96,13 @@ type generateRequest struct {
 type Worker struct {
 	sampler *rrset.Sampler
 	fp      string
+	model   string
 	mux     *http.ServeMux
 }
 
 // NewWorker returns a Worker serving RR-set leases sampled from s.
 func NewWorker(s *rrset.Sampler) *Worker {
-	w := &Worker{sampler: s, fp: s.Graph().Fingerprint()}
+	w := &Worker{sampler: s, fp: s.Graph().Fingerprint(), model: s.Model().String()}
 	w.mux = http.NewServeMux()
 	w.mux.HandleFunc(pathInfo, w.handleInfo)
 	w.mux.HandleFunc(pathGenerate, w.handleGenerate)
@@ -131,7 +136,7 @@ func (w *Worker) handleInfo(rw http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(rw).Encode(infoResponse{
 		Fingerprint: w.fp,
 		N:           w.sampler.Graph().N(),
-		Model:       w.sampler.Model().String(),
+		Model:       w.model,
 	})
 }
 
@@ -153,6 +158,14 @@ func (w *Worker) handleGenerate(rw http.ResponseWriter, r *http.Request) {
 		mWorkerRefusals.Inc()
 		http.Error(rw, fmt.Sprintf("graph fingerprint mismatch: worker holds %s, lease expects %s",
 			w.fp, req.Fingerprint), http.StatusPreconditionFailed)
+		return
+	}
+	if req.Model != w.model {
+		// Same graph under a different diffusion model is a different
+		// influence instance; its RR sets are just as silently wrong.
+		mWorkerRefusals.Inc()
+		http.Error(rw, fmt.Sprintf("diffusion model mismatch: worker samples %s, lease expects %s",
+			w.model, req.Model), http.StatusPreconditionFailed)
 		return
 	}
 	k0, err0 := strconv.ParseUint(req.Key0, 16, 64)
