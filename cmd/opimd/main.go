@@ -170,6 +170,23 @@ func main() {
 			fatalf("creating -checkpoint-dir: %v", err)
 		}
 	}
+	// Replay the default graph's mutation journal: a daemon that applied
+	// POST /graphs/default/updates batches before it stopped must come back
+	// on the mutated graph, at the right epoch, so its sessions' checkpoints
+	// place correctly on the epoch chain.
+	var glog *server.GraphLog
+	if *ckDir != "" {
+		var rerr error
+		g, glog, rerr = server.ReplayMutationLog(*ckDir, server.DefaultGraphName, g)
+		if rerr != nil {
+			fatalf("%v (remove the mutation journal to start from the base graph, abandoning its epochs)", rerr)
+		}
+		if glog.Epochs() > 0 {
+			sampler = opim.NewSampler(g, model)
+			fmt.Printf("opimd: replayed %d mutation batch(es) from the journal; default graph at epoch %d (n=%d m=%d)\n",
+				glog.Epochs(), g.Epoch(), g.N(), g.M())
+		}
+	}
 	// The default session's checkpoint: -checkpoint wins; otherwise it
 	// lives alongside the other sessions in -checkpoint-dir.
 	defaultCk := *checkpoint
@@ -184,12 +201,15 @@ func main() {
 	// prevent. The operator must remove the file to start fresh.
 	var session *opim.Online
 	if defaultCk != "" {
-		sess, src, meta, lerr := server.LoadCheckpointMeta(defaultCk, sampler)
+		sess, src, meta, regen, lerr := server.LoadCheckpointMetaLog(defaultCk, sampler, glog)
 		switch {
 		case lerr == nil:
 			session = sess
 			session.SetEvents(flushingSinkOrNil(events))
 			fmt.Printf("opimd: resumed session from %s (num_rr=%d); session parameters come from the checkpoint\n", src, session.NumRR())
+			if regen > 0 {
+				fmt.Printf("opimd: checkpoint predates the latest graph mutation; caught up by regenerating %d RR set(s)\n", regen)
+			}
 			if !meta.Verified() {
 				fmt.Printf("opimd: WARNING: %s is a legacy OPIMS%d checkpoint with no graph fingerprint; cannot verify it matches the configured graph (see docs/ROBUSTNESS.md)\n", src, meta.Format)
 			}
@@ -238,6 +258,7 @@ func main() {
 		MaxLoadedGraphs:    *maxGraphs,
 		CheckpointInterval: *ckInterval,
 		DefaultGraphSpec:   spec.String(),
+		DefaultGraphLog:    glog,
 		Events:             flushingSinkOrNil(events),
 		Generator:          generatorOrNil(coordinator),
 	})

@@ -21,15 +21,18 @@ import (
 	"github.com/reprolab/opim/internal/rrset"
 )
 
-// sessionMagic is the current OPIMS3 format: the OPIMS2 layout plus a
-// graph-identity block (content fingerprint, GraphSpec string, catalog
-// name) between the base seeds and the RR collections. OPIMS1 files
-// (which predate Exact and BaseSeeds) and OPIMS2 files (which predate the
-// identity block) are still readable, but carry no fingerprint, so loading
-// one cannot verify the graph — callers should surface that as an
-// "unverified graph" warning (the daemon does; see docs/ROBUSTNESS.md).
+// sessionMagic is the current OPIMS4 format: the OPIMS3 layout plus an
+// epoch block (mutation-batch count and epoch-chain lineage hash) after
+// the graph-identity strings, versioning WHICH point of a dynamic graph's
+// mutation history the RR sets were sampled on. OPIMS1 files (which
+// predate Exact and BaseSeeds), OPIMS2 files (which predate the identity
+// block) and OPIMS3 files (which predate the epoch block, so they load as
+// epoch 0) are still readable; V1/V2 carry no fingerprint, so loading one
+// cannot verify the graph — callers should surface that as an "unverified
+// graph" warning (the daemon does; see docs/ROBUSTNESS.md).
 const (
-	sessionMagic   = "OPIMS3\n"
+	sessionMagic   = "OPIMS4\n"
+	sessionMagicV3 = "OPIMS3\n"
 	sessionMagicV2 = "OPIMS2\n"
 	sessionMagicV1 = "OPIMS1\n"
 )
@@ -48,7 +51,8 @@ var ErrGraphMismatch = errors.New("core: session graph fingerprint mismatch")
 // hands it to the caller so a multi-graph server can pick (or register)
 // the right sampler before committing to the expensive part of the load.
 type SessionMeta struct {
-	// Format is the container version: 1, 2 (no graph identity) or 3.
+	// Format is the container version: 1, 2 (no graph identity), 3 (no
+	// epoch block) or 4.
 	Format int
 	// N is the node count recorded in the header.
 	N int32
@@ -61,6 +65,22 @@ type SessionMeta struct {
 	// GraphName is the catalog name the session referenced; empty outside
 	// a catalog.
 	GraphName string
+	// Epoch is the graph's mutation-batch count at save time, and Lineage
+	// its epoch-chain hash (graph.EpochLineage). Zero/empty for pre-OPIMS4
+	// files, which always describe an epoch-0 graph.
+	Epoch   int64
+	Lineage string
+
+	// AcceptStale is set by the LoadSessionResolve resolver (never by the
+	// decoder) to accept a sampler whose graph content differs from the
+	// file's because mutation batches were applied after the save. The
+	// resolver takes on the obligation to verify — through the graph's
+	// epoch chain — that the sampler's graph descends from the recorded
+	// (fingerprint, epoch), and to call RepairForMutations with the missed
+	// batches after the load. With AcceptStale the fingerprint check is
+	// skipped and the node count may have grown (node adds); without it a
+	// content mismatch is still the hard ErrGraphMismatch.
+	AcceptStale bool
 }
 
 // Verified reports whether the file carries a graph fingerprint, i.e.
@@ -119,6 +139,16 @@ func SaveSession(w io.Writer, o *Online) error {
 			return err
 		}
 	}
+	// OPIMS4 extension: the epoch block, read straight off the sampler's
+	// graph — a session repaired onto epoch k checkpoints as epoch k.
+	var eb [8]byte
+	binary.LittleEndian.PutUint64(eb[:], uint64(o.sampler.Graph().Epoch()))
+	if _, err := bw.Write(eb[:]); err != nil {
+		return err
+	}
+	if err := writeString16(bw, o.sampler.Graph().EpochLineage()); err != nil {
+		return err
+	}
 	if err := rrset.WriteCollection(bw, o.r1); err != nil {
 		return err
 	}
@@ -162,6 +192,8 @@ func LoadSessionResolve(r io.Reader, resolve func(*SessionMeta) (*rrset.Sampler,
 	meta := &SessionMeta{}
 	switch string(magic) {
 	case sessionMagic:
+		meta.Format = 4
+	case sessionMagicV3:
 		meta.Format = 3
 	case sessionMagicV2:
 		meta.Format = 2
@@ -218,15 +250,29 @@ func LoadSessionResolve(r io.Reader, resolve func(*SessionMeta) (*rrset.Sampler,
 			return nil, nil, err
 		}
 	}
+	if meta.Format >= 4 {
+		var eb [8]byte
+		if _, err := io.ReadFull(br, eb[:]); err != nil {
+			return nil, nil, fmt.Errorf("%w: short epoch block: %v", ErrBadSession, err)
+		}
+		meta.Epoch = int64(binary.LittleEndian.Uint64(eb[:]))
+		var err error
+		if meta.Lineage, err = readString16(br, "epoch lineage"); err != nil {
+			return nil, nil, err
+		}
+		if meta.Epoch < 0 {
+			return nil, nil, fmt.Errorf("%w: negative epoch %d", ErrBadSession, meta.Epoch)
+		}
+	}
 
 	sampler, err := resolve(meta)
 	if err != nil {
 		return nil, meta, err
 	}
-	if got := sampler.Graph().N(); got != n {
+	if got := sampler.Graph().N(); got != n && !(meta.AcceptStale && got > n) {
 		return nil, meta, fmt.Errorf("%w: session is for n=%d, sampler has n=%d", ErrBadSession, n, got)
 	}
-	if meta.Verified() {
+	if meta.Verified() && !meta.AcceptStale {
 		if got := sampler.Graph().Fingerprint(); got != meta.GraphFingerprint {
 			return nil, meta, fmt.Errorf("%w: session was saved on graph %s, sampler has %s",
 				ErrGraphMismatch, meta.GraphFingerprint, got)

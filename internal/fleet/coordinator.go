@@ -129,6 +129,12 @@ type workerState struct {
 	// fingerprint is the worker's replica fingerprint from its last
 	// successful probe.
 	fingerprint string
+	// epoch/lineage place the replica on its graph's mutation epoch chain
+	// (from the last successful probe). A replica at the wrong epoch —
+	// typically one started before a mutation batch landed — is excluded
+	// exactly like one holding the wrong graph.
+	epoch   int64
+	lineage string
 	// model is the worker's diffusion model from its last successful
 	// probe. A worker sampling under the wrong model is excluded exactly
 	// like one holding the wrong graph.
@@ -246,6 +252,7 @@ func (c *Coordinator) probeAll() {
 			prev := w.fingerprint
 			w.probed = true
 			w.fingerprint = info.Fingerprint
+			w.epoch, w.lineage = info.Epoch, info.Lineage
 			w.model = info.Model
 			w.healthy = true
 			w.consecFails = 0
@@ -303,10 +310,10 @@ func (c *Coordinator) updateHealthyGauge() {
 }
 
 // eligible returns the workers fit to receive leases for the influence
-// instance (fp, model), probing any not-yet-registered worker first
-// (concurrently, so an unreachable worker costs one ProbeTimeout, not one
-// per worker, before the first lease goes out).
-func (c *Coordinator) eligible(fp, model string) []*workerState {
+// instance (fp, epoch, lineage, model), probing any not-yet-registered
+// worker first (concurrently, so an unreachable worker costs one
+// ProbeTimeout, not one per worker, before the first lease goes out).
+func (c *Coordinator) eligible(fp string, epoch int64, lineage, model string) []*workerState {
 	c.mu.Lock()
 	var unprobed []*workerState
 	for _, w := range c.workers {
@@ -326,6 +333,7 @@ func (c *Coordinator) eligible(fp, model string) []*workerState {
 				if err == nil {
 					w.probed, w.healthy = true, true
 					w.fingerprint, w.model = info.Fingerprint, info.Model
+					w.epoch, w.lineage = info.Epoch, info.Lineage
 				}
 				c.mu.Unlock()
 			}(w)
@@ -336,21 +344,22 @@ func (c *Coordinator) eligible(fp, model string) []*workerState {
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	want := fp + "/" + model
+	want := fmt.Sprintf("%s@%d/%s/%s", fp, epoch, lineage, model)
 	var out []*workerState
 	for _, w := range c.workers {
 		if !w.probed || !w.healthy || w.evicted {
 			continue
 		}
-		if w.fingerprint != fp || w.model != model {
+		if w.fingerprint != fp || w.epoch != epoch || w.lineage != lineage || w.model != model {
 			mFPMismatches.Inc()
-			// A wrong replica is usually a permanent configuration, not
-			// an incident: log each worker's exclusion once per wanted
+			// A wrong replica is usually a permanent configuration (or, for
+			// an epoch mismatch, lasts until the worker restarts on the
+			// mutated graph): log each worker's exclusion once per wanted
 			// identity, not once per Generate.
 			if w.mismatchLogged != want {
 				w.mismatchLogged = want
-				c.cfg.Logf("fleet: worker %s holds graph %.12s model %s, session needs %.12s model %s; excluded",
-					w.url, w.fingerprint, w.model, fp, model)
+				c.cfg.Logf("fleet: worker %s holds graph %.12s epoch %d model %s, session needs %.12s epoch %d model %s; excluded",
+					w.url, w.fingerprint, w.epoch, w.model, fp, epoch, model)
 			}
 			continue
 		}
@@ -383,6 +392,8 @@ type run struct {
 	c *Coordinator
 
 	fp      string
+	epoch   int64
+	lineage string
 	model   string
 	key0    string
 	key1    string
@@ -415,11 +426,13 @@ func (c *Coordinator) Generate(coll *rrset.Collection, s *rrset.Sampler, count i
 		return
 	}
 	mGenerations.Inc()
-	fp := s.Graph().Fingerprint()
+	g := s.Graph()
+	fp := g.Fingerprint()
+	epoch, lineage := g.Epoch(), g.EpochLineage()
 	model := s.Model().String()
-	eligible := c.eligible(fp, model)
+	eligible := c.eligible(fp, epoch, lineage, model)
 	if len(eligible) == 0 {
-		why, permanent := c.degradeReason(fp, model)
+		why, permanent := c.degradeReason(fp, epoch, model)
 		c.degrade(coll, s, count, base, workers, why, permanent)
 		return
 	}
@@ -429,6 +442,8 @@ func (c *Coordinator) Generate(coll *rrset.Collection, s *rrset.Sampler, count i
 	r := &run{
 		c:       c,
 		fp:      fp,
+		epoch:   epoch,
+		lineage: lineage,
 		model:   model,
 		key0:    strconv.FormatUint(k0, 16),
 		key1:    strconv.FormatUint(k1, 16),
@@ -499,7 +514,7 @@ func (c *Coordinator) Generate(coll *rrset.Collection, s *rrset.Sampler, count i
 // session's (graph, model). The latter is expected on a multi-graph
 // daemon and reported quietly (once per identity) so it cannot drown out
 // real outages.
-func (c *Coordinator) degradeReason(fp, model string) (why string, permanent bool) {
+func (c *Coordinator) degradeReason(fp string, epoch int64, model string) (why string, permanent bool) {
 	c.mu.Lock()
 	aliveMismatched := 0
 	for _, w := range c.workers {
@@ -510,7 +525,7 @@ func (c *Coordinator) degradeReason(fp, model string) (why string, permanent boo
 	c.mu.Unlock()
 	if aliveMismatched > 0 {
 		mNoReplica.Inc()
-		return fmt.Sprintf("no worker replicates graph %.12s model %s", fp, model), true
+		return fmt.Sprintf("no worker replicates graph %.12s epoch %d model %s", fp, epoch, model), true
 	}
 	return "no healthy workers", false
 }
@@ -748,6 +763,8 @@ func (r *run) watchdog(stop chan struct{}) {
 func (r *run) generateRPC(w *workerState, l *lease) (*rrset.Collection, error) {
 	body, err := json.Marshal(generateRequest{
 		Fingerprint: r.fp,
+		Epoch:       r.epoch,
+		Lineage:     r.lineage,
 		Model:       r.model,
 		Key0:        r.key0,
 		Key1:        r.key1,

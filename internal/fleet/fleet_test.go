@@ -380,8 +380,16 @@ func TestWorkerRefuses412(t *testing.T) {
 			t.Fatalf("status = %d, want 412", code)
 		}
 	})
+	t.Run("wrong-epoch", func(t *testing.T) {
+		// Right content, wrong chain position: a coordinator one mutation
+		// batch ahead of this replica must not get RR sets from it.
+		body := `{"fingerprint":"` + w.Fingerprint() + `","model":"IC","epoch":1,"lineage":"deadbeef","key0":"1","key1":"2","start_id":0,"count":10}`
+		if code := post(t, body); code != http.StatusPreconditionFailed {
+			t.Fatalf("status = %d, want 412", code)
+		}
+	})
 	t.Run("matching-identity-accepted", func(t *testing.T) {
-		body := `{"fingerprint":"` + w.Fingerprint() + `","model":"IC","key0":"1","key1":"2","start_id":0,"count":10}`
+		body := `{"fingerprint":"` + w.Fingerprint() + `","model":"IC","epoch":0,"lineage":"` + w.Fingerprint() + `","key0":"1","key1":"2","start_id":0,"count":10}`
 		if code := post(t, body); code != http.StatusOK {
 			t.Fatalf("status = %d, want 200", code)
 		}
@@ -587,7 +595,7 @@ func TestHeartbeatReadmitsRecoveredWorker(t *testing.T) {
 		if time.Now().After(deadline) {
 			t.Fatal("worker never re-admitted by heartbeat")
 		}
-		if len(coord.eligible(s.Graph().Fingerprint(), s.Model().String())) == 1 {
+		if len(coord.eligible(s.Graph().Fingerprint(), s.Graph().Epoch(), s.Graph().EpochLineage(), s.Model().String())) == 1 {
 			break
 		}
 		time.Sleep(10 * time.Millisecond)
@@ -615,5 +623,66 @@ func TestGenerateAppendsToExistingCollection(t *testing.T) {
 	coord.Generate(c, s, 130, fleetBase, 0)
 	if !bytes.Equal(collBytes(t, c), want) {
 		t.Fatal("second fleet batch did not continue the seed-id sequence")
+	}
+}
+
+// TestEpochMismatchExcluded: a worker whose replica has the same CONTENT
+// as the coordinator's graph but sits at a different epoch on the
+// mutation chain must never be leased work. This is the one identity gap
+// a content fingerprint cannot close — insert an edge and delete it again
+// and the bytes are identical while the sample stream is not (the epoch
+// is folded into the graph's identity precisely because RR regeneration
+// after each batch re-randomizes the invalidated sets' traces against a
+// different structure mid-history). With only stale-epoch workers the
+// coordinator degrades to local sampling and stays byte-identical.
+func TestEpochMismatchExcluded(t *testing.T) {
+	const (
+		graphN    = 300
+		graphSeed = 42
+		count     = 200
+		rngSeed   = 31
+	)
+	base := testSampler(t, graphN, graphSeed)
+
+	// Round-trip a mutation: +edge then -edge. Same content fingerprint as
+	// the base graph, epoch 2, different lineage.
+	var pick graph.Edge
+	base.Graph().Edges(func(e graph.Edge) bool { pick = e; return false })
+	var from, to int32 = pick.From, pick.To
+	g1, err := base.Graph().WithMutations([]graph.Mutation{{Op: graph.OpEdgeDelete, From: from, To: to}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := g1.WithMutations([]graph.Mutation{{Op: graph.OpEdgeInsert, From: from, To: to, P: pick.P}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Fingerprint() != base.Graph().Fingerprint() {
+		t.Fatal("round-trip mutation changed the content fingerprint; test premise broken")
+	}
+	if g2.Epoch() != 2 || g2.EpochLineage() == base.Graph().EpochLineage() {
+		t.Fatalf("epoch chain not advanced: epoch %d", g2.Epoch())
+	}
+	s2 := rrset.NewSampler(g2, diffusion.IC)
+
+	// Workers replicate the base (epoch-0) graph; the coordinator samples
+	// the epoch-2 graph. Identical fingerprints, different epochs.
+	urls := startWorkers(t, 2, graphN, graphSeed)
+	before := mDegraded.Value()
+	coord := NewCoordinator(quietConfig(urls))
+	c := rrset.NewCollection(g2.N())
+	coord.Generate(c, s2, count, rng.New(rngSeed), 0)
+	if mDegraded.Value() != before+1 {
+		t.Fatal("stale-epoch fleet did not degrade to local sampling")
+	}
+
+	want := localBytes(t, s2, count, rngSeed)
+	if !bytes.Equal(collBytes(t, c), want) {
+		t.Fatal("degraded generation diverged from local ground truth")
+	}
+
+	// Sanity: the same fleet IS eligible for the epoch-0 sampler.
+	if n := len(coord.eligible(base.Graph().Fingerprint(), 0, base.Graph().EpochLineage(), "IC")); n != 2 {
+		t.Fatalf("eligible for base epoch = %d, want 2", n)
 	}
 }

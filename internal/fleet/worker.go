@@ -57,6 +57,11 @@ type infoResponse struct {
 	// replica (graph.Fingerprint). The coordinator refuses to lease work
 	// to a worker whose fingerprint differs from the session graph's.
 	Fingerprint string `json:"fingerprint"`
+	// Epoch and Lineage place the replica on its graph's mutation epoch
+	// chain (graph.EpochLineage): a worker still holding the pre-mutation
+	// replica is excluded until it restarts on the mutated graph.
+	Epoch   int64  `json:"epoch"`
+	Lineage string `json:"lineage"`
 	// N is the replica's node count (a cheap cross-check and a useful
 	// human diagnostic when fingerprints differ).
 	N int32 `json:"n"`
@@ -77,8 +82,14 @@ type generateRequest struct {
 	// graph + different model is a different influence instance, so a
 	// mismatch is refused with 412 exactly like a fingerprint mismatch.
 	Model string `json:"model"`
-	Key0  string `json:"key0"`
-	Key1  string `json:"key1"`
+	// Epoch and Lineage pin the lease to a position on the graph's
+	// mutation epoch chain. The same base dataset at a different epoch is
+	// a different graph; a replica that has not seen the mutation batch
+	// refuses with 412 like any other identity mismatch.
+	Epoch   int64  `json:"epoch"`
+	Lineage string `json:"lineage"`
+	Key0    string `json:"key0"`
+	Key1    string `json:"key1"`
 	// StartID is the global id of the lease's first RR set: set j of the
 	// response was driven by Split(StartID+j).
 	StartID uint64 `json:"start_id"`
@@ -96,13 +107,22 @@ type generateRequest struct {
 type Worker struct {
 	sampler *rrset.Sampler
 	fp      string
+	epoch   int64
+	lineage string
 	model   string
 	mux     *http.ServeMux
 }
 
 // NewWorker returns a Worker serving RR-set leases sampled from s.
 func NewWorker(s *rrset.Sampler) *Worker {
-	w := &Worker{sampler: s, fp: s.Graph().Fingerprint(), model: s.Model().String()}
+	g := s.Graph()
+	w := &Worker{
+		sampler: s,
+		fp:      g.Fingerprint(),
+		epoch:   g.Epoch(),
+		lineage: g.EpochLineage(),
+		model:   s.Model().String(),
+	}
 	w.mux = http.NewServeMux()
 	w.mux.HandleFunc(pathInfo, w.handleInfo)
 	w.mux.HandleFunc(pathGenerate, w.handleGenerate)
@@ -135,6 +155,8 @@ func (w *Worker) handleInfo(rw http.ResponseWriter, r *http.Request) {
 	rw.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(rw).Encode(infoResponse{
 		Fingerprint: w.fp,
+		Epoch:       w.epoch,
+		Lineage:     w.lineage,
 		N:           w.sampler.Graph().N(),
 		Model:       w.model,
 	})
@@ -166,6 +188,15 @@ func (w *Worker) handleGenerate(rw http.ResponseWriter, r *http.Request) {
 		mWorkerRefusals.Inc()
 		http.Error(rw, fmt.Sprintf("diffusion model mismatch: worker samples %s, lease expects %s",
 			w.model, req.Model), http.StatusPreconditionFailed)
+		return
+	}
+	if req.Epoch != w.epoch || req.Lineage != w.lineage {
+		// The coordinator's graph mutated past (or behind) this replica:
+		// identical base content at a different epoch samples different RR
+		// sets. Refuse until the replica restarts on the right epoch.
+		mWorkerRefusals.Inc()
+		http.Error(rw, fmt.Sprintf("graph epoch mismatch: worker holds epoch %d (%s), lease expects epoch %d (%s)",
+			w.epoch, w.lineage, req.Epoch, req.Lineage), http.StatusPreconditionFailed)
 		return
 	}
 	k0, err0 := strconv.ParseUint(req.Key0, 16, 64)

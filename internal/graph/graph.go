@@ -6,8 +6,13 @@
 // CSR (compressed sparse row) form, with one float32 propagation probability
 // per directed edge. Node identifiers are dense int32 values in [0, N).
 //
-// Graphs are immutable once built; all sampling algorithms may share one
-// Graph across goroutines without synchronization.
+// Graphs are immutable in steady state; all sampling algorithms may share
+// one Graph across goroutines without synchronization. Dynamic-graph
+// callers evolve a graph through mutation batches (mutate.go): WithMutations
+// derives a new Graph (the shared-reader-safe form — the parent is
+// untouched), while ApplyMutations rewrites a Graph in place and requires
+// the caller to guarantee no concurrent reader. Each applied batch advances
+// the graph's epoch and lineage (see Epoch, EpochLineage).
 package graph
 
 import (
@@ -50,7 +55,17 @@ type Graph struct {
 	inPSum []float32
 
 	// fp caches Fingerprint's content hash (nil until first computed).
+	// Mutation (ApplyMutations) clears it — the cache is only valid while
+	// the CSR arrays it was computed over are unchanged.
 	fp atomic.Pointer[string]
+
+	// epoch counts the mutation batches applied since the graph was built
+	// or loaded (0 for a pristine graph), and lineage is the epoch-chain
+	// hash over (parent lineage, mutation batch) — see mutate.go. Together
+	// with the content fingerprint they version the graph's identity for
+	// checkpoints and fleet leases.
+	epoch   int64
+	lineage string
 
 	// unmap releases the mmap backing the CSR slices, if any (set only by
 	// the mmap load path; see csr.go / mmap_unix.go). It is registered as a
@@ -76,6 +91,22 @@ func (g *Graph) Close() error {
 		u()
 	}
 	return nil
+}
+
+// Epoch returns the number of mutation batches applied since the graph
+// was built or loaded from disk. A pristine graph is epoch 0.
+func (g *Graph) Epoch() int64 { return g.epoch }
+
+// EpochLineage returns the epoch-chain hash identifying this graph's
+// mutation history: the content fingerprint for an epoch-0 graph, and
+// ChainFingerprint(parent lineage, batch) after each mutation. Two graphs
+// share a lineage exactly when they share a base graph and an identical
+// sequence of mutation batches.
+func (g *Graph) EpochLineage() string {
+	if g.lineage == "" {
+		return g.Fingerprint()
+	}
+	return g.lineage
 }
 
 // N returns the number of nodes.

@@ -1,0 +1,258 @@
+package graph
+
+// Dynamic graphs: a Graph evolves through ordered batches of Mutations.
+// WithMutations derives a new Graph from the current one plus a batch — the
+// parent is untouched, so in-flight readers of the old epoch stay valid —
+// and ApplyMutations is the in-place form for exclusive owners. Either way
+// the batch is validated against the sequentially-evolving state (a delete
+// followed by an insert of the same edge is legal), the CSR is rebuilt
+// through the same canonicalization as Builder.Build (so fingerprints stay
+// load-path independent), and the graph's identity advances along an epoch
+// chain: epoch k+1's lineage is ChainFingerprint(epoch k's lineage, batch).
+// The chain is what lets checkpoints and replicated workers tell "same base
+// graph, same mutation history" apart from "same content by coincidence" —
+// and what makes a partially applied batch detectable after a crash.
+//
+// Mutating an mmap-backed graph never writes the read-only mapping: the
+// rebuild allocates fresh heap arrays (copy-on-write), and ApplyMutations
+// releases the mapping only after the swap.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+)
+
+// MutOp enumerates graph mutation operations.
+type MutOp uint8
+
+const (
+	// OpEdgeInsert adds the directed edge ⟨From,To⟩ with probability P.
+	// The edge must not currently exist.
+	OpEdgeInsert MutOp = iota + 1
+	// OpEdgeDelete removes the directed edge ⟨From,To⟩, which must exist.
+	OpEdgeDelete
+	// OpSetWeight sets the probability of the existing edge ⟨From,To⟩ to P.
+	OpSetWeight
+	// OpAddNode appends one node with id N() (the next dense id); From, To
+	// and P are ignored. Adding a node changes the RR-set root distribution,
+	// so it invalidates every RR set sampled on the graph.
+	OpAddNode
+)
+
+// String implements fmt.Stringer for diagnostics and wire encoding.
+func (op MutOp) String() string {
+	switch op {
+	case OpEdgeInsert:
+		return "edge_insert"
+	case OpEdgeDelete:
+		return "edge_delete"
+	case OpSetWeight:
+		return "set_weight"
+	case OpAddNode:
+		return "node_add"
+	}
+	return fmt.Sprintf("MutOp(%d)", uint8(op))
+}
+
+// ParseMutOp inverts MutOp.String.
+func ParseMutOp(s string) (MutOp, error) {
+	switch s {
+	case "edge_insert":
+		return OpEdgeInsert, nil
+	case "edge_delete":
+		return OpEdgeDelete, nil
+	case "set_weight":
+		return OpSetWeight, nil
+	case "node_add":
+		return OpAddNode, nil
+	}
+	return 0, fmt.Errorf("graph: unknown mutation op %q", s)
+}
+
+// Mutation is one element of a mutation batch. Batches apply sequentially:
+// each op is validated against the graph as already modified by the ops
+// before it.
+type Mutation struct {
+	Op       MutOp
+	From, To NodeID
+	P        float32
+}
+
+// ErrInvalidMutation reports a mutation that cannot apply: an edge op on a
+// missing edge, an insert of an existing edge, an endpoint outside [0, N),
+// a self-loop, or a probability outside [0, 1].
+var ErrInvalidMutation = fmt.Errorf("graph: invalid mutation")
+
+// chainDomain seeds the epoch-chain hash so a lineage can never collide
+// with a content fingerprint or a raw-bytes hash.
+const chainDomain = "OPIM-graph-epoch-v1\n"
+
+// ChainFingerprint advances the epoch chain: the lineage of a graph after
+// applying ms on a parent whose lineage is parent. The encoding is the
+// batch's exact op sequence (order matters — batches apply sequentially),
+// so two histories chain-hash equal iff they are the same history.
+func ChainFingerprint(parent string, ms []Mutation) string {
+	h := sha256.New()
+	h.Write([]byte(chainDomain))
+	h.Write([]byte(parent))
+	var rec [13]byte
+	for _, m := range ms {
+		rec[0] = byte(m.Op)
+		binary.LittleEndian.PutUint32(rec[1:5], uint32(m.From))
+		binary.LittleEndian.PutUint32(rec[5:9], uint32(m.To))
+		binary.LittleEndian.PutUint32(rec[9:13], floatBits(m.P))
+		h.Write(rec[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// edgeKey packs a directed edge into one comparable value.
+func edgeKey(from, to NodeID) int64 { return int64(from)<<32 | int64(uint32(to)) }
+
+// overlayEdge is the batch-local state of one edge: present (with weight p)
+// or deleted.
+type overlayEdge struct {
+	present bool
+	p       float32
+}
+
+// hasEdge reports whether ⟨from,to⟩ exists in the base CSR (binary search —
+// Build keeps each out-row strictly ascending by target).
+func (g *Graph) hasEdge(from, to NodeID) bool {
+	if from < 0 || from >= g.n {
+		return false
+	}
+	row := g.outTo[g.outOff[from]:g.outOff[from+1]]
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= to })
+	return i < len(row) && row[i] == to
+}
+
+// WithMutations derives a new Graph by applying the batch ms to g. g itself
+// is untouched — existing readers (shared samplers, in-flight traversals)
+// stay valid on the old epoch — and the result owns fresh heap arrays even
+// when g is mmap-backed. The returned graph's epoch is g.Epoch()+1 and its
+// lineage chains g's (ChainFingerprint). An invalid batch returns
+// ErrInvalidMutation and leaves nothing applied: batches are all-or-nothing.
+func (g *Graph) WithMutations(ms []Mutation) (*Graph, error) {
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrInvalidMutation)
+	}
+	n := g.n
+	overlay := make(map[int64]overlayEdge, len(ms))
+	exists := func(from, to NodeID) (overlayEdge, bool) {
+		if o, ok := overlay[edgeKey(from, to)]; ok {
+			return o, o.present
+		}
+		if g.hasEdge(from, to) {
+			return overlayEdge{}, true
+		}
+		return overlayEdge{}, false
+	}
+	inserted := 0
+	for i, m := range ms {
+		switch m.Op {
+		case OpAddNode:
+			if n == MaxNodes {
+				return nil, fmt.Errorf("%w: op %d adds node past MaxNodes", ErrInvalidMutation, i)
+			}
+			n++
+			continue
+		case OpEdgeInsert, OpEdgeDelete, OpSetWeight:
+		default:
+			return nil, fmt.Errorf("%w: op %d has unknown kind %d", ErrInvalidMutation, i, m.Op)
+		}
+		if m.From < 0 || m.From >= n || m.To < 0 || m.To >= n {
+			return nil, fmt.Errorf("%w: op %d edge ⟨%d,%d⟩ outside [0,%d)", ErrInvalidMutation, i, m.From, m.To, n)
+		}
+		if m.From == m.To {
+			return nil, fmt.Errorf("%w: op %d is a self-loop at node %d", ErrInvalidMutation, i, m.From)
+		}
+		_, has := exists(m.From, m.To)
+		switch m.Op {
+		case OpEdgeInsert:
+			if has {
+				return nil, fmt.Errorf("%w: op %d inserts existing edge ⟨%d,%d⟩", ErrInvalidMutation, i, m.From, m.To)
+			}
+		case OpEdgeDelete, OpSetWeight:
+			if !has {
+				return nil, fmt.Errorf("%w: op %d (%s) on missing edge ⟨%d,%d⟩", ErrInvalidMutation, i, m.Op, m.From, m.To)
+			}
+		}
+		if m.Op != OpEdgeDelete {
+			if m.P < 0 || m.P > 1 || m.P != m.P {
+				return nil, fmt.Errorf("%w: op %d probability %v on ⟨%d,%d⟩", ErrInvalidMutation, i, m.P, m.From, m.To)
+			}
+		}
+		switch m.Op {
+		case OpEdgeInsert:
+			overlay[edgeKey(m.From, m.To)] = overlayEdge{present: true, p: m.P}
+			inserted++
+		case OpEdgeDelete:
+			overlay[edgeKey(m.From, m.To)] = overlayEdge{present: false}
+		case OpSetWeight:
+			overlay[edgeKey(m.From, m.To)] = overlayEdge{present: true, p: m.P}
+		}
+	}
+
+	// Rebuild: stream the base edges through the overlay, then append pure
+	// inserts, and canonicalize through Build — the same sort/merge every
+	// other load path uses, so the content fingerprint stays path-invariant.
+	b := NewBuilder(n, int(g.m)+inserted)
+	g.Edges(func(e Edge) bool {
+		k := edgeKey(e.From, e.To)
+		if o, ok := overlay[k]; ok {
+			if o.present {
+				b.AddEdge(e.From, e.To, o.p)
+			}
+			delete(overlay, k)
+			return true
+		}
+		b.AddEdge(e.From, e.To, e.P)
+		return true
+	})
+	for k, o := range overlay {
+		if o.present {
+			b.AddEdge(NodeID(k>>32), NodeID(uint32(k)), o.p)
+		}
+	}
+	ng, err := b.Build()
+	if err != nil {
+		// Unreachable after validation above; surface it rather than panic.
+		return nil, fmt.Errorf("%w: %v", ErrInvalidMutation, err)
+	}
+	ng.epoch = g.epoch + 1
+	ng.lineage = ChainFingerprint(g.EpochLineage(), ms)
+	return ng, nil
+}
+
+// ApplyMutations applies the batch ms to g in place. The caller must
+// guarantee exclusive access: no concurrent reader or writer, including
+// samplers built over g (an LT sampler's alias tables must be rebuilt
+// afterwards). The cached content fingerprint is cleared — Fingerprint()
+// after a mutation recomputes over the new arrays — and if g's CSR arrays
+// were mmap-backed, they are first copied onto the heap (the mapping is
+// never written) and the mapping is released, so a mutated graph is always
+// heap-backed.
+func (g *Graph) ApplyMutations(ms []Mutation) error {
+	ng, err := g.WithMutations(ms)
+	if err != nil {
+		return err
+	}
+	unmap := g.unmap
+	g.unmap = nil
+	g.n, g.m = ng.n, ng.m
+	g.outOff, g.outTo, g.outP = ng.outOff, ng.outTo, ng.outP
+	g.inOff, g.inFrom, g.inP = ng.inOff, ng.inFrom, ng.inP
+	g.inPSum = ng.inPSum
+	g.epoch, g.lineage = ng.epoch, ng.lineage
+	g.fp.Store(nil)
+	if unmap != nil {
+		// The slices now point at heap arrays; the old mapping has no
+		// remaining reader inside g.
+		unmap()
+	}
+	return nil
+}

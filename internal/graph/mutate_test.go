@@ -1,0 +1,208 @@
+package graph
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// mutTestGraph builds the 4-node graph used across mutation tests:
+// 0→1 (0.5), 0→2 (0.25), 1→2 (0.5), 2→3 (0.75), 3→0 (0.1).
+func mutTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(4, 5)
+	b.AddEdge(0, 1, 0.5)
+	b.AddEdge(0, 2, 0.25)
+	b.AddEdge(1, 2, 0.5)
+	b.AddEdge(2, 3, 0.75)
+	b.AddEdge(3, 0, 0.1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func collectEdges(g *Graph) []Edge {
+	var out []Edge
+	g.Edges(func(e Edge) bool { out = append(out, e); return true })
+	return out
+}
+
+func TestWithMutationsSemantics(t *testing.T) {
+	g := mutTestGraph(t)
+	ng, err := g.WithMutations([]Mutation{
+		{Op: OpEdgeDelete, From: 0, To: 2},
+		{Op: OpSetWeight, From: 1, To: 2, P: 0.9},
+		{Op: OpAddNode},
+		{Op: OpEdgeInsert, From: 4, To: 0, P: 0.3},
+		{Op: OpEdgeInsert, From: 0, To: 2, P: 0.6}, // re-insert after delete
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ng.N() != 5 || ng.M() != 6 {
+		t.Fatalf("mutated graph n=%d m=%d, want n=5 m=6", ng.N(), ng.M())
+	}
+	want := []Edge{{0, 1, 0.5}, {0, 2, 0.6}, {1, 2, 0.9}, {2, 3, 0.75}, {3, 0, 0.1}, {4, 0, 0.3}}
+	got := collectEdges(ng)
+	if len(got) != 6 {
+		t.Fatalf("edge count = %d, want 6 (%v)", len(got), got)
+	}
+	for i, e := range want {
+		if got[i] != e {
+			t.Fatalf("edge %d = %v, want %v", i, got[i], e)
+		}
+	}
+	if ng.Epoch() != 1 {
+		t.Fatalf("epoch = %d, want 1", ng.Epoch())
+	}
+	// The parent is untouched.
+	if g.N() != 4 || g.M() != 5 || g.Epoch() != 0 {
+		t.Fatalf("parent modified: n=%d m=%d epoch=%d", g.N(), g.M(), g.Epoch())
+	}
+	// Lineage chains deterministically from the parent's.
+	wantLin := ChainFingerprint(g.EpochLineage(), []Mutation{
+		{Op: OpEdgeDelete, From: 0, To: 2},
+		{Op: OpSetWeight, From: 1, To: 2, P: 0.9},
+		{Op: OpAddNode},
+		{Op: OpEdgeInsert, From: 4, To: 0, P: 0.3},
+		{Op: OpEdgeInsert, From: 0, To: 2, P: 0.6},
+	})
+	if ng.EpochLineage() != wantLin {
+		t.Fatalf("lineage = %s, want %s", ng.EpochLineage(), wantLin)
+	}
+	// Content fingerprint equals a from-scratch build of the same edges.
+	b := NewBuilder(5, 6)
+	for _, e := range want {
+		b.AddEdge(e.From, e.To, e.P)
+	}
+	fresh, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ng.Fingerprint() != fresh.Fingerprint() {
+		t.Fatalf("mutated fingerprint differs from an equivalent from-scratch build")
+	}
+}
+
+func TestWithMutationsValidation(t *testing.T) {
+	g := mutTestGraph(t)
+	cases := [][]Mutation{
+		nil, // empty batch
+		{{Op: OpEdgeInsert, From: 0, To: 1, P: 0.5}},                             // exists
+		{{Op: OpEdgeDelete, From: 1, To: 0}},                                     // missing
+		{{Op: OpSetWeight, From: 3, To: 1, P: 0.5}},                              // missing
+		{{Op: OpEdgeInsert, From: 2, To: 2, P: 0.5}},                             // self-loop
+		{{Op: OpEdgeInsert, From: 0, To: 9, P: 0.5}},                             // out of range
+		{{Op: OpEdgeInsert, From: 1, To: 3, P: 1.5}},                             // bad probability
+		{{Op: OpSetWeight, From: 0, To: 1, P: -0.1}},                             // bad probability
+		{{Op: MutOp(99), From: 0, To: 1, P: 0.5}},                                // unknown op
+		{{Op: OpEdgeDelete, From: 0, To: 1}, {Op: OpEdgeDelete, From: 0, To: 1}}, // double delete
+	}
+	for i, ms := range cases {
+		if _, err := g.WithMutations(ms); err == nil {
+			t.Errorf("case %d: WithMutations(%v) succeeded, want error", i, ms)
+		}
+	}
+	// All-or-nothing: the failed batches left g untouched.
+	if g.M() != 5 || g.Epoch() != 0 {
+		t.Fatalf("failed batch modified graph: m=%d epoch=%d", g.M(), g.Epoch())
+	}
+}
+
+// TestFingerprintInvalidatedByMutation is the regression test for the stale
+// fingerprint-cache bug: Fingerprint() memoizes into g.fp, and an in-place
+// mutation must clear that cache or every later call serves the pre-mutation
+// hash.
+func TestFingerprintInvalidatedByMutation(t *testing.T) {
+	g := mutTestGraph(t)
+	before := g.Fingerprint() // populate the cache
+	if err := g.ApplyMutations([]Mutation{{Op: OpSetWeight, From: 0, To: 1, P: 0.125}}); err != nil {
+		t.Fatal(err)
+	}
+	after := g.Fingerprint()
+	if after == before {
+		t.Fatalf("fingerprint unchanged after mutation: stale cache served (%s)", after)
+	}
+	// And the recomputed hash is the content hash, not just "different":
+	ng, err := mutTestGraph(t).WithMutations([]Mutation{{Op: OpSetWeight, From: 0, To: 1, P: 0.125}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != ng.Fingerprint() {
+		t.Fatalf("in-place and derived mutation fingerprints disagree: %s vs %s", after, ng.Fingerprint())
+	}
+	if g.Epoch() != 1 || g.EpochLineage() != ng.EpochLineage() {
+		t.Fatalf("in-place epoch chain (%d, %s) disagrees with derived (%d, %s)",
+			g.Epoch(), g.EpochLineage(), ng.Epoch(), ng.EpochLineage())
+	}
+}
+
+// TestMutateAfterMmapLoad covers copy-on-write over a read-only mapping:
+// mutating a graph loaded from an OPIMG2 mmap must not write (or fault on)
+// the mapped pages — the rebuild copies to heap first — and must leave the
+// file on disk untouched.
+func TestMutateAfterMmapLoad(t *testing.T) {
+	g := mutTestGraph(t)
+	origFP := g.Fingerprint()
+	path := filepath.Join(t.TempDir(), "g.opimg2")
+	if err := SaveFileCSR(path, g); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Mapped() {
+		t.Skip("mmap path unavailable on this platform/build; COW not exercisable")
+	}
+	if err := loaded.ApplyMutations([]Mutation{
+		{Op: OpEdgeDelete, From: 2, To: 3},
+		{Op: OpEdgeInsert, From: 1, To: 3, P: 0.4},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Mapped() {
+		t.Fatalf("graph still reports Mapped() after mutation; arrays must be heap-backed")
+	}
+	// Traversals over the mutated graph work (would fault if still aliasing
+	// a released or read-only mapping).
+	from, p := loaded.InNeighbors(3)
+	if len(from) != 1 || from[0] != 1 || p[0] != 0.4 {
+		t.Fatalf("InNeighbors(3) = %v %v, want [1] [0.4]", from, p)
+	}
+	if loaded.Epoch() != 1 {
+		t.Fatalf("epoch = %d, want 1", loaded.Epoch())
+	}
+	// The backing file is untouched: reloading yields the original content.
+	reloaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reloaded.Close()
+	if reloaded.Fingerprint() != origFP {
+		t.Fatalf("backing file changed by mutation: fingerprint %s, want %s", reloaded.Fingerprint(), origFP)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) == 0 {
+		t.Fatal("empty OPIMG2 file")
+	}
+}
+
+func TestChainFingerprintOrderMatters(t *testing.T) {
+	a := []Mutation{{Op: OpEdgeDelete, From: 0, To: 2}, {Op: OpSetWeight, From: 0, To: 1, P: 0.9}}
+	b := []Mutation{{Op: OpSetWeight, From: 0, To: 1, P: 0.9}, {Op: OpEdgeDelete, From: 0, To: 2}}
+	if ChainFingerprint("x", a) == ChainFingerprint("x", b) {
+		t.Fatal("chain hash ignores op order")
+	}
+	if ChainFingerprint("x", a) != ChainFingerprint("x", a) {
+		t.Fatal("chain hash not deterministic")
+	}
+	if ChainFingerprint("x", a) == ChainFingerprint("y", a) {
+		t.Fatal("chain hash ignores parent lineage")
+	}
+}

@@ -47,7 +47,7 @@ func (sc *Scratch) runAugment(c *rrset.Collection, base []int32, k int, mode bou
 			sc.chosen[v] = sc.epoch
 			free--
 		}
-		for _, id := range c.SetsCovering(v) {
+		for _, id := range c.SetsCoveringShared(v) {
 			sc.covered[id] = sc.epoch
 		}
 	}
@@ -65,7 +65,7 @@ func (sc *Scratch) runAugment(c *rrset.Collection, base []int32, k int, mode bou
 		if sc.chosen[v] == sc.epoch {
 			continue
 		}
-		for _, id := range c.SetsCovering(int32(v)) {
+		for _, id := range c.SetsCoveringShared(int32(v)) {
 			if sc.covered[id] != sc.epoch {
 				cov[v]++
 			}
@@ -110,7 +110,7 @@ func (sc *Scratch) runAugment(c *rrset.Collection, base []int32, k int, mode bou
 		sc.chosen[best] = sc.epoch
 		res.Seeds = append(res.Seeds, int32(best))
 		total += bestCov
-		for _, id := range c.SetsCovering(int32(best)) {
+		for _, id := range c.SetsCoveringShared(int32(best)) {
 			if sc.covered[id] == sc.epoch {
 				continue
 			}

@@ -149,7 +149,7 @@ func (sc *Scratch) prepareRows(c *rrset.Collection, n, count, words int) {
 	rows := sc.rows
 	for v := 0; v < n; v++ {
 		row := rows[v*stride : v*stride+words]
-		for _, id := range c.SetsCovering(int32(v)) {
+		for _, id := range c.SetsCoveringShared(int32(v)) {
 			row[id>>6] |= uint64(1) << (uint(id) & 63)
 		}
 	}

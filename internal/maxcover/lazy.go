@@ -53,7 +53,7 @@ func (sc *Scratch) GreedyLazy(c *rrset.Collection, k int) *Result {
 		top := h[0]
 		// Recompute the stored gain: count this node's uncovered sets.
 		var fresh int64
-		for _, id := range c.SetsCovering(top.node) {
+		for _, id := range c.SetsCoveringShared(top.node) {
 			if sc.covered[id] != sc.epoch {
 				fresh++
 			}
@@ -68,7 +68,7 @@ func (sc *Scratch) GreedyLazy(c *rrset.Collection, k int) *Result {
 		res.Seeds = append(res.Seeds, top.node)
 		total += fresh
 		res.PrefixCoverage = append(res.PrefixCoverage, total)
-		for _, id := range c.SetsCovering(top.node) {
+		for _, id := range c.SetsCoveringShared(top.node) {
 			sc.covered[id] = sc.epoch
 		}
 	}

@@ -210,7 +210,7 @@ func (sc *Scratch) run(c *rrset.Collection, k int, mode boundsMode) *Result {
 		total += bestCov
 
 		// Mark best's uncovered sets covered and update marginals.
-		for _, id := range c.SetsCovering(int32(best)) {
+		for _, id := range c.SetsCoveringShared(int32(best)) {
 			if sc.covered[id] == sc.epoch {
 				continue
 			}

@@ -282,6 +282,16 @@ type Collection struct {
 
 	edgesExamined int64
 
+	// exam[id] is the edges-examined count of set id — the per-set γ that
+	// Repair needs to keep the cumulative edgesExamined byte-identical to a
+	// from-scratch resample after replacing individual sets. Tracking is
+	// all-or-nothing: len(exam) == Count() while every set arrived with its
+	// own count (Add, Generate, AppendCollection from a tracking source,
+	// OPIMR3 decode); appending from a legacy source (OPIMR1/2 files) drops
+	// tracking permanently (HasPerSetGamma reports false) and Repair then
+	// falls back to full regeneration.
+	exam []int64
+
 	// covPool recycles CoverageScratch values for the allocation-free
 	// Coverage compatibility wrapper; CoverageWith is the explicit form.
 	covPool sync.Pool
@@ -308,10 +318,18 @@ func (c *Collection) TotalSize() int64 { return int64(len(c.pool)) }
 // EdgesExamined returns the cumulative γ across all Add calls.
 func (c *Collection) EdgesExamined() int64 { return c.edgesExamined }
 
+// HasPerSetGamma reports whether every stored set carries its own
+// edges-examined count (see the exam field) — the precondition for
+// Repair's targeted regeneration to reproduce the cumulative γ exactly.
+func (c *Collection) HasPerSetGamma() bool { return len(c.exam) == c.Count() }
+
 // Add appends one RR set (copying nodes) and credits edgesExamined to γ.
 // It returns the new set's id.
 func (c *Collection) Add(nodes []int32, edgesExamined int64) int32 {
 	id := int32(c.Count())
+	if len(c.exam) == int(id) {
+		c.exam = append(c.exam, edgesExamined)
+	}
 	c.pool = append(c.pool, nodes...)
 	c.offs = append(c.offs, int64(len(c.pool)))
 	for _, v := range nodes {
@@ -327,13 +345,22 @@ func (c *Collection) Add(nodes []int32, edgesExamined int64) int32 {
 // range order produces pool, offsets and index bytes identical to having
 // generated the whole batch locally, no matter which process produced each
 // chunk or how many times a chunk was re-produced before one copy won.
+// Per-set γ tracking survives the merge when src carries it; a legacy src
+// (no per-set counts) drops c's tracking.
 func (c *Collection) AppendCollection(src *Collection) error {
 	if src.n != c.n {
 		return fmt.Errorf("rrset: appending a collection for n=%d onto n=%d", src.n, c.n)
 	}
+	if src.HasPerSetGamma() {
+		for id := int32(0); int(id) < src.Count(); id++ {
+			c.Add(src.Set(id), src.exam[id])
+		}
+		return nil
+	}
 	for id := int32(0); int(id) < src.Count(); id++ {
 		c.Add(src.Set(id), 0)
 	}
+	c.exam = nil // tracking lost: per-set counts unknown for src's sets
 	c.edgesExamined += src.edgesExamined
 	return nil
 }
@@ -344,9 +371,28 @@ func (c *Collection) Set(id int32) []int32 {
 	return c.pool[c.offs[id]:c.offs[id+1]]
 }
 
-// SetsCovering returns the ids of sets containing v. The slice aliases
-// internal storage and must not be modified.
-func (c *Collection) SetsCovering(v int32) []int32 { return c.index[v] }
+// SetsCovering returns the ids of sets containing v, ascending. The slice
+// is a copy the caller owns: mutating it cannot corrupt the index, and it
+// stays valid across later Add/Generate/Repair calls. Hot paths that query
+// coverage lists in inner loops should use SetsCoveringShared instead.
+func (c *Collection) SetsCovering(v int32) []int32 {
+	ids := c.index[v]
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]int32, len(ids))
+	copy(out, ids)
+	return out
+}
+
+// SetsCoveringShared is the allocation-free form of SetsCovering for hot
+// read paths (the greedy kernels in maxcover). The returned slice aliases
+// the live index: it is strictly read-only — writing through it corrupts
+// the collection — and it is invalidated by the next write to c (Add,
+// Generate, Repair); repair never mutates the array a previously returned
+// slice points at, so a stale reference still reads the pre-repair ids
+// rather than garbage.
+func (c *Collection) SetsCoveringShared(v int32) []int32 { return c.index[v] }
 
 // Degree returns the number of stored sets containing v, i.e. Λ({v}).
 func (c *Collection) Degree(v int32) int32 { return int32(len(c.index[v])) }
@@ -419,6 +465,7 @@ func (c *Collection) Coverage(seeds []int32) int64 {
 type chunk struct {
 	pool     []int32
 	offs     []int64
+	exam     []int64 // per-set edges-examined, len == len(offs)-1
 	examined int64
 }
 
@@ -490,6 +537,7 @@ func GenerateAt(c *Collection, s *Sampler, count int, base *rng.Source, startID 
 			nodes, examined := s.Sample(src, sc)
 			ck.pool = append(ck.pool, nodes...)
 			ck.offs = append(ck.offs, int64(len(ck.pool)))
+			ck.exam = append(ck.exam, examined)
 			ck.examined += examined
 		}
 		chunks[w] = ck
@@ -521,8 +569,12 @@ func (c *Collection) mergeChunks(chunks []chunk) {
 		copy(c.pool[oldPoolLen+poolBase[w]:], ck.pool)
 		rebaseOffsets(c.offs[1+oldCount+setBase[w]:], oldPoolLen+poolBase[w], ck.offs)
 	})
+	perSet := len(c.exam) == oldCount
 	for w := range chunks {
 		c.edgesExamined += chunks[w].examined
+		if perSet {
+			c.exam = append(c.exam, chunks[w].exam...)
+		}
 	}
 
 	// Phases 3–4 — inverted index, two-pass counting build:

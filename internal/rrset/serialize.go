@@ -10,20 +10,27 @@ import (
 	"io"
 )
 
-// Binary collection format (little-endian): magic "OPIMR2\n", int32 n,
+// Binary collection format (little-endian): magic "OPIMR3\n", int32 n,
 // int64 count, int64 poolLen, int64 edgesExamined, count+1 int64 offsets,
-// poolLen int32 node ids, then a uint32 CRC-32C of every byte between the
-// magic and the trailer. The inverted index is rebuilt on load.
+// poolLen int32 node ids, count int64 per-set edges-examined values, then a
+// uint32 CRC-32C of every byte between the magic and the trailer. The
+// inverted index is rebuilt on load.
 //
-// The CRC trailer is what distinguishes OPIMR2 from OPIMR1: the V1 frame
-// detects truncation (every field is length-checked) but an in-range bit
-// flip in the pool passes silently — intolerable once collections travel
-// over a network between fleet workers and their coordinator, or sit in
-// checkpoints for days. V1 streams remain readable (with no corruption
-// check); the writer always emits V2.
+// The per-set γ block is what distinguishes OPIMR3 from OPIMR2: it is the
+// state Repair needs to patch the cumulative edges-examined count exactly
+// when individual RR sets are regenerated after a graph mutation. A
+// collection that lost tracking (appended from a legacy source) writes V2 —
+// same frame minus the block — and a V1/V2 load yields HasPerSetGamma()
+// false, making Repair fall back to full regeneration. The CRC trailer is
+// what distinguishes V2 from V1: the V1 frame detects truncation (every
+// field is length-checked) but an in-range bit flip in the pool passes
+// silently — intolerable once collections travel over a network between
+// fleet workers and their coordinator, or sit in checkpoints for days.
+// All three versions remain readable.
 
 const (
-	collectionMagic   = "OPIMR2\n"
+	collectionMagic   = "OPIMR3\n"
+	collectionMagicV2 = "OPIMR2\n"
 	collectionMagicV1 = "OPIMR1\n"
 )
 
@@ -33,10 +40,16 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // ErrBadCollection reports a malformed serialized collection.
 var ErrBadCollection = errors.New("rrset: bad collection format")
 
-// WriteCollection serializes c in OPIMR2 form.
+// WriteCollection serializes c: OPIMR3 when per-set γ tracking is intact,
+// OPIMR2 otherwise.
 func WriteCollection(w io.Writer, c *Collection) error {
+	perSet := c.HasPerSetGamma()
+	magic := collectionMagic
+	if !perSet {
+		magic = collectionMagicV2
+	}
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(collectionMagic); err != nil {
+	if _, err := bw.WriteString(magic); err != nil {
 		return err
 	}
 	// Everything between magic and trailer runs through the CRC.
@@ -64,6 +77,14 @@ func WriteCollection(w io.Writer, c *Collection) error {
 			return err
 		}
 	}
+	if perSet {
+		for _, e := range c.exam {
+			binary.LittleEndian.PutUint64(b8[:], uint64(e))
+			if _, err := body.Write(b8[:]); err != nil {
+				return err
+			}
+		}
+	}
 	binary.LittleEndian.PutUint32(b4[:], sum.Sum32())
 	if _, err := bw.Write(b4[:]); err != nil {
 		return err
@@ -72,22 +93,27 @@ func WriteCollection(w io.Writer, c *Collection) error {
 }
 
 // ReadCollection deserializes a collection, rebuilding the inverted index.
-// It accepts OPIMR2 (verifying the CRC-32C trailer — a flipped bit
-// anywhere in header, offsets or pool is ErrBadCollection) and legacy
-// OPIMR1 (no trailer, truncation-checked only). It reads exactly the
-// collection's bytes from r beyond any internal buffering shared with the
-// caller, so collections embedded in a larger stream (session checkpoints)
-// decode back to back.
+// It accepts OPIMR3 (per-set γ block + CRC-32C trailer), OPIMR2 (CRC only —
+// a flipped bit anywhere in header, offsets or pool is ErrBadCollection)
+// and legacy OPIMR1 (no trailer, truncation-checked only). It reads exactly
+// the collection's bytes from r beyond any internal buffering shared with
+// the caller, so collections embedded in a larger stream (session
+// checkpoints) decode back to back.
 func ReadCollection(r io.Reader) (*Collection, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(collectionMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("%w: short magic: %v", ErrBadCollection, err)
 	}
+	perSet := false
 	var sum hash.Hash32
 	var body io.Reader = br
 	switch string(magic) {
 	case collectionMagic:
+		perSet = true
+		sum = crc32.New(crcTable)
+		body = io.TeeReader(br, sum)
+	case collectionMagicV2:
 		sum = crc32.New(crcTable)
 		body = io.TeeReader(br, sum)
 	case collectionMagicV1:
@@ -149,6 +175,24 @@ func ReadCollection(r io.Reader) (*Collection, error) {
 			return nil, fmt.Errorf("%w: node %d outside [0,%d)", ErrBadCollection, v, n)
 		}
 		c.pool = append(c.pool, v)
+	}
+	if perSet {
+		c.exam = make([]int64, 0, clamp(count))
+		var total int64
+		for i := int64(0); i < count; i++ {
+			if _, err := io.ReadFull(body, b8[:]); err != nil {
+				return nil, fmt.Errorf("%w: short per-set gamma block: %v", ErrBadCollection, err)
+			}
+			e := int64(binary.LittleEndian.Uint64(b8[:]))
+			if e < 0 {
+				return nil, fmt.Errorf("%w: negative per-set gamma %d", ErrBadCollection, e)
+			}
+			total += e
+			c.exam = append(c.exam, e)
+		}
+		if total != gamma {
+			return nil, fmt.Errorf("%w: per-set gamma sums to %d, header says %d", ErrBadCollection, total, gamma)
+		}
 	}
 	if sum != nil {
 		want := sum.Sum32() // finalize before the trailer read (it is not CRC'd)

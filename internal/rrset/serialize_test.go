@@ -228,10 +228,11 @@ func TestCRCDetectsInRangeBitFlip(t *testing.T) {
 	}
 }
 
-// TestReadCollectionTruncationAtEveryBoundary truncates a valid OPIMR2
+// TestReadCollectionTruncationAtEveryBoundary truncates a valid OPIMR3
 // stream at (and just inside) every frame boundary — magic, header,
-// offsets, pool, CRC trailer — and requires a wrapped ErrBadCollection
-// every time: never a panic, never a silently short collection.
+// offsets, pool, per-set γ block, CRC trailer — and requires a wrapped
+// ErrBadCollection every time: never a panic, never a silently short
+// collection.
 func TestReadCollectionTruncationAtEveryBoundary(t *testing.T) {
 	c, _ := sampleCollection(t)
 	var buf bytes.Buffer
@@ -243,7 +244,8 @@ func TestReadCollectionTruncationAtEveryBoundary(t *testing.T) {
 	headerEnd := magicEnd + 28
 	offsEnd := headerEnd + 8*(c.Count()+1)
 	poolEnd := offsEnd + 4*int(c.TotalSize())
-	trailerEnd := poolEnd + 4
+	gammaEnd := poolEnd + 8*c.Count()
+	trailerEnd := gammaEnd + 4
 	if trailerEnd != len(full) {
 		t.Fatalf("frame arithmetic wrong: computed %d, stream has %d", trailerEnd, len(full))
 	}
@@ -255,6 +257,7 @@ func TestReadCollectionTruncationAtEveryBoundary(t *testing.T) {
 		{"header", headerEnd},
 		{"offsets", offsEnd},
 		{"pool", poolEnd},
+		{"gamma", gammaEnd},
 		{"trailer", trailerEnd},
 	}
 	for _, b := range boundaries {

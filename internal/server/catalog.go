@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -45,21 +46,37 @@ var (
 	mGraphUnloadTime = obs.Default().Timer("server_graph_unload_seconds")
 )
 
-// graphEntry is one catalog slot. The identity fields (name, spec,
-// specString, fingerprint, n, m) are immutable after the entry is
-// published, so they are readable without any lock; only the residency
-// fields (g, sampler) transition, under mu.
+// graphIdent is a graph entry's current identity — content fingerprint,
+// position on the epoch chain, and dimensions — published through an
+// atomic pointer so /status and listings read it lock-free while a
+// mutation batch advances it.
+type graphIdent struct {
+	fingerprint string
+	epoch       int64
+	lineage     string
+	n           int32
+	m           int64
+}
+
+// graphEntry is one catalog slot. The static fields (name, spec,
+// specString, fingerprint) are immutable after the entry is published, so
+// they are readable without any lock; the current identity lives in ident
+// (lock-free reads); the residency fields (g, sampler) and the epoch
+// chain (history, lineages) transition under mu.
 type graphEntry struct {
 	name       string
 	spec       cliutil.GraphSpec
 	specString string // "" = not reloadable (graph handed to New without a spec)
 
-	// fingerprint is the graph's content hash, recorded at first load and
-	// sticky across unload: a reload whose recomputed fingerprint differs
-	// (the file changed on disk) is refused.
+	// fingerprint is the BASE (epoch-0) content hash, recorded at first
+	// load and sticky across unload: a reload whose recomputed base
+	// fingerprint differs (the file changed on disk) is refused. The
+	// current epoch's fingerprint lives in ident.
 	fingerprint string
-	n           int32
-	m           int64
+
+	// ident is the entry's current identity; replaced wholesale when a
+	// mutation batch lands.
+	ident atomic.Pointer[graphIdent]
 
 	// mu guards the residency transition (g/sampler nil ↔ non-nil) and
 	// makes loadedRefs increments atomic with the load, so an unload
@@ -68,6 +85,18 @@ type graphEntry struct {
 	mu      sync.Mutex
 	g       *graph.Graph   // nil while unloaded
 	sampler *rrset.Sampler // nil while unloaded
+
+	// The epoch chain, guarded by mu: history[i] advanced epoch
+	// baseEpoch+i, lineages[i] is the chain hash at epoch baseEpoch+i
+	// (len(lineages) == len(history)+1, lineages[0] == fingerprint).
+	// Stale checkpoints are verified against — and caught up with — this.
+	history   [][]graph.Mutation
+	lineages  []string
+	baseEpoch int64
+
+	// mutating serializes mutation batches: one at a time per graph, and
+	// engine-touching session requests answer 409 while it is set.
+	mutating atomic.Bool
 
 	isLoaded atomic.Bool // mirror of sampler != nil, for lock-free listing
 
@@ -131,6 +160,20 @@ func (s *Server) acquireGraph(e *graphEntry) (*rrset.Sampler, error) {
 			return nil, fmt.Errorf("graph %q changed on disk: spec %q now fingerprints %s, catalog recorded %s",
 				e.name, e.specString, fp, e.fingerprint)
 		}
+		// Re-walk the epoch chain: the spec reloads the base graph, the
+		// recorded history advances it back to the current epoch, and each
+		// step re-verifies its chained lineage.
+		for i, ms := range e.history {
+			ng, err := g.WithMutations(ms)
+			if err != nil {
+				return nil, fmt.Errorf("reloading graph %q: replaying mutation batch %d: %w", e.name, i, err)
+			}
+			if ng.EpochLineage() != e.lineages[i+1] {
+				return nil, fmt.Errorf("reloading graph %q: batch %d replays to lineage %s, chain recorded %s",
+					e.name, i, ng.EpochLineage(), e.lineages[i+1])
+			}
+			g = ng
+		}
 		e.g, e.sampler = g, rrset.NewSampler(g, model)
 		e.isLoaded.Store(true)
 		gGraphsLoaded.Set(float64(s.loadedGraphs.Add(1)))
@@ -150,6 +193,32 @@ func (s *Server) acquireGraph(e *graphEntry) (*rrset.Sampler, error) {
 func (s *Server) releaseGraph(e *graphEntry) {
 	e.loadedRefs.Add(-1)
 	s.touchGraph(e)
+}
+
+// newGraphEntry builds a loaded catalog slot for g at the epoch glog
+// replays to. baseFP is the epoch-0 content fingerprint (the spec-reload
+// verification anchor); glog supplies the chain walked so far.
+func newGraphEntry(name string, spec cliutil.GraphSpec, baseFP string, g *graph.Graph, sampler *rrset.Sampler, glog *GraphLog) *graphEntry {
+	e := &graphEntry{
+		name:        name,
+		spec:        spec,
+		specString:  spec.String(),
+		fingerprint: baseFP,
+		g:           g,
+		sampler:     sampler,
+		history:     glog.History,
+		lineages:    glog.Lineages,
+		baseEpoch:   g.Epoch() - int64(len(glog.History)),
+	}
+	e.ident.Store(&graphIdent{
+		fingerprint: g.Fingerprint(),
+		epoch:       g.Epoch(),
+		lineage:     g.EpochLineage(),
+		n:           g.N(),
+		m:           g.M(),
+	})
+	e.isLoaded.Store(true)
+	return e
 }
 
 // registerGraph loads spec and publishes it under name. The returned
@@ -172,17 +241,16 @@ func (s *Server) registerGraph(name string, spec cliutil.GraphSpec) (*graphEntry
 	if err != nil {
 		return nil, http.StatusBadRequest, fmt.Errorf("loading graph %q: %w", name, err)
 	}
-	e := &graphEntry{
-		name:        name,
-		spec:        spec,
-		specString:  spec.String(),
-		fingerprint: g.Fingerprint(),
-		n:           g.N(),
-		m:           g.M(),
-		g:           g,
-		sampler:     rrset.NewSampler(g, model),
+	baseFP := g.Fingerprint()
+	glog := &GraphLog{Lineages: []string{g.EpochLineage()}}
+	if s.cfg.CheckpointDir != "" {
+		// A journal left by a previous run replays the graph forward to the
+		// epoch its sessions last checkpointed against.
+		if g, glog, err = ReplayMutationLog(s.cfg.CheckpointDir, name, g); err != nil {
+			return nil, http.StatusBadRequest, err
+		}
 	}
-	e.isLoaded.Store(true)
+	e := newGraphEntry(name, spec, baseFP, g, rrset.NewSampler(g, model), glog)
 	s.gmu.Lock()
 	if _, taken := s.graphs[name]; taken {
 		s.gmu.Unlock()
@@ -255,6 +323,12 @@ func (s *Server) removeGraph(name string) (int, error) {
 		gGraphsLoaded.Set(float64(s.loadedGraphs.Add(-1)))
 	}
 	e.mu.Unlock()
+	if s.cfg.CheckpointDir != "" {
+		// The epoch chain dies with the graph: a future graph under the same
+		// name starts a fresh journal instead of failing replay against this
+		// one's base fingerprint.
+		os.Remove(MutationLogPath(s.cfg.CheckpointDir, name)) //nolint:errcheck
+	}
 	return 0, nil
 }
 
@@ -341,10 +415,14 @@ type GraphInfo struct {
 	// Spec is the canonical GraphSpec string the graph (re)loads from;
 	// empty when the graph was handed to the server without one.
 	Spec string `json:"spec,omitempty"`
-	// Fingerprint is the graph's content hash (graph.Fingerprint).
+	// Fingerprint is the current epoch's content hash (graph.Fingerprint).
 	Fingerprint string `json:"graph_fingerprint"`
-	N           int32  `json:"n"`
-	M           int64  `json:"m"`
+	// Epoch counts applied mutation batches; Lineage is the epoch-chain
+	// hash identifying this graph's exact mutation history.
+	Epoch   int64  `json:"epoch"`
+	Lineage string `json:"lineage"`
+	N       int32  `json:"n"`
+	M       int64  `json:"m"`
 	// Loaded reports residency; an unloaded graph reloads transparently on
 	// the next session touch.
 	Loaded bool `json:"loaded"`
@@ -358,12 +436,15 @@ type GraphListResponse struct {
 }
 
 func graphInfo(e *graphEntry) GraphInfo {
+	id := e.ident.Load()
 	return GraphInfo{
 		Name:        e.name,
 		Spec:        e.specString,
-		Fingerprint: e.fingerprint,
-		N:           e.n,
-		M:           e.m,
+		Fingerprint: id.fingerprint,
+		Epoch:       id.epoch,
+		Lineage:     id.lineage,
+		N:           id.n,
+		M:           id.m,
 		Loaded:      e.isLoaded.Load(),
 		Sessions:    e.sessions.Load(),
 	}

@@ -23,6 +23,7 @@ import (
 
 	"github.com/reprolab/opim/internal/core"
 	"github.com/reprolab/opim/internal/fsutil"
+	"github.com/reprolab/opim/internal/graph"
 	"github.com/reprolab/opim/internal/obs"
 	"github.com/reprolab/opim/internal/rrset"
 )
@@ -301,7 +302,10 @@ func loadCheckpointResolve(path string, resolve func(*core.SessionMeta) (*rrset.
 // restored session.
 func (s *Server) loadSessionCheckpoint(path string) (*core.Online, *graphEntry, error) {
 	var acquired []*graphEntry
+	var missed [][]graph.Mutation
+	var usedSampler *rrset.Sampler
 	resolve := func(meta *core.SessionMeta) (*rrset.Sampler, error) {
+		missed, usedSampler = nil, nil
 		var e *graphEntry
 		if meta.GraphName == "" || meta.GraphName == DefaultGraphName {
 			if e = s.lookupGraph(DefaultGraphName); e == nil {
@@ -321,6 +325,19 @@ func (s *Server) loadSessionCheckpoint(path string) (*core.Online, *graphEntry, 
 		if err != nil {
 			return nil, err
 		}
+		// Place the checkpoint on the graph's epoch chain: recorded at an
+		// earlier epoch → accept it stale and catch up below; recorded off
+		// the chain → release and refuse.
+		ms, err := e.missedBatches(meta, sampler.Graph())
+		if err != nil {
+			s.releaseGraph(e)
+			return nil, err
+		}
+		if ms != nil {
+			missed = ms
+			meta.AcceptStale = true
+		}
+		usedSampler = sampler
 		acquired = append(acquired, e)
 		return sampler, nil
 	}
@@ -336,5 +353,12 @@ func (s *Server) loadSessionCheckpoint(path string) (*core.Online, *graphEntry, 
 	for _, e := range acquired[:len(acquired)-1] {
 		s.releaseGraph(e)
 	}
-	return online, acquired[len(acquired)-1], nil
+	entry := acquired[len(acquired)-1]
+	if len(missed) > 0 {
+		regen := online.RepairForMutations(usedSampler, missed...)
+		mSessionsCaughtUp.Inc()
+		log.Printf("server: checkpoint %s caught up %d epoch(s) on graph %q (%d RR sets regenerated)",
+			path, len(missed), entry.name, regen)
+	}
+	return online, entry, nil
 }

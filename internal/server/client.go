@@ -473,3 +473,20 @@ func (c *Client) DeleteGraph(name string) error {
 func (c *Client) DeleteGraphContext(ctx context.Context, name string) error {
 	return c.do(ctx, http.MethodDelete, "/graphs/"+url.PathEscape(name), nil, nil, false)
 }
+
+// UpdateGraph applies one mutation batch to a catalog graph (POST
+// /graphs/{name}/updates), advancing its epoch and incrementally
+// repairing every loaded session on it. Never auto-retried: a replay
+// would apply the batch twice, and a timeout leaves the outcome unknown —
+// poll GetGraph's epoch to disambiguate before resending.
+func (c *Client) UpdateGraph(name string, updates []GraphUpdate) (UpdateGraphResponse, error) {
+	return c.UpdateGraphContext(context.Background(), name, updates)
+}
+
+// UpdateGraphContext is UpdateGraph bounded by ctx.
+func (c *Client) UpdateGraphContext(ctx context.Context, name string, updates []GraphUpdate) (UpdateGraphResponse, error) {
+	var resp UpdateGraphResponse
+	err := c.do(ctx, http.MethodPost, "/graphs/"+url.PathEscape(name)+"/updates",
+		UpdateGraphRequest{Updates: updates}, &resp, false)
+	return resp, err
+}

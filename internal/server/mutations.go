@@ -1,0 +1,379 @@
+package server
+
+// Dynamic graphs over HTTP: POST /graphs/{name}/updates applies one
+// mutation batch (edge inserts/deletes, weight changes, node adds) to a
+// catalog graph and incrementally repairs every loaded session on it —
+// only the RR sets whose traces touch a mutated edge are regenerated
+// (rrset.Repair), so the cost is O(f·θ) for a batch invalidating an
+// f-fraction of θ sets, not a full resample.
+//
+// Identity moves along the graph's epoch chain: applying a batch advances
+// the epoch and chains the lineage hash (graph.ChainFingerprint), the
+// batch is journaled durably before the in-memory swap (mutlog.go), and
+// session checkpoints record the epoch they were taken at (OPIMS4). A
+// checkpoint that resumes onto a later epoch is verified against the
+// chain and caught up with exactly the missed batches — deliberate,
+// loud-on-divergence rebasing instead of core.ErrGraphMismatch refusing
+// every resume after the first edge insert.
+//
+// Concurrency: one batch at a time per graph (the `mutating` flag answers
+// 409 to a second batch and to engine-touching session requests while the
+// repair sweep runs), and the background sampler skips sessions whose
+// graph is mid-mutation. Sessions that slip through any gate are still
+// correct — repair is idempotent byte-for-byte — the gates only bound
+// tail latency.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"github.com/reprolab/opim/internal/core"
+	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/obs"
+	"github.com/reprolab/opim/internal/rrset"
+)
+
+// Mutation metrics (obs.Default(), see docs/OBSERVABILITY.md).
+var (
+	mGraphMutations    = obs.Default().Counter("server_graph_mutations_total")
+	mMutationConflicts = obs.Default().Counter("server_graph_mutation_conflicts_total")
+	mSessionsRepaired  = obs.Default().Counter("server_sessions_repaired_total")
+	mSessionsCaughtUp  = obs.Default().Counter("server_sessions_caught_up_total")
+	mMutationTime      = obs.Default().Timer("server_graph_mutation_seconds")
+)
+
+// GraphUpdate is one mutation op in wire form (docs/API.md): op is
+// "edge_insert", "edge_delete", "set_weight" or "node_add"; from/to name
+// the directed edge ⟨from,to⟩ and p its probability where the op uses
+// them (node_add ignores all three).
+type GraphUpdate struct {
+	Op   string  `json:"op"`
+	From int32   `json:"from,omitempty"`
+	To   int32   `json:"to,omitempty"`
+	P    float32 `json:"p,omitempty"`
+}
+
+// UpdateGraphRequest is the POST /graphs/{name}/updates request body: one
+// all-or-nothing batch, applied in order.
+type UpdateGraphRequest struct {
+	Updates []GraphUpdate `json:"updates"`
+}
+
+// SessionRepair reports one session's incremental repair in an
+// UpdateGraphResponse: Regenerated counts the RR sets the batch
+// invalidated and the server resampled (across both OPIM-C halves).
+type SessionRepair struct {
+	Session     string `json:"session"`
+	Regenerated int    `json:"regenerated"`
+}
+
+// UpdateGraphResponse is the POST /graphs/{name}/updates response body.
+type UpdateGraphResponse struct {
+	Graph string `json:"graph"`
+	// Epoch and Lineage identify the graph's new position on its epoch
+	// chain; Fingerprint is the new content hash.
+	Epoch       int64  `json:"epoch"`
+	Lineage     string `json:"lineage"`
+	Fingerprint string `json:"graph_fingerprint"`
+	N           int32  `json:"n"`
+	M           int64  `json:"m"`
+	// Applied is the number of ops in the batch.
+	Applied int `json:"applied"`
+	// Repaired lists the loaded sessions rebased onto the new epoch, with
+	// their regenerated RR-set counts. Unloaded sessions catch up lazily
+	// from their checkpoints on next touch.
+	Repaired []SessionRepair `json:"repaired,omitempty"`
+}
+
+// handleGraphUpdates is POST /graphs/{name}/updates.
+func (s *Server) handleGraphUpdates(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	name := r.PathValue("name")
+	e := s.lookupGraph(name)
+	if e == nil {
+		http.Error(w, fmt.Sprintf("unknown graph %q", name), http.StatusNotFound)
+		return
+	}
+	var req UpdateGraphRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 8<<20)).Decode(&req); err != nil {
+		http.Error(w, "invalid JSON body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	ms, err := updatesToMutations(req.Updates)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(ms) == 0 {
+		http.Error(w, "updates must contain at least one op", http.StatusBadRequest)
+		return
+	}
+	resp, status, err := s.mutateGraph(e, ms)
+	if err != nil {
+		s.replyError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, *resp)
+}
+
+// mutateGraph applies one batch to e's graph: validate + derive the new
+// epoch (WithMutations), journal it durably, swap the entry's residency,
+// then sweep every loaded session on e through RepairForMutations. The
+// returned status is the HTTP code for the failure.
+func (s *Server) mutateGraph(e *graphEntry, ms []graph.Mutation) (*UpdateGraphResponse, int, error) {
+	if !e.mutating.CompareAndSwap(false, true) {
+		mMutationConflicts.Inc()
+		return nil, http.StatusConflict, fmt.Errorf("graph %q is already applying a mutation batch; retry shortly", e.name)
+	}
+	defer e.mutating.Store(false)
+	t0 := time.Now()
+	defer func() { mMutationTime.Observe(time.Since(t0)) }()
+
+	// Pin the graph resident for the whole mutation (loading it from its
+	// spec if the catalog had unloaded it).
+	sampler, err := s.acquireGraph(e)
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	defer s.releaseGraph(e)
+
+	g := sampler.Graph()
+	ng, err := g.WithMutations(ms)
+	if err != nil {
+		if errors.Is(err, graph.ErrInvalidMutation) {
+			return nil, http.StatusBadRequest, err
+		}
+		return nil, http.StatusInternalServerError, err
+	}
+
+	// Write-ahead journal: the batch is durable before anything observes
+	// it. A failure here applies nothing.
+	if s.cfg.CheckpointDir != "" {
+		e.mu.Lock()
+		baseFP := e.lineages[0]
+		e.mu.Unlock()
+		entry := mutlogEntry{Epoch: ng.Epoch(), Lineage: ng.EpochLineage(), Updates: mutationsToUpdates(ms)}
+		if err := appendMutationLog(s.cfg.CheckpointDir, e.name, baseFP, entry); err != nil {
+			return nil, http.StatusInternalServerError, err
+		}
+	}
+
+	// Swap the entry onto the new epoch. Old readers (sessions not yet
+	// repaired, in-flight traversals) keep the old graph alive; they are
+	// rebased below.
+	newSampler := rrset.NewSampler(ng, sampler.Model())
+	e.mu.Lock()
+	e.g, e.sampler = ng, newSampler
+	e.history = append(e.history, ms)
+	e.lineages = append(e.lineages, ng.EpochLineage())
+	e.mu.Unlock()
+	e.ident.Store(&graphIdent{
+		fingerprint: ng.Fingerprint(),
+		epoch:       ng.Epoch(),
+		lineage:     ng.EpochLineage(),
+		n:           ng.N(),
+		m:           ng.M(),
+	})
+	mGraphMutations.Inc()
+
+	// Rebase every loaded session on this graph. Each repair holds only
+	// that session's mutex; sessions on other graphs are untouched. A
+	// session that loads concurrently is caught by the freshness check in
+	// ensureLoaded/createSession — and repair is idempotent, so the two
+	// paths overlapping is harmless.
+	var repaired []SessionRepair
+	for _, sess := range s.snapshotSessions() {
+		if sess.graph != e {
+			continue
+		}
+		sess.mu.Lock()
+		if sess.online != nil && sess.online.Sampler() != newSampler {
+			regen := sess.online.RepairForMutations(newSampler, ms)
+			sess.refreshStatsLocked()
+			sess.lastSnap.Store(nil)
+			repaired = append(repaired, SessionRepair{Session: sess.ID, Regenerated: regen})
+			mSessionsRepaired.Inc()
+		}
+		sess.mu.Unlock()
+	}
+
+	obs.Emit(s.cfg.Events, "graph_mutation", map[string]any{
+		"graph":             e.name,
+		"epoch":             ng.Epoch(),
+		"lineage":           ng.EpochLineage(),
+		"graph_fingerprint": ng.Fingerprint(),
+		"ops":               len(ms),
+		"sessions_repaired": len(repaired),
+	})
+	return &UpdateGraphResponse{
+		Graph:       e.name,
+		Epoch:       ng.Epoch(),
+		Lineage:     ng.EpochLineage(),
+		Fingerprint: ng.Fingerprint(),
+		N:           ng.N(),
+		M:           ng.M(),
+		Applied:     len(ms),
+		Repaired:    repaired,
+	}, 0, nil
+}
+
+// metaLineage is the epoch-chain position a checkpoint claims: the OPIMS4
+// lineage when present, else the content fingerprint (an OPIMS3 file is
+// always an epoch-0 claim — lineage(0) IS the content fingerprint).
+// Empty for unverifiable legacy files.
+func metaLineage(m *core.SessionMeta) string {
+	if m.Lineage != "" {
+		return m.Lineage
+	}
+	return m.GraphFingerprint
+}
+
+// missedBatches verifies that a checkpoint's recorded (epoch, lineage) is
+// an ancestor on this entry's chain and returns the batches applied since
+// — nil when the checkpoint is already current. An unrelated lineage (a
+// different base dataset, a diverged history) is a hard error: rebasing
+// RR sets across unrelated graphs would be silent corruption. A legacy
+// checkpoint with no fingerprint at all cannot be placed on the chain;
+// consistent with the existing unverified-resume policy it is treated as
+// a base-epoch claim and caught up with the full history, loudly.
+func (e *graphEntry) missedBatches(m *core.SessionMeta, cur *graph.Graph) ([][]graph.Mutation, error) {
+	lin := metaLineage(m)
+	if m.Epoch == cur.Epoch() && lin == cur.EpochLineage() {
+		return nil, nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if lin == "" {
+		if len(e.history) == 0 {
+			return nil, nil // unchanged graph; the usual unverified warning applies
+		}
+		log.Printf("server: legacy checkpoint (OPIMS%d, no fingerprint) resuming onto mutated graph %q at epoch %d; treating it as epoch %d UNVERIFIED and replaying %d batch(es)",
+			m.Format, e.name, cur.Epoch(), e.baseEpoch, len(e.history))
+		return append([][]graph.Mutation(nil), e.history...), nil
+	}
+	idx := m.Epoch - e.baseEpoch
+	if idx < 0 || idx >= int64(len(e.lineages)) {
+		return nil, fmt.Errorf("%w: checkpoint records epoch %d of graph %q, outside the known chain [%d, %d] (mutation journal truncated or missing?)",
+			core.ErrGraphMismatch, m.Epoch, e.name, e.baseEpoch, e.baseEpoch+int64(len(e.history)))
+	}
+	if e.lineages[idx] != lin {
+		return nil, fmt.Errorf("%w: checkpoint's graph %q lineage %.12s at epoch %d is not on this graph's epoch chain (%.12s): the checkpoint descends from a different history",
+			core.ErrGraphMismatch, e.name, lin, m.Epoch, e.lineages[idx])
+	}
+	if int(idx) == len(e.history) {
+		return nil, nil
+	}
+	return append([][]graph.Mutation(nil), e.history[idx:]...), nil
+}
+
+// loadForEntry restores a session checkpoint against e's current sampler,
+// accepting — and catching up — a checkpoint taken at an earlier epoch of
+// e's chain. The returned session is always at sampler's epoch.
+func (s *Server) loadForEntry(path string, e *graphEntry, sampler *rrset.Sampler) (*core.Online, error) {
+	var missed [][]graph.Mutation
+	resolve := func(meta *core.SessionMeta) (*rrset.Sampler, error) {
+		missed = nil
+		ms, err := e.missedBatches(meta, sampler.Graph())
+		if err != nil {
+			return nil, err
+		}
+		if ms != nil {
+			missed = ms
+			meta.AcceptStale = true
+		}
+		return sampler, nil
+	}
+	online, _, _, err := loadCheckpointResolve(path, resolve)
+	if err != nil {
+		return nil, err
+	}
+	if len(missed) > 0 {
+		regen := online.RepairForMutations(sampler, missed...)
+		mSessionsCaughtUp.Inc()
+		log.Printf("server: session checkpoint %s caught up %d epoch(s) on graph %q (%d RR sets regenerated)",
+			path, len(missed), e.name, regen)
+	}
+	return online, nil
+}
+
+// catchUpLoadedLocked closes the load-races-mutation window: called under
+// sess.mu right after a session becomes resident, it checks whether the
+// entry's sampler moved past the one the session was built or loaded
+// against and, if so, repairs with exactly the missed chain suffix. With
+// no race it is a pointer compare.
+func (s *Server) catchUpLoadedLocked(sess *Session) {
+	e := sess.graph
+	if e == nil || sess.online == nil {
+		return
+	}
+	g := sess.online.Sampler().Graph()
+	e.mu.Lock()
+	cur := e.sampler
+	var missed [][]graph.Mutation
+	if cur != nil && cur != sess.online.Sampler() {
+		idx := g.Epoch() - e.baseEpoch
+		if idx >= 0 && idx < int64(len(e.history)) && e.lineages[idx] == g.EpochLineage() {
+			missed = append([][]graph.Mutation(nil), e.history[idx:]...)
+		}
+	}
+	e.mu.Unlock()
+	if len(missed) > 0 {
+		sess.online.RepairForMutations(cur, missed...)
+		sess.refreshStatsLocked()
+		mSessionsCaughtUp.Inc()
+	}
+}
+
+// LoadCheckpointMetaLog is LoadCheckpointMeta for a graph with a mutation
+// history: a checkpoint recorded at an earlier epoch of glog's chain is
+// accepted and caught up (RepairForMutations with the missed batches)
+// instead of refused with core.ErrGraphMismatch. sampler must be over the
+// current-epoch graph (ReplayMutationLog's result); regen reports the RR
+// sets regenerated by the catch-up (0 when the checkpoint was current).
+// This is opimd's startup-resume path for the default session.
+func LoadCheckpointMetaLog(path string, sampler *rrset.Sampler, glog *GraphLog) (online *core.Online, used string, meta *core.SessionMeta, regen int, err error) {
+	if glog.Epochs() == 0 {
+		online, used, meta, err = LoadCheckpointMeta(path, sampler)
+		return online, used, meta, 0, err
+	}
+	cur := sampler.Graph()
+	var missed [][]graph.Mutation
+	resolve := func(m *core.SessionMeta) (*rrset.Sampler, error) {
+		missed = nil
+		lin := metaLineage(m)
+		if m.Epoch == cur.Epoch() && lin == cur.EpochLineage() {
+			return sampler, nil
+		}
+		if lin == "" {
+			log.Printf("server: legacy checkpoint %s (OPIMS%d, no fingerprint) resuming onto mutated graph at epoch %d; treating it as epoch 0 UNVERIFIED", path, m.Format, cur.Epoch())
+			missed = glog.History
+			m.AcceptStale = true
+			return sampler, nil
+		}
+		if m.Epoch < 0 || m.Epoch >= int64(len(glog.Lineages)) {
+			return nil, fmt.Errorf("%w: checkpoint records epoch %d, outside the journaled chain [0, %d] (mutation journal truncated?)", core.ErrGraphMismatch, m.Epoch, glog.Epochs())
+		}
+		if glog.Lineages[m.Epoch] != lin {
+			return nil, fmt.Errorf("%w: checkpoint lineage %.12s at epoch %d is not on the journaled epoch chain: it descends from a different history", core.ErrGraphMismatch, lin, m.Epoch)
+		}
+		missed = glog.History[m.Epoch:]
+		m.AcceptStale = true
+		return sampler, nil
+	}
+	online, used, meta, err = loadCheckpointResolve(path, resolve)
+	if err != nil {
+		return nil, "", nil, 0, err
+	}
+	if len(missed) > 0 {
+		regen = online.RepairForMutations(sampler, missed...)
+	}
+	return online, used, meta, regen, nil
+}

@@ -1,0 +1,474 @@
+package server
+
+// Dynamic-graph coverage: the POST /graphs/{name}/updates endpoint, the
+// byte-identity invariant (mutate + incremental repair ≡ a fresh session on
+// the mutated graph), journal replay across a simulated SIGKILL with stale
+// checkpoints catching up on the epoch chain, the eviction→mutation→reload
+// lazy catch-up path, the one-batch-at-a-time 409 gates, and a concurrent
+// advance/mutate chaos run (-race) that ends in byte-identity.
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/reprolab/opim/internal/core"
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/rrset"
+)
+
+// firstEdge returns an existing edge of g.
+func firstEdge(t *testing.T, g *graph.Graph) graph.Edge {
+	t.Helper()
+	var pick graph.Edge
+	found := false
+	g.Edges(func(e graph.Edge) bool { pick = e; found = true; return false })
+	if !found {
+		t.Fatal("graph has no edges")
+	}
+	return pick
+}
+
+// missingEdge returns a (from, to) pair that is not an edge of g.
+func missingEdge(t *testing.T, g *graph.Graph) (int32, int32) {
+	t.Helper()
+	for from := int32(0); from < g.N(); from++ {
+		adj := map[int32]bool{from: true}
+		ns, _ := g.OutNeighbors(from)
+		for _, v := range ns {
+			adj[v] = true
+		}
+		for to := int32(0); to < g.N(); to++ {
+			if !adj[to] {
+				return from, to
+			}
+		}
+	}
+	t.Fatal("graph is complete; no missing edge")
+	return 0, 0
+}
+
+// saveBytes serializes a server session's live state under its lock.
+func saveBytes(t *testing.T, srv *Server, id string) []byte {
+	t.Helper()
+	sess := srv.lookup(id)
+	if sess == nil {
+		t.Fatalf("session %q not found", id)
+	}
+	var buf bytes.Buffer
+	sess.mu.Lock()
+	err := core.SaveSession(&buf, sess.online)
+	sess.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// refBytes runs a fresh reference session on g with the given options to
+// numRR RR sets and serializes it, labelled as the default catalog graph.
+func refBytes(t *testing.T, g *graph.Graph, opts core.Options, numRR int) []byte {
+	t.Helper()
+	ref, err := core.NewOnline(rrset.NewSampler(g, diffusion.IC), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.SetGraphIdentity(DefaultGraphName, "")
+	ref.Advance(numRR)
+	var buf bytes.Buffer
+	if err := core.SaveSession(&buf, ref); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestGraphUpdateEndpoint(t *testing.T) {
+	sampler := robustSampler(t)
+	_, ts := newCkServer(t, sampler, Config{Batch: 500, CheckpointDir: t.TempDir()})
+	c := NewClient(ts.URL)
+
+	if _, err := c.Advance(1000); err != nil {
+		t.Fatal(err)
+	}
+	g := sampler.Graph()
+	e := firstEdge(t, g)
+	ifrom, ito := missingEdge(t, g)
+	resp, err := c.UpdateGraph(DefaultGraphName, []GraphUpdate{
+		{Op: "edge_delete", From: e.From, To: e.To},
+		{Op: "edge_insert", From: ifrom, To: ito, P: 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Graph != DefaultGraphName || resp.Epoch != 1 || resp.Applied != 2 {
+		t.Fatalf("update response = %+v", resp)
+	}
+	if resp.Lineage == g.Fingerprint() || len(resp.Lineage) != 64 {
+		t.Fatalf("lineage did not advance along the chain: %q", resp.Lineage)
+	}
+	if resp.N != g.N() || resp.M != g.M() {
+		t.Fatalf("n/m after delete+insert = %d/%d, want %d/%d", resp.N, resp.M, g.N(), g.M())
+	}
+	// The loaded default session was repaired in the same request; a batch
+	// touching a real edge invalidates at least one of 1000 RR sets.
+	if len(resp.Repaired) != 1 || resp.Repaired[0].Session != DefaultSessionID || resp.Repaired[0].Regenerated == 0 {
+		t.Fatalf("repaired = %+v", resp.Repaired)
+	}
+
+	// The catalog now reports the epoch-1 identity, including n/m.
+	info, err := c.GetGraph(DefaultGraphName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Epoch != 1 || info.Lineage != resp.Lineage || info.Fingerprint != resp.Fingerprint ||
+		info.N != resp.N || info.M != resp.M {
+		t.Fatalf("graph info after mutation = %+v, update response = %+v", info, resp)
+	}
+	st, err := c.Status()
+	if err != nil || st.GraphEpoch != 1 || st.GraphFingerprint != resp.Fingerprint {
+		t.Fatalf("status after mutation = %+v (%v)", st, err)
+	}
+	// The session keeps advancing on the new epoch.
+	if st2, err := c.Advance(500); err != nil || st2.NumRR != 1500 {
+		t.Fatalf("advance after mutation: %+v (%v)", st2, err)
+	}
+
+	// Validation: unknown graph, unknown op, invalid op, empty batch.
+	if _, err := c.UpdateGraph("nope", []GraphUpdate{{Op: "node_add"}}); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("unknown graph error = %v", err)
+	}
+	if _, err := c.UpdateGraph(DefaultGraphName, []GraphUpdate{{Op: "edge_teleport"}}); err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("unknown op error = %v", err)
+	}
+	if _, err := c.UpdateGraph(DefaultGraphName, []GraphUpdate{{Op: "edge_delete", From: ifrom, To: ifrom}}); err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("invalid mutation error = %v", err)
+	}
+	if _, err := c.UpdateGraph(DefaultGraphName, nil); err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("empty batch error = %v", err)
+	}
+	// A rejected batch must not advance the chain.
+	if info, err := c.GetGraph(DefaultGraphName); err != nil || info.Epoch != 1 {
+		t.Fatalf("epoch after rejected batches = %+v (%v)", info, err)
+	}
+}
+
+// TestMutateRepairMatchesFreshRun is the server-level determinism invariant:
+// advance, mutate (incremental repair), advance more — the session state is
+// byte-identical to a fresh session that ran on the mutated graph from the
+// start.
+func TestMutateRepairMatchesFreshRun(t *testing.T) {
+	sampler := robustSampler(t)
+	srv, ts := newCkServer(t, sampler, Config{Batch: 500})
+	c := NewClient(ts.URL)
+
+	if _, err := c.Advance(1000); err != nil {
+		t.Fatal(err)
+	}
+	e := firstEdge(t, sampler.Graph())
+	ms := []graph.Mutation{
+		{Op: graph.OpEdgeDelete, From: e.From, To: e.To},
+	}
+	if _, err := c.UpdateGraph(DefaultGraphName, []GraphUpdate{
+		{Op: "edge_delete", From: e.From, To: e.To},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Advance(1000); err != nil {
+		t.Fatal(err)
+	}
+
+	gm, err := sampler.Graph().WithMutations(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := saveBytes(t, srv, DefaultSessionID)
+	want := refBytes(t, gm, core.Options{K: 4, Delta: 0.05, Variant: core.Plus, Seed: 9}, 2000)
+	if !bytes.Equal(got, want) {
+		t.Fatal("mutated+repaired session is not byte-identical to a fresh run on the mutated graph")
+	}
+}
+
+// TestMutationJournalReplayRestart: simulated SIGKILL after a mutation. The
+// restart replays the journal (ReplayMutationLog), resumes a pre-mutation
+// default checkpoint through LoadCheckpointMetaLog (AcceptStale + catch-up),
+// adopts a pre-mutation session checkpoint from the directory, and both
+// sessions end byte-identical to never-crashed runs on the mutated graph.
+func TestMutationJournalReplayRestart(t *testing.T) {
+	sampler := robustSampler(t)
+	dir := t.TempDir()
+	cfg := Config{Batch: 500, CheckpointDir: dir}
+
+	srv1 := New(robustSession(t, sampler), cfg)
+	ts1 := httptest.NewServer(srv1.Handler())
+	c1 := NewClient(ts1.URL)
+
+	if _, err := c1.CreateSession(SessionSpec{ID: "aug", K: 3, Delta: 0.05, Seed: 31}); err != nil {
+		t.Fatal(err)
+	}
+	aug1 := c1.Session("aug")
+	if _, err := aug1.Advance(600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Advance(500); err != nil {
+		t.Fatal(err)
+	}
+	// Both checkpoints are taken at epoch 0 — they will be stale on disk.
+	if _, err := aug1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	e := firstEdge(t, sampler.Graph())
+	ms := []graph.Mutation{{Op: graph.OpEdgeDelete, From: e.From, To: e.To}}
+	up, err := c1.UpdateGraph(DefaultGraphName, []GraphUpdate{{Op: "edge_delete", From: e.From, To: e.To}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Epoch != 1 || len(up.Repaired) != 2 {
+		t.Fatalf("update response = %+v, want epoch 1 with both loaded sessions repaired", up)
+	}
+	// Simulated SIGKILL: no graceful shutdown, no re-checkpoint — only the
+	// epoch-0 checkpoints and the mutation journal survive.
+	ts1.Close()
+
+	// Restart, the way opimd does: replay the journal over the spec-loaded
+	// base graph, then resume the default checkpoint against the current
+	// epoch's sampler.
+	base := robustSampler(t).Graph()
+	g2, glog, err := ReplayMutationLog(dir, DefaultGraphName, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if glog.Epochs() != 1 || g2.Epoch() != 1 || g2.EpochLineage() != up.Lineage {
+		t.Fatalf("journal replay: epochs=%d epoch=%d lineage=%q, want 1/1/%q",
+			glog.Epochs(), g2.Epoch(), g2.EpochLineage(), up.Lineage)
+	}
+	sampler2 := rrset.NewSampler(g2, diffusion.IC)
+	def, _, meta, regen, err := LoadCheckpointMetaLog(dir+"/default.ck", sampler2, glog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meta.AcceptStale || regen == 0 {
+		t.Fatalf("stale default checkpoint: AcceptStale=%v regen=%d, want a caught-up resume", meta.AcceptStale, regen)
+	}
+	if def.NumRR() != 500 {
+		t.Fatalf("resumed default num_rr = %d, want 500", def.NumRR())
+	}
+
+	srv2 := New(def, Config{Batch: 500, CheckpointDir: dir, DefaultGraphLog: glog})
+	adopted, err := srv2.AdoptCheckpointDir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adopted) != 1 || adopted[0] != "aug" {
+		t.Fatalf("adopted = %v, want [aug]", adopted)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	t.Cleanup(func() {
+		srv2.Stop()
+		srv2.stopCheckpointer()
+		ts2.Close()
+	})
+	c2 := NewClient(ts2.URL)
+
+	if st, err := c2.Status(); err != nil || st.NumRR != 500 || st.GraphEpoch != 1 {
+		t.Fatalf("default after replayed restart: %+v (%v)", st, err)
+	}
+	if _, err := c2.Advance(1500); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Session("aug").Advance(600); err != nil {
+		t.Fatal(err)
+	}
+
+	gm, err := base.WithMutations(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := saveBytes(t, srv2, DefaultSessionID); !bytes.Equal(got,
+		refBytes(t, gm, core.Options{K: 4, Delta: 0.05, Variant: core.Plus, Seed: 9}, 2000)) {
+		t.Fatal("replayed default session diverged from a never-crashed run on the mutated graph")
+	}
+	if got := saveBytes(t, srv2, "aug"); !bytes.Equal(got,
+		refBytes(t, gm, core.Options{K: 3, Delta: 0.05, Variant: core.Plus, Seed: 31}, 1200)) {
+		t.Fatal("adopted stale session diverged from a never-crashed run on the mutated graph")
+	}
+}
+
+// TestEvictedSessionCatchesUpAfterMutation: a session evicted before a
+// mutation holds an epoch-0 checkpoint on disk and misses the repair sweep;
+// its next touch reloads through loadForEntry, which must place the
+// checkpoint on the epoch chain and regenerate exactly the missed batches.
+func TestEvictedSessionCatchesUpAfterMutation(t *testing.T) {
+	sampler := robustSampler(t)
+	srv, ts := newCkServer(t, sampler, Config{Batch: 500, CheckpointDir: t.TempDir(), MaxLoadedSessions: 1})
+	c := NewClient(ts.URL)
+
+	if _, err := c.CreateSession(SessionSpec{ID: "evictee", K: 4, Delta: 0.05, Seed: 77}); err != nil {
+		t.Fatal(err)
+	}
+	evictee := c.Session("evictee")
+	if _, err := evictee.Advance(600); err != nil {
+		t.Fatal(err)
+	}
+	// Touching the default session evicts evictee (checkpoint-then-unload).
+	if _, err := c.Advance(400); err != nil {
+		t.Fatal(err)
+	}
+	if got := sessionState(srv.lookup("evictee").state.Load()); got != stateUnloaded {
+		t.Fatalf("evictee state = %d, want unloaded", got)
+	}
+
+	e := firstEdge(t, sampler.Graph())
+	up, err := c.UpdateGraph(DefaultGraphName, []GraphUpdate{{Op: "edge_delete", From: e.From, To: e.To}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the loaded default session is in the sweep.
+	if len(up.Repaired) != 1 || up.Repaired[0].Session != DefaultSessionID {
+		t.Fatalf("repaired = %+v, want only the default session", up.Repaired)
+	}
+
+	before := counters(t).Counters["server_sessions_caught_up_total"]
+	if _, err := evictee.Advance(400); err != nil {
+		t.Fatal(err)
+	}
+	if after := counters(t).Counters["server_sessions_caught_up_total"]; after != before+1 {
+		t.Fatalf("sessions_caught_up_total = %d, want %d — reload did not catch up from the chain", after, before+1)
+	}
+
+	gm, err := sampler.Graph().WithMutations([]graph.Mutation{{Op: graph.OpEdgeDelete, From: e.From, To: e.To}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := saveBytes(t, srv, "evictee"); !bytes.Equal(got,
+		refBytes(t, gm, core.Options{K: 4, Delta: 0.05, Variant: core.Plus, Seed: 77}, 1000)) {
+		t.Fatal("evicted session's catch-up diverged from a fresh run on the mutated graph")
+	}
+}
+
+// TestMutationConflict409: while a batch is mid-application the graph
+// answers 409 to a second batch and to engine-touching session traffic,
+// and recovers as soon as the flag clears.
+func TestMutationConflict409(t *testing.T) {
+	srv, ts := newTestServer(t, 0)
+	c := NewClient(ts.URL)
+
+	e := srv.lookupGraph(DefaultGraphName)
+	if e == nil {
+		t.Fatal("default graph entry missing")
+	}
+	e.mutating.Store(true)
+	if _, err := c.UpdateGraph(DefaultGraphName, []GraphUpdate{{Op: "node_add"}}); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("concurrent batch error = %v, want 409", err)
+	}
+	resp, err := http.Post(ts.URL+"/advance?count=100", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("advance during mutation: status %d, want 409", resp.StatusCode)
+	}
+	e.mutating.Store(false)
+	if _, err := c.Advance(100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.UpdateGraph(DefaultGraphName, []GraphUpdate{{Op: "node_add"}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMutationChaos drives concurrent advances and mutation batches (run
+// with -race): 409s from the serialization gates are the documented
+// outcome; at the end the session must be byte-identical to a fresh run on
+// the final graph — every interleaving of repair and sampling collapses to
+// the same bytes.
+func TestMutationChaos(t *testing.T) {
+	sampler := robustSampler(t)
+	srv, ts := newCkServer(t, sampler, Config{Batch: 500, CheckpointDir: t.TempDir()})
+	c := NewClient(ts.URL)
+
+	e := firstEdge(t, sampler.Graph())
+	const batches = 12
+	var applied [][]graph.Mutation
+
+	var wg sync.WaitGroup
+	advanced := make([]int, 2)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cw := NewClient(ts.URL)
+			for i := 0; i < 15; i++ {
+				if _, err := cw.Advance(100); err != nil {
+					if strings.Contains(err.Error(), "409") {
+						continue // raced a mutation batch; documented outcome
+					}
+					t.Errorf("advance: %v", err)
+					return
+				}
+				advanced[w]++
+			}
+		}(w)
+	}
+	// The single mutator alternates delete/insert of one edge, so every
+	// batch is valid against the sequentially-evolving graph.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		present := true
+		for len(applied) < batches {
+			var up GraphUpdate
+			var m graph.Mutation
+			if present {
+				up = GraphUpdate{Op: "edge_delete", From: e.From, To: e.To}
+				m = graph.Mutation{Op: graph.OpEdgeDelete, From: e.From, To: e.To}
+			} else {
+				up = GraphUpdate{Op: "edge_insert", From: e.From, To: e.To, P: e.P}
+				m = graph.Mutation{Op: graph.OpEdgeInsert, From: e.From, To: e.To, P: e.P}
+			}
+			if _, err := c.UpdateGraph(DefaultGraphName, []GraphUpdate{up}); err != nil {
+				if strings.Contains(err.Error(), "409") {
+					continue
+				}
+				t.Errorf("update: %v", err)
+				return
+			}
+			applied = append(applied, []graph.Mutation{m})
+			present = !present
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	st, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(st.NumRR) != 100*(advanced[0]+advanced[1]) {
+		t.Fatalf("num_rr = %d, want %d", st.NumRR, 100*(advanced[0]+advanced[1]))
+	}
+	if st.GraphEpoch != int64(len(applied)) {
+		t.Fatalf("graph epoch = %d after %d applied batches", st.GraphEpoch, len(applied))
+	}
+
+	gm := sampler.Graph()
+	for _, ms := range applied {
+		if gm, err = gm.WithMutations(ms); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := saveBytes(t, srv, DefaultSessionID); !bytes.Equal(got,
+		refBytes(t, gm, core.Options{K: 4, Delta: 0.05, Variant: core.Plus, Seed: 9}, int(st.NumRR))) {
+		t.Fatal("chaos run is not byte-identical to a fresh run on the final graph")
+	}
+}

@@ -1,0 +1,217 @@
+package server
+
+// The mutation journal: the durable record of a graph's epoch chain.
+//
+// Every applied mutation batch is appended — and fsynced — to
+// CheckpointDir/graph-<name>.mutlog BEFORE the in-memory graph swap, so
+// session checkpoints can never reference an epoch the journal does not
+// record (write-ahead ordering). The file is JSONL: a header line naming
+// the graph and its base (epoch-0) content fingerprint, then one entry per
+// batch carrying the resulting epoch, the chained lineage hash, and the
+// batch's ops in wire form. At startup ReplayMutationLog re-derives the
+// current-epoch graph by re-applying every batch to the freshly loaded
+// base graph, verifying each step against the recorded lineage — an edited
+// journal, a swapped dataset, or a divergent replay all fail loudly.
+//
+// A crash mid-append leaves a torn final line. That line is dropped on
+// replay: the batch it described was never applied in memory (the apply
+// strictly follows the fsync), no session checkpoint can be ahead of it,
+// and the client that posted it never received a success response. The
+// epoch chain is what makes this detectable rather than assumed — a
+// partially recorded batch cannot chain-hash to a valid lineage.
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"github.com/reprolab/opim/internal/graph"
+)
+
+// GraphLog is a graph's mutation history from its base epoch: History[i]
+// is the batch that advanced epoch i to i+1, and Lineages[i] is the
+// epoch-chain hash at epoch i (Lineages[0] is the base content
+// fingerprint), so len(Lineages) == len(History)+1. It is what a stale
+// checkpoint is verified against — and caught up with — when it resumes
+// onto a mutated graph.
+type GraphLog struct {
+	History  [][]graph.Mutation
+	Lineages []string
+}
+
+// Epochs returns the number of recorded mutation batches.
+func (l *GraphLog) Epochs() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.History)
+}
+
+// MutationLogPath returns where the named graph's mutation journal lives
+// under a checkpoint directory.
+func MutationLogPath(dir, name string) string {
+	return filepath.Join(dir, "graph-"+name+".mutlog")
+}
+
+// mutlogHeader is the journal's first line.
+type mutlogHeader struct {
+	Graph           string `json:"graph"`
+	BaseFingerprint string `json:"base_fingerprint"`
+}
+
+// mutlogEntry is one journal line after the header: the batch that
+// advanced the graph to Epoch, whose lineage must chain-hash to Lineage.
+type mutlogEntry struct {
+	Epoch   int64         `json:"epoch"`
+	Lineage string        `json:"lineage"`
+	Updates []GraphUpdate `json:"updates"`
+}
+
+// ReplayMutationLog applies the journal for the named graph (if any) to g
+// — a freshly loaded base (epoch-0) graph — and returns the current-epoch
+// graph plus the verified history. Each replayed batch must reproduce the
+// recorded lineage, so any divergence between the journal and the dataset
+// on disk is a hard error, never a silently different graph. A torn final
+// line (crash mid-append) is dropped with a log line; a torn or
+// unparsable line anywhere else is corruption and fails the replay.
+// With no journal present g is returned unchanged under an empty log.
+func ReplayMutationLog(dir, name string, g *graph.Graph) (*graph.Graph, *GraphLog, error) {
+	glog := &GraphLog{Lineages: []string{g.EpochLineage()}}
+	path := MutationLogPath(dir, name)
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return g, glog, nil
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("server: opening mutation journal %s: %w", path, err)
+	}
+	defer f.Close()
+
+	var lines [][]byte
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
+	for sc.Scan() {
+		line := append([]byte(nil), sc.Bytes()...)
+		if len(line) > 0 {
+			lines = append(lines, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("server: reading mutation journal %s: %w", path, err)
+	}
+	if len(lines) == 0 {
+		return g, glog, nil
+	}
+
+	var hdr mutlogHeader
+	if err := json.Unmarshal(lines[0], &hdr); err != nil {
+		return nil, nil, fmt.Errorf("server: mutation journal %s: bad header: %w", path, err)
+	}
+	if hdr.BaseFingerprint != g.Fingerprint() {
+		return nil, nil, fmt.Errorf("server: mutation journal %s was recorded for base graph %s, but graph %q on disk fingerprints %s",
+			path, hdr.BaseFingerprint, name, g.Fingerprint())
+	}
+
+	for i, line := range lines[1:] {
+		var e mutlogEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			if i == len(lines)-2 {
+				// Torn tail: the crash interrupted the append before the
+				// fsync completed, so the batch was never applied and no
+				// checkpoint references its epoch. Drop it.
+				log.Printf("server: mutation journal %s: dropping torn final entry (crash mid-append): %v", path, err)
+				break
+			}
+			return nil, nil, fmt.Errorf("server: mutation journal %s: entry %d corrupt: %w", path, i+1, err)
+		}
+		ms, err := updatesToMutations(e.Updates)
+		if err != nil {
+			return nil, nil, fmt.Errorf("server: mutation journal %s: entry %d: %w", path, i+1, err)
+		}
+		ng, err := g.WithMutations(ms)
+		if err != nil {
+			return nil, nil, fmt.Errorf("server: mutation journal %s: entry %d does not apply: %w", path, i+1, err)
+		}
+		if ng.Epoch() != e.Epoch || ng.EpochLineage() != e.Lineage {
+			return nil, nil, fmt.Errorf("server: mutation journal %s: entry %d replays to epoch %d lineage %s, journal records epoch %d lineage %s (journal edited, or dataset changed)",
+				path, i+1, ng.Epoch(), ng.EpochLineage(), e.Epoch, e.Lineage)
+		}
+		g = ng
+		glog.History = append(glog.History, ms)
+		glog.Lineages = append(glog.Lineages, e.Lineage)
+	}
+	return g, glog, nil
+}
+
+// appendMutationLog durably records one applied batch: open (creating
+// with the header when new), append the entry line, fsync. The caller
+// applies the batch in memory only after this returns nil — write-ahead
+// order is what makes crash-mid-mutation detectable rather than silent.
+func appendMutationLog(dir, name, baseFP string, e mutlogEntry) error {
+	path := MutationLogPath(dir, name)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("server: opening mutation journal %s: %w", path, err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	var buf []byte
+	if st.Size() == 0 {
+		hdr, err := json.Marshal(mutlogHeader{Graph: name, BaseFingerprint: baseFP})
+		if err != nil {
+			return err
+		}
+		buf = append(append(buf, hdr...), '\n')
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	buf = append(append(buf, line...), '\n')
+	if _, err := f.Write(buf); err != nil {
+		return fmt.Errorf("server: appending to mutation journal %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("server: syncing mutation journal %s: %w", path, err)
+	}
+	if st.Size() == 0 {
+		// First write also created the file; make the directory entry
+		// durable so a crash cannot lose the whole journal while session
+		// checkpoints already reference its epochs.
+		if d, derr := os.Open(dir); derr == nil {
+			d.Sync() //nolint:errcheck // best effort; some filesystems refuse dir fsync
+			d.Close()
+		}
+	}
+	return nil
+}
+
+// updatesToMutations converts wire-form updates into graph mutations,
+// validating the op names (graph.WithMutations validates everything else).
+func updatesToMutations(ups []GraphUpdate) ([]graph.Mutation, error) {
+	ms := make([]graph.Mutation, 0, len(ups))
+	for i, u := range ups {
+		op, err := graph.ParseMutOp(u.Op)
+		if err != nil {
+			return nil, fmt.Errorf("update %d: %w", i, err)
+		}
+		ms = append(ms, graph.Mutation{Op: op, From: u.From, To: u.To, P: u.P})
+	}
+	return ms, nil
+}
+
+// mutationsToUpdates is updatesToMutations' inverse, for journaling.
+func mutationsToUpdates(ms []graph.Mutation) []GraphUpdate {
+	ups := make([]GraphUpdate, 0, len(ms))
+	for _, m := range ms {
+		ups = append(ups, GraphUpdate{Op: m.Op.String(), From: m.From, To: m.To, P: m.P})
+	}
+	return ups
+}

@@ -138,6 +138,12 @@ type Config struct {
 	// reloadable (so it participates in MaxLoadedGraphs) and is recorded in
 	// every default-graph session checkpoint for restart-time verification.
 	DefaultGraphSpec string
+	// DefaultGraphLog, when non-nil, is the default graph's replayed
+	// mutation journal (ReplayMutationLog): the graph handed to New is at
+	// the journal's final epoch, and the log supplies the chain that stale
+	// checkpoints are verified against and caught up with. Nil means the
+	// default graph starts at its base epoch.
+	DefaultGraphLog *GraphLog
 	// CheckpointInterval is the cadence of StartCheckpointer
 	// (≤ 0 defaults to DefaultCheckpointInterval).
 	CheckpointInterval time.Duration
@@ -242,26 +248,24 @@ func New(session *core.Online, cfg Config) *Server {
 	// without, it can never be unloaded (symmetric with ckPath-less
 	// sessions never being evictable). Pre-publication: no concurrency yet.
 	g := session.Sampler().Graph()
-	def := &graphEntry{
-		name:        DefaultGraphName,
-		specString:  cfg.DefaultGraphSpec,
-		fingerprint: g.Fingerprint(),
-		n:           g.N(),
-		m:           g.M(),
-		g:           g,
-		sampler:     session.Sampler(),
+	glog := cfg.DefaultGraphLog
+	if glog == nil || glog.Epochs() == 0 {
+		glog = &GraphLog{Lineages: []string{g.EpochLineage()}}
 	}
-	if cfg.DefaultGraphSpec != "" {
-		spec, err := cliutil.ParseGraphSpec(cfg.DefaultGraphSpec)
+	var spec cliutil.GraphSpec
+	specString := cfg.DefaultGraphSpec
+	if specString != "" {
+		parsed, err := cliutil.ParseGraphSpec(specString)
 		if err != nil {
 			// An unparseable spec cannot reload the graph; keep the entry
 			// resident forever rather than fail later.
-			def.specString = ""
+			specString = ""
 		} else {
-			def.spec = spec
+			spec = parsed
 		}
 	}
-	def.isLoaded.Store(true)
+	def := newGraphEntry(DefaultGraphName, spec, glog.Lineages[0], g, session.Sampler(), glog)
+	def.specString = specString
 	def.sessions.Store(1)   // the default session
 	def.loadedRefs.Store(1) // ... which starts resident
 	s.graphs[DefaultGraphName] = def
@@ -299,6 +303,7 @@ func (s *Server) Handler() http.Handler {
 	// Graph catalog.
 	mux.HandleFunc("/graphs", instrument("graphs", s.handleGraphs))
 	mux.HandleFunc("/graphs/{name}", instrument("graph", s.handleGraphByName))
+	mux.HandleFunc("/graphs/{name}/updates", instrument("graph_updates", s.handleGraphUpdates))
 	// Session management and per-session endpoints. The literal
 	// /sessions/bulk pattern wins over the /sessions/{id} wildcard.
 	mux.HandleFunc("/sessions", instrument("sessions", s.handleSessions))
@@ -408,9 +413,11 @@ type Status struct {
 	Loaded        bool   `json:"loaded"`
 	MaxRR         int64  `json:"max_rr"`
 	// Graph names the catalog graph the session runs on;
-	// GraphFingerprint is that graph's content hash.
+	// GraphFingerprint is that graph's current content hash and GraphEpoch
+	// its position on the mutation epoch chain.
 	Graph            string `json:"graph,omitempty"`
 	GraphFingerprint string `json:"graph_fingerprint,omitempty"`
+	GraphEpoch       int64  `json:"graph_epoch,omitempty"`
 }
 
 // SnapshotResponse is the /snapshot response body.
@@ -428,8 +435,8 @@ type SnapshotResponse struct {
 
 // sessionStatus reads only the lock-free mirrors — a /status poll returns
 // immediately even while the session mutex is held by a long advance. The
-// graph fields read the entry's immutable identity, so they are lock-free
-// too.
+// graph fields read the entry's atomically published identity, so they
+// are lock-free too.
 func (s *Server) sessionStatus(sess *Session) Status {
 	st := Status{
 		Session:       sess.ID,
@@ -440,8 +447,10 @@ func (s *Server) sessionStatus(sess *Session) Status {
 		MaxRR:         sess.maxRR,
 	}
 	if sess.graph != nil {
+		id := sess.graph.ident.Load()
 		st.Graph = sess.graph.name
-		st.GraphFingerprint = sess.graph.fingerprint
+		st.GraphFingerprint = id.fingerprint
+		st.GraphEpoch = id.epoch
 	}
 	return st
 }
@@ -769,6 +778,11 @@ func (s *Server) nextQuantum() (*Session, int64) {
 		idx := (s.rrIdx + i) % n
 		sess := s.sessions[s.order[idx]]
 		if sess == nil || !sess.running.Load() || sessionState(sess.state.Load()) != stateLoaded {
+			continue
+		}
+		if sess.graph != nil && sess.graph.mutating.Load() {
+			// A mutation batch is mid-repair on this graph; skip the visit
+			// rather than contend with the repair sweep for sess.mu.
 			continue
 		}
 		s.rrIdx = (idx + 1) % n

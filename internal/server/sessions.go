@@ -181,6 +181,7 @@ type SessionInfo struct {
 	ID               string  `json:"id"`
 	Graph            string  `json:"graph,omitempty"`
 	GraphFingerprint string  `json:"graph_fingerprint,omitempty"`
+	GraphEpoch       int64   `json:"graph_epoch,omitempty"`
 	K                int     `json:"k,omitempty"`
 	Delta            float64 `json:"delta,omitempty"`
 	Variant          string  `json:"variant,omitempty"`
@@ -315,6 +316,12 @@ func (s *Server) createSession(spec SessionSpec) (*Session, int, error) {
 	if err := s.addSession(sess); err != nil {
 		return fail(http.StatusConflict, err)
 	}
+	// A mutation batch that landed while this session was being built may
+	// have swept the table before addSession published it; catch up now
+	// (no-op when the sampler is current).
+	sess.mu.Lock()
+	s.catchUpLoadedLocked(sess)
+	sess.mu.Unlock()
 	mSessionsCreated.Inc()
 	s.maybeEvict(sess)
 	s.maybeUnloadGraphs(entry)
@@ -378,6 +385,9 @@ func (s *Server) AdoptCheckpointDir() ([]string, error) {
 			entry.sessions.Add(-1)
 			continue
 		}
+		sess.mu.Lock()
+		s.catchUpLoadedLocked(sess)
+		sess.mu.Unlock()
 		adopted = append(adopted, id)
 		s.maybeEvict(sess)
 		s.maybeUnloadGraphs(entry)
@@ -390,6 +400,14 @@ func (s *Server) AdoptCheckpointDir() ([]string, error) {
 // evicted. A non-zero return is the HTTP status (and message) to answer
 // with: 409 while an eviction is in flight, 500 when the reload failed.
 func (s *Server) ensureLoaded(sess *Session) (int, string) {
+	if sess.graph != nil && sess.graph.mutating.Load() {
+		// A mutation batch is being applied to this session's graph; engine
+		// requests wait it out like an eviction (409 + Retry-After) instead
+		// of contending with the repair sweep. Purely a latency gate — a
+		// request that slips past is still repaired to the right epoch.
+		mSessionConflicts.Inc()
+		return http.StatusConflict, fmt.Sprintf("graph %q is applying a mutation batch; retry shortly", sess.graph.name)
+	}
 	switch sessionState(sess.state.Load()) {
 	case stateEvicting:
 		mSessionConflicts.Inc()
@@ -408,7 +426,9 @@ func (s *Server) ensureLoaded(sess *Session) (int, string) {
 			}
 			// Re-acquire the session's graph first (reloading it from its
 			// spec if the catalog unloaded it); the checkpoint's recorded
-			// fingerprint is then verified against it inside LoadCheckpoint.
+			// identity is then verified against the entry's epoch chain — a
+			// checkpoint taken before a mutation batch is caught up with
+			// exactly the missed batches during the load.
 			sampler := s.sampler
 			acquired := false
 			if sess.graph != nil {
@@ -420,7 +440,13 @@ func (s *Server) ensureLoaded(sess *Session) (int, string) {
 				}
 				acquired = true
 			}
-			online, _, err := LoadCheckpoint(sess.ckPath, sampler)
+			var online *core.Online
+			var err error
+			if sess.graph != nil {
+				online, err = s.loadForEntry(sess.ckPath, sess.graph, sampler)
+			} else {
+				online, _, err = LoadCheckpoint(sess.ckPath, sampler)
+			}
 			if err != nil {
 				if acquired {
 					s.releaseGraph(sess.graph)
@@ -432,6 +458,11 @@ func (s *Server) ensureLoaded(sess *Session) (int, string) {
 			online.SetEvents(s.cfg.Events)
 			online.SetGenerator(s.cfg.Generator)
 			sess.setOnlineLocked(online)
+			// Close the load-races-mutation window: if a batch landed on the
+			// entry between the sampler acquisition above and now, repair
+			// with the missed suffix before serving (idempotent if the batch
+			// was already caught up during the load).
+			s.catchUpLoadedLocked(sess)
 			sess.state.Store(int32(stateLoaded))
 			gSessionsLoaded.Set(float64(s.loaded.Add(1)))
 			mSessionsReloaded.Inc()
@@ -570,8 +601,10 @@ func (s *Server) sessionInfo(sess *Session) SessionInfo {
 		Checkpoint: sess.ckPath,
 	}
 	if sess.graph != nil {
+		id := sess.graph.ident.Load()
 		info.Graph = sess.graph.name
-		info.GraphFingerprint = sess.graph.fingerprint
+		info.GraphFingerprint = id.fingerprint
+		info.GraphEpoch = id.epoch
 	}
 	if opts := sess.opts.Load(); opts != nil {
 		info.K = opts.K
