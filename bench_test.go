@@ -18,6 +18,7 @@ import (
 	"github.com/reprolab/opim/internal/diffusion"
 	"github.com/reprolab/opim/internal/experiments"
 	"github.com/reprolab/opim/internal/gen"
+	"github.com/reprolab/opim/internal/graph"
 	"github.com/reprolab/opim/internal/rng"
 	"github.com/reprolab/opim/internal/rrset"
 )
@@ -208,4 +209,100 @@ func BenchmarkRRGenerationModels(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkWeightOnlyRepair measures the two layers of the weight-only
+// mutation fast path that every learning round rides. Layer one derives
+// the mutated graph: a set_weight batch patches the weight arrays and
+// shares the CSR topology with its parent, while the equivalent
+// delete+insert forces a full CSR rebuild. Layer two brings a session's RR
+// collection up to date after the weights change: RepairWeightOnly and the
+// generic Repair both resample exactly the invalidated sets (the
+// weight-only variant additionally skips pool and index work for sets that
+// resample to their existing bytes), while the full-rebuild baseline — what
+// a server without incremental repair pays — regenerates the entire
+// collection from scratch. All three produce byte-identical collections,
+// so the ratios are pure fast-path speedups.
+func BenchmarkWeightOnlyRepair(b *testing.B) {
+	g, err := GenerateProfile("synth-pokec", 20000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var edges []graph.Edge
+	g.Edges(func(e graph.Edge) bool {
+		edges = append(edges, e)
+		return len(edges) < 64
+	})
+	// A gentle nudge — the shape of a learning round's realization epoch,
+	// where a Thompson sample lands near the posterior mean: most
+	// invalidated sets resample to the bytes they already hold, the case
+	// RepairWeightOnly is specialized for.
+	fwd := make([]graph.Mutation, len(edges))
+	back := make([]graph.Mutation, len(edges))
+	rebuild := make([]graph.Mutation, 0, 2*len(edges))
+	for i, e := range edges {
+		fwd[i] = graph.Mutation{Op: graph.OpSetWeight, From: e.From, To: e.To, P: e.P * 0.98}
+		back[i] = graph.Mutation{Op: graph.OpSetWeight, From: e.From, To: e.To, P: e.P}
+		rebuild = append(rebuild,
+			graph.Mutation{Op: graph.OpEdgeDelete, From: e.From, To: e.To},
+			graph.Mutation{Op: graph.OpEdgeInsert, From: e.From, To: e.To, P: e.P * 0.98},
+		)
+	}
+
+	b.Run("derive/weight-only", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := g.WithMutations(fwd); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("derive/rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := g.WithMutations(rebuild); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	gf, err := g.WithMutations(fwd)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s0 := rrset.NewSampler(g, diffusion.IC)
+	sf := rrset.NewSampler(gf, diffusion.IC)
+	const numRR = 20000
+	// Each iteration applies the mutation and immediately reverts it, so
+	// every repair sees a non-empty invalidation set from the collection's
+	// current state.
+	repairBench := func(repair func(c *rrset.Collection, s *rrset.Sampler, base *rng.Source, invalid []int32) int) func(b *testing.B) {
+		return func(b *testing.B) {
+			base := rng.New(7)
+			c := rrset.NewCollection(g.N())
+			rrset.Generate(c, s0, numRR, base, 8)
+			b.ResetTimer()
+			var repaired int64
+			for i := 0; i < b.N; i++ {
+				repaired += int64(repair(c, sf, base, c.InvalidatedBy(fwd)))
+				repaired += int64(repair(c, s0, base, c.InvalidatedBy(back)))
+			}
+			b.ReportMetric(float64(repaired)/float64(2*b.N), "repaired-sets/op")
+		}
+	}
+	b.Run("repair/weight-only", repairBench(func(c *rrset.Collection, s *rrset.Sampler, base *rng.Source, invalid []int32) int {
+		return c.RepairWeightOnly(s, base, invalid, 1)
+	}))
+	b.Run("repair/generic", repairBench(func(c *rrset.Collection, s *rrset.Sampler, base *rng.Source, invalid []int32) int {
+		return c.Repair(s, base, invalid, 1)
+	}))
+	b.Run("repair/full-rebuild", func(b *testing.B) {
+		base := rng.New(7)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cf := rrset.NewCollection(g.N())
+			rrset.Generate(cf, sf, numRR, base, 1)
+			c0 := rrset.NewCollection(g.N())
+			rrset.Generate(c0, s0, numRR, base, 1)
+		}
+		b.ReportMetric(numRR, "repaired-sets/op")
+	})
 }

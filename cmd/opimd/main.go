@@ -131,6 +131,10 @@ func main() {
 		fleetRPC   = flag.Duration("fleet-rpc-timeout", 0, "deadline per fleet worker RPC (0 = 30s)")
 		fleetTTL   = flag.Duration("fleet-lease-ttl", 0, "in-flight lease age before speculative reassignment (0 = 2x the RPC timeout)")
 		fleetHB    = flag.Duration("fleet-heartbeat", 0, "fleet worker health-probe period (0 = 1s)")
+		learnOn    = flag.Bool("learn", false, "run the default session as a feedback-driven learning campaign: POST /rounds serves explore/exploit seeds, POST /observations feeds cascades back (see docs/LEARNING.md)")
+		learnSeed  = flag.Uint64("learn-seed", 1, "random seed for the learner's Thompson-sampling draws")
+		learnRR    = flag.Int("learn-round-rr", 0, "RR sets generated per learning round (0 = 1024)")
+		jCompact   = flag.Int("journal-compact-every", 0, "compact a graph's mutation journal into an OPIMG2 snapshot once it holds this many entries (0 = never; see docs/ROBUSTNESS.md)")
 	)
 	flag.Parse()
 
@@ -181,10 +185,13 @@ func main() {
 		if rerr != nil {
 			fatalf("%v (remove the mutation journal to start from the base graph, abandoning its epochs)", rerr)
 		}
-		if glog.Epochs() > 0 {
+		// g.Epoch() > 0 with zero journal entries happens when a compaction
+		// folded the whole history into its snapshot — the sampler must
+		// still move off the base graph.
+		if g.Epoch() > 0 {
 			sampler = opim.NewSampler(g, model)
-			fmt.Printf("opimd: replayed %d mutation batch(es) from the journal; default graph at epoch %d (n=%d m=%d)\n",
-				glog.Epochs(), g.Epoch(), g.N(), g.M())
+			fmt.Printf("opimd: default graph at epoch %d after journal replay (%d batch(es) replayed, %d folded into the compaction snapshot; n=%d m=%d)\n",
+				g.Epoch(), glog.Epochs(), glog.BaseEpoch, g.N(), g.M())
 		}
 	}
 	// The default session's checkpoint: -checkpoint wins; otherwise it
@@ -244,23 +251,24 @@ func main() {
 	}
 
 	srv := server.New(session, server.Config{
-		Batch:              *batch,
-		MaxRR:              *maxRR,
-		RequestTimeout:     *reqTimeout,
-		MaxInflight:        *maxInfl,
-		MaxQueue:           *maxQueue,
-		MaxQueueWait:       *maxQWait,
-		DefaultRate:        *defRate,
-		DefaultBurst:       *defBurst,
-		CheckpointPath:     *checkpoint,
-		CheckpointDir:      *ckDir,
-		MaxLoadedSessions:  *maxLoaded,
-		MaxLoadedGraphs:    *maxGraphs,
-		CheckpointInterval: *ckInterval,
-		DefaultGraphSpec:   spec.String(),
-		DefaultGraphLog:    glog,
-		Events:             flushingSinkOrNil(events),
-		Generator:          generatorOrNil(coordinator),
+		Batch:               *batch,
+		MaxRR:               *maxRR,
+		RequestTimeout:      *reqTimeout,
+		MaxInflight:         *maxInfl,
+		MaxQueue:            *maxQueue,
+		MaxQueueWait:        *maxQWait,
+		DefaultRate:         *defRate,
+		DefaultBurst:        *defBurst,
+		CheckpointPath:      *checkpoint,
+		CheckpointDir:       *ckDir,
+		MaxLoadedSessions:   *maxLoaded,
+		MaxLoadedGraphs:     *maxGraphs,
+		CheckpointInterval:  *ckInterval,
+		JournalCompactEvery: *jCompact,
+		DefaultGraphSpec:    spec.String(),
+		DefaultGraphLog:     glog,
+		Events:              flushingSinkOrNil(events),
+		Generator:           generatorOrNil(coordinator),
 	})
 	adopted, err := srv.AdoptCheckpointDir()
 	if err != nil {
@@ -268,6 +276,14 @@ func main() {
 	}
 	if len(adopted) > 0 {
 		fmt.Printf("opimd: adopted %d checkpointed session(s) from %s: %v\n", len(adopted), *ckDir, adopted)
+	}
+	if *learnOn {
+		// After checkpoint resume, so a campaign restored from the
+		// checkpoint's extension (with its learned posterior) is kept; only
+		// a genuinely fresh session starts from the uniform prior.
+		if err := srv.EnableLearning(server.DefaultSessionID, *learnSeed, *learnRR); err != nil {
+			fatalf("enabling learning on the default session: %v", err)
+		}
 	}
 	srv.StartCheckpointer()
 	mux := http.NewServeMux()

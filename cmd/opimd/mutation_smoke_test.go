@@ -52,7 +52,7 @@ func TestOpimdMutationKillResume(t *testing.T) {
 	b := startDaemon(t, bin, "-checkpoint-dir", dir, "-checkpoint-interval", "1h")
 	replayed := false
 	for _, line := range b.lines {
-		if strings.Contains(line, "replayed 1 mutation batch") {
+		if strings.Contains(line, "after journal replay (1 batch(es) replayed") {
 			replayed = true
 		}
 	}
@@ -83,4 +83,55 @@ func TestOpimdMutationKillResume(t *testing.T) {
 	if string(jb) != string(jc) {
 		t.Fatalf("mutated+crashed+resumed run diverged from the mutate-first run:\nresumed: %s\nreference: %s", jb, jc)
 	}
+}
+
+// Regression: when compaction folds every journal entry into its snapshot,
+// the journal holds zero trailing batches but the graph is still past epoch
+// 0. The restart must rebuild the sampler from the snapshot epoch (keyed on
+// g.Epoch(), not on the count of replayed entries) or resuming the
+// post-mutation checkpoint dies with a graph fingerprint mismatch.
+func TestOpimdCompactedJournalKillResume(t *testing.T) {
+	bin := buildOpimd(t)
+	dir := t.TempDir()
+	flags := []string{"-checkpoint-dir", dir, "-checkpoint-interval", "1h", "-journal-compact-every", "1"}
+
+	a := startDaemon(t, bin, flags...)
+	a.mustPost(t, "/advance?count=1000")
+	n, ok := a.mustGet(t, "/graphs/default")["n"].(float64)
+	if !ok || n <= 0 {
+		t.Fatal("graph info has no node count")
+	}
+	batch := fmt.Sprintf(`{"updates":[{"op":"node_add"},{"op":"edge_insert","from":%d,"to":0,"p":0.25}]}`, int(n))
+	if _, err := a.reqBody(http.MethodPost, "/graphs/default/updates", batch); err != nil {
+		t.Fatal(err)
+	}
+	// The threshold of 1 compacts immediately: the batch now lives only in
+	// graph-default.e1.snap and the journal body is empty.
+	if _, err := os.Stat(filepath.Join(dir, "graph-default.e1.snap")); err != nil {
+		t.Fatalf("compaction snapshot missing after the batch: %v", err)
+	}
+	a.mustPost(t, "/checkpoint") // saved on the epoch-1 fingerprint
+	if err := a.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	a.cmd.Wait()
+
+	b := startDaemon(t, bin, flags...)
+	landed := false
+	for _, line := range b.lines {
+		if strings.Contains(line, "after journal replay (0 batch(es) replayed, 1 folded into the compaction snapshot") {
+			landed = true
+		}
+	}
+	if !landed {
+		t.Fatalf("restart never reported landing on the compacted epoch; stdout: %q", b.lines)
+	}
+	st := b.mustGet(t, "/status")
+	if st["graph_epoch"] != float64(1) {
+		t.Fatalf("resumed graph epoch = %v, want 1", st["graph_epoch"])
+	}
+	if got := numRR(t, st); got != 1000 {
+		t.Fatalf("resumed num_rr = %d, want 1000 (the checkpointed state)", got)
+	}
+	b.mustPost(t, "/advance?count=500")
 }

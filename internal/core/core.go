@@ -201,6 +201,12 @@ type Online struct {
 	// Empty on sessions created outside a catalog (plain library use).
 	graphName string
 	graphSpec string
+
+	// ext is the OPIMS5 opaque extension blob: application state that must
+	// ride along with every checkpoint of this session (opimd keeps its
+	// per-session learner there). Core never interprets it; SaveSession
+	// writes it and LoadSession restores it.
+	ext []byte
 }
 
 // NewOnline starts an OPIM session on the sampler's graph.
@@ -239,6 +245,17 @@ func (o *Online) SetGraphIdentity(name, spec string) {
 func (o *Online) GraphIdentity() (name, spec string) {
 	return o.graphName, o.graphSpec
 }
+
+// SetExtension attaches (or with nil clears) the session's opaque
+// extension blob, persisted verbatim by SaveSession in the OPIMS5 frame.
+// The caller keeps ownership of b's semantics but must not mutate it after
+// handing it over; replace it wholesale when the state changes.
+func (o *Online) SetExtension(b []byte) { o.ext = b }
+
+// Extension returns the session's opaque extension blob as restored by
+// LoadSession or set by SetExtension (nil when absent). The returned slice
+// must not be mutated.
+func (o *Online) Extension() []byte { return o.ext }
 
 // Sampler returns the sampler this session draws RR sets from. Multiple
 // sessions may share one sampler (it is immutable); this is how a server

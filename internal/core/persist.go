@@ -21,21 +21,31 @@ import (
 	"github.com/reprolab/opim/internal/rrset"
 )
 
-// sessionMagic is the current OPIMS4 format: the OPIMS3 layout plus an
-// epoch block (mutation-batch count and epoch-chain lineage hash) after
-// the graph-identity strings, versioning WHICH point of a dynamic graph's
-// mutation history the RR sets were sampled on. OPIMS1 files (which
-// predate Exact and BaseSeeds), OPIMS2 files (which predate the identity
-// block) and OPIMS3 files (which predate the epoch block, so they load as
-// epoch 0) are still readable; V1/V2 carry no fingerprint, so loading one
-// cannot verify the graph — callers should surface that as an "unverified
-// graph" warning (the daemon does; see docs/ROBUSTNESS.md).
+// sessionMagic is the current OPIMS5 format: the OPIMS4 layout plus one
+// length-prefixed opaque extension blob between the epoch block and the
+// RR collections. The blob is owned by the embedding application (opimd
+// stores per-session learner state there — Beta posteriors and the
+// campaign round machine); core round-trips it without interpretation, so
+// the learning subsystem can evolve without another container version.
+// OPIMS4 files (which predate the extension, so they load with an empty
+// blob), OPIMS3 files (which predate the epoch block, so they load as
+// epoch 0), OPIMS2 files (which predate the identity block) and OPIMS1
+// files (which predate Exact and BaseSeeds) are still readable; V1/V2
+// carry no fingerprint, so loading one cannot verify the graph — callers
+// should surface that as an "unverified graph" warning (the daemon does;
+// see docs/ROBUSTNESS.md).
 const (
-	sessionMagic   = "OPIMS4\n"
+	sessionMagic   = "OPIMS5\n"
+	sessionMagicV4 = "OPIMS4\n"
 	sessionMagicV3 = "OPIMS3\n"
 	sessionMagicV2 = "OPIMS2\n"
 	sessionMagicV1 = "OPIMS1\n"
 )
+
+// maxSessionExt bounds the OPIMS5 extension blob (64 MiB): far beyond any
+// realistic posterior table, small enough that a corrupted length field
+// cannot drive the loader into a multi-gigabyte allocation.
+const maxSessionExt = 64 << 20
 
 // ErrBadSession reports a malformed serialized session.
 var ErrBadSession = errors.New("core: bad session format")
@@ -70,6 +80,11 @@ type SessionMeta struct {
 	// files, which always describe an epoch-0 graph.
 	Epoch   int64
 	Lineage string
+	// Ext is the OPIMS5 opaque extension blob (nil for earlier formats or
+	// sessions without one). It is also restored onto the loaded Online
+	// (Extension); the meta copy lets a resolver inspect application state
+	// before committing to the load.
+	Ext []byte
 
 	// AcceptStale is set by the LoadSessionResolve resolver (never by the
 	// decoder) to accept a sampler whose graph content differs from the
@@ -149,6 +164,18 @@ func SaveSession(w io.Writer, o *Online) error {
 	if err := writeString16(bw, o.sampler.Graph().EpochLineage()); err != nil {
 		return err
 	}
+	// OPIMS5 extension: the opaque application blob (length 0 when unset).
+	if len(o.ext) > maxSessionExt {
+		return fmt.Errorf("core: session extension of %d bytes exceeds format limit", len(o.ext))
+	}
+	var xl [4]byte
+	binary.LittleEndian.PutUint32(xl[:], uint32(len(o.ext)))
+	if _, err := bw.Write(xl[:]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(o.ext); err != nil {
+		return err
+	}
 	if err := rrset.WriteCollection(bw, o.r1); err != nil {
 		return err
 	}
@@ -192,6 +219,8 @@ func LoadSessionResolve(r io.Reader, resolve func(*SessionMeta) (*rrset.Sampler,
 	meta := &SessionMeta{}
 	switch string(magic) {
 	case sessionMagic:
+		meta.Format = 5
+	case sessionMagicV4:
 		meta.Format = 4
 	case sessionMagicV3:
 		meta.Format = 3
@@ -264,6 +293,22 @@ func LoadSessionResolve(r io.Reader, resolve func(*SessionMeta) (*rrset.Sampler,
 			return nil, nil, fmt.Errorf("%w: negative epoch %d", ErrBadSession, meta.Epoch)
 		}
 	}
+	if meta.Format >= 5 {
+		var xl [4]byte
+		if _, err := io.ReadFull(br, xl[:]); err != nil {
+			return nil, nil, fmt.Errorf("%w: short extension length: %v", ErrBadSession, err)
+		}
+		extLen := binary.LittleEndian.Uint32(xl[:])
+		if extLen > maxSessionExt {
+			return nil, nil, fmt.Errorf("%w: extension blob of %d bytes exceeds format limit", ErrBadSession, extLen)
+		}
+		if extLen > 0 {
+			meta.Ext = make([]byte, extLen)
+			if _, err := io.ReadFull(br, meta.Ext); err != nil {
+				return nil, nil, fmt.Errorf("%w: short extension blob: %v", ErrBadSession, err)
+			}
+		}
+	}
 
 	sampler, err := resolve(meta)
 	if err != nil {
@@ -307,6 +352,7 @@ func LoadSessionResolve(r io.Reader, resolve func(*SessionMeta) (*rrset.Sampler,
 		scratch:   newSnapScratch(),
 		graphName: meta.GraphName,
 		graphSpec: meta.GraphSpec,
+		ext:       meta.Ext,
 	}, meta, nil
 }
 

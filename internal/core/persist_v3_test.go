@@ -41,8 +41,8 @@ func TestSaveSessionRoundTripsGraphIdentity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if meta.Format != 4 || !meta.Verified() {
-		t.Fatalf("meta = %+v, want verified format 4", meta)
+	if meta.Format != 5 || !meta.Verified() {
+		t.Fatalf("meta = %+v, want verified format 5", meta)
 	}
 	if meta.GraphFingerprint != g.Fingerprint() {
 		t.Fatalf("fingerprint %s round-tripped as %s", g.Fingerprint(), meta.GraphFingerprint)
@@ -153,7 +153,7 @@ func TestLoadSessionReadsOPIMS2Unverified(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if meta2.Format != 4 || meta2.GraphFingerprint != g.Fingerprint() {
+	if meta2.Format != 5 || meta2.GraphFingerprint != g.Fingerprint() {
 		t.Fatalf("resave did not upgrade: %+v", meta2)
 	}
 }
@@ -177,7 +177,7 @@ func TestLoadSessionResolveError(t *testing.T) {
 	if !errors.Is(err, sentinel) {
 		t.Fatalf("resolver error = %v", err)
 	}
-	if meta == nil || meta.Format != 4 {
+	if meta == nil || meta.Format != 5 {
 		t.Fatalf("resolver failure should still return the meta, got %+v", meta)
 	}
 }

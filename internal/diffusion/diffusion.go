@@ -149,6 +149,52 @@ func (s *Simulator) runIC(seeds []int32, maxHops int, src *rng.Source) int {
 	return activated
 }
 
+// Attempt records one IC activation attempt: a newly activated From took
+// its single chance on the then-inactive To and succeeded or not. A
+// cascade's attempt sequence is exactly the set of Bernoulli trials the
+// independent-cascade model drew — the sufficient statistic for per-edge
+// posterior learning (internal/learn consumes these as observations).
+type Attempt struct {
+	From, To graph.NodeID
+	Success  bool
+}
+
+// RunICTrace is Run under IC, additionally appending every activation
+// attempt (in trial order) to attempts, which is returned alongside the
+// activated-node count. Randomness consumption is identical to Run(IC,…):
+// the same src state produces the same cascade, traced or not.
+func (s *Simulator) RunICTrace(seeds []int32, src *rng.Source, attempts []Attempt) (int, []Attempt) {
+	s.nextEpoch()
+	q := s.queue[:0]
+	activated := 0
+	for _, v := range seeds {
+		if s.mark[v] == s.epoch {
+			continue
+		}
+		s.mark[v] = s.epoch
+		q = append(q, v)
+		activated++
+	}
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		to, p := s.g.OutNeighbors(u)
+		for i, v := range to {
+			if s.mark[v] == s.epoch {
+				continue
+			}
+			ok := src.Float64() < float64(p[i])
+			attempts = append(attempts, Attempt{From: u, To: v, Success: ok})
+			if ok {
+				s.mark[v] = s.epoch
+				q = append(q, v)
+				activated++
+			}
+		}
+	}
+	s.queue = q
+	return activated, attempts
+}
+
 func (s *Simulator) runLT(seeds []int32, maxHops int, src *rng.Source) int {
 	s.nextEpoch()
 	q := s.queue[:0]

@@ -1,0 +1,83 @@
+package diffusion
+
+import (
+	"testing"
+
+	"github.com/reprolab/opim/internal/gen"
+	"github.com/reprolab/opim/internal/rng"
+)
+
+// RunICTrace must be Run(IC, …) with its randomness untouched: the same
+// source state yields the same cascade, and the trace's successful
+// attempts reconstruct exactly the non-seed activations.
+func TestRunICTraceMatchesRun(t *testing.T) {
+	g, err := gen.PreferentialAttachment(400, 4, 0.1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simA := NewSimulator(g)
+	simB := NewSimulator(g)
+	seeds := []int32{0, 7, 42}
+	for trial := 0; trial < 50; trial++ {
+		src := rng.New(99).Split(uint64(trial))
+		want := simA.Run(IC, seeds, src)
+
+		src = rng.New(99).Split(uint64(trial))
+		got, atts := simB.RunICTrace(seeds, src, nil)
+		if got != want {
+			t.Fatalf("trial %d: traced spread %d, untraced %d", trial, got, want)
+		}
+
+		// Successful attempts account for every non-seed activation, each
+		// activated exactly once.
+		activated := map[int32]bool{}
+		for _, s := range seeds {
+			activated[s] = true
+		}
+		for _, a := range atts {
+			if !activated[a.From] {
+				t.Fatalf("trial %d: attempt from inactive node %d", trial, a.From)
+			}
+			if a.Success {
+				if activated[a.To] {
+					t.Fatalf("trial %d: node %d activated twice", trial, a.To)
+				}
+				activated[a.To] = true
+			}
+		}
+		if len(activated) != got {
+			t.Fatalf("trial %d: trace reconstructs %d activations, spread was %d", trial, len(activated), got)
+		}
+
+		// Each (From,To) pair is tried at most once — the IC single-chance rule.
+		tried := map[[2]int32]bool{}
+		for _, a := range atts {
+			k := [2]int32{a.From, a.To}
+			if tried[k] {
+				t.Fatalf("trial %d: edge %v tried twice", trial, k)
+			}
+			tried[k] = true
+		}
+	}
+}
+
+func TestRunICTraceReusesBuffer(t *testing.T) {
+	g, err := gen.Line(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulator(g)
+	buf := make([]Attempt, 0, 16)
+	_, atts := sim.RunICTrace([]int32{0}, rng.New(1), buf[:0])
+	if len(atts) != 4 {
+		t.Fatalf("p=1 line trace has %d attempts, want 4", len(atts))
+	}
+	if cap(buf) >= len(atts) && &buf[:1][0] != &atts[0] {
+		t.Fatal("trace did not reuse the caller's buffer")
+	}
+	for i, a := range atts {
+		if !a.Success || a.From != int32(i) || a.To != int32(i+1) {
+			t.Fatalf("attempt %d = %+v, want success %d→%d", i, a, i, i+1)
+		}
+	}
+}

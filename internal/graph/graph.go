@@ -72,6 +72,31 @@ type Graph struct {
 	// GC finalizer, so dropping the last reference to a mapped Graph is
 	// always safe; Close only accelerates the release.
 	unmap func()
+
+	// topoParent pins the graph that owns this graph's topology arrays.
+	// A weight-only WithMutations shares outOff/outTo/inOff/inFrom with its
+	// parent epoch (see mutate.go); if that parent is mmap-backed, its GC
+	// finalizer would otherwise unmap the arrays while this child still
+	// reads them. Always the root of a sharing chain, so a long run of
+	// weight-only epochs keeps exactly one ancestor alive, not every
+	// intermediate probability column.
+	topoParent *Graph
+}
+
+// topoRoot returns the graph that owns this graph's topology arrays: g
+// itself unless g shares them with an ancestor.
+func (g *Graph) topoRoot() *Graph {
+	if g.topoParent != nil {
+		return g.topoParent
+	}
+	return g
+}
+
+// SharesTopology reports whether g's topology arrays (offsets and targets)
+// are shared with — not copied from — the given ancestor's. True exactly
+// when g descends from ancestor through weight-only mutation batches.
+func (g *Graph) SharesTopology(ancestor *Graph) bool {
+	return g != ancestor && g.topoRoot() == ancestor.topoRoot()
 }
 
 // Mapped reports whether this Graph's CSR arrays alias a read-only file
@@ -109,6 +134,22 @@ func (g *Graph) EpochLineage() string {
 	return g.lineage
 }
 
+// AdoptEpochIdentity stamps a loaded graph with an externally recorded
+// epoch and lineage. Graph files (OPIMG1/2) carry content, not history, so
+// a snapshot of a mutated graph reloads at epoch 0; the holder of the
+// mutation journal re-applies the identity it recorded at snapshot time.
+// Valid only on a graph whose identity has not already diverged (epoch 0).
+func (g *Graph) AdoptEpochIdentity(epoch int64, lineage string) error {
+	if g.epoch != 0 || g.lineage != "" {
+		return fmt.Errorf("graph: AdoptEpochIdentity on non-pristine graph (epoch %d)", g.epoch)
+	}
+	if epoch < 0 {
+		return fmt.Errorf("graph: AdoptEpochIdentity with negative epoch %d", epoch)
+	}
+	g.epoch, g.lineage = epoch, lineage
+	return nil
+}
+
 // N returns the number of nodes.
 func (g *Graph) N() int32 { return g.n }
 
@@ -141,6 +182,18 @@ func (g *Graph) InNeighbors(v NodeID) ([]int32, []float32) {
 
 // InWeightSum returns Σ_{u∈in(v)} p(u,v).
 func (g *Graph) InWeightSum(v NodeID) float32 { return g.inPSum[v] }
+
+// OutEdgeIndex returns the dense out-CSR position of the directed edge
+// ⟨from,to⟩, or −1 when the edge does not exist (or from is out of range).
+// Positions are stable for a fixed topology — weight-only epochs keep
+// them — which lets per-edge side tables (learn's posteriors) index by
+// edge position instead of hashing endpoint pairs.
+func (g *Graph) OutEdgeIndex(from, to NodeID) int64 {
+	if from < 0 || from >= g.n {
+		return -1
+	}
+	return g.outEdgeIndex(from, to)
+}
 
 // Builder accumulates edges and produces an immutable Graph. The zero value
 // is ready for use after SetN, or grow implicitly via AddEdge.

@@ -109,6 +109,23 @@ func ChainFingerprint(parent string, ms []Mutation) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// IsWeightOnly reports whether the batch consists purely of OpSetWeight
+// mutations (and is non-empty). Weight-only batches leave the topology —
+// node count, edge set, CSR offsets and targets — untouched, which is what
+// licenses the structural-sharing fast path in WithMutations and the
+// index-reusing repair path in rrset.
+func IsWeightOnly(ms []Mutation) bool {
+	if len(ms) == 0 {
+		return false
+	}
+	for _, m := range ms {
+		if m.Op != OpSetWeight {
+			return false
+		}
+	}
+	return true
+}
+
 // edgeKey packs a directed edge into one comparable value.
 func edgeKey(from, to NodeID) int64 { return int64(from)<<32 | int64(uint32(to)) }
 
@@ -139,6 +156,9 @@ func (g *Graph) hasEdge(from, to NodeID) bool {
 func (g *Graph) WithMutations(ms []Mutation) (*Graph, error) {
 	if len(ms) == 0 {
 		return nil, fmt.Errorf("%w: empty batch", ErrInvalidMutation)
+	}
+	if IsWeightOnly(ms) {
+		return g.withWeightMutations(ms)
 	}
 	n := g.n
 	overlay := make(map[int64]overlayEdge, len(ms))
@@ -228,18 +248,118 @@ func (g *Graph) WithMutations(ms []Mutation) (*Graph, error) {
 	return ng, nil
 }
 
+// outEdgeIndex returns the position of ⟨from,to⟩ in the out-CSR arrays, or
+// −1 when the edge does not exist. Build keeps out-rows strictly ascending
+// by target, so this is a binary search within one row.
+func (g *Graph) outEdgeIndex(from, to NodeID) int64 {
+	lo, hi := g.outOff[from], g.outOff[from+1]
+	row := g.outTo[lo:hi]
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= to })
+	if i < len(row) && row[i] == to {
+		return lo + int64(i)
+	}
+	return -1
+}
+
+// inEdgeIndex returns the position of ⟨from,to⟩ in the in-CSR arrays, or
+// −1 when absent. Build fills in-rows by a counting sort over edges already
+// sorted by (From,To), so each in-row ascends strictly by source.
+func (g *Graph) inEdgeIndex(from, to NodeID) int64 {
+	lo, hi := g.inOff[to], g.inOff[to+1]
+	row := g.inFrom[lo:hi]
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= from })
+	if i < len(row) && row[i] == from {
+		return lo + int64(i)
+	}
+	return -1
+}
+
+// withWeightMutations is the weight-only fast path of WithMutations: the
+// batch touches no topology, so the derived graph SHARES the parent's
+// offset and target arrays (outOff/outTo/inOff/inFrom) and copies only the
+// probability columns. No edges are re-sorted, re-merged or re-validated —
+// cost is O(m + batch·log deg) instead of the general path's O(m log m)
+// rebuild — yet the result is field-for-field identical to what the
+// rebuild would produce: probabilities land in the same canonical slots,
+// and each touched node's inPSum is recomputed with the same float64
+// accumulation Build uses, so content fingerprints stay load-path
+// invariant. Validation order and error wording mirror the general path.
+func (g *Graph) withWeightMutations(ms []Mutation) (*Graph, error) {
+	type slot struct{ out, in int64 }
+	slots := make([]slot, len(ms))
+	for i, m := range ms {
+		if m.From < 0 || m.From >= g.n || m.To < 0 || m.To >= g.n {
+			return nil, fmt.Errorf("%w: op %d edge ⟨%d,%d⟩ outside [0,%d)", ErrInvalidMutation, i, m.From, m.To, g.n)
+		}
+		if m.From == m.To {
+			return nil, fmt.Errorf("%w: op %d is a self-loop at node %d", ErrInvalidMutation, i, m.From)
+		}
+		out := g.outEdgeIndex(m.From, m.To)
+		if out < 0 {
+			return nil, fmt.Errorf("%w: op %d (%s) on missing edge ⟨%d,%d⟩", ErrInvalidMutation, i, m.Op, m.From, m.To)
+		}
+		if m.P < 0 || m.P > 1 || m.P != m.P {
+			return nil, fmt.Errorf("%w: op %d probability %v on ⟨%d,%d⟩", ErrInvalidMutation, i, m.P, m.From, m.To)
+		}
+		slots[i] = slot{out: out, in: g.inEdgeIndex(m.From, m.To)}
+	}
+
+	ng := &Graph{
+		n:      g.n,
+		m:      g.m,
+		outOff: g.outOff, // shared with the parent epoch
+		outTo:  g.outTo,  // shared
+		outP:   append([]float32(nil), g.outP...),
+		inOff:  g.inOff,  // shared
+		inFrom: g.inFrom, // shared
+		inP:    append([]float32(nil), g.inP...),
+		inPSum: append([]float32(nil), g.inPSum...),
+		// The topology arrays belong to the root of the sharing chain; pin
+		// it (not g) so the mmap finalizer cannot fire under us and a long
+		// run of weight-only epochs retains one ancestor, not all of them.
+		topoParent: g.topoRoot(),
+	}
+	touched := make(map[NodeID]struct{}, len(ms))
+	for i, m := range ms {
+		ng.outP[slots[i].out] = m.P
+		ng.inP[slots[i].in] = m.P
+		touched[m.To] = struct{}{}
+	}
+	for v := range touched {
+		var sum float64
+		lo, hi := ng.inOff[v], ng.inOff[v+1]
+		for i := lo; i < hi; i++ {
+			sum += float64(ng.inP[i])
+		}
+		ng.inPSum[v] = float32(sum)
+	}
+	ng.epoch = g.epoch + 1
+	ng.lineage = ChainFingerprint(g.EpochLineage(), ms)
+	return ng, nil
+}
+
 // ApplyMutations applies the batch ms to g in place. The caller must
 // guarantee exclusive access: no concurrent reader or writer, including
 // samplers built over g (an LT sampler's alias tables must be rebuilt
 // afterwards). The cached content fingerprint is cleared — Fingerprint()
 // after a mutation recomputes over the new arrays — and if g's CSR arrays
-// were mmap-backed, they are first copied onto the heap (the mapping is
-// never written) and the mapping is released, so a mutated graph is always
-// heap-backed.
+// were mmap-backed, a topology-changing batch copies them onto the heap
+// (the mapping is never written) and releases the mapping. A weight-only
+// batch instead replaces just the probability columns and keeps the
+// mapping: the untouched offset/target slices still read from it.
 func (g *Graph) ApplyMutations(ms []Mutation) error {
 	ng, err := g.WithMutations(ms)
 	if err != nil {
 		return err
+	}
+	if ng.topoParent != nil {
+		// Weight-only fast path: ng shares g's own topology arrays, so only
+		// the probability columns move. Any mmap stays attached to g — the
+		// shared offset/target slices still read from it.
+		g.outP, g.inP, g.inPSum = ng.outP, ng.inP, ng.inPSum
+		g.epoch, g.lineage = ng.epoch, ng.lineage
+		g.fp.Store(nil)
+		return nil
 	}
 	unmap := g.unmap
 	g.unmap = nil

@@ -42,6 +42,10 @@ var (
 	mInvalidated = obs.Default().Counter("rrset_invalidated_total")
 	mRegenerated = obs.Default().Counter("rrset_regenerated_total")
 	mRepairTime  = obs.Default().Timer("rrset_repair_seconds")
+	// mRepairUnchanged counts regenerated sets whose bytes came out
+	// identical, so the weight-only path touched neither pool nor index
+	// for them.
+	mRepairUnchanged = obs.Default().Counter("rrset_repair_unchanged_total")
 )
 
 // InvalidatedBy returns the ascending ids of every stored set whose trace
@@ -141,38 +145,7 @@ func (c *Collection) Repair(s *Sampler, base *rng.Source, invalid []int32, worke
 
 	// Resample the invalidated ids on parallel shards; shard outputs
 	// concatenate to (regenPool, regenOffs, regenExam) in invalid order.
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(invalid) {
-		workers = len(invalid)
-	}
-	shards := make([]chunk, workers)
-	runShards(workers, func(w int) {
-		lo, hi := len(invalid)*w/workers, len(invalid)*(w+1)/workers
-		sc := s.NewScratch()
-		sh := chunk{offs: make([]int64, 1, hi-lo+1)}
-		for _, id := range invalid[lo:hi] {
-			src := base.Split(uint64(id))
-			nodes, examined := s.Sample(src, sc)
-			sh.pool = append(sh.pool, nodes...)
-			sh.offs = append(sh.offs, int64(len(sh.pool)))
-			sh.exam = append(sh.exam, examined)
-			sh.examined += examined
-		}
-		shards[w] = sh
-	})
-	var regenPool []int32
-	regenOffs := make([]int64, 1, len(invalid)+1)
-	regenExam := make([]int64, 0, len(invalid))
-	for _, sh := range shards {
-		off := int64(len(regenPool))
-		regenPool = append(regenPool, sh.pool...)
-		for _, o := range sh.offs[1:] {
-			regenOffs = append(regenOffs, off+o)
-		}
-		regenExam = append(regenExam, sh.exam...)
-	}
+	regenPool, regenOffs, regenExam := resampleIDs(s, base, invalid, workers)
 
 	// Per-node addition lists from the new membership (ascending ids).
 	add := make(map[int32][]int32)
@@ -215,11 +188,17 @@ func (c *Collection) Repair(s *Sampler, base *rng.Source, invalid []int32, worke
 	}
 	c.pool, c.offs = newPool, newOffs
 
-	// Index repair: for each node whose coverage list changed, merge
-	// (old minus removals) with additions into a fresh slice. Removal and
-	// addition lists are ascending and — after removals — disjoint, so a
-	// linear merge reproduces the ascending id order of a from-scratch
-	// index build.
+	c.mergeIndexDeltas(rem, add)
+	return len(invalid)
+}
+
+// mergeIndexDeltas repairs the inverted index from per-node removal and
+// addition lists: for each node whose coverage list changed, merge (old
+// minus removals) with additions into a fresh slice. Removal and addition
+// lists are ascending and — after removals — disjoint, so a linear merge
+// reproduces the ascending id order of a from-scratch index build. Nodes
+// in neither map keep their existing (possibly shared) slices untouched.
+func (c *Collection) mergeIndexDeltas(rem, add map[int32][]int32) {
 	touched := make(map[int32]struct{}, len(rem)+len(add))
 	for v := range rem {
 		touched[v] = struct{}{}
@@ -261,7 +240,179 @@ func (c *Collection) Repair(s *Sampler, base *rng.Source, invalid []int32, worke
 		}
 		c.index[v] = merged
 	}
+}
+
+// RepairWeightOnly is Repair specialized to weight-only mutation batches
+// (graph.IsWeightOnly): the node universe and the edge set are unchanged,
+// so the index never grows, and any invalidated set that resamples to the
+// exact bytes it already holds — the common case when a learning round
+// nudges thousands of weights by a little — leaves the pool bytes and the
+// inverted-index lists of its nodes completely untouched. Only sets whose
+// membership actually changed pay the splice-and-merge of the general
+// path. The repaired collection is byte-identical to what Repair (and a
+// from-scratch resample of every id) produces; the weight-only property
+// test pins this across models and worker counts.
+//
+// The caller is responsible for only routing weight-only batches here; a
+// batch with a node add or edge insert/delete must go through Repair.
+// Returns the number of sets regenerated.
+func (c *Collection) RepairWeightOnly(s *Sampler, base *rng.Source, invalid []int32, workers int) int {
+	t0 := time.Now()
+	defer func() { mRepairTime.Observe(time.Since(t0)) }()
+	mInvalidated.Add(int64(len(invalid)))
+	count := c.Count()
+	if len(invalid) == 0 {
+		return 0
+	}
+	if !c.HasPerSetGamma() && len(invalid) < count {
+		// Same widening as Repair: without per-set γ the cumulative count
+		// cannot be patched exactly.
+		invalid = c.allIDs()
+	}
+	mRegenerated.Add(int64(len(invalid)))
+
+	regenPool, regenOffs, regenExam := resampleIDs(s, base, invalid, workers)
+
+	// Partition the regenerated ids: a set whose new bytes equal its stored
+	// bytes needs no pool or index work at all (its trace, and therefore its
+	// members in trace order, came out identical).
+	changed := make([]bool, len(invalid))
+	numChanged := 0
+	for k, id := range invalid {
+		if !equalInt32(c.pool[c.offs[id]:c.offs[id+1]], regenPool[regenOffs[k]:regenOffs[k+1]]) {
+			changed[k] = true
+			numChanged++
+		}
+	}
+	mRepairUnchanged.Add(int64(len(invalid) - numChanged))
+
+	// γ tracking always refreshes from the regenerated counts (for an
+	// unchanged set the trace is identical, so this is a no-op in value).
+	if full := len(invalid) == count; full {
+		c.edgesExamined = 0
+		c.exam = c.exam[:0]
+		for k := range invalid {
+			c.exam = append(c.exam, regenExam[k])
+			c.edgesExamined += regenExam[k]
+		}
+	} else {
+		for k, id := range invalid {
+			c.edgesExamined += regenExam[k] - c.exam[id]
+			c.exam[id] = regenExam[k]
+		}
+	}
+	if numChanged == 0 {
+		// Every invalidated set resampled to its existing bytes: the pool,
+		// offsets and index are already exactly what a from-scratch resample
+		// would produce. Nothing moves.
+		return len(invalid)
+	}
+
+	// Removal lists from the old membership of changed sets only, captured
+	// before the pool is rebuilt.
+	rem := make(map[int32][]int32)
+	for k, id := range invalid {
+		if !changed[k] {
+			continue
+		}
+		for _, v := range c.Set(id) {
+			rem[v] = append(rem[v], id)
+		}
+	}
+
+	// Splice the pool: valid and unchanged sets keep their bytes, changed
+	// sets substitute their regenerated bytes at their id position.
+	var oldSz, newSz int64
+	for k, id := range invalid {
+		if changed[k] {
+			oldSz += c.offs[id+1] - c.offs[id]
+			newSz += regenOffs[k+1] - regenOffs[k]
+		}
+	}
+	newPool := make([]int32, 0, int64(len(c.pool))-oldSz+newSz)
+	newOffs := make([]int64, 1, count+1)
+	k := 0
+	for id := int32(0); int(id) < count; id++ {
+		if k < len(invalid) && id == invalid[k] {
+			if changed[k] {
+				newPool = append(newPool, regenPool[regenOffs[k]:regenOffs[k+1]]...)
+			} else {
+				newPool = append(newPool, c.pool[c.offs[id]:c.offs[id+1]]...)
+			}
+			k++
+		} else {
+			newPool = append(newPool, c.pool[c.offs[id]:c.offs[id+1]]...)
+		}
+		newOffs = append(newOffs, int64(len(newPool)))
+	}
+	c.pool, c.offs = newPool, newOffs
+
+	// Addition lists from the new membership of changed sets; unchanged
+	// sets contribute to neither map, so their nodes' index slices (possibly
+	// shared with callers via SetsCoveringShared) are never reallocated.
+	add := make(map[int32][]int32)
+	for k, id := range invalid {
+		if !changed[k] {
+			continue
+		}
+		for _, v := range regenPool[regenOffs[k]:regenOffs[k+1]] {
+			add[v] = append(add[v], id)
+		}
+	}
+	c.mergeIndexDeltas(rem, add)
 	return len(invalid)
+}
+
+// equalInt32 reports whether two int32 slices hold identical elements.
+func equalInt32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// resampleIDs regenerates the given set ids on parallel shards, each id
+// driven by base.Split(id) — the stream position Generate used originally.
+// Outputs concatenate in invalid order: regenOffs[k]..regenOffs[k+1] frames
+// id invalid[k]'s nodes in regenPool, regenExam[k] its examined-edge count.
+func resampleIDs(s *Sampler, base *rng.Source, invalid []int32, workers int) (regenPool []int32, regenOffs, regenExam []int64) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(invalid) {
+		workers = len(invalid)
+	}
+	shards := make([]chunk, workers)
+	runShards(workers, func(w int) {
+		lo, hi := len(invalid)*w/workers, len(invalid)*(w+1)/workers
+		sc := s.NewScratch()
+		sh := chunk{offs: make([]int64, 1, hi-lo+1)}
+		for _, id := range invalid[lo:hi] {
+			src := base.Split(uint64(id))
+			nodes, examined := s.Sample(src, sc)
+			sh.pool = append(sh.pool, nodes...)
+			sh.offs = append(sh.offs, int64(len(sh.pool)))
+			sh.exam = append(sh.exam, examined)
+			sh.examined += examined
+		}
+		shards[w] = sh
+	})
+	regenOffs = make([]int64, 1, len(invalid)+1)
+	regenExam = make([]int64, 0, len(invalid))
+	for _, sh := range shards {
+		off := int64(len(regenPool))
+		regenPool = append(regenPool, sh.pool...)
+		for _, o := range sh.offs[1:] {
+			regenOffs = append(regenOffs, off+o)
+		}
+		regenExam = append(regenExam, sh.exam...)
+	}
+	return regenPool, regenOffs, regenExam
 }
 
 // allIDs returns the full id range of c, the widest invalidation set.

@@ -1,0 +1,185 @@
+package rrset
+
+import (
+	"testing"
+
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/rng"
+)
+
+// weightOnlyBatch derives a deterministic weight-only batch over a
+// minority of g's edges. Weights only shrink, so weighted-cascade graphs
+// stay LT-valid (incoming sums can only decrease).
+func weightOnlyBatch(t *testing.T, g *graph.Graph) []graph.Mutation {
+	t.Helper()
+	var ms []graph.Mutation
+	i := 0
+	g.Edges(func(e graph.Edge) bool {
+		switch i % 13 {
+		case 0:
+			ms = append(ms, graph.Mutation{Op: graph.OpSetWeight, From: e.From, To: e.To, P: e.P / 2})
+		case 7:
+			ms = append(ms, graph.Mutation{Op: graph.OpSetWeight, From: e.From, To: e.To, P: e.P * 0.9})
+		}
+		i++
+		return true
+	})
+	if !graph.IsWeightOnly(ms) {
+		t.Fatal("fixture batch is not weight-only")
+	}
+	return ms
+}
+
+// TestRepairWeightOnlyMatchesFromScratch is the weight-only property test
+// from the issue: after a weight-only batch (applied through the graph's
+// structural-sharing fast path), RepairWeightOnly must be byte-identical —
+// pool, offsets, index, per-set and cumulative γ, serialized frame — both
+// to the general Repair path and to resampling the whole collection from
+// scratch on the mutated graph, across both diffusion models and several
+// worker counts.
+func TestRepairWeightOnlyMatchesFromScratch(t *testing.T) {
+	g := repairTestGraph(t)
+	ms := weightOnlyBatch(t, g)
+	mg, err := g.WithMutations(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mg.SharesTopology(g) {
+		t.Fatal("weight-only batch did not take the structural-sharing fast path")
+	}
+	const count = 600
+	for _, model := range []diffusion.Model{diffusion.IC, diffusion.LT} {
+		s0 := NewSampler(g, model)
+		s1 := NewSampler(mg, model)
+		want := NewCollection(mg.N())
+		Generate(want, s1, count, rng.New(99), 4)
+		for _, workers := range []int{1, 3, 8} {
+			c := NewCollection(g.N())
+			Generate(c, s0, count, rng.New(99), workers)
+			invalid := c.InvalidatedBy(ms)
+			if len(invalid) == 0 || len(invalid) >= count {
+				t.Fatalf("%v: invalidation not partial: %d of %d", model, len(invalid), count)
+			}
+			if n := c.RepairWeightOnly(s1, rng.New(99), invalid, workers); n != len(invalid) {
+				t.Fatalf("%v: RepairWeightOnly regenerated %d, want %d", model, n, len(invalid))
+			}
+			requireIdenticalFull(t, want, c, model.String()+"/weight-only/workers="+itoa(workers))
+
+			// And the general path lands on the same bytes.
+			general := NewCollection(g.N())
+			Generate(general, s0, count, rng.New(99), workers)
+			general.Repair(s1, rng.New(99), general.InvalidatedBy(ms), workers)
+			requireIdenticalFull(t, general, c, model.String()+"/general-vs-weight-only/workers="+itoa(workers))
+		}
+	}
+}
+
+// TestRepairWeightOnlyNoOpKeepsArrays: when every invalidated set
+// resamples to its existing bytes (here: a batch that rewrites weights to
+// their current values — a real epoch advance with a guaranteed-identical
+// outcome), the weight-only path must leave the pool and every index slice
+// pointer-untouched, advancing only the unchanged-sets counter. This is
+// the "reuse the trace and inverted index directly" contract.
+func TestRepairWeightOnlyNoOpKeepsArrays(t *testing.T) {
+	g := repairTestGraph(t)
+	var ms []graph.Mutation
+	i := 0
+	g.Edges(func(e graph.Edge) bool {
+		if i%9 == 0 {
+			ms = append(ms, graph.Mutation{Op: graph.OpSetWeight, From: e.From, To: e.To, P: e.P})
+		}
+		i++
+		return true
+	})
+	mg, err := g.WithMutations(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const count = 500
+	c := NewCollection(g.N())
+	Generate(c, NewSampler(g, diffusion.IC), count, rng.New(42), 4)
+	invalid := c.InvalidatedBy(ms)
+	if len(invalid) == 0 {
+		t.Fatal("fixture invalidated nothing")
+	}
+	poolPtr := &c.pool[0]
+	idxPtrs := make(map[int32]*int32)
+	for v := int32(0); v < c.N(); v++ {
+		if len(c.index[v]) > 0 {
+			idxPtrs[v] = &c.index[v][0]
+		}
+	}
+	unch0 := mRepairUnchanged.Value()
+	c.RepairWeightOnly(NewSampler(mg, diffusion.IC), rng.New(42), invalid, 4)
+	if d := mRepairUnchanged.Value() - unch0; d != int64(len(invalid)) {
+		t.Fatalf("rrset_repair_unchanged_total advanced by %d, want %d", d, len(invalid))
+	}
+	if &c.pool[0] != poolPtr {
+		t.Fatal("pool reallocated although no set changed")
+	}
+	for v, p := range idxPtrs {
+		if &c.index[v][0] != p {
+			t.Fatalf("index slice for node %d reallocated although no set changed", v)
+		}
+	}
+	// Still byte-identical to a from-scratch run on the mutated graph.
+	want := NewCollection(mg.N())
+	Generate(want, NewSampler(mg, diffusion.IC), count, rng.New(42), 4)
+	requireIdenticalFull(t, want, c, "no-op weight-only repair")
+}
+
+// TestRepairWeightOnlyMultiBatchCatchUp: a collection that missed several
+// weight-only epochs catches up with one weight-only repair, exactly like
+// the general multi-batch contract.
+func TestRepairWeightOnlyMultiBatchCatchUp(t *testing.T) {
+	g := repairTestGraph(t)
+	ms1 := weightOnlyBatch(t, g)
+	g1, err := g.WithMutations(ms1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms2 := weightOnlyBatch(t, g1)
+	g2, err := g1.WithMutations(ms2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const count = 500
+	c := NewCollection(g.N())
+	Generate(c, NewSampler(g, diffusion.LT), count, rng.New(5), 4)
+	invalid := c.InvalidatedBy(ms1, ms2)
+	c.RepairWeightOnly(NewSampler(g2, diffusion.LT), rng.New(5), invalid, 4)
+	want := NewCollection(g2.N())
+	Generate(want, NewSampler(g2, diffusion.LT), count, rng.New(5), 4)
+	requireIdenticalFull(t, want, c, "weight-only two-batch catch-up")
+}
+
+// TestRepairWeightOnlyWidensWithoutPerSetGamma mirrors the general path's
+// widening rule: without per-set γ a partial weight-only repair cannot
+// patch the cumulative count, so it regenerates everything and restores
+// tracking.
+func TestRepairWeightOnlyWidensWithoutPerSetGamma(t *testing.T) {
+	g := repairTestGraph(t)
+	ms := weightOnlyBatch(t, g)
+	mg, err := g.WithMutations(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const count = 400
+	c := NewCollection(g.N())
+	Generate(c, NewSampler(g, diffusion.IC), count, rng.New(21), 3)
+	c.exam = nil // simulate a legacy load
+	invalid := c.InvalidatedBy(ms)
+	if len(invalid) >= count {
+		t.Fatalf("invalidation not partial: %d of %d", len(invalid), count)
+	}
+	if n := c.RepairWeightOnly(NewSampler(mg, diffusion.IC), rng.New(21), invalid, 3); n != count {
+		t.Fatalf("RepairWeightOnly regenerated %d, want full %d", n, count)
+	}
+	if !c.HasPerSetGamma() {
+		t.Fatal("full regeneration did not restore per-set gamma tracking")
+	}
+	want := NewCollection(mg.N())
+	Generate(want, NewSampler(mg, diffusion.IC), count, rng.New(21), 3)
+	requireIdenticalFull(t, want, c, "widened weight-only repair")
+}

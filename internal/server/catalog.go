@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"github.com/reprolab/opim/internal/cliutil"
+	"github.com/reprolab/opim/internal/fsutil"
 	"github.com/reprolab/opim/internal/graph"
 	"github.com/reprolab/opim/internal/obs"
 	"github.com/reprolab/opim/internal/rrset"
@@ -88,11 +89,15 @@ type graphEntry struct {
 
 	// The epoch chain, guarded by mu: history[i] advanced epoch
 	// baseEpoch+i, lineages[i] is the chain hash at epoch baseEpoch+i
-	// (len(lineages) == len(history)+1, lineages[0] == fingerprint).
-	// Stale checkpoints are verified against — and caught up with — this.
+	// (len(lineages) == len(history)+1; lineages[0] == fingerprint while
+	// baseEpoch is 0). Stale checkpoints are verified against — and caught
+	// up with — this. After journal compaction baseEpoch is the snapshot's
+	// epoch and snapFP its content fingerprint: reloads then start from
+	// the snapshot file instead of replaying the full chain from the spec.
 	history   [][]graph.Mutation
 	lineages  []string
 	baseEpoch int64
+	snapFP    string
 
 	// mutating serializes mutation batches: one at a time per graph, and
 	// engine-touching session requests answer 409 while it is set.
@@ -160,9 +165,23 @@ func (s *Server) acquireGraph(e *graphEntry) (*rrset.Sampler, error) {
 			return nil, fmt.Errorf("graph %q changed on disk: spec %q now fingerprints %s, catalog recorded %s",
 				e.name, e.specString, fp, e.fingerprint)
 		}
-		// Re-walk the epoch chain: the spec reloads the base graph, the
-		// recorded history advances it back to the current epoch, and each
-		// step re-verifies its chained lineage.
+		if e.baseEpoch > 0 {
+			// The journal was compacted: the chain before baseEpoch is gone,
+			// so the reload starts from the compaction snapshot (verified
+			// against its recorded fingerprint) rather than the spec's base.
+			snapPath := MutationSnapshotPath(s.cfg.CheckpointDir, e.name, e.baseEpoch)
+			snap, err := readGraphSnapshot(snapPath, e.snapFP)
+			if err != nil {
+				return nil, fmt.Errorf("reloading graph %q: %w", e.name, err)
+			}
+			if err := snap.AdoptEpochIdentity(e.baseEpoch, e.lineages[0]); err != nil {
+				return nil, fmt.Errorf("reloading graph %q: %w", e.name, err)
+			}
+			g = snap
+		}
+		// Re-walk the epoch chain: the recorded history advances the base
+		// (or snapshot) graph back to the current epoch, and each step
+		// re-verifies its chained lineage.
 		for i, ms := range e.history {
 			ng, err := g.WithMutations(ms)
 			if err != nil {
@@ -209,6 +228,7 @@ func newGraphEntry(name string, spec cliutil.GraphSpec, baseFP string, g *graph.
 		history:     glog.History,
 		lineages:    glog.Lineages,
 		baseEpoch:   g.Epoch() - int64(len(glog.History)),
+		snapFP:      glog.SnapshotFP,
 	}
 	e.ident.Store(&graphIdent{
 		fingerprint: g.Fingerprint(),
@@ -326,8 +346,13 @@ func (s *Server) removeGraph(name string) (int, error) {
 	if s.cfg.CheckpointDir != "" {
 		// The epoch chain dies with the graph: a future graph under the same
 		// name starts a fresh journal instead of failing replay against this
-		// one's base fingerprint.
-		os.Remove(MutationLogPath(s.cfg.CheckpointDir, name)) //nolint:errcheck
+		// one's base fingerprint. Compaction snapshots and the previous
+		// journal generation go with it.
+		os.Remove(MutationLogPath(s.cfg.CheckpointDir, name))                     //nolint:errcheck
+		os.Remove(MutationLogPath(s.cfg.CheckpointDir, name) + fsutil.PrevSuffix) //nolint:errcheck
+		for _, p := range graphSnapshotPaths(s.cfg.CheckpointDir, name) {
+			os.Remove(p) //nolint:errcheck
+		}
 	}
 	return 0, nil
 }

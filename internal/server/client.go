@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/reprolab/opim/internal/learn"
 	"github.com/reprolab/opim/internal/obs"
 )
 
@@ -361,6 +362,40 @@ func (c *Client) Checkpoint() (CheckpointResponse, error) {
 func (c *Client) CheckpointContext(ctx context.Context) (CheckpointResponse, error) {
 	var r CheckpointResponse
 	err := c.do(ctx, http.MethodPost, c.spath("/checkpoint"), nil, &r, false)
+	return r, err
+}
+
+// StartRound starts the next explore/exploit round of a learning session
+// and returns its seed set (POST /rounds). Safe to auto-retry: the
+// server's round protocol replays an outstanding round's stored seeds
+// instead of starting a new one, so a retried request can never skip or
+// double-advance a round.
+func (c *Client) StartRound() (RoundResponse, error) {
+	return c.StartRoundContext(context.Background())
+}
+
+// StartRoundContext is StartRound bounded by ctx.
+func (c *Client) StartRoundContext(ctx context.Context) (RoundResponse, error) {
+	var r RoundResponse
+	err := c.do(ctx, http.MethodPost, c.spath("/rounds"), nil, &r, true)
+	return r, err
+}
+
+// Observe submits a cascade's activation attempts against the given
+// round (POST /observations). Round-bound observations (round > 0) are
+// auto-retried: the server acknowledges an already-applied round as a
+// duplicate without re-counting it. Free-form observations (round 0)
+// always apply, so an ambiguous replay would double-count — those are
+// never auto-retried; re-issue deliberately.
+func (c *Client) Observe(round int64, attempts []learn.Attempt) (ObservationResponse, error) {
+	return c.ObserveContext(context.Background(), round, attempts)
+}
+
+// ObserveContext is Observe bounded by ctx.
+func (c *Client) ObserveContext(ctx context.Context, round int64, attempts []learn.Attempt) (ObservationResponse, error) {
+	var r ObservationResponse
+	req := ObservationRequest{Round: round, Attempts: attempts}
+	err := c.do(ctx, http.MethodPost, c.spath("/observations"), req, &r, round > 0)
 	return r, err
 }
 

@@ -1,0 +1,174 @@
+package server
+
+// Journal-compaction coverage: once the mutation journal holds
+// JournalCompactEvery entries it collapses into an OPIMG2 snapshot plus a
+// rewritten single-header journal; replay from the snapshot reproduces
+// the exact epoch chain, checkpoints predating the snapshot are refused
+// loudly, current checkpoints resume, and an unloaded graph reloads
+// through the snapshot (not the full from-base replay).
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/reprolab/opim/internal/cliutil"
+	"github.com/reprolab/opim/internal/core"
+	"github.com/reprolab/opim/internal/diffusion"
+	"github.com/reprolab/opim/internal/graph"
+	"github.com/reprolab/opim/internal/rrset"
+)
+
+// setWeightBatches applies one set_weight batch per value to the named
+// graph's first edge and returns the applied mutations plus the final
+// update response.
+func setWeightBatches(t *testing.T, c *Client, name string, g *graph.Graph, ps []float32) ([][]graph.Mutation, UpdateGraphResponse) {
+	t.Helper()
+	e := firstEdge(t, g)
+	var applied [][]graph.Mutation
+	var last UpdateGraphResponse
+	for _, p := range ps {
+		up, err := c.UpdateGraph(name, []GraphUpdate{{Op: "set_weight", From: e.From, To: e.To, P: p}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		applied = append(applied, []graph.Mutation{{Op: graph.OpSetWeight, From: e.From, To: e.To, P: p}})
+		last = up
+	}
+	return applied, last
+}
+
+func TestJournalCompaction(t *testing.T) {
+	sampler := robustSampler(t)
+	dir := t.TempDir()
+	srv, ts := newCkServer(t, sampler, Config{Batch: 500, CheckpointDir: dir, JournalCompactEvery: 3})
+	c := NewClient(ts.URL)
+
+	if _, err := c.Advance(500); err != nil {
+		t.Fatal(err)
+	}
+	// This checkpoint is at epoch 0; the compaction below truncates the
+	// chain past it.
+	if _, err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	before := counters(t).Counters["server_journal_compactions_total"]
+	applied, last := setWeightBatches(t, c, DefaultGraphName, sampler.Graph(), []float32{0.11, 0.22, 0.33, 0.44})
+	if last.Epoch != 4 {
+		t.Fatalf("epoch after 4 batches = %d", last.Epoch)
+	}
+	if after := counters(t).Counters["server_journal_compactions_total"]; after != before+1 {
+		t.Fatalf("journal_compactions_total = %d, want %d (compaction at the 3rd batch)", after, before+1)
+	}
+	if _, err := os.Stat(MutationSnapshotPath(dir, DefaultGraphName, 3)); err != nil {
+		t.Fatalf("compaction snapshot missing: %v", err)
+	}
+	// The live session keeps advancing across the compaction.
+	if _, err := c.Advance(500); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay from disk, the way a restart does: the snapshot supplies
+	// epochs 0–3, the rewritten journal epoch 4.
+	base := robustSampler(t).Graph()
+	g2, glog, err := ReplayMutationLog(dir, DefaultGraphName, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Epoch() != 4 || g2.EpochLineage() != last.Lineage {
+		t.Fatalf("replayed graph at epoch %d lineage %.12s, live graph at 4/%.12s", g2.Epoch(), g2.EpochLineage(), last.Lineage)
+	}
+	if glog.BaseEpoch != 3 || glog.Epochs() != 1 || glog.SnapshotFP == "" {
+		t.Fatalf("replayed log = {BaseEpoch:%d Epochs:%d SnapshotFP:%q}, want base 3 with one entry", glog.BaseEpoch, glog.Epochs(), glog.SnapshotFP)
+	}
+
+	// The epoch-0 checkpoint now predates the snapshot: refused loudly.
+	sampler2 := rrset.NewSampler(g2, diffusion.IC)
+	_, _, _, _, err = LoadCheckpointMetaLog(dir+"/default.ck", sampler2, glog)
+	if !errors.Is(err, core.ErrGraphMismatch) || !strings.Contains(err.Error(), "outside the journaled chain") {
+		t.Fatalf("pre-compaction checkpoint resume error = %v, want a loud outside-the-chain refusal", err)
+	}
+
+	// A current checkpoint resumes cleanly against the replayed graph.
+	if _, err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	def, _, _, regen, err := LoadCheckpointMetaLog(dir+"/default.ck", sampler2, glog)
+	if err != nil || regen != 0 || def.NumRR() != 1000 {
+		t.Fatalf("current checkpoint resume: num_rr=%d regen=%d err=%v", def.NumRR(), regen, err)
+	}
+
+	// The repaired live session is byte-identical to a fresh run on the
+	// final graph — compaction changed durability bookkeeping, not state.
+	gm := sampler.Graph()
+	for _, ms := range applied {
+		if gm, err = gm.WithMutations(ms); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := saveBytes(t, srv, DefaultSessionID); !bytes.Equal(got,
+		refBytes(t, gm, core.Options{K: 4, Delta: 0.05, Variant: core.Plus, Seed: 9}, 1000)) {
+		t.Fatal("session across a journal compaction is not byte-identical to a fresh run on the final graph")
+	}
+}
+
+// TestCompactedGraphReloadFromSnapshot: after compaction an unloaded
+// catalog graph reloads through the snapshot (the pre-snapshot chain is
+// gone), re-verifying the snapshot's fingerprint — and a corrupted
+// snapshot file fails the reload loudly.
+func TestCompactedGraphReloadFromSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := newCkServer(t, robustSampler(t), Config{Batch: 500, CheckpointDir: dir, JournalCompactEvery: 2})
+	c := NewClient(ts.URL)
+
+	path, cg := writeCatalogGraph(t, 250, 71)
+	if _, err := c.CreateGraph(CreateGraphRequest{Name: "cg", GraphSpec: cliutil.GraphSpec{Path: path}}); err != nil {
+		t.Fatal(err)
+	}
+	_, last := setWeightBatches(t, c, "cg", cg, []float32{0.4, 0.6})
+
+	entry := srv.lookupGraph("cg")
+	entry.mu.Lock()
+	baseEpoch, snapFP := entry.baseEpoch, entry.snapFP
+	entry.mu.Unlock()
+	if baseEpoch != 2 || snapFP == "" {
+		t.Fatalf("entry after compaction: baseEpoch=%d snapFP=%q, want the snapshot identity", baseEpoch, snapFP)
+	}
+	if !srv.unloadGraph(entry) {
+		t.Fatal("idle graph refused to unload")
+	}
+
+	// The next session touch reloads: base from the spec, then the
+	// snapshot, then (empty) history — ending at the live identity.
+	if _, err := c.CreateSession(SessionSpec{ID: "s1", K: 3, Delta: 0.05, Seed: 7, Graph: "cg"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Session("s1").Advance(400); err != nil {
+		t.Fatal(err)
+	}
+	entry.mu.Lock()
+	g := entry.g
+	entry.mu.Unlock()
+	if g == nil || g.Epoch() != 2 || g.EpochLineage() != last.Lineage {
+		t.Fatalf("reloaded graph identity = %v, want epoch 2 lineage %.12s", g, last.Lineage)
+	}
+
+	// Corrupt the snapshot: the reload must refuse, not silently diverge.
+	if err := c.DeleteSession("s1"); err != nil {
+		t.Fatalf("deleting session: %v", err)
+	}
+	if !srv.unloadGraph(entry) {
+		t.Fatal("graph refused second unload")
+	}
+	snapPath := MutationSnapshotPath(dir, "cg", 2)
+	if err := os.WriteFile(snapPath, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.CreateSession(SessionSpec{ID: "s2", K: 3, Delta: 0.05, Seed: 7, Graph: "cg"})
+	if err == nil || !strings.Contains(err.Error(), "snapshot") {
+		t.Fatalf("session on corrupted snapshot: err = %v, want a loud snapshot failure", err)
+	}
+}

@@ -1,0 +1,394 @@
+package server
+
+// Feedback-driven learning sessions: the server closes the online-IM
+// loop over HTTP. A learning session (SessionSpec.Learn) treats its
+// graph's edge weights as unknown and runs the round protocol of
+// learn.Campaign:
+//
+//	POST /sessions/{id}/rounds        sample the round's realization
+//	                                  (Thompson explore / posterior-mean
+//	                                  exploit), apply it as an ordinary
+//	                                  weight-only mutation epoch, generate
+//	                                  RR sets, derive and serve seeds
+//	POST /sessions/{id}/observations  feed back the observed cascade's
+//	                                  activation attempts; the posterior
+//	                                  updates and the round closes
+//
+// Durability: the campaign's serialized state rides inside the engine's
+// OPIMS5 extension blob, and both endpoints checkpoint synchronously
+// before acknowledging, so a kill −9 at any instant loses no acknowledged
+// observation. The protocol is replay-safe end to end: a round retried
+// after a crash re-derives the same realization (absolute target weights
+// + a per-round RNG stream → an empty diff against the already-applied
+// epoch), a rounds request while seeds are outstanding returns the stored
+// seeds, and an observation for an already-closed round is acknowledged
+// as a duplicate without touching the posterior (at-least-once delivery).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"github.com/reprolab/opim/internal/learn"
+	"github.com/reprolab/opim/internal/obs"
+)
+
+// defaultRoundRR is the per-round RR generation budget when the session
+// spec does not set one: enough for a stable seed set on mid-sized graphs
+// while keeping rounds fast (a campaign runs many of them).
+const defaultRoundRR = 1024
+
+// RoundResponse is the POST /sessions/{id}/rounds response body.
+type RoundResponse struct {
+	Session string `json:"session"`
+	// Round numbers rounds from 1; observations quote it back.
+	Round int64 `json:"round"`
+	// Kind is "explore" (Thompson-sampled realization) or "exploit"
+	// (posterior-mean realization).
+	Kind string `json:"kind"`
+	// Seeds is the seed set to run the real-world campaign with.
+	Seeds []int32 `json:"seeds"`
+	// Alpha is the approximation guarantee of Seeds on the realization
+	// (0 on a replayed response — re-deriving it would spend δ budget).
+	Alpha float64 `json:"alpha"`
+	// Applied counts the weight mutations the realization needed (0 when
+	// the graph already realized the round — e.g. a crash-retry).
+	Applied int `json:"applied"`
+	// Epoch is the graph's epoch after the realization landed.
+	Epoch int64 `json:"epoch"`
+	// NumRR is the session's RR-set count after the round's generation.
+	NumRR int64 `json:"num_rr"`
+	// Replay is true when this response re-serves the seeds of a round
+	// whose observation is still outstanding, rather than starting a new
+	// round.
+	Replay bool `json:"replay,omitempty"`
+}
+
+// ObservationRequest is the POST /sessions/{id}/observations body. Round
+// ties the trace to the round whose seeds generated it; round 0 submits a
+// free-form observation (a cascade observed outside the round protocol),
+// which always applies.
+type ObservationRequest struct {
+	Round    int64           `json:"round"`
+	Attempts []learn.Attempt `json:"attempts"`
+}
+
+// ObservationResponse is the POST /sessions/{id}/observations response.
+type ObservationResponse struct {
+	Session  string `json:"session"`
+	Round    int64  `json:"round"`
+	Attempts int    `json:"attempts"`
+	// Applied is false for a duplicate delivery (the round was already
+	// closed); the posterior was not touched.
+	Applied bool `json:"applied"`
+	// Observations is the posterior's total Bernoulli-outcome count.
+	Observations int64 `json:"observations"`
+	// Entropy is the mean per-edge posterior entropy (0 = uniform prior,
+	// decreasing as the campaign learns).
+	Entropy float64 `json:"entropy"`
+}
+
+// syncLearnExtLocked re-serializes the campaign into the engine's OPIMS5
+// extension blob so the next checkpoint — synchronous, periodic, eviction
+// or shutdown — carries the current learner state. Callers hold sess.mu.
+func (sess *Session) syncLearnExtLocked() {
+	if sess.campaign == nil || sess.online == nil {
+		return
+	}
+	b, err := sess.campaign.MarshalBinary()
+	if err != nil {
+		// Marshal of an in-memory campaign cannot fail today; guard anyway
+		// so a future encoding bug cannot silently checkpoint stale state.
+		panic(fmt.Sprintf("server: serializing learner state for session %q: %v", sess.ID, err))
+	}
+	sess.online.SetExtension(b)
+}
+
+// checkpointLearn makes the campaign state durable before an
+// acknowledgement leaves the server. Without a checkpoint path durability
+// is not configured and the in-memory state is all there is.
+func (s *Server) checkpointLearn(sess *Session) error {
+	if sess.ckPath == "" {
+		return nil
+	}
+	_, err := s.saveSessionCheckpoint(sess)
+	return err
+}
+
+// restoreCampaign rolls the session's campaign back to a state captured
+// with MarshalBinary — the in-process analogue of a crash-retry, used
+// when a round fails downstream of StartRound so the client's retry
+// re-derives the same round instead of skipping one.
+func (sess *Session) restoreCampaign(prev []byte) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.online == nil {
+		return // evicted; the checkpoint on disk is the surviving state
+	}
+	c, err := learn.UnmarshalCampaign(prev, sess.online.Sampler().Graph())
+	if err != nil {
+		panic(fmt.Sprintf("server: restoring learner state for session %q: %v", sess.ID, err))
+	}
+	sess.campaign = c
+	sess.syncLearnExtLocked()
+}
+
+// handleRounds is POST /sessions/{id}/rounds: start the next
+// explore/exploit round (or re-serve the current one's seeds while its
+// observation is outstanding).
+func (s *Server) handleRounds(w http.ResponseWriter, r *http.Request, sess *Session) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if !s.admitSession(w, sess) {
+		return
+	}
+	if !sess.roundBusy.CompareAndSwap(false, true) {
+		mSessionConflicts.Inc()
+		s.replyError(w, http.StatusConflict, fmt.Sprintf("session %q is already starting a round; retry shortly", sess.ID))
+		return
+	}
+	defer sess.roundBusy.Store(false)
+	s.touch(sess)
+	if status, msg := s.ensureLoaded(sess); status != 0 {
+		s.replyError(w, status, msg)
+		return
+	}
+
+	sess.mu.Lock()
+	if sess.online == nil {
+		sess.mu.Unlock()
+		s.replyError(w, http.StatusConflict, fmt.Sprintf("session %q was evicted mid-request; retry shortly", sess.ID))
+		return
+	}
+	if sess.campaign == nil {
+		sess.mu.Unlock()
+		http.Error(w, fmt.Sprintf("session %q is not a learning session (create it with a learn spec)", sess.ID), http.StatusBadRequest)
+		return
+	}
+	if sess.campaign.Awaiting() {
+		// The current round's observation is outstanding: re-serve its
+		// seeds (at-least-once delivery of the round itself). The
+		// checkpoint below re-establishes durability for a client retrying
+		// precisely because the previous attempt's checkpoint failed.
+		resp := s.roundResponseLocked(sess, 0, true)
+		sess.mu.Unlock()
+		if err := s.checkpointLearn(sess); err != nil {
+			s.replyError(w, http.StatusInternalServerError, fmt.Sprintf("round state not durable: %v; retry", err))
+			return
+		}
+		writeJSON(w, resp)
+		return
+	}
+	prev, err := sess.campaign.MarshalBinary()
+	if err != nil {
+		sess.mu.Unlock()
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	ms, explore, err := sess.campaign.StartRound(sess.online.Sampler().Graph())
+	if err != nil {
+		sess.mu.Unlock()
+		http.Error(w, fmt.Sprintf("starting round: %v", err), http.StatusInternalServerError)
+		return
+	}
+	round := sess.campaign.Round()
+	sess.mu.Unlock()
+
+	// Apply the realization as an ordinary weight-only mutation epoch:
+	// journaled, swept through incremental repair (the weight-only fast
+	// path), visible to every session on the graph. An empty batch means
+	// the graph already realizes this round — nothing to apply.
+	if len(ms) > 0 {
+		if _, status, err := s.mutateGraph(sess.graph, ms); err != nil {
+			sess.restoreCampaign(prev)
+			s.replyError(w, status, fmt.Sprintf("applying round realization: %v", err))
+			return
+		}
+	}
+
+	// Refine the realization's RR sets before deriving seeds. Partial
+	// progress on failure is harmless — RR sets are valid at any count —
+	// but the round itself must be retried from StartRound.
+	rr := sess.roundRR
+	if rr <= 0 {
+		rr = defaultRoundRR
+	}
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	if status, msg := s.advanceSession(ctx, sess, rr); status != 0 {
+		sess.restoreCampaign(prev)
+		if status == statusClientGone {
+			return
+		}
+		s.replyError(w, status, msg)
+		return
+	}
+
+	sess.mu.Lock()
+	if sess.online == nil || sess.campaign == nil {
+		sess.mu.Unlock()
+		s.replyError(w, http.StatusConflict, fmt.Sprintf("session %q was evicted mid-request; retry shortly", sess.ID))
+		return
+	}
+	snap := sess.online.Snapshot()
+	sess.campaign.ServeSeeds(snap.Seeds)
+	sess.syncLearnExtLocked()
+	sess.refreshStatsLocked()
+	resp := s.roundResponseLocked(sess, len(ms), false)
+	resp.Alpha = snap.Alpha
+	sess.mu.Unlock()
+
+	// Seeds leave the server only after the awaiting round is durable:
+	// a kill −9 after this write resumes with the window open and the
+	// same stored seeds.
+	if err := s.checkpointLearn(sess); err != nil {
+		s.replyError(w, http.StatusInternalServerError, fmt.Sprintf("round state not durable: %v; retry", err))
+		return
+	}
+	obs.Emit(s.cfg.Events, "learn_round", map[string]any{
+		"session": sess.ID,
+		"round":   round,
+		"kind":    resp.Kind,
+		"explore": explore,
+		"applied": len(ms),
+		"epoch":   resp.Epoch,
+		"seeds":   len(resp.Seeds),
+	})
+	writeJSON(w, resp)
+}
+
+// roundResponseLocked assembles the rounds response from the campaign's
+// current state; callers hold sess.mu with campaign non-nil.
+func (s *Server) roundResponseLocked(sess *Session, applied int, replay bool) RoundResponse {
+	kind := "exploit"
+	if sess.campaign.Explore() {
+		kind = "explore"
+	}
+	resp := RoundResponse{
+		Session: sess.ID,
+		Round:   sess.campaign.Round(),
+		Kind:    kind,
+		Seeds:   sess.campaign.Seeds(),
+		Applied: applied,
+		NumRR:   sess.statNumRR.Load(),
+		Replay:  replay,
+	}
+	if sess.graph != nil {
+		resp.Epoch = sess.graph.ident.Load().epoch
+	}
+	return resp
+}
+
+// handleObservations is POST /sessions/{id}/observations: fold an
+// observed cascade's activation attempts into the session's posterior.
+// The acknowledgement is durable: the posterior is checkpointed before
+// the 200 leaves, and a failed checkpoint rolls the in-memory update back
+// so the client's retry re-applies it — an acked observation can never be
+// lost to a crash, and an unacked one is never double-counted.
+func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request, sess *Session) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req ObservationRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 32<<20)).Decode(&req); err != nil {
+		http.Error(w, "invalid JSON body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !s.admitSession(w, sess) {
+		return
+	}
+	s.touch(sess)
+	if status, msg := s.ensureLoaded(sess); status != 0 {
+		s.replyError(w, status, msg)
+		return
+	}
+
+	sess.mu.Lock()
+	if sess.online == nil {
+		sess.mu.Unlock()
+		s.replyError(w, http.StatusConflict, fmt.Sprintf("session %q was evicted mid-request; retry shortly", sess.ID))
+		return
+	}
+	if sess.campaign == nil {
+		sess.mu.Unlock()
+		http.Error(w, fmt.Sprintf("session %q is not a learning session (create it with a learn spec)", sess.ID), http.StatusBadRequest)
+		return
+	}
+	prev, err := sess.campaign.MarshalBinary()
+	if err != nil {
+		sess.mu.Unlock()
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	applied, err := sess.campaign.Observe(req.Round, req.Attempts)
+	if err != nil {
+		sess.mu.Unlock()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if applied {
+		sess.syncLearnExtLocked()
+	}
+	resp := ObservationResponse{
+		Session:      sess.ID,
+		Round:        req.Round,
+		Attempts:     len(req.Attempts),
+		Applied:      applied,
+		Observations: sess.campaign.Posterior().Observations(),
+		Entropy:      sess.campaign.Posterior().Entropy(),
+	}
+	sess.mu.Unlock()
+
+	if applied {
+		if err := s.checkpointLearn(sess); err != nil {
+			sess.restoreCampaign(prev)
+			s.replyError(w, http.StatusInternalServerError,
+				fmt.Sprintf("observation not durable: %v; retry (it was not applied)", err))
+			return
+		}
+		obs.Emit(s.cfg.Events, "learn_observation", map[string]any{
+			"session":  sess.ID,
+			"round":    req.Round,
+			"attempts": len(req.Attempts),
+			"entropy":  resp.Entropy,
+		})
+	}
+	writeJSON(w, resp)
+}
+
+// EnableLearning turns an existing session into a learning session — the
+// startup path for opimd's -learn flag on the default session. A campaign
+// already restored from the session's checkpoint extension is kept (the
+// resume case); otherwise a fresh uniform-prior campaign is created with
+// the given seed. roundRR configures the per-round RR budget (0 = the
+// server default).
+func (s *Server) EnableLearning(id string, seed uint64, roundRR int) error {
+	sess := s.lookup(id)
+	if sess == nil {
+		return fmt.Errorf("server: unknown session %q", id)
+	}
+	if status, msg := s.ensureLoaded(sess); status != 0 {
+		return fmt.Errorf("server: session %q: %s", id, msg)
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.online == nil {
+		return fmt.Errorf("server: session %q is not loaded", id)
+	}
+	sess.roundRR = roundRR
+	if sess.campaign != nil {
+		return nil // restored from the checkpoint; keep the learned posterior
+	}
+	sess.campaign = learn.NewCampaign(sess.online.Sampler().Graph(), seed)
+	sess.syncLearnExtLocked()
+	return nil
+}

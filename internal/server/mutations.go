@@ -45,6 +45,7 @@ var (
 	mSessionsRepaired  = obs.Default().Counter("server_sessions_repaired_total")
 	mSessionsCaughtUp  = obs.Default().Counter("server_sessions_caught_up_total")
 	mMutationTime      = obs.Default().Timer("server_graph_mutation_seconds")
+	mJournalCompacts   = obs.Default().Counter("server_journal_compactions_total")
 )
 
 // GraphUpdate is one mutation op in wire form (docs/API.md): op is
@@ -157,11 +158,8 @@ func (s *Server) mutateGraph(e *graphEntry, ms []graph.Mutation) (*UpdateGraphRe
 	// Write-ahead journal: the batch is durable before anything observes
 	// it. A failure here applies nothing.
 	if s.cfg.CheckpointDir != "" {
-		e.mu.Lock()
-		baseFP := e.lineages[0]
-		e.mu.Unlock()
 		entry := mutlogEntry{Epoch: ng.Epoch(), Lineage: ng.EpochLineage(), Updates: mutationsToUpdates(ms)}
-		if err := appendMutationLog(s.cfg.CheckpointDir, e.name, baseFP, entry); err != nil {
+		if err := appendMutationLog(s.cfg.CheckpointDir, e.name, e.fingerprint, entry); err != nil {
 			return nil, http.StatusInternalServerError, err
 		}
 	}
@@ -213,6 +211,9 @@ func (s *Server) mutateGraph(e *graphEntry, ms []graph.Mutation) (*UpdateGraphRe
 		"ops":               len(ms),
 		"sessions_repaired": len(repaired),
 	})
+	// Still inside the e.mutating critical section, so no concurrent
+	// append can interleave with the journal rewrite.
+	s.maybeCompactJournal(e, ng)
 	return &UpdateGraphResponse{
 		Graph:       e.name,
 		Epoch:       ng.Epoch(),
@@ -223,6 +224,47 @@ func (s *Server) mutateGraph(e *graphEntry, ms []graph.Mutation) (*UpdateGraphRe
 		Applied:     len(ms),
 		Repaired:    repaired,
 	}, 0, nil
+}
+
+// maybeCompactJournal compacts e's mutation journal once it holds
+// Config.JournalCompactEvery entries: snapshot the current graph, rewrite
+// the journal to start from it, and truncate the in-memory chain to
+// match. Called from mutateGraph while e.mutating is held, so no batch
+// can append concurrently. Checkpoints recorded before the snapshot epoch
+// can no longer resume (they fail loudly with "outside the known chain"),
+// which is why the threshold should comfortably exceed how stale a
+// session checkpoint can get between checkpointer passes. A compaction
+// failure only logs: the journal keeps its full history and the next
+// batch retries.
+func (s *Server) maybeCompactJournal(e *graphEntry, ng *graph.Graph) {
+	if s.cfg.JournalCompactEvery <= 0 || s.cfg.CheckpointDir == "" {
+		return
+	}
+	e.mu.Lock()
+	n := len(e.history)
+	e.mu.Unlock()
+	if n < s.cfg.JournalCompactEvery {
+		return
+	}
+	if err := compactMutationLog(s.cfg.CheckpointDir, e.name, e.fingerprint, ng); err != nil {
+		log.Printf("server: compacting mutation journal for graph %q: %v (history kept; next batch retries)", e.name, err)
+		return
+	}
+	e.mu.Lock()
+	e.history = nil
+	e.lineages = []string{ng.EpochLineage()}
+	e.baseEpoch = ng.Epoch()
+	e.snapFP = ng.Fingerprint()
+	e.mu.Unlock()
+	mJournalCompacts.Inc()
+	obs.Emit(s.cfg.Events, "journal_compaction", map[string]any{
+		"graph":             e.name,
+		"epoch":             ng.Epoch(),
+		"lineage":           ng.EpochLineage(),
+		"graph_fingerprint": ng.Fingerprint(),
+		"entries_dropped":   n,
+	})
+	log.Printf("server: compacted mutation journal for graph %q at epoch %d (%d entries folded into snapshot)", e.name, ng.Epoch(), n)
 }
 
 // metaLineage is the epoch-chain position a checkpoint claims: the OPIMS4
@@ -353,18 +395,20 @@ func LoadCheckpointMetaLog(path string, sampler *rrset.Sampler, glog *GraphLog) 
 			return sampler, nil
 		}
 		if lin == "" {
-			log.Printf("server: legacy checkpoint %s (OPIMS%d, no fingerprint) resuming onto mutated graph at epoch %d; treating it as epoch 0 UNVERIFIED", path, m.Format, cur.Epoch())
+			log.Printf("server: legacy checkpoint %s (OPIMS%d, no fingerprint) resuming onto mutated graph at epoch %d; treating it as epoch %d UNVERIFIED", path, m.Format, cur.Epoch(), glog.BaseEpoch)
 			missed = glog.History
 			m.AcceptStale = true
 			return sampler, nil
 		}
-		if m.Epoch < 0 || m.Epoch >= int64(len(glog.Lineages)) {
-			return nil, fmt.Errorf("%w: checkpoint records epoch %d, outside the journaled chain [0, %d] (mutation journal truncated?)", core.ErrGraphMismatch, m.Epoch, glog.Epochs())
+		idx := m.Epoch - glog.BaseEpoch
+		if idx < 0 || idx >= int64(len(glog.Lineages)) {
+			return nil, fmt.Errorf("%w: checkpoint records epoch %d, outside the journaled chain [%d, %d] (mutation journal truncated or compacted past it?)",
+				core.ErrGraphMismatch, m.Epoch, glog.BaseEpoch, glog.BaseEpoch+int64(glog.Epochs()))
 		}
-		if glog.Lineages[m.Epoch] != lin {
+		if glog.Lineages[idx] != lin {
 			return nil, fmt.Errorf("%w: checkpoint lineage %.12s at epoch %d is not on the journaled epoch chain: it descends from a different history", core.ErrGraphMismatch, lin, m.Epoch)
 		}
-		missed = glog.History[m.Epoch:]
+		missed = glog.History[idx:]
 		m.AcceptStale = true
 		return sampler, nil
 	}

@@ -19,28 +19,52 @@ package server
 // and the client that posted it never received a success response. The
 // epoch chain is what makes this detectable rather than assumed — a
 // partially recorded batch cannot chain-hash to a valid lineage.
+//
+// Compaction (Config.JournalCompactEvery) bounds replay time: once the
+// journal accumulates K entries, the current graph is written to an
+// OPIMG2 snapshot (graph-<name>.e<epoch>.snap) and the journal is
+// atomically rewritten to a single header line referencing it. Replay
+// then starts from the snapshot — verified against the recorded
+// fingerprint and stamped with the recorded (epoch, lineage) — instead of
+// the epoch-0 base. The crash orderings are all safe: the snapshot is
+// written before the header that references it (an orphan snapshot under
+// the old header is simply unused), snapshot files are epoch-suffixed so
+// a new snapshot can never clobber the one the current header points at,
+// and the header rewrite goes through fsutil.WriteAtomic (a crash between
+// its renames leaves the previous journal generation at .prev, which
+// replay falls back to).
 
 import (
 	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
 
+	"github.com/reprolab/opim/internal/fsutil"
 	"github.com/reprolab/opim/internal/graph"
 )
 
 // GraphLog is a graph's mutation history from its base epoch: History[i]
-// is the batch that advanced epoch i to i+1, and Lineages[i] is the
-// epoch-chain hash at epoch i (Lineages[0] is the base content
-// fingerprint), so len(Lineages) == len(History)+1. It is what a stale
-// checkpoint is verified against — and caught up with — when it resumes
-// onto a mutated graph.
+// is the batch that advanced epoch BaseEpoch+i to BaseEpoch+i+1, and
+// Lineages[i] is the epoch-chain hash at epoch BaseEpoch+i, so
+// len(Lineages) == len(History)+1. BaseEpoch is 0 for an uncompacted
+// journal (Lineages[0] is then the base content fingerprint); after
+// compaction it is the snapshot's epoch and SnapshotFP records the
+// snapshot's content hash. It is what a stale checkpoint is verified
+// against — and caught up with — when it resumes onto a mutated graph.
 type GraphLog struct {
 	History  [][]graph.Mutation
 	Lineages []string
+	// BaseEpoch is the epoch the log starts from: 0, or the compaction
+	// snapshot's epoch. Checkpoints recorded before it cannot resume.
+	BaseEpoch int64
+	// SnapshotFP is the compaction snapshot's content fingerprint
+	// ("" when BaseEpoch is 0) — the reload-verification anchor.
+	SnapshotFP string
 }
 
 // Epochs returns the number of recorded mutation batches.
@@ -57,10 +81,24 @@ func MutationLogPath(dir, name string) string {
 	return filepath.Join(dir, "graph-"+name+".mutlog")
 }
 
-// mutlogHeader is the journal's first line.
+// MutationSnapshotPath returns where a compaction snapshot of the named
+// graph at the given epoch lives under a checkpoint directory. Epoch-
+// suffixed so writing a new snapshot can never clobber the one the
+// current journal header references.
+func MutationSnapshotPath(dir, name string, epoch int64) string {
+	return filepath.Join(dir, fmt.Sprintf("graph-%s.e%d.snap", name, epoch))
+}
+
+// mutlogHeader is the journal's first line. BaseFingerprint always
+// anchors the epoch-0 dataset; the Snapshot fields are set by compaction
+// and redirect replay to start from the referenced OPIMG2 snapshot
+// instead of the base graph.
 type mutlogHeader struct {
 	Graph           string `json:"graph"`
 	BaseFingerprint string `json:"base_fingerprint"`
+	SnapshotEpoch   int64  `json:"snapshot_epoch,omitempty"`
+	SnapshotLineage string `json:"snapshot_lineage,omitempty"`
+	SnapshotFP      string `json:"snapshot_fingerprint,omitempty"`
 }
 
 // mutlogEntry is one journal line after the header: the batch that
@@ -78,13 +116,22 @@ type mutlogEntry struct {
 // on disk is a hard error, never a silently different graph. A torn final
 // line (crash mid-append) is dropped with a log line; a torn or
 // unparsable line anywhere else is corruption and fails the replay.
-// With no journal present g is returned unchanged under an empty log.
+// With no journal present g is returned unchanged under an empty log. A
+// journal rewritten by compaction redirects replay to its snapshot; a
+// missing journal with a .prev generation beside it (a crash between
+// WriteAtomic's renames) falls back to the previous generation.
 func ReplayMutationLog(dir, name string, g *graph.Graph) (*graph.Graph, *GraphLog, error) {
 	glog := &GraphLog{Lineages: []string{g.EpochLineage()}}
 	path := MutationLogPath(dir, name)
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return g, glog, nil
+		f, err = os.Open(path + fsutil.PrevSuffix)
+		if errors.Is(err, os.ErrNotExist) {
+			return g, glog, nil
+		}
+		if err == nil {
+			log.Printf("server: mutation journal %s missing; replaying previous generation %s (crash between compaction renames)", path, path+fsutil.PrevSuffix)
+		}
 	}
 	if err != nil {
 		return nil, nil, fmt.Errorf("server: opening mutation journal %s: %w", path, err)
@@ -114,6 +161,21 @@ func ReplayMutationLog(dir, name string, g *graph.Graph) (*graph.Graph, *GraphLo
 	if hdr.BaseFingerprint != g.Fingerprint() {
 		return nil, nil, fmt.Errorf("server: mutation journal %s was recorded for base graph %s, but graph %q on disk fingerprints %s",
 			path, hdr.BaseFingerprint, name, g.Fingerprint())
+	}
+	if hdr.SnapshotLineage != "" {
+		// Compacted journal: replay starts from the snapshot, not the base.
+		snapPath := MutationSnapshotPath(dir, name, hdr.SnapshotEpoch)
+		snap, err := readGraphSnapshot(snapPath, hdr.SnapshotFP)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := snap.AdoptEpochIdentity(hdr.SnapshotEpoch, hdr.SnapshotLineage); err != nil {
+			return nil, nil, fmt.Errorf("server: journal snapshot %s: %w", snapPath, err)
+		}
+		g = snap
+		glog.BaseEpoch = hdr.SnapshotEpoch
+		glog.SnapshotFP = hdr.SnapshotFP
+		glog.Lineages = []string{hdr.SnapshotLineage}
 	}
 
 	for i, line := range lines[1:] {
@@ -191,6 +253,71 @@ func appendMutationLog(dir, name, baseFP string, e mutlogEntry) error {
 		}
 	}
 	return nil
+}
+
+// readGraphSnapshot loads a compaction snapshot and verifies its content
+// against the fingerprint the journal header recorded — a snapshot edited
+// or swapped on disk fails loudly, never replays silently different.
+func readGraphSnapshot(path, wantFP string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("server: opening journal snapshot %s: %w", path, err)
+	}
+	defer f.Close()
+	g, err := graph.ReadCSR(f)
+	if err != nil {
+		return nil, fmt.Errorf("server: reading journal snapshot %s: %w", path, err)
+	}
+	if fp := g.Fingerprint(); fp != wantFP {
+		return nil, fmt.Errorf("server: journal snapshot %s fingerprints %s, journal header recorded %s (snapshot edited or swapped?)", path, fp, wantFP)
+	}
+	return g, nil
+}
+
+// compactMutationLog rewrites the named graph's journal to start from g:
+// g is written to an epoch-suffixed OPIMG2 snapshot, then the journal is
+// atomically replaced with a single header line referencing it. Write
+// order makes every crash point safe — the snapshot lands before any
+// header mentions it, and the journal swap is WriteAtomic (old generation
+// kept at .prev). Snapshots from earlier compactions are removed best-
+// effort afterwards; a leftover one is just disk, never read.
+func compactMutationLog(dir, name, baseFP string, g *graph.Graph) error {
+	snapPath := MutationSnapshotPath(dir, name, g.Epoch())
+	if _, err := fsutil.WriteAtomic(snapPath, func(w io.Writer) error {
+		return graph.WriteCSR(w, g)
+	}); err != nil {
+		return fmt.Errorf("server: writing journal snapshot %s: %w", snapPath, err)
+	}
+	hdr, err := json.Marshal(mutlogHeader{
+		Graph:           name,
+		BaseFingerprint: baseFP,
+		SnapshotEpoch:   g.Epoch(),
+		SnapshotLineage: g.EpochLineage(),
+		SnapshotFP:      g.Fingerprint(),
+	})
+	if err != nil {
+		return err
+	}
+	path := MutationLogPath(dir, name)
+	if _, err := fsutil.WriteAtomic(path, func(w io.Writer) error {
+		_, werr := w.Write(append(hdr, '\n'))
+		return werr
+	}); err != nil {
+		return fmt.Errorf("server: rewriting mutation journal %s: %w", path, err)
+	}
+	for _, old := range graphSnapshotPaths(dir, name) {
+		if old != snapPath {
+			os.Remove(old) //nolint:errcheck // best effort; an orphan snapshot is never read
+		}
+	}
+	return nil
+}
+
+// graphSnapshotPaths lists the named graph's compaction snapshots (any
+// epoch) under dir, for cleanup.
+func graphSnapshotPaths(dir, name string) []string {
+	paths, _ := filepath.Glob(filepath.Join(dir, "graph-"+name+".e*.snap"))
+	return paths
 }
 
 // updatesToMutations converts wire-form updates into graph mutations,

@@ -147,6 +147,12 @@ type Config struct {
 	// CheckpointInterval is the cadence of StartCheckpointer
 	// (≤ 0 defaults to DefaultCheckpointInterval).
 	CheckpointInterval time.Duration
+	// JournalCompactEvery, when > 0, compacts a graph's mutation journal
+	// once it accumulates that many entries: the current graph is written
+	// to an OPIMG2 snapshot beside the journal and the journal restarts
+	// from the snapshot's epoch, bounding restart replay time and journal
+	// size. ≤ 0 disables compaction (the journal grows without bound).
+	JournalCompactEvery int
 	// Events, when non-nil, receives structured server events: one
 	// "server_panic" per recovered handler panic and one
 	// "checkpoint_failure" per failed checkpoint write.
@@ -299,6 +305,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/start", instrument("start", s.forSession(s.handleStart)))
 	mux.HandleFunc("/stop", instrument("stop", s.forSession(s.handleStop)))
 	mux.HandleFunc("/checkpoint", instrument("checkpoint", s.forSession(s.handleCheckpoint)))
+	mux.HandleFunc("/rounds", instrument("rounds", s.forSession(s.handleRounds)))
+	mux.HandleFunc("/observations", instrument("observations", s.forSession(s.handleObservations)))
 	mux.HandleFunc("/metrics", instrument("metrics", s.handleMetrics))
 	// Graph catalog.
 	mux.HandleFunc("/graphs", instrument("graphs", s.handleGraphs))
@@ -315,6 +323,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/sessions/{id}/start", instrument("start", s.forSession(s.handleStart)))
 	mux.HandleFunc("/sessions/{id}/stop", instrument("stop", s.forSession(s.handleStop)))
 	mux.HandleFunc("/sessions/{id}/checkpoint", instrument("checkpoint", s.forSession(s.handleCheckpoint)))
+	mux.HandleFunc("/sessions/{id}/rounds", instrument("rounds", s.forSession(s.handleRounds)))
+	mux.HandleFunc("/sessions/{id}/observations", instrument("observations", s.forSession(s.handleObservations)))
 	return s.recoverer(s.limiter(mux))
 }
 

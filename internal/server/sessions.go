@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -30,6 +31,7 @@ import (
 	"sync/atomic"
 
 	"github.com/reprolab/opim/internal/core"
+	"github.com/reprolab/opim/internal/learn"
 	"github.com/reprolab/opim/internal/obs"
 )
 
@@ -115,6 +117,18 @@ type Session struct {
 	// reference while resident (see catalog.go).
 	graph *graphEntry
 
+	// campaign, when non-nil, makes this a learning session: the
+	// feedback-driven round machine of learn.Campaign (see learn.go).
+	// Guarded by mu; its serialized state rides inside the engine's OPIMS5
+	// extension blob, so it survives eviction, restart and kill −9 with
+	// the checkpoint. roundRR is the RR-set budget generated per round
+	// before seeds are served (0 = defaultRoundRR); roundBusy serializes
+	// POST /rounds per session without holding mu across the graph
+	// mutation.
+	campaign  *learn.Campaign
+	roundRR   int
+	roundBusy atomic.Bool
+
 	// lastTouch orders LRU eviction; guarded by the server's smu.
 	lastTouch int64
 }
@@ -127,12 +141,24 @@ func (sess *Session) refreshStatsLocked() {
 }
 
 // setOnlineLocked installs an engine (created or reloaded) and refreshes
-// every mirror; callers hold sess.mu.
+// every mirror; callers hold sess.mu. A checkpoint extension blob, when
+// present, restores the session's learning campaign exactly where the
+// serialized round machine left off.
 func (sess *Session) setOnlineLocked(online *core.Online) {
 	sess.online = online
 	opts := online.Options()
 	sess.opts.Store(&opts)
 	sess.refreshStatsLocked()
+	if ext := online.Extension(); len(ext) > 0 {
+		c, err := learn.UnmarshalCampaign(ext, online.Sampler().Graph())
+		if err != nil {
+			// Keep serving the session (the RR state is intact) but say
+			// loudly that the feedback loop lost its posterior.
+			log.Printf("server: session %q: cannot restore learner state from checkpoint extension: %v", sess.ID, err)
+			return
+		}
+		sess.campaign = c
+	}
 }
 
 // SessionSpec is the POST /sessions request body. Zero values take the
@@ -172,6 +198,20 @@ type SessionSpec struct {
 	// Burst is the token-bucket depth (0 = server default, then
 	// max(1, rate)).
 	Burst float64 `json:"burst,omitempty"`
+	// Learn, when set, makes this a learning session: edge weights are
+	// treated as unknown, POST rounds/observations drive the
+	// explore-exploit feedback loop, and the Beta posterior state rides in
+	// every checkpoint (see docs/LEARNING.md).
+	Learn *LearnSpec `json:"learn,omitempty"`
+}
+
+// LearnSpec configures a learning session (SessionSpec.Learn).
+type LearnSpec struct {
+	// Seed roots the campaign's per-round Thompson draw streams.
+	Seed uint64 `json:"seed"`
+	// RoundRR is the RR-set count generated on the round's realization
+	// graph before seeds are served (0 = the server default, 1024).
+	RoundRR int `json:"round_rr,omitempty"`
 }
 
 // SessionInfo describes one session in /sessions responses. Option fields
@@ -270,6 +310,10 @@ func (s *Server) createSession(spec SessionSpec) (*Session, int, error) {
 	if err := validateQoSSpec(spec); err != nil {
 		return nil, http.StatusBadRequest, err
 	}
+	if spec.Learn != nil && (spec.Learn.RoundRR < 0 || int64(spec.Learn.RoundRR) > maxRR) {
+		return nil, http.StatusBadRequest,
+			fmt.Errorf("learn.round_rr %d outside [0, max_rr %d]", spec.Learn.RoundRR, maxRR)
+	}
 	graphName := spec.Graph
 	if graphName == "" {
 		graphName = DefaultGraphName
@@ -312,6 +356,11 @@ func (s *Server) createSession(spec SessionSpec) (*Session, int, error) {
 	s.applySessionQoS(sess, spec.Weight, spec.Rate, spec.Burst)
 	sess.mu.Lock()
 	sess.setOnlineLocked(online)
+	if spec.Learn != nil {
+		sess.roundRR = spec.Learn.RoundRR
+		sess.campaign = learn.NewCampaign(sampler.Graph(), spec.Learn.Seed)
+		sess.syncLearnExtLocked()
+	}
 	sess.mu.Unlock()
 	if err := s.addSession(sess); err != nil {
 		return fail(http.StatusConflict, err)
